@@ -1,0 +1,162 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// Shinjuku preemption quantum, WFQ's idle-time work stealing, the Enoki
+// per-invocation overhead, and the deep-C-state wakeup cost that drives the
+// schbench/locality results.
+package enoki_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/enokic"
+	"enoki/internal/kernel"
+	"enoki/internal/sched/shinjuku"
+	"enoki/internal/sched/wfq"
+	"enoki/internal/sim"
+	"enoki/internal/workload"
+)
+
+const (
+	ablPolicyCFS   = 0
+	ablPolicyEnoki = 1
+)
+
+// BenchmarkAblation_ShinjukuSlice sweeps the preemption quantum on the
+// dispersive RocksDB load: too coarse strands short requests behind long
+// ones, too fine burns the CPUs on preemption (the paper chose 10µs "to
+// prevent overloading the scheduler").
+func BenchmarkAblation_ShinjukuSlice(b *testing.B) {
+	for _, slice := range []time.Duration{5 * time.Microsecond, 10 * time.Microsecond,
+		20 * time.Microsecond, 50 * time.Microsecond, 200 * time.Microsecond} {
+		b.Run(fmt.Sprintf("slice=%v", slice), func(b *testing.B) {
+			var p99 time.Duration
+			for i := 0; i < b.N; i++ {
+				eng := sim.New()
+				k := kernel.New(eng, kernel.Machine8(), kernel.CostsFor(kernel.Machine8()))
+				enokic.Load(k, ablPolicyEnoki, enokic.DefaultConfig(),
+					func(env core.Env) core.Scheduler {
+						return shinjuku.New(env, ablPolicyEnoki, slice)
+					})
+				k.RegisterClass(ablPolicyCFS, kernel.NewCFS(k))
+				db := workload.NewRocksDB(k, workload.RocksDBConfig{
+					Policy: ablPolicyEnoki, Rate: 55000,
+					Warmup: 100 * time.Millisecond, Duration: 300 * time.Millisecond,
+				})
+				p99 = db.Start().P99
+			}
+			b.ReportMetric(float64(p99)/float64(time.Microsecond), "p99_µs")
+		})
+	}
+}
+
+// BenchmarkAblation_WFQStealing disables WFQ's only balancing mechanism and
+// measures a pinned-then-released burst: without stealing, released work
+// stays piled on one core.
+func BenchmarkAblation_WFQStealing(b *testing.B) {
+	run := func(noSteal bool) time.Duration {
+		eng := sim.New()
+		k := kernel.New(eng, kernel.Machine8(), kernel.CostsFor(kernel.Machine8()))
+		var sched *wfq.Sched
+		enokic.Load(k, ablPolicyEnoki, enokic.DefaultConfig(),
+			func(env core.Env) core.Scheduler {
+				sched = wfq.New(env, ablPolicyEnoki)
+				sched.NoSteal = noSteal
+				return sched
+			})
+		k.RegisterClass(ablPolicyCFS, kernel.NewCFS(k))
+		var finish time.Duration
+		done := 0
+		var tasks []*kernel.Task
+		for i := 0; i < 8; i++ {
+			remaining := 10 * time.Millisecond
+			tasks = append(tasks, k.Spawn("w", ablPolicyEnoki, kernel.BehaviorFunc(
+				func(kk *kernel.Kernel, t *kernel.Task) kernel.Action {
+					if remaining <= 0 {
+						done++
+						if done == 8 {
+							finish = time.Duration(kk.Now())
+						}
+						return kernel.Action{Op: kernel.OpExit}
+					}
+					remaining -= 500 * time.Microsecond
+					return kernel.Action{Run: 500 * time.Microsecond, Op: kernel.OpContinue}
+				}), kernel.WithAffinity(kernel.SingleCPU(0))))
+		}
+		k.RunFor(time.Millisecond)
+		for _, t := range tasks {
+			k.SetAffinity(t, kernel.AllCPUs(8))
+		}
+		k.RunFor(200 * time.Millisecond)
+		return finish
+	}
+	b.Run("steal=on", func(b *testing.B) {
+		var d time.Duration
+		for i := 0; i < b.N; i++ {
+			d = run(false)
+		}
+		b.ReportMetric(float64(d)/float64(time.Millisecond), "makespan_ms")
+	})
+	b.Run("steal=off", func(b *testing.B) {
+		var d time.Duration
+		for i := 0; i < b.N; i++ {
+			d = run(true)
+		}
+		b.ReportMetric(float64(d)/float64(time.Millisecond), "makespan_ms")
+	})
+}
+
+// BenchmarkAblation_FrameworkOverhead sweeps the per-invocation cost to
+// show how Table 3's WFQ column would move if the framework were cheaper or
+// pricier than the measured 100-150ns.
+func BenchmarkAblation_FrameworkOverhead(b *testing.B) {
+	for _, oh := range []time.Duration{0, 60 * time.Nanosecond, 130 * time.Nanosecond,
+		300 * time.Nanosecond, 1000 * time.Nanosecond} {
+		b.Run(fmt.Sprintf("overhead=%v", oh), func(b *testing.B) {
+			var lat time.Duration
+			for i := 0; i < b.N; i++ {
+				eng := sim.New()
+				k := kernel.New(eng, kernel.Machine8(), kernel.CostsFor(kernel.Machine8()))
+				cfg := enokic.DefaultConfig()
+				cfg.CallOverhead = oh
+				enokic.Load(k, ablPolicyEnoki, cfg, func(env core.Env) core.Scheduler {
+					return wfq.New(env, ablPolicyEnoki)
+				})
+				k.RegisterClass(ablPolicyCFS, kernel.NewCFS(k))
+				lat = workload.RunPipe(k, workload.PipeConfig{
+					Policy: ablPolicyEnoki, Messages: 10000, SameCore: true,
+				}).PerWakeup
+			}
+			b.ReportMetric(float64(lat)/float64(time.Microsecond), "pipe_µs")
+		})
+	}
+}
+
+// BenchmarkAblation_DeepIdleExit removes the deep-C-state wakeup cost: the
+// schbench medians collapse toward the context-switch floor, demonstrating
+// it is the dominant term in Tables 4 and 6.
+func BenchmarkAblation_DeepIdleExit(b *testing.B) {
+	run := func(exit time.Duration) time.Duration {
+		eng := sim.New()
+		costs := kernel.CostsFor(kernel.Machine8())
+		costs.DeepIdleExit = exit
+		k := kernel.New(eng, kernel.Machine8(), costs)
+		k.RegisterClass(ablPolicyCFS, kernel.NewCFS(k))
+		return workload.RunSchbench(k, workload.SchbenchConfig{
+			Policy: ablPolicyCFS, MessageThreads: 2, WorkersPerMsg: 2,
+			Warmup: 50 * time.Millisecond, Duration: 200 * time.Millisecond,
+			WorkerBurst: 2 * time.Microsecond, MsgWork: 2 * time.Microsecond,
+			RoundPause: 150 * time.Microsecond,
+		}).P50
+	}
+	for _, exit := range []time.Duration{0, 30 * time.Microsecond, 68 * time.Microsecond} {
+		b.Run(fmt.Sprintf("exit=%v", exit), func(b *testing.B) {
+			var p50 time.Duration
+			for i := 0; i < b.N; i++ {
+				p50 = run(exit)
+			}
+			b.ReportMetric(float64(p50)/float64(time.Microsecond), "schbench_p50_µs")
+		})
+	}
+}

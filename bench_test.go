@@ -1,0 +1,150 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5). Each bench runs the corresponding experiment harness (quick scale)
+// and reports the headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// prints a machine-readable rendition of the whole evaluation. DESIGN.md §3
+// maps each bench to its modules; cmd/enokibench prints the human-readable
+// tables at full scale.
+package enoki_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"enoki/internal/experiments"
+)
+
+var quick = experiments.Options{Quick: true}
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// metric sanitises a label into a whitespace-free benchmark unit.
+func metric(parts ...string) string {
+	s := strings.Join(parts, "_")
+	return strings.NewReplacer(" ", "", "-", "_").Replace(s)
+}
+
+func BenchmarkTable2_LinesOfCode(b *testing.B) {
+	var total int
+	for i := 0; i < b.N; i++ {
+		total = experiments.Table2(quick).Total
+	}
+	b.ReportMetric(float64(total), "loc")
+}
+
+func BenchmarkTable3_PipeLatency(b *testing.B) {
+	var r *experiments.Table3Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table3(quick)
+	}
+	for _, row := range r.Rows {
+		b.ReportMetric(us(row.OneCore), metric(row.Sched, "1core_µs"))
+		b.ReportMetric(us(row.TwoCore), metric(row.Sched, "2core_µs"))
+	}
+}
+
+func BenchmarkTable4_Schbench(b *testing.B) {
+	var r *experiments.Table4Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table4(quick)
+	}
+	for _, c := range r.TwoWorkers {
+		b.ReportMetric(us(c.P99), metric(c.Sched, "2w_p99_µs"))
+	}
+	for _, c := range r.FortyWorkers {
+		b.ReportMetric(us(c.P99), metric(c.Sched, "40w_p99_µs"))
+	}
+}
+
+func BenchmarkTable5_Applications(b *testing.B) {
+	var r *experiments.Table5Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table5(quick)
+	}
+	b.ReportMetric(r.Geomean, "geomean_diff_pct")
+	b.ReportMetric(r.MaxAbs, "max_diff_pct")
+}
+
+func BenchmarkTable6_LocalityHints(b *testing.B) {
+	var r *experiments.Table6Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table6(quick)
+	}
+	for _, row := range r.Rows {
+		b.ReportMetric(us(row.P50), metric(row.Config, "p50_µs"))
+	}
+}
+
+func BenchmarkFig2a_RocksDB(b *testing.B) {
+	var r *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig2(quick, false)
+	}
+	for _, s := range r.Series {
+		mid := s.Points[len(s.Points)/2]
+		b.ReportMetric(us(mid.P99), metric(s.Sched, "midload_p99_µs"))
+	}
+}
+
+func BenchmarkFig2b_RocksDBBatch(b *testing.B) {
+	var r *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig2(quick, true)
+	}
+	for _, s := range r.Series {
+		mid := s.Points[len(s.Points)/2]
+		b.ReportMetric(us(mid.P99), metric(s.Sched, "midload_p99_µs"))
+	}
+}
+
+func BenchmarkFig2c_BatchShare(b *testing.B) {
+	var r *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig2(quick, true)
+	}
+	for _, s := range r.Series {
+		mid := s.Points[len(s.Points)/2]
+		b.ReportMetric(mid.BatchCPUs, metric(s.Sched, "midload_batch_cpus"))
+	}
+}
+
+func BenchmarkFig3_Memcached(b *testing.B) {
+	var r *experiments.Fig3Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig3(quick)
+	}
+	for _, s := range r.Series {
+		last := s.Points[len(s.Points)-1]
+		b.ReportMetric(us(last.P99), metric(s.Config, "hiload_p99_µs"))
+	}
+}
+
+func BenchmarkUpgrade_Blackout(b *testing.B) {
+	var r *experiments.UpgradeResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Upgrade(quick)
+	}
+	b.ReportMetric(us(r.Rows[0].Blackout), "blackout_8core_µs")
+	b.ReportMetric(us(r.Rows[1].Blackout), "blackout_80core_µs")
+}
+
+func BenchmarkRecordReplay(b *testing.B) {
+	var r *experiments.RecordReplayResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.RecordReplay(quick)
+	}
+	b.ReportMetric(r.RecordRatio, "record_slowdown_x")
+	b.ReportMetric(float64(r.Divergences), "divergences")
+}
+
+func BenchmarkEquivalence(b *testing.B) {
+	var r *experiments.EquivalenceResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Equivalence(quick)
+	}
+	b.ReportMetric(float64(len(r.CheckEquivalence())), "violations")
+	b.ReportMetric(float64(r.OneCoreWFQ)/float64(r.SpreadWFQ), "colocated_slowdown_x")
+}

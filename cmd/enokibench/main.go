@@ -1,0 +1,67 @@
+// Command enokibench regenerates every table and figure from the paper's
+// evaluation (§5). Each experiment prints the paper-style table it
+// reproduces; DESIGN.md maps experiment ids to modules and EXPERIMENTS.md
+// records paper-vs-measured.
+//
+// Usage:
+//
+//	enokibench [-quick] [-list] [experiment ...]
+//
+// With no experiment names, everything runs in paper order. -quick shrinks
+// message counts and durations so the full suite finishes in well under a
+// minute; without it, runs use paper-scale durations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"enoki/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink durations/message counts for a fast pass")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: enokibench [-quick] [-list] [experiment ...]\n\nexperiments:\n")
+		for _, s := range experiments.All() {
+			fmt.Fprintf(os.Stderr, "  %-13s %s\n", s.Name, s.What)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.All() {
+			fmt.Printf("%-13s %s\n", s.Name, s.What)
+		}
+		return
+	}
+
+	names := flag.Args()
+	var specs []experiments.Spec
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		specs = experiments.All()
+	} else {
+		for _, n := range names {
+			s, ok := experiments.Find(n)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "enokibench: unknown experiment %q (try -list)\n", n)
+				os.Exit(2)
+			}
+			specs = append(specs, s)
+		}
+	}
+
+	opts := experiments.Options{Quick: *quick}
+	for i, s := range specs {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		res := s.Run(opts)
+		fmt.Print(res.String())
+		fmt.Printf("[%s finished in %v]\n", s.Name, time.Since(start).Round(time.Millisecond))
+	}
+}

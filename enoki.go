@@ -1,0 +1,221 @@
+// Package enoki is the public API of the Enoki reproduction: a framework
+// for high velocity development of (simulated) Linux kernel schedulers,
+// after "Enoki: High Velocity Linux Kernel Scheduler Development"
+// (EuroSys '24).
+//
+// A scheduler is a type implementing Scheduler (the EnokiScheduler trait,
+// Table 1 of the paper), written only against this package. Load it into a
+// simulated kernel and it schedules tasks exactly where a sched_class
+// would:
+//
+//	eng := enoki.NewEngine()
+//	k := enoki.NewKernel(eng, enoki.Machine8(), enoki.DefaultCosts())
+//	ad := enoki.Load(k, myPolicyID, enoki.DefaultConfig(),
+//	        func(env enoki.Env) enoki.Scheduler { return mysched.New(env) })
+//	k.RegisterClass(0, enoki.NewCFS(k)) // CFS below it, as in the paper
+//
+// The framework provides the paper's headline features:
+//
+//   - Schedulable proofs: the framework validates every pick_next_task
+//     return against its authoritative table and bounces bad ones through
+//     pnt_err, so a buggy module cannot run a task on the wrong CPU.
+//   - Live upgrade: Adapter.Upgrade quiesces the module behind a
+//     write-locked boundary, transfers state via reregister_prepare/init,
+//     and swaps the dispatch pointer with a µs-scale blackout.
+//   - Bidirectional hints: Adapter.CreateHintQueue / CreateRevQueue carry
+//     scheduler-defined messages between userspace and the module.
+//   - Record and replay: record.New captures every message and lock
+//     operation; replay.Replay runs the same module code at userspace and
+//     validates its decisions.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured results.
+package enoki
+
+import (
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/enokic"
+	"enoki/internal/kernel"
+	"enoki/internal/ktime"
+	"enoki/internal/sim"
+)
+
+// --- scheduler-facing API (libEnoki) ----------------------------------------
+
+// Scheduler is the EnokiScheduler trait (Table 1): implement it to build a
+// loadable scheduler.
+type Scheduler = core.Scheduler
+
+// BaseScheduler supplies default no-op implementations of the optional
+// trait methods; embed it in your scheduler.
+type BaseScheduler = core.BaseScheduler
+
+// Schedulable is the proof-of-runnability token (§3.1).
+type Schedulable = core.Schedulable
+
+// SchedulableRef is the serialisable form of a Schedulable.
+type SchedulableRef = core.SchedulableRef
+
+// Env is the safe interface a module gets for kernel services (locks,
+// timers, topology, time).
+type Env = core.Env
+
+// Locker is the lock handle Env.NewMutex returns.
+type Locker = core.Locker
+
+// PickError explains a rejected pick_next_task result.
+type PickError = core.PickError
+
+// Pick rejection causes (see PickError).
+const (
+	PickWrongCPU  = core.PickWrongCPU
+	PickStale     = core.PickStale
+	PickNotQueued = core.PickNotQueued
+	PickConsumed  = core.PickConsumed
+)
+
+// TransferOut and TransferIn are the live-upgrade state capsules (§3.2).
+type (
+	TransferOut = core.TransferOut
+	TransferIn  = core.TransferIn
+)
+
+// Hint and RevMessage are the user↔kernel communication payloads (§3.3).
+type (
+	Hint       = core.Hint
+	RevMessage = core.RevMessage
+)
+
+// HintQueue and RevQueue are the boundary ring buffers.
+type (
+	HintQueue = core.HintQueue
+	RevQueue  = core.RevQueue
+)
+
+// --- kernel substrate ---------------------------------------------------------
+
+// Kernel is the simulated Linux scheduling core.
+type Kernel = kernel.Kernel
+
+// Task is the simulated task_struct.
+type Task = kernel.Task
+
+// TaskState is a task's lifecycle state.
+type TaskState = kernel.State
+
+// Task lifecycle states.
+const (
+	StateNew      = kernel.StateNew
+	StateRunnable = kernel.StateRunnable
+	StateRunning  = kernel.StateRunning
+	StateBlocked  = kernel.StateBlocked
+	StateDead     = kernel.StateDead
+)
+
+// Action and Behavior define workload task bodies.
+type (
+	Action   = kernel.Action
+	Behavior = kernel.Behavior
+)
+
+// BehaviorFunc adapts a function to Behavior.
+type BehaviorFunc = kernel.BehaviorFunc
+
+// Segment-completion operations for Action.Op.
+const (
+	OpContinue = kernel.OpContinue
+	OpBlock    = kernel.OpBlock
+	OpSleep    = kernel.OpSleep
+	OpYield    = kernel.OpYield
+	OpExit     = kernel.OpExit
+)
+
+// Machine and Costs describe the simulated host.
+type (
+	Machine = kernel.Machine
+	Costs   = kernel.Costs
+)
+
+// CPUMask is a set of allowed CPUs.
+type CPUMask = kernel.CPUMask
+
+// Time is a virtual-time instant.
+type Time = ktime.Time
+
+// Rand is the deterministic random generator workloads use.
+type Rand = ktime.Rand
+
+// NewRand creates a seeded deterministic random stream.
+func NewRand(seed uint64) *Rand { return ktime.NewRand(seed) }
+
+// Engine is the discrete-event executor everything runs on.
+type Engine = sim.Engine
+
+// NewEngine creates a fresh event engine.
+func NewEngine() *Engine { return sim.New() }
+
+// NewKernel builds a simulated kernel on eng.
+func NewKernel(eng *Engine, m Machine, c Costs) *Kernel { return kernel.New(eng, m, c) }
+
+// Machine8 is the paper's 8-core one-socket machine.
+func Machine8() Machine { return kernel.Machine8() }
+
+// Machine80 is the paper's 80-core two-socket machine.
+func Machine80() Machine { return kernel.Machine80() }
+
+// DefaultCosts is the calibrated cost table.
+func DefaultCosts() Costs { return kernel.DefaultCosts() }
+
+// CostsFor calibrates costs for a machine.
+func CostsFor(m Machine) Costs { return kernel.CostsFor(m) }
+
+// NewCFS builds the native CFS baseline class.
+func NewCFS(k *Kernel) *kernel.CFS { return kernel.NewCFS(k) }
+
+// NewRT builds the native SCHED_FIFO/SCHED_RR real-time class (rrSlice 0
+// uses Linux's 100ms default).
+func NewRT(k *Kernel, rrSlice time.Duration) *kernel.RT { return kernel.NewRT(k, rrSlice) }
+
+// RTParams configures a task's real-time priority for the RT class.
+type RTParams = kernel.RTParams
+
+// Spawn options re-exported for workload construction.
+var (
+	WithAffinity     = kernel.WithAffinity
+	WithNice         = kernel.WithNice
+	WithWakeObserver = kernel.WithWakeObserver
+	WithExitObserver = kernel.WithExitObserver
+	WithUserData     = kernel.WithUserData
+)
+
+// AllCPUs and SingleCPU build affinity masks.
+var (
+	AllCPUs   = kernel.AllCPUs
+	SingleCPU = kernel.SingleCPU
+)
+
+// --- framework (Enoki-C) -------------------------------------------------------
+
+// Adapter connects a loaded scheduler module to the kernel: registration,
+// message dispatch, Schedulable validation, hint queues, live upgrade.
+type Adapter = enokic.Adapter
+
+// Config tunes framework costs.
+type Config = enokic.Config
+
+// UpgradeReport describes a completed live upgrade.
+type UpgradeReport = enokic.UpgradeReport
+
+// UserQueue is the userspace handle to a registered hint queue.
+type UserQueue = enokic.UserQueue
+
+// DefaultConfig returns the calibrated framework costs.
+func DefaultConfig() Config { return enokic.DefaultConfig() }
+
+// Load constructs a scheduler module via factory and registers it with the
+// kernel under the given policy number.
+func Load(k *Kernel, policy int, cfg Config, factory func(Env) Scheduler) *Adapter {
+	return enokic.Load(k, policy, cfg, factory)
+}

@@ -1,0 +1,82 @@
+// Live upgrade: replace a running scheduler without stopping its tasks
+// (§3.2, §5.7).
+//
+// A WFQ scheduler runs a set of latency-sensitive tasks. Mid-run, the
+// module is upgraded to a new version: the framework quiesces it behind the
+// module RW-lock, the old version exports its state through
+// reregister_prepare, the new version adopts it in reregister_init, and the
+// dispatch pointer swaps. Tasks never notice beyond a µs-scale blackout.
+//
+//	go run ./examples/live-upgrade
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"enoki"
+)
+
+const (
+	policyCFS = 0
+	policyWFQ = 1
+)
+
+func main() {
+	eng := enoki.NewEngine()
+	k := enoki.NewKernel(eng, enoki.Machine8(), enoki.DefaultCosts())
+	ad := enoki.Load(k, policyWFQ, enoki.DefaultConfig(),
+		func(env enoki.Env) enoki.Scheduler { return enoki.NewWFQScheduler(env, policyWFQ) })
+	k.RegisterClass(policyCFS, enoki.NewCFS(k))
+
+	// Latency-sensitive tasks: sleep 90µs, run 10µs, repeat; we watch
+	// their wakeup latency across the upgrade.
+	var worst time.Duration
+	completed := 0
+	for i := 0; i < 6; i++ {
+		k.Spawn("service", policyWFQ, enoki.BehaviorFunc(
+			func(k *enoki.Kernel, t *enoki.Task) enoki.Action {
+				completed++
+				return enoki.Action{Run: 10 * time.Microsecond, Op: enoki.OpSleep,
+					SleepFor: 90 * time.Microsecond}
+			}),
+			enoki.WithWakeObserver(func(d time.Duration) {
+				if d > worst {
+					worst = d
+				}
+			}))
+	}
+
+	// Plus CPU-bound tasks so the run queues are never empty.
+	for i := 0; i < 4; i++ {
+		k.Spawn("batch", policyWFQ, enoki.BehaviorFunc(
+			func(k *enoki.Kernel, t *enoki.Task) enoki.Action {
+				return enoki.Action{Run: 500 * time.Microsecond, Op: enoki.OpContinue}
+			}))
+	}
+
+	k.RunFor(20 * time.Millisecond)
+	before := completed
+	worst = 0
+
+	oldSched := ad.Scheduler()
+	var rep enoki.UpgradeReport
+	eng.After(0, func() {
+		ad.Upgrade(func(env enoki.Env) enoki.Scheduler {
+			// "Version 2" — same policy here; real upgrades change
+			// the algorithm and adopt the exported state capsule.
+			return enoki.NewWFQScheduler(env, policyWFQ)
+		}, func(r enoki.UpgradeReport) { rep = r })
+	})
+	k.RunFor(20 * time.Millisecond)
+
+	fmt.Printf("upgrade blackout:      %v of simulated service interruption\n", rep.Blackout)
+	fmt.Printf("module swap (host):    %v of Go time in prepare+init+swap\n", rep.WallSwap)
+	fmt.Printf("calls deferred:        %d delivered to the new module after the swap\n", rep.DeferredDelivered)
+	fmt.Printf("module replaced:       %v\n", ad.Scheduler() != oldSched)
+	fmt.Printf("service iterations:    %d before, %d after (none lost)\n", before, completed-before)
+	fmt.Printf("worst wakeup latency around the upgrade: %v\n", worst)
+	if st := ad.Stats(); st.PntErrs != 0 {
+		fmt.Printf("WARNING: %d invalid picks\n", st.PntErrs)
+	}
+}

@@ -1,0 +1,3 @@
+module enoki
+
+go 1.22

@@ -1,0 +1,183 @@
+package arachne_test
+
+import (
+	"testing"
+	"time"
+
+	"enoki/internal/arachne"
+	"enoki/internal/core"
+	"enoki/internal/enokic"
+	"enoki/internal/kernel"
+	"enoki/internal/sched/arbiter"
+	"enoki/internal/sim"
+)
+
+const (
+	policyCFS     = 0
+	policyArbiter = 11
+	procID        = 1
+)
+
+func managedCores() []int { return []int{1, 2, 3, 4, 5, 6, 7} }
+
+func rig() (*kernel.Kernel, *enokic.Adapter, *arachne.Runtime) {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	ad := enokic.Load(k, policyArbiter, enokic.DefaultConfig(), func(env core.Env) core.Scheduler {
+		return arbiter.New(env, policyArbiter, managedCores())
+	})
+	k.RegisterClass(policyCFS, kernel.NewCFS(k))
+	rt := arachne.NewRuntime(k, arachne.DefaultConfig())
+	acts := rt.Start(policyArbiter, 7)
+	arachne.AttachEnoki(rt, ad, procID, acts)
+	return k, ad, rt
+}
+
+func TestUserThreadsComplete(t *testing.T) {
+	k, ad, rt := rig()
+	k.RunFor(time.Millisecond)
+	done := 0
+	for i := 0; i < 100; i++ {
+		rt.Submit(arachne.UserThread{Service: 3 * time.Microsecond, Done: func() { done++ }})
+	}
+	k.RunFor(50 * time.Millisecond)
+	if done != 100 {
+		t.Fatalf("user threads completed: %d/100", done)
+	}
+	if st := ad.Stats(); st.PntErrs != 0 {
+		t.Fatalf("pnt_errs: %+v", st)
+	}
+}
+
+func TestCoreScalingUpAndDown(t *testing.T) {
+	k, ad, rt := rig()
+	rt.StartEstimator()
+	k.RunFor(5 * time.Millisecond)
+	sched := ad.Scheduler().(*arbiter.Sched)
+
+	// Heavy load: a steady stream of long user threads should push the
+	// request up toward MaxCores.
+	stop := false
+	var pump func()
+	pump = func() {
+		if stop {
+			return
+		}
+		for i := 0; i < 8; i++ {
+			rt.Submit(arachne.UserThread{Service: 500 * time.Microsecond, Done: func() {}})
+		}
+		k.Engine().After(400*time.Microsecond, pump)
+	}
+	k.Engine().After(0, pump)
+	k.RunFor(100 * time.Millisecond)
+	peak := sched.GrantedCores(procID)
+	if peak < 5 {
+		t.Fatalf("under load granted %d cores, want near max (7)", peak)
+	}
+
+	// Load stops: the estimator should release cores back toward min.
+	stop = true
+	k.RunFor(200 * time.Millisecond)
+	low := sched.GrantedCores(procID)
+	if low > 3 {
+		t.Fatalf("after idle granted %d cores, want near min (2)", low)
+	}
+	if sched.Grants == 0 || sched.Reclaims == 0 {
+		t.Fatalf("arbitration never exercised: grants=%d reclaims=%d", sched.Grants, sched.Reclaims)
+	}
+}
+
+func TestActivationsRunOnGrantedCoresOnly(t *testing.T) {
+	k, ad, rt := rig()
+	rt.StartEstimator()
+	var pump func()
+	pump = func() {
+		for i := 0; i < 4; i++ {
+			rt.Submit(arachne.UserThread{Service: 200 * time.Microsecond, Done: func() {}})
+		}
+		k.Engine().After(200*time.Microsecond, pump)
+	}
+	k.Engine().After(0, pump)
+	k.RunFor(50 * time.Millisecond)
+	_ = ad
+	// Core 0 is unmanaged: activations must not consume it once cores
+	// are granted (tasks may touch it only before registration).
+	busy0 := k.CPUBusy(0)
+	k.RunFor(50 * time.Millisecond)
+	if grow := k.CPUBusy(0) - busy0; grow > 5*time.Millisecond {
+		t.Fatalf("unmanaged core 0 consumed %v of activation time", grow)
+	}
+}
+
+func TestUserLevelLatencyIsSubMicrosecond(t *testing.T) {
+	// The Table 3/4 property: user-thread dispatch through a spinning
+	// activation never enters the kernel, so latency is ~switch cost.
+	k, _, rt := rig()
+	k.RunFor(time.Millisecond)
+	// Warm up: keep one activation spinning.
+	rt.Submit(arachne.UserThread{Service: time.Microsecond, Done: func() {}})
+	k.RunFor(time.Millisecond)
+
+	var lat []time.Duration
+	var round func()
+	n := 0
+	round = func() {
+		n++
+		if n > 50 {
+			return
+		}
+		start := k.Now()
+		rt.Submit(arachne.UserThread{Service: 500 * time.Nanosecond, Done: func() {
+			lat = append(lat, k.Now().Sub(start))
+			k.Engine().After(2*time.Microsecond, round)
+		}})
+	}
+	k.Engine().After(0, round)
+	k.RunFor(100 * time.Millisecond)
+	if len(lat) < 50 {
+		t.Fatalf("rounds completed: %d", len(lat))
+	}
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	mean := sum / time.Duration(len(lat))
+	if mean > 3*time.Microsecond {
+		t.Fatalf("user-level dispatch latency %v, want ~µs or below", mean)
+	}
+}
+
+func TestNativeArbiterGrants(t *testing.T) {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	k.RegisterClass(policyCFS, kernel.NewCFS(k))
+	rt := arachne.NewRuntime(k, arachne.DefaultConfig())
+	acts := rt.Start(policyCFS, 7)
+	na := arachne.NewNativeArbiter(k, managedCores())
+	na.Attach(rt, procID, acts)
+	rt.StartEstimator()
+
+	done := 0
+	var pump func()
+	stop := false
+	pump = func() {
+		if stop {
+			return
+		}
+		for i := 0; i < 8; i++ {
+			rt.Submit(arachne.UserThread{Service: 400 * time.Microsecond, Done: func() { done++ }})
+		}
+		k.Engine().After(400*time.Microsecond, pump)
+	}
+	k.Engine().After(0, pump)
+	k.RunFor(50 * time.Millisecond)
+	peak := rt.Granted()
+	stop = true
+	k.RunFor(50 * time.Millisecond)
+	if done == 0 {
+		t.Fatal("native-arbiter runtime did no work")
+	}
+	if peak < 3 {
+		t.Fatalf("native arbiter granted %d cores under load", peak)
+	}
+}

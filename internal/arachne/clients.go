@@ -1,0 +1,112 @@
+package arachne
+
+import (
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/enokic"
+	"enoki/internal/kernel"
+	"enoki/internal/sched/arbiter"
+)
+
+// AttachEnoki wires a runtime to the Enoki core arbiter through the
+// bidirectional hint queues (§4.2.4): core requests out, grants and
+// reclamation requests back.
+func AttachEnoki(rt *Runtime, ad *enokic.Adapter, procID int, acts []*kernel.Task) {
+	uq := ad.CreateHintQueue(64)
+	rev := ad.CreateRevQueue(64)
+	rev.OnPush = func(m core.RevMessage) {
+		switch v := m.(type) {
+		case arbiter.GrantMsg:
+			if v.ProcID == procID {
+				rt.SetGranted(v.Cores)
+			}
+		case arbiter.ReclaimMsg:
+			if v.ProcID == procID {
+				rt.Reclaim(v.Cores)
+			}
+		}
+	}
+	for _, t := range acts {
+		uq.Send(arbiter.RegisterActivation{ProcID: procID, PID: t.PID()})
+	}
+	rt.RequestCores = func(n int) {
+		uq.Send(arbiter.CoreRequest{ProcID: procID, Cores: n})
+	}
+	rt.InitialRequest()
+}
+
+// NativeArbiter models the original Arachne core arbiter: a userspace
+// process reached over a socket, assigning cores with cpuset-style affinity
+// pinning. Functionally it allocates like the Enoki arbiter; the differences
+// are the socket round-trip on every request and affinity-based placement
+// instead of a scheduler class.
+type NativeArbiter struct {
+	k       *kernel.Kernel
+	managed []int
+	// SocketRTT is the request/response latency over the arbiter socket.
+	SocketRTT time.Duration
+
+	procs map[int]*nativeProc
+}
+
+type nativeProc struct {
+	rt      *Runtime
+	acts    []*kernel.Task
+	granted []int
+}
+
+// NewNativeArbiter builds the userspace arbiter owning the managed cores.
+func NewNativeArbiter(k *kernel.Kernel, managed []int) *NativeArbiter {
+	return &NativeArbiter{
+		k: k, managed: managed,
+		SocketRTT: 25 * time.Microsecond,
+		procs:     make(map[int]*nativeProc),
+	}
+}
+
+// Attach registers a runtime with the native arbiter.
+func (na *NativeArbiter) Attach(rt *Runtime, procID int, acts []*kernel.Task) {
+	na.procs[procID] = &nativeProc{rt: rt, acts: acts}
+	rt.RequestCores = func(n int) {
+		// Socket round trip to the arbiter process, then cpuset moves.
+		na.k.Engine().After(na.SocketRTT, func() { na.grant(procID, n) })
+	}
+	rt.InitialRequest()
+}
+
+// grant reallocates cores for one process (single-tenant simplification:
+// each managed core belongs to at most one proc here, which matches the
+// Fig 3 setup of one memcached instance).
+func (na *NativeArbiter) grant(procID, want int) {
+	p := na.procs[procID]
+	if p == nil {
+		return
+	}
+	if want > len(na.managed) {
+		want = len(na.managed)
+	}
+	if want < len(p.granted) {
+		n := len(p.granted) - want
+		p.granted = p.granted[:want]
+		p.rt.Reclaim(n)
+		return
+	}
+	for len(p.granted) < want {
+		c := na.managed[len(p.granted)]
+		p.granted = append(p.granted, c)
+	}
+	// cpuset: pin unparked activations one-per-granted-core.
+	idx := 0
+	for _, t := range p.acts {
+		if idx >= len(p.granted) {
+			break
+		}
+		if t.State() == kernel.StateDead {
+			continue
+		}
+		na.k.SetAffinity(t, kernel.SingleCPU(p.granted[idx]))
+		idx++
+	}
+	p.rt.SetGranted(want)
+}

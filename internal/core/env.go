@@ -1,0 +1,53 @@
+package core
+
+import (
+	"time"
+
+	"enoki/internal/ktime"
+)
+
+// Locker is the lock handle libEnoki hands to scheduler modules. In the
+// kernel it wraps the kernel lock primitives with recording shims (§3.4); in
+// the simulated kernel it records create/acquire/release order; during
+// replay it becomes a gating lock that blocks each thread until the recorded
+// acquisition order says it is that thread's turn.
+type Locker interface {
+	Lock()
+	Unlock()
+}
+
+// Env is the safe interface libEnoki gives scheduler modules for accessing
+// kernel functionality — "such as locks and timers" (§3.1). Modules receive
+// an Env at construction and must use it for every interaction that is not a
+// trait callback; this is what lets the exact same module code run in the
+// kernel and at userspace during replay.
+type Env interface {
+	// Now returns the current (virtual) time. Correct modules use the
+	// runtimes delivered in messages for policy decisions; Now exists
+	// for coarse bookkeeping like balance intervals.
+	Now() ktime.Time
+
+	// NumCPUs returns the machine's CPU count.
+	NumCPUs() int
+
+	// SameNode reports whether two CPUs share a NUMA node.
+	SameNode(a, b int) bool
+
+	// ArmTimer arms cpu's reschedule timer d from now, replacing any
+	// previous timer (Shinjuku's µs-scale preemption uses this).
+	ArmTimer(cpu int, d time.Duration)
+
+	// Resched requests a reschedule on cpu (wakeup preemption).
+	Resched(cpu int)
+
+	// NewMutex creates a module lock. The name labels it in record logs.
+	NewMutex(name string) Locker
+
+	// Rand returns the module's deterministic random stream.
+	Rand() *ktime.Rand
+}
+
+// ReplayableEnv is the subset of Env behaviour a replay environment
+// reproduces exactly; it exists for documentation (both the kernel env and
+// the replay env satisfy Env).
+type ReplayableEnv = Env

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind identifies which trait function a Message invokes. The numbering is
+// part of the record-log format.
+type Kind int
+
+// Message kinds. The first block are scheduler calls replayed through
+// Dispatch; the second block are control-plane events the record log also
+// carries (queue registration, hint pushes, lock operations are logged
+// separately as LockEvents).
+const (
+	MsgInvalid Kind = iota
+	MsgPickNextTask
+	MsgPntErr
+	MsgTaskDead
+	MsgTaskBlocked
+	MsgTaskWakeup
+	MsgTaskNew
+	MsgTaskPreempt
+	MsgTaskYield
+	MsgTaskDeparted
+	MsgTaskAffinityChanged
+	MsgTaskPrioChanged
+	MsgTaskTick
+	MsgSelectTaskRQ
+	MsgMigrateTaskRQ
+	MsgBalance
+	MsgBalanceErr
+	MsgEnterQueue
+	MsgParseHint
+
+	MsgRegisterQueue
+	MsgRegisterRevQueue
+	MsgUnregisterQueue
+	MsgUnregisterRevQueue
+	MsgHintPush
+)
+
+var kindNames = map[Kind]string{
+	MsgPickNextTask:        "pick_next_task",
+	MsgPntErr:              "pnt_err",
+	MsgTaskDead:            "task_dead",
+	MsgTaskBlocked:         "task_blocked",
+	MsgTaskWakeup:          "task_wakeup",
+	MsgTaskNew:             "task_new",
+	MsgTaskPreempt:         "task_preempt",
+	MsgTaskYield:           "task_yield",
+	MsgTaskDeparted:        "task_departed",
+	MsgTaskAffinityChanged: "task_affinity_changed",
+	MsgTaskPrioChanged:     "task_prio_changed",
+	MsgTaskTick:            "task_tick",
+	MsgSelectTaskRQ:        "select_task_rq",
+	MsgMigrateTaskRQ:       "migrate_task_rq",
+	MsgBalance:             "balance",
+	MsgBalanceErr:          "balance_err",
+	MsgEnterQueue:          "enter_queue",
+	MsgParseHint:           "parse_hint",
+	MsgRegisterQueue:       "register_queue",
+	MsgRegisterRevQueue:    "register_reverse_queue",
+	MsgUnregisterQueue:     "unregister_queue",
+	MsgUnregisterRevQueue:  "unregister_rev_queue",
+	MsgHintPush:            "hint_push",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Message is the per-function "message" data structure of §3.1: Enoki-C
+// pulls the fields the call needs from kernel data structures, places them
+// here, and hands the message to libEnoki's processing function (Dispatch),
+// which calls the scheduler and writes any return value back in. Because
+// every argument and reply crosses in this one flat struct, recording the
+// message stream is sufficient to replay the scheduler exactly.
+type Message struct {
+	Kind   Kind
+	Seq    uint64
+	Thread int   // kernel thread identity (CPU id; -1 for user context)
+	Now    int64 // virtual time, ns
+
+	PID        int
+	CPU        int
+	Runtime    time.Duration
+	LastCPU    int
+	WakeCPU    int
+	NewCPU     int
+	PrevCPU    int
+	Prio       int
+	Runnable   bool
+	Wakeup     bool
+	Deferrable bool
+	Queued     bool
+	ErrCode    int
+	BalancePID uint64
+	QueueID    int
+	Count      int
+	Allowed    []int
+	Hint       Hint
+	Sched      *SchedulableRef
+
+	// Reply fields, written by Dispatch.
+	RetSched *SchedulableRef
+	RetCPU   int
+	RetPID   uint64
+	RetOK    bool
+
+	// Live-path token plumbing: the actual token objects, which never
+	// enter the record log (unexported ⇒ skipped by gob).
+	schedObj    *Schedulable
+	retSchedObj *Schedulable
+}
+
+// AttachSched sets the live token object the call delivers to the module.
+func (m *Message) AttachSched(s *Schedulable) {
+	m.schedObj = s
+	m.Sched = s.Ref()
+}
+
+// TakeRetSched returns the token object the module handed back.
+func (m *Message) TakeRetSched() *Schedulable { return m.retSchedObj }
+
+// inSched returns the token to pass to the module: the live object when the
+// framework attached one, otherwise a token materialised from the recorded
+// ref (replay path).
+func (m *Message) inSched() *Schedulable {
+	if m.schedObj != nil {
+		return m.schedObj
+	}
+	return m.Sched.Materialize()
+}
+
+func (m *Message) setRet(s *Schedulable) {
+	m.retSchedObj = s
+	m.RetSched = s.Ref()
+}
+
+// Dispatch is libEnoki's processing function: it parses the message,
+// invokes the corresponding trait function on the scheduler, and writes the
+// return value back into the message. The live kernel path and userspace
+// replay both go through this one function, which is what guarantees "the
+// exact same scheduler code is run during both record and replay" (§3.4).
+func Dispatch(s Scheduler, m *Message) {
+	switch m.Kind {
+	case MsgPickNextTask:
+		m.setRet(s.PickNextTask(m.CPU, m.inSched(), m.Runtime))
+	case MsgPntErr:
+		s.PntErr(m.CPU, m.PID, PickError(m.ErrCode), m.inSched())
+	case MsgTaskDead:
+		s.TaskDead(m.PID)
+	case MsgTaskBlocked:
+		s.TaskBlocked(m.PID, m.Runtime, m.CPU)
+	case MsgTaskWakeup:
+		s.TaskWakeup(m.PID, m.Runtime, m.Deferrable, m.LastCPU, m.WakeCPU, m.inSched())
+	case MsgTaskNew:
+		s.TaskNew(m.PID, m.Runtime, m.Runnable, m.Allowed, m.inSched())
+	case MsgTaskPreempt:
+		s.TaskPreempt(m.PID, m.Runtime, m.CPU, m.inSched())
+	case MsgTaskYield:
+		s.TaskYield(m.PID, m.Runtime, m.CPU, m.inSched())
+	case MsgTaskDeparted:
+		m.setRet(s.TaskDeparted(m.PID, m.CPU))
+	case MsgTaskAffinityChanged:
+		s.TaskAffinityChanged(m.PID, m.Allowed)
+	case MsgTaskPrioChanged:
+		s.TaskPrioChanged(m.PID, m.Prio)
+	case MsgTaskTick:
+		s.TaskTick(m.CPU, m.Queued, m.PID, m.Runtime)
+	case MsgSelectTaskRQ:
+		m.RetCPU = s.SelectTaskRQ(m.PID, m.PrevCPU, m.Wakeup)
+	case MsgMigrateTaskRQ:
+		m.setRet(s.MigrateTaskRQ(m.PID, m.NewCPU, m.inSched()))
+	case MsgBalance:
+		m.RetPID, m.RetOK = s.Balance(m.CPU)
+	case MsgBalanceErr:
+		s.BalanceErr(m.CPU, m.BalancePID, m.inSched())
+	case MsgEnterQueue:
+		s.EnterQueue(m.QueueID, m.Count)
+	case MsgParseHint:
+		s.ParseHint(m.Hint)
+	default:
+		panic(fmt.Sprintf("core: Dispatch of non-dispatchable message %v", m.Kind))
+	}
+}
+
+// LockOp is a lock lifecycle event kind in the record log.
+type LockOp int
+
+// Lock operations.
+const (
+	LockCreate LockOp = iota + 1
+	LockAcquire
+	LockRelease
+)
+
+func (op LockOp) String() string {
+	switch op {
+	case LockCreate:
+		return "create"
+	case LockAcquire:
+		return "acquire"
+	case LockRelease:
+		return "release"
+	default:
+		return "invalid"
+	}
+}
+
+// LockEvent records one lock operation: which lock (by framework-assigned
+// id, the analogue of the paper's lock address), which kernel thread, and
+// what happened. Replaying acquisitions in id order per lock reproduces the
+// scheduler's synchronisation schedule (§3.4).
+type LockEvent struct {
+	Op     LockOp
+	LockID int
+	Name   string
+	Thread int
+	Seq    uint64
+}
+
+// Recorder receives the record stream. The live implementation
+// (internal/record) pushes into a ring buffer drained by a userspace writer
+// task; tests use in-memory recorders.
+type Recorder interface {
+	// RecordMessage logs a completed scheduler message (reply included).
+	RecordMessage(m *Message)
+	// RecordLock logs a lock lifecycle event.
+	RecordLock(ev LockEvent)
+}

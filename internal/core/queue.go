@@ -1,0 +1,79 @@
+package core
+
+import "enoki/internal/ringbuf"
+
+// HintQueue is a user-to-kernel hint ring (§3.3). Userspace pushes
+// scheduler-defined hint values; the module drains them when enter_queue
+// fires. Capacity is fixed at creation; overflow drops, as shared-memory
+// queues do.
+type HintQueue struct {
+	ring *ringbuf.Buffer[Hint]
+}
+
+// NewHintQueue creates a hint queue with the given capacity.
+func NewHintQueue(capacity int) *HintQueue {
+	return &HintQueue{ring: ringbuf.New[Hint](capacity)}
+}
+
+// Push enqueues a hint, reporting false on overflow.
+func (q *HintQueue) Push(h Hint) bool { return q.ring.Push(h) }
+
+// Pop dequeues the oldest hint.
+func (q *HintQueue) Pop() (Hint, bool) { return q.ring.Pop() }
+
+// Drain removes and returns all queued hints.
+func (q *HintQueue) Drain() []Hint { return q.ring.Drain() }
+
+// Len returns the number of queued hints.
+func (q *HintQueue) Len() int { return q.ring.Len() }
+
+// Dropped returns how many hints overflowed.
+func (q *HintQueue) Dropped() uint64 { return q.ring.Dropped() }
+
+// RevQueue is a kernel-to-user message ring (§3.3): the module pushes
+// scheduler-defined messages (e.g. Arachne core-reclamation requests) and
+// userspace drains them.
+type RevQueue struct {
+	ring *ringbuf.Buffer[RevMessage]
+	// OnPush, when set by the user side, observes each pushed message.
+	// The simulated "shared memory poll" workloads use it to react
+	// without busy-polling the simulation.
+	OnPush func(RevMessage)
+	// Deferrer, when set (the framework sets it), postpones OnPush
+	// delivery out of the kernel call that pushed — userspace only sees
+	// shared memory after the scheduler call returns, so a synchronous
+	// callback re-entering the scheduler would deadlock its lock, exactly
+	// as it would in the real kernel.
+	Deferrer func(func())
+}
+
+// NewRevQueue creates a reverse queue with the given capacity.
+func NewRevQueue(capacity int) *RevQueue {
+	return &RevQueue{ring: ringbuf.New[RevMessage](capacity)}
+}
+
+// Push enqueues a message from the kernel side.
+func (q *RevQueue) Push(m RevMessage) bool {
+	ok := q.ring.Push(m)
+	if ok && q.OnPush != nil {
+		if q.Deferrer != nil {
+			q.Deferrer(func() {
+				if q.OnPush != nil {
+					q.OnPush(m)
+				}
+			})
+		} else {
+			q.OnPush(m)
+		}
+	}
+	return ok
+}
+
+// Pop dequeues the oldest message on the user side.
+func (q *RevQueue) Pop() (RevMessage, bool) { return q.ring.Pop() }
+
+// Drain removes and returns all queued messages.
+func (q *RevQueue) Drain() []RevMessage { return q.ring.Drain() }
+
+// Len returns the number of queued messages.
+func (q *RevQueue) Len() int { return q.ring.Len() }

@@ -1,0 +1,87 @@
+package core
+
+import "fmt"
+
+// Schedulable is proof that a task may run on a particular CPU (§3.1). The
+// framework (internal/enokic) issues one whenever a task becomes runnable on
+// a run queue — at task_new, task_wakeup, task_preempt, task_yield, and
+// migrate_task_rq — and the scheduler must hand it back as the return value
+// of pick_next_task before the kernel will run the task on that CPU.
+//
+// In the paper this type is affine: Rust's type system forbids copying or
+// cloning it, so a scheduler cannot retain stale proof. Go has no move
+// semantics, so the same property is enforced at runtime instead: each token
+// carries a generation number, the framework invalidates the generation when
+// the token is consumed, and a stale or foreign token at pick_next_task
+// fails validation and bounces back through pnt_err. The bug class the paper
+// catches at compile time is caught here before the kernel acts on it.
+type Schedulable struct {
+	pid      int
+	cpu      int
+	gen      uint64
+	consumed bool
+}
+
+// NewSchedulable constructs a token. Only the framework (enokic, or the
+// replay runtime reconstructing recorded tokens) should call this; a
+// scheduler forging tokens is outside Enoki's "trusted but clumsy" threat
+// model and will fail generation validation anyway.
+func NewSchedulable(pid, cpu int, gen uint64) *Schedulable {
+	return &Schedulable{pid: pid, cpu: cpu, gen: gen}
+}
+
+// PID returns the task the token vouches for.
+func (s *Schedulable) PID() int { return s.pid }
+
+// CPU returns the CPU the task may run on.
+func (s *Schedulable) CPU() int { return s.cpu }
+
+// Gen returns the token's generation.
+func (s *Schedulable) Gen() uint64 { return s.gen }
+
+// Consumed reports whether the token was already returned to the framework.
+func (s *Schedulable) Consumed() bool { return s.consumed }
+
+// Consume marks the token as spent. The framework calls this when the token
+// crosses back; a consumed token never validates again.
+func (s *Schedulable) Consume() { s.consumed = true }
+
+// Ref returns the serialisable reference used in messages and record logs.
+func (s *Schedulable) Ref() *SchedulableRef {
+	if s == nil {
+		return nil
+	}
+	return &SchedulableRef{PID: s.pid, CPU: s.cpu, Gen: s.gen}
+}
+
+// String renders the token for diagnostics.
+func (s *Schedulable) String() string {
+	if s == nil {
+		return "Schedulable(nil)"
+	}
+	return fmt.Sprintf("Schedulable(pid=%d cpu=%d gen=%d)", s.pid, s.cpu, s.gen)
+}
+
+// SchedulableRef is the wire form of a Schedulable: what the record log and
+// message structs carry across the (simulated) user/kernel boundary.
+type SchedulableRef struct {
+	PID int
+	CPU int
+	Gen uint64
+}
+
+// Equal compares two refs, treating nil as "no token".
+func (r *SchedulableRef) Equal(o *SchedulableRef) bool {
+	if r == nil || o == nil {
+		return r == nil && o == nil
+	}
+	return r.PID == o.PID && r.CPU == o.CPU && r.Gen == o.Gen
+}
+
+// Materialize rebuilds a token object from the ref (used by replay).
+func (r *SchedulableRef) Materialize() *Schedulable {
+	if r == nil {
+		return nil
+	}
+	return NewSchedulable(r.PID, r.CPU, r.Gen)
+}

@@ -1,0 +1,194 @@
+package enokic
+
+import (
+	"testing"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/kernel"
+	"enoki/internal/sched/locality"
+	"enoki/internal/sched/shinjuku"
+	"enoki/internal/sched/wfq"
+	"enoki/internal/sim"
+)
+
+// Two Enoki scheduler modules loaded side by side, sharing the machine with
+// CFS — the §2 resource-sharing goal ("different applications can use
+// different schedulers, sharing cores and cycles between the schedulers").
+func TestTwoEnokiModulesCoexist(t *testing.T) {
+	const (
+		policyShin = 1
+		policyWFQ  = 2
+	)
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	aShin := Load(k, policyShin, DefaultConfig(), func(env core.Env) core.Scheduler {
+		return shinjuku.New(env, policyShin, 10*time.Microsecond)
+	})
+	aWFQ := Load(k, policyWFQ, DefaultConfig(), func(env core.Env) core.Scheduler {
+		return wfq.New(env, policyWFQ)
+	})
+	k.RegisterClass(policyCFS, kernel.NewCFS(k))
+
+	done := map[int]int{}
+	spawnSpinners := func(policy, n int, each time.Duration) {
+		for i := 0; i < n; i++ {
+			remaining := each
+			k.Spawn("w", policy, kernel.BehaviorFunc(
+				func(kk *kernel.Kernel, tk *kernel.Task) kernel.Action {
+					if remaining <= 0 {
+						done[policy]++
+						return kernel.Action{Op: kernel.OpExit}
+					}
+					remaining -= 250 * time.Microsecond
+					return kernel.Action{Run: 250 * time.Microsecond, Op: kernel.OpContinue}
+				}))
+		}
+	}
+	spawnSpinners(policyShin, 4, 10*time.Millisecond)
+	spawnSpinners(policyWFQ, 4, 10*time.Millisecond)
+	spawnSpinners(policyCFS, 4, 10*time.Millisecond)
+
+	// A latency task on each module, to exercise wakeups concurrently.
+	for _, p := range []int{policyShin, policyWFQ} {
+		rounds := 0
+		k.Spawn("lat", p, kernel.BehaviorFunc(
+			func(kk *kernel.Kernel, tk *kernel.Task) kernel.Action {
+				rounds++
+				if rounds > 200 {
+					done[p] += 100 // sentinel
+					return kernel.Action{Op: kernel.OpExit}
+				}
+				return kernel.Action{Run: 20 * time.Microsecond, Op: kernel.OpSleep,
+					SleepFor: 100 * time.Microsecond}
+			}))
+	}
+
+	k.RunFor(300 * time.Millisecond)
+	if done[policyShin] != 104 || done[policyWFQ] != 104 || done[policyCFS] != 4 {
+		t.Fatalf("completions by policy: %v", done)
+	}
+	if st := aShin.Stats(); st.PntErrs != 0 {
+		t.Fatalf("shinjuku pnt_errs: %+v", st)
+	}
+	if st := aWFQ.Stats(); st.PntErrs != 0 {
+		t.Fatalf("wfq pnt_errs: %+v", st)
+	}
+	if k.NumTasks() != 0 {
+		t.Fatalf("leaked tasks: %d", k.NumTasks())
+	}
+}
+
+// Moving a task between two live Enoki modules exercises task_departed on
+// one and task_new on the other, with token ownership handed through the
+// framework.
+func TestTaskMovesBetweenModules(t *testing.T) {
+	const (
+		policyA = 1
+		policyB = 2
+	)
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	aA := Load(k, policyA, DefaultConfig(), func(env core.Env) core.Scheduler {
+		return wfq.New(env, policyA)
+	})
+	aB := Load(k, policyB, DefaultConfig(), func(env core.Env) core.Scheduler {
+		return wfq.New(env, policyB)
+	})
+	k.RegisterClass(policyCFS, kernel.NewCFS(k))
+
+	finished := false
+	remaining := 20 * time.Millisecond
+	task := k.Spawn("mover", policyA, kernel.BehaviorFunc(
+		func(kk *kernel.Kernel, tk *kernel.Task) kernel.Action {
+			if remaining <= 0 {
+				finished = true
+				return kernel.Action{Op: kernel.OpExit}
+			}
+			remaining -= 100 * time.Microsecond
+			return kernel.Action{Run: 100 * time.Microsecond, Op: kernel.OpContinue}
+		}))
+
+	// Bounce the task A→B→A every few ms while it runs.
+	hop := 0
+	var bounce func()
+	bounce = func() {
+		if task.State() == kernel.StateDead {
+			return
+		}
+		hop++
+		if hop%2 == 1 {
+			k.SetScheduler(task, policyB)
+		} else {
+			k.SetScheduler(task, policyA)
+		}
+		eng.After(3*time.Millisecond, bounce)
+	}
+	eng.After(2*time.Millisecond, bounce)
+
+	k.RunFor(200 * time.Millisecond)
+	if !finished {
+		t.Fatalf("task lost while hopping schedulers (state %v)", task.State())
+	}
+	if hop < 5 {
+		t.Fatalf("only %d hops", hop)
+	}
+	if aA.Stats().PntErrs != 0 || aB.Stats().PntErrs != 0 {
+		t.Fatalf("pnt_errs: A=%+v B=%+v", aA.Stats(), aB.Stats())
+	}
+}
+
+// Queues survive a live upgrade when both versions share the hint format
+// (§3.3): the old module passes them in its state capsule.
+func TestHintQueueSurvivesUpgrade(t *testing.T) {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	var sched *locality.Sched
+	a := Load(k, policyEnoki, DefaultConfig(), func(env core.Env) core.Scheduler {
+		sched = locality.New(env, policyEnoki)
+		return sched
+	})
+	k.RegisterClass(policyCFS, kernel.NewCFS(k))
+	q := a.CreateHintQueue(16)
+
+	task := k.Spawn("t", policyEnoki, kernel.BehaviorFunc(
+		func(kk *kernel.Kernel, tk *kernel.Task) kernel.Action {
+			return kernel.Action{Run: 20 * time.Microsecond, Op: kernel.OpSleep,
+				SleepFor: 100 * time.Microsecond}
+		}))
+	q.Send(locality.HintMsg{PID: task.PID(), Locality: 4})
+	k.RunFor(5 * time.Millisecond)
+
+	upgraded := false
+	k.Engine().After(0, func() {
+		a.Upgrade(func(env core.Env) core.Scheduler {
+			sched = locality.New(env, policyEnoki)
+			return sched
+		}, func(UpgradeReport) { upgraded = true })
+	})
+	k.RunFor(5 * time.Millisecond)
+	if !upgraded {
+		t.Fatal("upgrade incomplete")
+	}
+	// The new module adopted the old state, including the hint queue and
+	// the group map: the pre-upgrade hint still steers placement...
+	if _, ok := sched.GroupCore(4); !ok {
+		t.Fatal("group map lost across upgrade")
+	}
+	// ...and the SAME queue handle keeps working against the new module.
+	task2 := k.Spawn("t2", policyEnoki, kernel.BehaviorFunc(
+		func(kk *kernel.Kernel, tk *kernel.Task) kernel.Action {
+			return kernel.Action{Run: 20 * time.Microsecond, Op: kernel.OpSleep,
+				SleepFor: 100 * time.Microsecond}
+		}))
+	if !q.Send(locality.HintMsg{PID: task2.PID(), Locality: 4}) {
+		t.Fatal("queue handle dead after upgrade")
+	}
+	k.RunFor(5 * time.Millisecond)
+	if task.CPU() != task2.CPU() {
+		t.Fatalf("post-upgrade hint not applied: %d vs %d", task.CPU(), task2.CPU())
+	}
+	if st := a.Stats(); st.PntErrs != 0 {
+		t.Fatalf("pnt_errs: %+v", st)
+	}
+}

@@ -1,0 +1,489 @@
+// Package enokic is the Go analogue of Enoki-C: the component "compiled
+// into the kernel" that interfaces directly with the core scheduling code
+// and the kernel scheduling data structures (§3). It registers,
+// deregisters, and upgrades scheduler modules; translates every scheduler-
+// class callback into a per-function message for libEnoki's processing
+// function; performs the kernel-state updates on the module's behalf; issues
+// and validates Schedulable proofs; and owns the plumbing for hint queues
+// and the record channel.
+//
+// The Adapter implements kernel.Class, so a loaded Enoki scheduler slots
+// into the simulated kernel exactly where a sched_class does, and every
+// crossing charges the calibrated per-invocation framework overhead the
+// paper measures at 100-150 ns.
+package enokic
+
+import (
+	"fmt"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/kernel"
+	"enoki/internal/ktime"
+)
+
+// Config tunes the framework's modelled costs.
+type Config struct {
+	// CallOverhead is the framework overhead per scheduler invocation
+	// (message build + RW-lock + FFI crossing). The paper measures
+	// 100-150 ns; the default is 110 ns.
+	CallOverhead time.Duration
+	// UpgradeBase is the fixed part of the live-upgrade blackout
+	// (write-lock acquisition, pointer swap, prepare/init).
+	UpgradeBase time.Duration
+	// UpgradePerCPU models draining in-flight read-locked calls: each
+	// CPU may be mid-call when the write lock is requested, so the
+	// blackout grows with core count (1.5 µs on 8 cores → ~10 µs on 80).
+	UpgradePerCPU time.Duration
+	// RandSeed seeds the module's deterministic random stream.
+	RandSeed uint64
+}
+
+// DefaultConfig returns the calibrated framework costs.
+func DefaultConfig() Config {
+	return Config{
+		CallOverhead:  110 * time.Nanosecond,
+		UpgradeBase:   600 * time.Nanosecond,
+		UpgradePerCPU: 115 * time.Nanosecond,
+		RandSeed:      0x5eed,
+	}
+}
+
+// Stats counts framework-level events, mostly scheduler mistakes the
+// framework caught.
+type Stats struct {
+	Messages    uint64
+	PntErrs     uint64
+	BalanceErrs uint64
+	Migrations  uint64
+	Upgrades    uint64
+	Deferred    uint64
+}
+
+// taskInfo is Enoki-C's authoritative view of one task: which queue holds
+// it and which Schedulable generation is valid. Validation against this
+// table is what stops a buggy module from running a task on the wrong CPU.
+type taskInfo struct {
+	t        *kernel.Task
+	gen      uint64
+	queued   bool
+	queuedOn int
+	running  bool
+	newSent  bool
+	// moveInFlight marks the window between Dequeue(sleep=false) and the
+	// Migrate hook during a runnable migration.
+	moveInFlight bool
+	// migrated marks that the following Enqueue belongs to a migration
+	// whose migrate_task_rq message was already sent.
+	migrated bool
+}
+
+// Adapter connects one Enoki scheduler module to the kernel.
+type Adapter struct {
+	k      *kernel.Kernel
+	policy int
+	cfg    Config
+	sched  core.Scheduler
+	env    *kernelEnv
+
+	info    map[int]*taskInfo
+	nqueued []int
+
+	seq      uint64
+	lockSeq  uint64
+	recorder core.Recorder
+	thread   int // kernel thread id of the in-flight call
+
+	upgrading   bool
+	deferred    []*core.Message
+	kickPending []bool
+
+	queues    map[int]*core.HintQueue
+	revQueues map[int]*core.RevQueue
+
+	recordCost time.Duration
+
+	stats Stats
+}
+
+var _ kernel.Class = (*Adapter)(nil)
+
+// Load builds an adapter, constructs the module via factory (handing it the
+// kernel environment), and registers it with the kernel under policy.
+func Load(k *kernel.Kernel, policy int, cfg Config, factory func(core.Env) core.Scheduler) *Adapter {
+	a := &Adapter{
+		k:           k,
+		policy:      policy,
+		cfg:         cfg,
+		info:        make(map[int]*taskInfo),
+		nqueued:     make([]int, k.NumCPUs()),
+		kickPending: make([]bool, k.NumCPUs()),
+		queues:      make(map[int]*core.HintQueue),
+		revQueues:   make(map[int]*core.RevQueue),
+		thread:      -1,
+	}
+	a.env = &kernelEnv{a: a, rand: ktime.NewRand(cfg.RandSeed)}
+	s := factory(a.env)
+	if s.GetPolicy() != policy {
+		panic(fmt.Sprintf("enokic: module policy %d registered under %d", s.GetPolicy(), policy))
+	}
+	a.sched = s
+	k.RegisterClass(policy, a)
+	return a
+}
+
+// Scheduler returns the currently loaded module (changes across upgrades).
+func (a *Adapter) Scheduler() core.Scheduler { return a.sched }
+
+// Policy returns the adapter's policy id.
+func (a *Adapter) Policy() int { return a.policy }
+
+// Env returns the kernel environment handed to modules.
+func (a *Adapter) Env() core.Env { return a.env }
+
+// Stats returns a copy of the framework counters.
+func (a *Adapter) Stats() Stats { return a.stats }
+
+// SetRecorder installs (or removes, with nil) the record-mode sink. If the
+// recorder reports a per-call cost, the framework charges it on every
+// crossing — this is what makes record mode measurably slower (§5.8).
+func (a *Adapter) SetRecorder(r core.Recorder) {
+	a.recorder = r
+	a.recordCost = 0
+	if c, ok := r.(interface{ PerCallCost() time.Duration }); ok {
+		a.recordCost = c.PerCallCost()
+	}
+}
+
+// Kernel returns the kernel this adapter is loaded into.
+func (a *Adapter) Kernel() *kernel.Kernel { return a.k }
+
+// --- message plumbing ------------------------------------------------------
+
+// dispatch sends one message through libEnoki's processing function,
+// recording it afterwards so the log contains the reply.
+func (a *Adapter) dispatch(m *core.Message) {
+	m.Seq = a.seq
+	a.seq++
+	m.Now = int64(a.k.Now())
+	a.stats.Messages++
+	prev := a.thread
+	a.thread = m.Thread
+	core.Dispatch(a.sched, m)
+	a.thread = prev
+	if a.recorder != nil {
+		a.recorder.RecordMessage(m)
+	}
+}
+
+// defer1 queues a notification for delivery after an in-flight upgrade.
+func (a *Adapter) defer1(m *core.Message) {
+	a.stats.Deferred++
+	a.deferred = append(a.deferred, m)
+}
+
+// notify sends a reply-less message now, or defers it during an upgrade.
+func (a *Adapter) notify(m *core.Message) {
+	if a.upgrading {
+		a.defer1(m)
+		return
+	}
+	a.dispatch(m)
+}
+
+func (a *Adapter) issue(ti *taskInfo, cpu int) *core.Schedulable {
+	ti.gen++
+	return core.NewSchedulable(ti.t.PID(), cpu, ti.gen)
+}
+
+func (a *Adapter) markQueued(ti *taskInfo, cpu int) {
+	ti.queued = true
+	ti.queuedOn = cpu
+	a.nqueued[cpu]++
+}
+
+func (a *Adapter) unmarkQueued(ti *taskInfo) {
+	if ti.queued {
+		a.nqueued[ti.queuedOn]--
+		ti.queued = false
+	}
+}
+
+// --- kernel.Class implementation -------------------------------------------
+
+// Name implements kernel.Class.
+func (a *Adapter) Name() string { return fmt.Sprintf("enoki:%d", a.policy) }
+
+// OverheadPerCall implements kernel.Class: the paper's per-invocation
+// framework cost, plus record-mode overhead when a recorder is installed.
+func (a *Adapter) OverheadPerCall() time.Duration { return a.cfg.CallOverhead + a.recordCost }
+
+// TaskNew implements kernel.Class. The module's task_new message is sent at
+// the first enqueue, when a Schedulable for a concrete run queue exists.
+func (a *Adapter) TaskNew(t *kernel.Task) {
+	a.info[t.PID()] = &taskInfo{t: t}
+}
+
+// TaskDead implements kernel.Class.
+func (a *Adapter) TaskDead(t *kernel.Task) {
+	ti := a.info[t.PID()]
+	if ti == nil {
+		return
+	}
+	a.unmarkQueued(ti)
+	delete(a.info, t.PID())
+	a.notify(&core.Message{Kind: core.MsgTaskDead, Thread: t.CPU(), PID: t.PID()})
+}
+
+// Detach implements kernel.Class: the task leaves for another class; the
+// module returns its token through task_departed. Unlike notifications this
+// needs a reply, so during an upgrade window it enters the module
+// synchronously — the quiesce contract trusts setscheduler calls to be rare
+// enough not to matter inside a ~10µs blackout (§3.2's "trusted to upgrade
+// quickly").
+func (a *Adapter) Detach(t *kernel.Task) {
+	ti := a.info[t.PID()]
+	if ti == nil {
+		return
+	}
+	a.unmarkQueued(ti)
+	delete(a.info, t.PID())
+	m := &core.Message{Kind: core.MsgTaskDeparted, Thread: t.CPU(), PID: t.PID(), CPU: t.CPU()}
+	a.dispatch(m)
+	if tok := m.TakeRetSched(); tok != nil {
+		tok.Consume()
+	}
+}
+
+// Enqueue implements kernel.Class.
+func (a *Adapter) Enqueue(cpu int, t *kernel.Task, wakeup bool) {
+	ti := a.info[t.PID()]
+	if ti == nil {
+		return
+	}
+	if ti.migrated {
+		// The migrate_task_rq message already covered this move.
+		ti.migrated = false
+		return
+	}
+	tok := a.issue(ti, cpu)
+	a.markQueued(ti, cpu)
+	m := &core.Message{
+		Thread: cpu, PID: t.PID(), CPU: cpu,
+		Runtime: t.SumExec(),
+	}
+	switch {
+	case !ti.newSent:
+		ti.newSent = true
+		m.Kind = core.MsgTaskNew
+		m.Runnable = true
+		m.Allowed = t.Allowed().List()
+		m.Prio = t.Nice()
+		if t.Nice() != 0 {
+			// Deliver the initial priority right after task_new.
+			defer a.notify(&core.Message{
+				Kind: core.MsgTaskPrioChanged, Thread: cpu,
+				PID: t.PID(), Prio: t.Nice(),
+			})
+		}
+	default:
+		m.Kind = core.MsgTaskWakeup
+		m.Deferrable = wakeup
+		m.LastCPU = t.CPU()
+		m.WakeCPU = cpu
+	}
+	m.AttachSched(tok)
+	a.notify(m)
+}
+
+// Dequeue implements kernel.Class.
+func (a *Adapter) Dequeue(cpu int, t *kernel.Task, sleep bool) {
+	ti := a.info[t.PID()]
+	if ti == nil {
+		return
+	}
+	if ti.running {
+		ti.running = false
+	} else if ti.queued {
+		a.unmarkQueued(ti)
+		ti.moveInFlight = true
+	}
+	if sleep {
+		ti.moveInFlight = false
+		a.notify(&core.Message{
+			Kind: core.MsgTaskBlocked, Thread: cpu,
+			PID: t.PID(), CPU: cpu, Runtime: t.SumExec(),
+		})
+	}
+}
+
+// Migrate implements kernel.Class: for a runnable migration the module gets
+// migrate_task_rq with fresh proof for the new CPU and must return the old
+// token. Wake-time CPU changes are covered by task_wakeup instead.
+func (a *Adapter) Migrate(t *kernel.Task, src, dst int) {
+	ti := a.info[t.PID()]
+	if ti == nil || !ti.moveInFlight {
+		return
+	}
+	ti.moveInFlight = false
+	ti.migrated = true
+	a.stats.Migrations++
+	tok := a.issue(ti, dst)
+	a.markQueued(ti, dst)
+	m := &core.Message{
+		Kind: core.MsgMigrateTaskRQ, Thread: dst,
+		PID: t.PID(), NewCPU: dst, Runtime: t.SumExec(),
+	}
+	m.AttachSched(tok)
+	a.dispatch(m)
+	if old := m.TakeRetSched(); old != nil {
+		old.Consume()
+	}
+}
+
+// Yield implements kernel.Class.
+func (a *Adapter) Yield(cpu int, t *kernel.Task) {
+	a.requeueCurrent(core.MsgTaskYield, cpu, t)
+}
+
+// PutPrev implements kernel.Class.
+func (a *Adapter) PutPrev(cpu int, t *kernel.Task, preempted bool) {
+	a.requeueCurrent(core.MsgTaskPreempt, cpu, t)
+}
+
+func (a *Adapter) requeueCurrent(kind core.Kind, cpu int, t *kernel.Task) {
+	ti := a.info[t.PID()]
+	if ti == nil {
+		return
+	}
+	ti.running = false
+	tok := a.issue(ti, cpu)
+	a.markQueued(ti, cpu)
+	m := &core.Message{
+		Kind: kind, Thread: cpu,
+		PID: t.PID(), CPU: cpu, Runtime: t.SumExec(),
+	}
+	m.AttachSched(tok)
+	a.notify(m)
+}
+
+// PickNext implements kernel.Class: ask the module, then validate its proof
+// against the authoritative table before letting the kernel act (§3.1).
+func (a *Adapter) PickNext(cpu int) *kernel.Task {
+	if a.upgrading {
+		a.kickAfterUpgrade(cpu)
+		return nil
+	}
+	m := &core.Message{Kind: core.MsgPickNextTask, Thread: cpu, CPU: cpu}
+	a.dispatch(m)
+	tok := m.TakeRetSched()
+	if tok == nil {
+		return nil
+	}
+	ti := a.info[tok.PID()]
+	var perr core.PickError
+	switch {
+	case ti == nil || !ti.queued:
+		perr = core.PickNotQueued
+	case tok.Consumed():
+		perr = core.PickConsumed
+	case tok.Gen() != ti.gen:
+		perr = core.PickStale
+	case tok.CPU() != cpu || ti.queuedOn != cpu:
+		perr = core.PickWrongCPU
+	}
+	if perr != 0 {
+		a.stats.PntErrs++
+		em := &core.Message{
+			Kind: core.MsgPntErr, Thread: cpu,
+			CPU: cpu, PID: tok.PID(), ErrCode: int(perr),
+		}
+		em.AttachSched(tok)
+		a.dispatch(em)
+		return nil
+	}
+	tok.Consume()
+	a.unmarkQueued(ti)
+	ti.running = true
+	return ti.t
+}
+
+// Tick implements kernel.Class. Ticks during an upgrade window are dropped,
+// not deferred: they carry no state.
+func (a *Adapter) Tick(cpu int, t *kernel.Task) {
+	if a.upgrading {
+		return
+	}
+	a.dispatch(&core.Message{
+		Kind: core.MsgTaskTick, Thread: cpu, CPU: cpu,
+		PID: t.PID(), Runtime: t.SumExec(),
+	})
+}
+
+// SelectRQ implements kernel.Class.
+func (a *Adapter) SelectRQ(t *kernel.Task, prevCPU int, wakeup bool) int {
+	if a.upgrading {
+		return prevCPU
+	}
+	m := &core.Message{
+		Kind: core.MsgSelectTaskRQ, Thread: prevCPU,
+		PID: t.PID(), PrevCPU: prevCPU, Wakeup: wakeup,
+	}
+	a.dispatch(m)
+	if m.RetCPU < 0 || m.RetCPU >= a.k.NumCPUs() {
+		return prevCPU
+	}
+	return m.RetCPU
+}
+
+// CheckPreempt implements kernel.Class: Enoki modules request wakeup
+// preemption themselves via Env.Resched from task_wakeup, so the kernel-side
+// hook does nothing.
+func (a *Adapter) CheckPreempt(cpu int, t *kernel.Task) {}
+
+// Balance implements kernel.Class: ask the module which task to pull toward
+// cpu, attempt the move, and report failures through balance_err.
+func (a *Adapter) Balance(cpu int) {
+	if a.upgrading {
+		return
+	}
+	m := &core.Message{Kind: core.MsgBalance, Thread: cpu, CPU: cpu}
+	a.dispatch(m)
+	if !m.RetOK {
+		return
+	}
+	pid := int(m.RetPID)
+	ti := a.info[pid]
+	if ti == nil || !ti.queued || ti.queuedOn == cpu || !a.k.MoveTask(ti.t, cpu) {
+		a.stats.BalanceErrs++
+		a.dispatch(&core.Message{
+			Kind: core.MsgBalanceErr, Thread: cpu,
+			CPU: cpu, BalancePID: m.RetPID,
+		})
+	}
+}
+
+// PrioChanged implements kernel.Class.
+func (a *Adapter) PrioChanged(t *kernel.Task) {
+	if a.info[t.PID()] == nil {
+		return
+	}
+	a.notify(&core.Message{
+		Kind: core.MsgTaskPrioChanged, Thread: t.CPU(),
+		PID: t.PID(), Prio: t.Nice(),
+	})
+}
+
+// AffinityChanged implements kernel.Class.
+func (a *Adapter) AffinityChanged(t *kernel.Task) {
+	if a.info[t.PID()] == nil {
+		return
+	}
+	a.notify(&core.Message{
+		Kind: core.MsgTaskAffinityChanged, Thread: t.CPU(), PID: t.PID(),
+		Allowed: t.Allowed().List(),
+	})
+}
+
+// NRunnable implements kernel.Class from the authoritative table.
+func (a *Adapter) NRunnable(cpu int) int { return a.nqueued[cpu] }

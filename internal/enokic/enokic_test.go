@@ -1,0 +1,465 @@
+package enokic
+
+import (
+	"testing"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/kernel"
+	"enoki/internal/sched/fifo"
+	"enoki/internal/sched/wfq"
+	"enoki/internal/sim"
+)
+
+const (
+	policyCFS   = 0
+	policyEnoki = 7
+)
+
+func newRig(t *testing.T, factory func(core.Env) core.Scheduler) (*kernel.Kernel, *Adapter) {
+	t.Helper()
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	a := Load(k, policyEnoki, DefaultConfig(), factory)
+	k.RegisterClass(policyCFS, kernel.NewCFS(k))
+	return k, a
+}
+
+func fifoFactory(env core.Env) core.Scheduler { return fifo.New(env, policyEnoki) }
+func wfqFactory(env core.Env) core.Scheduler  { return wfq.New(env, policyEnoki) }
+
+func spin(total, chunk time.Duration) kernel.Behavior {
+	remaining := total
+	return kernel.BehaviorFunc(func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+		if remaining <= 0 {
+			return kernel.Action{Op: kernel.OpExit}
+		}
+		c := chunk
+		if c > remaining {
+			c = remaining
+		}
+		remaining -= c
+		return kernel.Action{Run: c, Op: kernel.OpContinue}
+	})
+}
+
+func TestFIFOTaskLifecycle(t *testing.T) {
+	k, a := newRig(t, fifoFactory)
+	done := 0
+	for i := 0; i < 4; i++ {
+		k.Spawn("w", policyEnoki, spin(5*time.Millisecond, time.Millisecond),
+			kernel.WithExitObserver(func() { done++ }))
+	}
+	k.RunFor(100 * time.Millisecond)
+	if done != 4 {
+		t.Fatalf("completed %d/4 tasks", done)
+	}
+	if st := a.Stats(); st.PntErrs != 0 {
+		t.Fatalf("unexpected pnt_errs: %+v", st)
+	}
+	if k.NumTasks() != 0 {
+		t.Fatalf("leaked tasks: %d", k.NumTasks())
+	}
+}
+
+func TestEnokiPipePingPong(t *testing.T) {
+	k, a := newRig(t, wfqFactory)
+	const rounds = 500
+	var x, y *kernel.Task
+	count := 0
+	mk := func(peer **kernel.Task, starts bool) kernel.Behavior {
+		started := false
+		return kernel.BehaviorFunc(func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+			if starts && !started {
+				started = true
+				return kernel.Action{Run: 200 * time.Nanosecond, Wake: []*kernel.Task{*peer}, Op: kernel.OpBlock}
+			}
+			count++
+			if count >= 2*rounds {
+				return kernel.Action{Op: kernel.OpExit}
+			}
+			return kernel.Action{Run: 200 * time.Nanosecond, Wake: []*kernel.Task{*peer}, Op: kernel.OpBlock}
+		})
+	}
+	x = k.Spawn("x", policyEnoki, mk(&y, true), kernel.WithAffinity(kernel.SingleCPU(0)))
+	y = k.Spawn("y", policyEnoki, mk(&x, false), kernel.WithAffinity(kernel.SingleCPU(0)))
+	k.RunFor(time.Second)
+	if count < 2*rounds {
+		t.Fatalf("ping-pong stalled at %d", count)
+	}
+	if st := a.Stats(); st.PntErrs != 0 {
+		t.Fatalf("pnt_errs during pipe: %+v", st)
+	}
+}
+
+func TestWFQFairnessUnderEnoki(t *testing.T) {
+	k, _ := newRig(t, wfqFactory)
+	var tasks []*kernel.Task
+	for i := 0; i < 5; i++ {
+		tasks = append(tasks, k.Spawn("fair", policyEnoki,
+			spin(time.Hour, time.Millisecond), kernel.WithAffinity(kernel.SingleCPU(0))))
+	}
+	k.RunFor(2 * time.Second)
+	for _, task := range tasks {
+		share := float64(task.SumExec()) / float64(2*time.Second)
+		if share < 0.15 || share > 0.25 {
+			t.Fatalf("%v share = %.3f, want ~0.20", task, share)
+		}
+	}
+}
+
+func TestWFQWeighting(t *testing.T) {
+	k, _ := newRig(t, wfqFactory)
+	hi := k.Spawn("hi", policyEnoki, spin(time.Hour, time.Millisecond), kernel.WithAffinity(kernel.SingleCPU(0)))
+	lo := k.Spawn("lo", policyEnoki, spin(time.Hour, time.Millisecond), kernel.WithAffinity(kernel.SingleCPU(0)))
+	k.SetNice(lo, 5)
+	k.RunFor(2 * time.Second)
+	ratio := float64(hi.SumExec()) / float64(lo.SumExec())
+	if ratio < 2.2 || ratio > 4.2 {
+		t.Fatalf("weighted share ratio = %.2f, want ~3", ratio)
+	}
+}
+
+func TestWFQWorkStealing(t *testing.T) {
+	// Pile tasks on CPU 0 with affinity, then release them: idle cores
+	// must steal from the longest queue.
+	k, a := newRig(t, wfqFactory)
+	var tasks []*kernel.Task
+	for i := 0; i < 8; i++ {
+		tasks = append(tasks, k.Spawn("w", policyEnoki, spin(20*time.Millisecond, time.Millisecond),
+			kernel.WithAffinity(kernel.SingleCPU(0))))
+	}
+	k.RunFor(time.Millisecond)
+	for _, tk := range tasks {
+		k.SetAffinity(tk, kernel.AllCPUs(8))
+	}
+	k.RunFor(60 * time.Millisecond)
+	busy := 0
+	for i := 0; i < 8; i++ {
+		if k.CPUBusy(i) > 5*time.Millisecond {
+			busy++
+		}
+	}
+	if busy < 4 {
+		t.Fatalf("work stealing spread to only %d CPUs", busy)
+	}
+	sched := a.Scheduler().(*wfq.Sched)
+	if sched.Steals == 0 {
+		t.Fatal("no steals recorded")
+	}
+}
+
+func TestEnokiCoexistsWithCFS(t *testing.T) {
+	// An Enoki task and a CFS task share the machine; the Enoki class
+	// has priority, and when it idles CFS cycles flow (the Fig 2c
+	// seamless-sharing property).
+	k, _ := newRig(t, wfqFactory)
+	enokiTask := k.Spawn("latency", policyEnoki, kernel.BehaviorFunc(
+		func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+			return kernel.Action{Run: 100 * time.Microsecond, Op: kernel.OpSleep, SleepFor: 900 * time.Microsecond}
+		}), kernel.WithAffinity(kernel.SingleCPU(0)))
+	batch := k.Spawn("batch", policyCFS, spin(time.Hour, time.Millisecond), kernel.WithAffinity(kernel.SingleCPU(0)))
+	k.RunFor(time.Second)
+	eShare := float64(enokiTask.SumExec()) / float64(time.Second)
+	bShare := float64(batch.SumExec()) / float64(time.Second)
+	if eShare < 0.08 || eShare > 0.13 {
+		t.Fatalf("enoki share = %.3f, want ~0.10", eShare)
+	}
+	if bShare < 0.75 {
+		t.Fatalf("batch got %.3f of the CPU; Enoki idling should cede cycles", bShare)
+	}
+}
+
+// buggyScheduler returns invalid Schedulables from pick_next_task to verify
+// the framework catches them (the §3.1 validation story).
+type buggyScheduler struct {
+	core.BaseScheduler
+	policy  int
+	tokens  []*core.Schedulable
+	mode    string
+	pntErrs []core.PickError
+}
+
+func (b *buggyScheduler) GetPolicy() int { return b.policy }
+func (b *buggyScheduler) TaskNew(pid int, rt time.Duration, runnable bool, allowed []int, s *core.Schedulable) {
+	b.tokens = append(b.tokens, s)
+}
+func (b *buggyScheduler) TaskWakeup(pid int, rt time.Duration, d bool, l, w int, s *core.Schedulable) {
+	b.tokens = append(b.tokens, s)
+}
+func (b *buggyScheduler) TaskPreempt(pid int, rt time.Duration, cpu int, s *core.Schedulable) {
+	b.tokens = append(b.tokens, s)
+}
+func (b *buggyScheduler) TaskYield(pid int, rt time.Duration, cpu int, s *core.Schedulable) {
+	b.tokens = append(b.tokens, s)
+}
+func (b *buggyScheduler) TaskDeparted(pid, cpu int) *core.Schedulable { return nil }
+func (b *buggyScheduler) SelectTaskRQ(pid, prev int, wakeup bool) int { return prev }
+func (b *buggyScheduler) MigrateTaskRQ(pid, newCPU int, s *core.Schedulable) *core.Schedulable {
+	return nil
+}
+func (b *buggyScheduler) PntErr(cpu, pid int, err core.PickError, s *core.Schedulable) {
+	b.pntErrs = append(b.pntErrs, err)
+}
+func (b *buggyScheduler) PickNextTask(cpu int, curr *core.Schedulable, rt time.Duration) *core.Schedulable {
+	if len(b.tokens) == 0 {
+		return nil
+	}
+	tok := b.tokens[0]
+	switch b.mode {
+	case "wrong-cpu":
+		// Return proof for a different CPU than asked.
+		if tok.CPU() == cpu {
+			return nil // wait until a mismatched pick comes along
+		}
+		b.tokens = b.tokens[1:]
+		return tok
+	case "forged":
+		b.tokens = b.tokens[1:]
+		return core.NewSchedulable(tok.PID(), cpu, tok.Gen()+100)
+	default:
+		b.tokens = b.tokens[1:]
+		return tok
+	}
+}
+
+func TestValidationCatchesWrongCPU(t *testing.T) {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	bug := &buggyScheduler{policy: policyEnoki, mode: "wrong-cpu"}
+	a := Load(k, policyEnoki, DefaultConfig(), func(core.Env) core.Scheduler { return bug })
+	k.RegisterClass(policyCFS, kernel.NewCFS(k))
+	k.Spawn("victim", policyEnoki, spin(10*time.Millisecond, time.Millisecond),
+		kernel.WithAffinity(kernel.SingleCPU(2)))
+	// Another CPU asks to pick; the module returns CPU-2 proof there.
+	k.Spawn("other", policyEnoki, spin(time.Millisecond, time.Millisecond),
+		kernel.WithAffinity(kernel.SingleCPU(3)))
+	k.RunFor(50 * time.Millisecond)
+	if a.Stats().PntErrs == 0 {
+		t.Fatal("framework did not reject a wrong-CPU Schedulable")
+	}
+	found := false
+	for _, e := range bug.pntErrs {
+		if e == core.PickWrongCPU {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pnt_err causes = %v, want wrong-cpu", bug.pntErrs)
+	}
+}
+
+func TestValidationCatchesForgedGeneration(t *testing.T) {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	bug := &buggyScheduler{policy: policyEnoki, mode: "forged"}
+	a := Load(k, policyEnoki, DefaultConfig(), func(core.Env) core.Scheduler { return bug })
+	k.RegisterClass(policyCFS, kernel.NewCFS(k))
+	k.Spawn("victim", policyEnoki, spin(time.Millisecond, time.Millisecond))
+	k.RunFor(10 * time.Millisecond)
+	if a.Stats().PntErrs == 0 {
+		t.Fatal("framework accepted a forged Schedulable generation")
+	}
+}
+
+func TestLiveUpgradePreservesTasks(t *testing.T) {
+	k, a := newRig(t, wfqFactory)
+	done := 0
+	for i := 0; i < 6; i++ {
+		k.Spawn("w", policyEnoki, spin(20*time.Millisecond, 500*time.Microsecond),
+			kernel.WithExitObserver(func() { done++ }))
+	}
+	k.RunFor(5 * time.Millisecond)
+	oldSched := a.Scheduler()
+	var report UpgradeReport
+	upgraded := false
+	k.Engine().After(0, func() {
+		a.Upgrade(wfqFactory, func(r UpgradeReport) { report = r; upgraded = true })
+	})
+	k.RunFor(100 * time.Millisecond)
+	if !upgraded {
+		t.Fatal("upgrade never completed")
+	}
+	if a.Scheduler() == oldSched {
+		t.Fatal("module pointer did not swap")
+	}
+	if done != 6 {
+		t.Fatalf("tasks lost across upgrade: %d/6 completed", done)
+	}
+	if report.Blackout <= 0 || report.Blackout > 50*time.Microsecond {
+		t.Fatalf("blackout = %v, want ~µs scale", report.Blackout)
+	}
+	if a.Stats().PntErrs != 0 {
+		t.Fatalf("pnt_errs after upgrade: %+v", a.Stats())
+	}
+}
+
+func TestUpgradeBlackoutScalesWithCores(t *testing.T) {
+	measure := func(m kernel.Machine) time.Duration {
+		eng := sim.New()
+		k := kernel.New(eng, m, kernel.DefaultCosts())
+		a := Load(k, policyEnoki, DefaultConfig(), wfqFactory)
+		k.RegisterClass(policyCFS, kernel.NewCFS(k))
+		var d time.Duration
+		k.Engine().After(0, func() {
+			a.Upgrade(wfqFactory, func(r UpgradeReport) { d = r.Blackout })
+		})
+		k.RunFor(time.Millisecond)
+		return d
+	}
+	small := measure(kernel.Machine8())
+	big := measure(kernel.Machine80())
+	if big <= small {
+		t.Fatalf("blackout should grow with cores: %v vs %v", small, big)
+	}
+	// Paper: 1.5µs on 8 cores, ~10µs on 80.
+	if small < 500*time.Nanosecond || small > 4*time.Microsecond {
+		t.Fatalf("8-core blackout = %v, want ~1.5µs", small)
+	}
+	if big < 5*time.Microsecond || big > 20*time.Microsecond {
+		t.Fatalf("80-core blackout = %v, want ~10µs", big)
+	}
+}
+
+// hintScheduler is a minimal queue-using module for plumbing tests.
+type hintScheduler struct {
+	core.BaseScheduler
+	fifo   *fifo.Sched
+	queue  *core.HintQueue
+	rev    *core.RevQueue
+	hints  []core.Hint
+	parsed []core.Hint
+}
+
+func (h *hintScheduler) GetPolicy() int { return h.fifo.GetPolicy() }
+func (h *hintScheduler) PickNextTask(cpu int, c *core.Schedulable, rt time.Duration) *core.Schedulable {
+	return h.fifo.PickNextTask(cpu, c, rt)
+}
+func (h *hintScheduler) TaskNew(pid int, rt time.Duration, r bool, allowed []int, s *core.Schedulable) {
+	h.fifo.TaskNew(pid, rt, r, allowed, s)
+}
+func (h *hintScheduler) TaskWakeup(pid int, rt time.Duration, d bool, l, w int, s *core.Schedulable) {
+	h.fifo.TaskWakeup(pid, rt, d, l, w, s)
+}
+func (h *hintScheduler) TaskPreempt(pid int, rt time.Duration, cpu int, s *core.Schedulable) {
+	h.fifo.TaskPreempt(pid, rt, cpu, s)
+}
+func (h *hintScheduler) TaskYield(pid int, rt time.Duration, cpu int, s *core.Schedulable) {
+	h.fifo.TaskYield(pid, rt, cpu, s)
+}
+func (h *hintScheduler) TaskDeparted(pid, cpu int) *core.Schedulable {
+	return h.fifo.TaskDeparted(pid, cpu)
+}
+func (h *hintScheduler) SelectTaskRQ(pid, prev int, wakeup bool) int {
+	return h.fifo.SelectTaskRQ(pid, prev, wakeup)
+}
+func (h *hintScheduler) MigrateTaskRQ(pid, newCPU int, s *core.Schedulable) *core.Schedulable {
+	return h.fifo.MigrateTaskRQ(pid, newCPU, s)
+}
+func (h *hintScheduler) RegisterQueue(q *core.HintQueue) int { h.queue = q; return 1 }
+func (h *hintScheduler) RegisterReverseQueue(q *core.RevQueue) int {
+	h.rev = q
+	return 2
+}
+func (h *hintScheduler) UnregisterQueue(id int) *core.HintQueue {
+	q := h.queue
+	h.queue = nil
+	return q
+}
+func (h *hintScheduler) EnterQueue(id, count int) {
+	for i := 0; i < count; i++ {
+		if v, ok := h.queue.Pop(); ok {
+			h.hints = append(h.hints, v)
+			if h.rev != nil {
+				h.rev.Push("ack")
+			}
+		}
+	}
+}
+func (h *hintScheduler) ParseHint(hint core.Hint) { h.parsed = append(h.parsed, hint) }
+
+func TestHintQueuesBothDirections(t *testing.T) {
+	var hs *hintScheduler
+	k, a := newRig(t, func(env core.Env) core.Scheduler {
+		hs = &hintScheduler{fifo: fifo.New(env, policyEnoki)}
+		return hs
+	})
+
+	uq := a.CreateHintQueue(16)
+	if uq == nil || uq.ID() != 1 {
+		t.Fatalf("queue registration broken: %+v", uq)
+	}
+	rev := a.CreateRevQueue(16)
+	if rev == nil {
+		t.Fatal("reverse queue registration broken")
+	}
+	var acks []core.RevMessage
+	rev.OnPush = func(m core.RevMessage) { acks = append(acks, m) }
+
+	if !uq.Send("colocate:7") {
+		t.Fatal("hint dropped")
+	}
+	uq.SendSync("sync-hint")
+	k.RunFor(time.Millisecond) // deliver deferred reverse-queue callbacks
+	if len(hs.hints) != 1 || hs.hints[0] != "colocate:7" {
+		t.Fatalf("async hints = %v", hs.hints)
+	}
+	if len(hs.parsed) != 1 || hs.parsed[0] != "sync-hint" {
+		t.Fatalf("parsed hints = %v", hs.parsed)
+	}
+	if len(acks) != 1 || acks[0] != "ack" {
+		t.Fatalf("reverse messages = %v", acks)
+	}
+	uq.Close()
+	if hs.queue != nil {
+		t.Fatal("unregister did not detach the queue")
+	}
+}
+
+func TestOverheadChargedPerCall(t *testing.T) {
+	// The same pipe workload should take measurably longer under the
+	// Enoki framework than under native CFS — the Table 3 overhead.
+	perMsg := func(policy int, build func(*kernel.Kernel)) time.Duration {
+		eng := sim.New()
+		k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+		build(k)
+		const rounds = 2000
+		var x, y *kernel.Task
+		count := 0
+		var finished time.Duration
+		mk := func(peer **kernel.Task, starts bool) kernel.Behavior {
+			started := false
+			return kernel.BehaviorFunc(func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+				if starts && !started {
+					started = true
+					return kernel.Action{Run: 300 * time.Nanosecond, Wake: []*kernel.Task{*peer}, Op: kernel.OpBlock}
+				}
+				count++
+				if count >= 2*rounds {
+					finished = time.Duration(k.Now())
+					return kernel.Action{Op: kernel.OpExit}
+				}
+				return kernel.Action{Run: 300 * time.Nanosecond, Wake: []*kernel.Task{*peer}, Op: kernel.OpBlock}
+			})
+		}
+		x = k.Spawn("x", policy, mk(&y, true), kernel.WithAffinity(kernel.SingleCPU(0)))
+		y = k.Spawn("y", policy, mk(&x, false), kernel.WithAffinity(kernel.SingleCPU(0)))
+		k.RunFor(10 * time.Second)
+		if count < 2*rounds {
+			t.Fatalf("pipe stalled at %d", count)
+		}
+		return finished / (2 * rounds)
+	}
+	cfsLat := perMsg(policyCFS, func(k *kernel.Kernel) {
+		k.RegisterClass(policyCFS, kernel.NewCFS(k))
+	})
+	enokiLat := perMsg(policyEnoki, func(k *kernel.Kernel) {
+		Load(k, policyEnoki, DefaultConfig(), wfqFactory)
+		k.RegisterClass(policyCFS, kernel.NewCFS(k))
+	})
+	over := enokiLat - cfsLat
+	if over < 200*time.Nanosecond || over > 1200*time.Nanosecond {
+		t.Fatalf("framework overhead per message = %v (cfs %v, enoki %v), want 0.4-0.6µs band",
+			over, cfsLat, enokiLat)
+	}
+}

@@ -1,0 +1,81 @@
+package enokic
+
+import (
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/ktime"
+)
+
+// kernelEnv is the in-kernel implementation of core.Env handed to scheduler
+// modules: the safe interfaces onto kernel locks, timers, topology, and
+// time.
+type kernelEnv struct {
+	a      *Adapter
+	rand   *ktime.Rand
+	nlocks int
+}
+
+var _ core.Env = (*kernelEnv)(nil)
+
+func (e *kernelEnv) Now() ktime.Time { return e.a.k.Now() }
+
+func (e *kernelEnv) NumCPUs() int { return e.a.k.NumCPUs() }
+
+func (e *kernelEnv) SameNode(a, b int) bool { return e.a.k.Topology().SameNode(a, b) }
+
+func (e *kernelEnv) ArmTimer(cpu int, d time.Duration) { e.a.k.ArmResched(cpu, d) }
+
+func (e *kernelEnv) Resched(cpu int) { e.a.k.Resched(cpu) }
+
+func (e *kernelEnv) Rand() *ktime.Rand { return e.rand }
+
+// NewMutex returns a recording lock shim. The simulation is single-threaded
+// over virtual time so the lock never contends; its job is to log the
+// create/acquire/release order with the acquiring kernel thread, which is
+// all replay needs to reproduce the module's synchronisation schedule
+// (§3.4).
+func (e *kernelEnv) NewMutex(name string) core.Locker {
+	id := e.nlocks
+	e.nlocks++
+	m := &recMutex{a: e.a, id: id, name: name}
+	m.record(core.LockCreate)
+	return m
+}
+
+type recMutex struct {
+	a      *Adapter
+	id     int
+	name   string
+	locked bool
+}
+
+func (m *recMutex) record(op core.LockOp) {
+	if m.a.recorder == nil {
+		return
+	}
+	m.a.lockSeq++
+	m.a.recorder.RecordLock(core.LockEvent{
+		Op: op, LockID: m.id, Name: m.name,
+		Thread: m.a.thread, Seq: m.a.lockSeq,
+	})
+}
+
+func (m *recMutex) Lock() {
+	if m.locked {
+		// Self-deadlock: the one lock bug safe Rust cannot rule out.
+		// In the real kernel this hangs the machine; in simulation,
+		// fail loudly so it is debuggable.
+		panic("enokic: recursive lock acquisition (module deadlock)")
+	}
+	m.locked = true
+	m.record(core.LockAcquire)
+}
+
+func (m *recMutex) Unlock() {
+	if !m.locked {
+		panic("enokic: unlock of unlocked module lock")
+	}
+	m.locked = false
+	m.record(core.LockRelease)
+}

@@ -1,0 +1,185 @@
+package enokic
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/kernel"
+	"enoki/internal/ktime"
+	"enoki/internal/sched/fifo"
+	"enoki/internal/sched/locality"
+	"enoki/internal/sched/shinjuku"
+	"enoki/internal/sched/wfq"
+	"enoki/internal/sim"
+)
+
+// Property: under a seeded chaos workload, every shipped scheduler module
+// completes all tasks with zero framework-caught errors, and runs are
+// deterministic. This is the "trusted but clumsy" contract from the other
+// side: correct modules never trip validation.
+
+func chaosRun(t *testing.T, seed uint64, factory func(core.Env) core.Scheduler) (fp uint64, stats Stats, leaked int) {
+	t.Helper()
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	a := Load(k, policyEnoki, DefaultConfig(), factory)
+	k.RegisterClass(policyCFS, kernel.NewCFS(k))
+	rng := ktime.NewRand(seed)
+
+	n := 3 + rng.Intn(10)
+	var tasks []*kernel.Task
+	for i := 0; i < n; i++ {
+		segments := 2 + rng.Intn(15)
+		segLen := rng.UniformDuration(20*time.Microsecond, 1500*time.Microsecond)
+		behavior := kernel.BehaviorFunc(func(k *kernel.Kernel, tk *kernel.Task) kernel.Action {
+			if segments == 0 {
+				return kernel.Action{Op: kernel.OpExit}
+			}
+			segments--
+			switch rng.Intn(4) {
+			case 0:
+				return kernel.Action{Run: segLen, Op: kernel.OpContinue}
+			case 1:
+				return kernel.Action{Run: segLen, Op: kernel.OpYield}
+			case 2:
+				return kernel.Action{Run: segLen, Op: kernel.OpSleep,
+					SleepFor: rng.UniformDuration(10*time.Microsecond, 500*time.Microsecond)}
+			default:
+				return kernel.Action{Run: segLen, Op: kernel.OpBlock}
+			}
+		})
+		opts := []kernel.SpawnOption{kernel.WithNice(rng.Intn(8) - 4)}
+		if rng.Bernoulli(0.25) {
+			opts = append(opts, kernel.WithAffinity(kernel.SingleCPU(rng.Intn(8))))
+		}
+		tasks = append(tasks, k.Spawn("chaos", policyEnoki, behavior, opts...))
+	}
+	var chaos func()
+	chaos = func() {
+		for _, tk := range tasks {
+			if tk.State() == kernel.StateBlocked && rng.Bernoulli(0.8) {
+				k.Wake(tk)
+			}
+			if tk.State() != kernel.StateDead && rng.Bernoulli(0.05) {
+				k.SetNice(tk, rng.Intn(40)-20)
+			}
+			if tk.State() != kernel.StateDead && rng.Bernoulli(0.04) {
+				k.SetAffinity(tk, kernel.AllCPUs(8))
+			}
+			if tk.State() != kernel.StateDead && rng.Bernoulli(0.03) {
+				// Bounce through CFS and back: exercises
+				// task_departed + re-attach.
+				k.SetScheduler(tk, policyCFS)
+				k.SetScheduler(tk, policyEnoki)
+			}
+		}
+		eng.After(rng.UniformDuration(100*time.Microsecond, 800*time.Microsecond), chaos)
+	}
+	eng.After(500*time.Microsecond, chaos)
+	k.RunFor(2 * time.Second)
+
+	var sumExec time.Duration
+	for _, tk := range tasks {
+		sumExec += tk.SumExec()
+	}
+	return uint64(sumExec) ^ k.CtxSwitches<<1, a.Stats(), k.NumTasks()
+}
+
+func moduleFactories() map[string]func(core.Env) core.Scheduler {
+	return map[string]func(core.Env) core.Scheduler{
+		"fifo": func(env core.Env) core.Scheduler { return fifo.New(env, policyEnoki) },
+		"wfq":  func(env core.Env) core.Scheduler { return wfq.New(env, policyEnoki) },
+		"shinjuku": func(env core.Env) core.Scheduler {
+			return shinjuku.New(env, policyEnoki, 10*time.Microsecond)
+		},
+		"locality": func(env core.Env) core.Scheduler { return locality.New(env, policyEnoki) },
+	}
+}
+
+func TestQuickModulesSurviveChaos(t *testing.T) {
+	for name, factory := range moduleFactories() {
+		name, factory := name, factory
+		t.Run(name, func(t *testing.T) {
+			f := func(seed uint64) bool {
+				_, st, leaked := chaosRun(t, seed, factory)
+				if leaked != 0 {
+					t.Logf("seed %d: %d tasks leaked", seed, leaked)
+					return false
+				}
+				if st.PntErrs != 0 {
+					t.Logf("seed %d: %d pnt_errs", seed, st.PntErrs)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestQuickModulesDeterministic(t *testing.T) {
+	for name, factory := range moduleFactories() {
+		name, factory := name, factory
+		t.Run(name, func(t *testing.T) {
+			f := func(seed uint64) bool {
+				a, _, _ := chaosRun(t, seed, factory)
+				b, _, _ := chaosRun(t, seed, factory)
+				return a == b
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestQuickUpgradeUnderChaos(t *testing.T) {
+	// Upgrades injected mid-chaos must never lose tasks or trip
+	// validation.
+	f := func(seed uint64) bool {
+		eng := sim.New()
+		k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+		a := Load(k, policyEnoki, DefaultConfig(), wfqFactory)
+		k.RegisterClass(policyCFS, kernel.NewCFS(k))
+		rng := ktime.NewRand(seed)
+
+		exited := 0
+		n := 4 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			segments := 5 + rng.Intn(20)
+			behavior := kernel.BehaviorFunc(func(k *kernel.Kernel, tk *kernel.Task) kernel.Action {
+				if segments == 0 {
+					exited++
+					return kernel.Action{Op: kernel.OpExit}
+				}
+				segments--
+				if rng.Bernoulli(0.3) {
+					return kernel.Action{Run: 200 * time.Microsecond, Op: kernel.OpSleep,
+						SleepFor: 300 * time.Microsecond}
+				}
+				return kernel.Action{Run: 200 * time.Microsecond, Op: kernel.OpContinue}
+			})
+			k.Spawn("u", policyEnoki, behavior)
+		}
+		upgrades := 0
+		var up func()
+		up = func() {
+			a.Upgrade(wfqFactory, func(UpgradeReport) {
+				upgrades++
+				if upgrades < 4 {
+					eng.After(rng.UniformDuration(time.Millisecond, 3*time.Millisecond), up)
+				}
+			})
+		}
+		eng.After(rng.UniformDuration(time.Millisecond, 2*time.Millisecond), up)
+		k.RunFor(time.Second)
+		return exited == n && a.Stats().PntErrs == 0 && k.NumTasks() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

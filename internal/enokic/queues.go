@@ -1,0 +1,97 @@
+package enokic
+
+import (
+	"fmt"
+
+	"enoki/internal/core"
+)
+
+// UserQueue is the userspace handle to a registered hint queue: the analogue
+// of a process's mmap'd ring plus the notification path into the module
+// (§3.3). Workload models send scheduler-defined hints through it.
+type UserQueue struct {
+	a  *Adapter
+	q  *core.HintQueue
+	id int
+}
+
+// ID returns the module-assigned queue id.
+func (u *UserQueue) ID() int { return u.id }
+
+// Send pushes a hint and notifies the module via enter_queue. It reports
+// false if the ring overflowed (the hint was dropped, as in shared memory).
+func (u *UserQueue) Send(h core.Hint) bool {
+	if u.a.recorder != nil {
+		u.a.recorder.RecordMessage(&core.Message{
+			Kind: core.MsgHintPush, Seq: u.a.nextSeq(), Thread: -1,
+			Now: int64(u.a.k.Now()), QueueID: u.id, Hint: h,
+		})
+	}
+	if !u.q.Push(h) {
+		return false
+	}
+	// notify (not dispatch): hint delivery queues behind an in-flight
+	// upgrade like every other module entry (§3.2's quiesce).
+	u.a.notify(&core.Message{
+		Kind: core.MsgEnterQueue, Thread: -1, QueueID: u.id, Count: 1,
+	})
+	return true
+}
+
+// SendSync delivers a hint through the synchronous parse_hint path (it too
+// waits out an in-flight upgrade).
+func (u *UserQueue) SendSync(h core.Hint) {
+	u.a.notify(&core.Message{Kind: core.MsgParseHint, Thread: -1, Hint: h})
+}
+
+// Close unregisters the queue from the module.
+func (u *UserQueue) Close() {
+	got := u.a.sched.UnregisterQueue(u.id)
+	u.a.record(&core.Message{Kind: core.MsgUnregisterQueue, Thread: -1, QueueID: u.id})
+	if got != u.q {
+		panic(fmt.Sprintf("enokic: module returned wrong queue for id %d", u.id))
+	}
+}
+
+func (a *Adapter) nextSeq() uint64 {
+	s := a.seq
+	a.seq++
+	return s
+}
+
+func (a *Adapter) record(m *core.Message) {
+	if a.recorder != nil {
+		m.Seq = a.nextSeq()
+		m.Now = int64(a.k.Now())
+		a.recorder.RecordMessage(m)
+	}
+}
+
+// CreateHintQueue builds a user-to-kernel hint queue of the given capacity
+// and registers it with the module, returning the userspace handle. A module
+// that does not support hints (returns a negative id) yields a nil handle.
+func (a *Adapter) CreateHintQueue(capacity int) *UserQueue {
+	q := core.NewHintQueue(capacity)
+	id := a.sched.RegisterQueue(q)
+	a.record(&core.Message{Kind: core.MsgRegisterQueue, Thread: -1, QueueID: id, Count: capacity})
+	if id < 0 {
+		return nil
+	}
+	a.queues[id] = q
+	return &UserQueue{a: a, q: q, id: id}
+}
+
+// CreateRevQueue builds a kernel-to-user queue, registers it, and returns it
+// for the user side to drain (or observe via OnPush). Returns nil if the
+// module rejects it.
+func (a *Adapter) CreateRevQueue(capacity int) *core.RevQueue {
+	q := core.NewRevQueue(capacity)
+	q.Deferrer = func(fn func()) { a.k.Engine().After(0, fn) }
+	id := a.sched.RegisterReverseQueue(q)
+	a.record(&core.Message{Kind: core.MsgRegisterRevQueue, Thread: -1, QueueID: id, Count: capacity})
+	if id < 0 {
+		return nil
+	}
+	a.revQueues[id] = q
+	return q
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"enoki/internal/kernel"
+	"enoki/internal/stats"
+	"enoki/internal/workload"
+)
+
+// EquivalenceResult reproduces Appendix A.1: the functional-equivalence
+// probes comparing CFS and the Enoki WFQ scheduler — fair sharing, weight
+// handling, and task placement.
+type EquivalenceResult struct {
+	Work time.Duration
+
+	// Fair sharing: completion times when spread vs co-located.
+	SpreadCFS, SpreadWFQ   time.Duration
+	OneCoreCFS, OneCoreWFQ time.Duration
+
+	// Weights: others' mean completion and the nice-19 task's completion.
+	WeightOthersCFS, WeightLowCFS time.Duration
+	WeightOthersWFQ, WeightLowWFQ time.Duration
+
+	// Placement: completion stddev without and with a forced move.
+	PlaceStillCFS, PlaceMovedCFS time.Duration
+	PlaceStillWFQ, PlaceMovedWFQ time.Duration
+}
+
+// Name implements the experiment naming convention.
+func (r *EquivalenceResult) Name() string { return "equivalence" }
+
+func (r *EquivalenceResult) String() string {
+	t := stats.NewTable("Probe", "CFS", "Enoki WFQ")
+	t.Row("5 tasks, own cores (completion)", r.SpreadCFS, r.SpreadWFQ)
+	t.Row("5 tasks, one core (completion)", r.OneCoreCFS, r.OneCoreWFQ)
+	t.Row("weights: 4 normal tasks", r.WeightOthersCFS, r.WeightOthersWFQ)
+	t.Row("weights: nice-19 task", r.WeightLowCFS, r.WeightLowWFQ)
+	t.Row("placement stddev (no move)", r.PlaceStillCFS, r.PlaceStillWFQ)
+	t.Row("placement stddev (one moved)", r.PlaceMovedCFS, r.PlaceMovedWFQ)
+	return fmt.Sprintf("Appendix A.1: WFQ functional equivalence (%v of work per task)\n", r.Work) +
+		t.String()
+}
+
+func maxOf(ds []time.Duration) time.Duration {
+	var m time.Duration
+	for _, d := range ds {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func meanOf(ds []time.Duration) time.Duration {
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+func stddevOf(ds []time.Duration) time.Duration {
+	var w stats.Welford
+	for _, d := range ds {
+		w.Add(float64(d))
+	}
+	return time.Duration(w.Stddev())
+}
+
+// Equivalence runs the three probes on both schedulers.
+func Equivalence(o Options) *EquivalenceResult {
+	work := scaleDur(o, 4600*time.Millisecond, 400*time.Millisecond)
+	res := &EquivalenceResult{Work: work}
+
+	fair := func(kind Kind, oneCore bool) time.Duration {
+		r := NewRig(kernel.Machine8(), kind)
+		return maxOf(workload.FairnessProbe(r.K, r.Policy, oneCore, work))
+	}
+	res.SpreadCFS = fair(KindCFS, false)
+	res.SpreadWFQ = fair(KindWFQ, false)
+	res.OneCoreCFS = fair(KindCFS, true)
+	res.OneCoreWFQ = fair(KindWFQ, true)
+
+	weight := func(kind Kind) (others, low time.Duration) {
+		r := NewRig(kernel.Machine8(), kind)
+		times := workload.WeightProbe(r.K, r.Policy, work)
+		return meanOf(times[:4]), times[4]
+	}
+	res.WeightOthersCFS, res.WeightLowCFS = weight(KindCFS)
+	res.WeightOthersWFQ, res.WeightLowWFQ = weight(KindWFQ)
+
+	place := func(kind Kind, move bool) time.Duration {
+		r := NewRig(kernel.Machine8(), kind)
+		return stddevOf(workload.PlacementProbe(r.K, r.Policy, 2*work, move))
+	}
+	res.PlaceStillCFS = place(KindCFS, false)
+	res.PlaceMovedCFS = place(KindCFS, true)
+	res.PlaceStillWFQ = place(KindWFQ, false)
+	res.PlaceMovedWFQ = place(KindWFQ, true)
+	return res
+}
+
+// CheckEquivalence validates the appendix's qualitative claims and returns
+// the violations (empty means equivalent behaviour).
+func (r *EquivalenceResult) CheckEquivalence() []string {
+	var bad []string
+	rel := func(a, b time.Duration) float64 {
+		return math.Abs(float64(a-b)) / float64(b)
+	}
+	if rel(r.SpreadCFS, r.SpreadWFQ) > 0.05 {
+		bad = append(bad, "spread completion differs >5%")
+	}
+	if rel(r.OneCoreCFS, r.OneCoreWFQ) > 0.10 {
+		bad = append(bad, "one-core completion differs >10%")
+	}
+	if float64(r.OneCoreCFS) < 4.5*float64(r.SpreadCFS) {
+		bad = append(bad, "CFS co-located slowdown below ~5x")
+	}
+	if r.WeightLowCFS <= r.WeightOthersCFS || r.WeightLowWFQ <= r.WeightOthersWFQ {
+		bad = append(bad, "nice-19 task did not finish last")
+	}
+	return bad
+}

@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// These tests assert the qualitative shape of every reproduced table and
+// figure — who wins, by roughly what factor, where crossovers fall — in
+// quick mode. EXPERIMENTS.md records the full-scale numbers.
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+func TestTable3Shape(t *testing.T) {
+	r := Table3(Options{Quick: true})
+	t.Log("\n" + r.String())
+	rows := map[string]Table3Row{}
+	for _, row := range r.Rows {
+		rows[row.Sched] = row
+	}
+	cfs, wfq := rows["CFS"], rows["WFQ"]
+	// CFS baseline calibrated to the paper's 3.0/3.6 µs.
+	if us(cfs.OneCore) < 2.2 || us(cfs.OneCore) > 3.8 {
+		t.Errorf("CFS one-core = %v, want ~3µs", cfs.OneCore)
+	}
+	if us(cfs.TwoCore) < 2.8 || us(cfs.TwoCore) > 4.4 {
+		t.Errorf("CFS two-core = %v, want ~3.6µs", cfs.TwoCore)
+	}
+	// Enoki overhead: 0.3-1.0 µs per wakeup over CFS (paper 0.4-0.6).
+	over := wfq.OneCore - cfs.OneCore
+	if over < 200*time.Nanosecond || over > time.Microsecond {
+		t.Errorf("WFQ overhead = %v, want 0.4-0.6µs band", over)
+	}
+	// Shinjuku pays the per-operation timer on top of WFQ.
+	if rows["Shinjuku"].OneCore <= wfq.OneCore {
+		t.Error("Shinjuku should be slower than WFQ (timer per op)")
+	}
+	// Locality is the simplest module: not slower than WFQ.
+	if rows["Locality"].OneCore > wfq.OneCore {
+		t.Error("Locality should not be slower than WFQ")
+	}
+	// ghOSt is well above every Enoki scheduler; per-CPU FIFO worst on
+	// one core (agent shares the core).
+	if rows["GhOSt SOL"].OneCore < wfq.OneCore+2*time.Microsecond {
+		t.Error("ghOSt SOL should pay a multi-µs agent round trip")
+	}
+	if rows["GhOSt FIFO"].OneCore <= rows["GhOSt SOL"].OneCore {
+		t.Error("per-CPU FIFO should be worst on one core")
+	}
+	// Arachne is user-level: an order of magnitude below everything.
+	if rows["Arachne"].OneCore > 500*time.Nanosecond {
+		t.Errorf("Arachne = %v, want ~0.1µs", rows["Arachne"].OneCore)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	r := Table4(Options{Quick: true})
+	t.Log("\n" + r.String())
+	get := func(cells []Table4Cell, name string) Table4Cell {
+		for _, c := range cells {
+			if c.Sched == name {
+				return c
+			}
+		}
+		t.Fatalf("missing %s", name)
+		return Table4Cell{}
+	}
+	cfs2 := get(r.TwoWorkers, "CFS")
+	wfq2 := get(r.TwoWorkers, "WFQ")
+	// Cold-core wakeups dominate: ~74µs p50 / ~101µs p99 for CFS.
+	if us(cfs2.P50) < 40 || us(cfs2.P50) > 120 {
+		t.Errorf("CFS 2-task p50 = %v, want ~74µs", cfs2.P50)
+	}
+	if cfs2.P99 <= cfs2.P50 {
+		t.Error("CFS p99 should exceed p50")
+	}
+	// Enoki WFQ tracks CFS within ~25%.
+	ratio := float64(wfq2.P50) / float64(cfs2.P50)
+	if ratio < 0.75 || ratio > 1.35 {
+		t.Errorf("WFQ/CFS p50 ratio = %.2f, want ~1", ratio)
+	}
+	// Arachne stays user-level: far below CFS at the median.
+	ar40 := get(r.FortyWorkers, "Arachne")
+	cfs40 := get(r.FortyWorkers, "CFS")
+	if ar40.P50 > cfs40.P50/2 {
+		t.Errorf("Arachne 40-task p50 = %v vs CFS %v; should be well below", ar40.P50, cfs40.P50)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	r := Table5(Options{Quick: true})
+	t.Logf("table5: geomean=%.2f%% max=%.2f%%", r.Geomean, r.MaxAbs)
+	if len(r.Rows) != 36 {
+		t.Fatalf("expected 36 benchmarks, got %d", len(r.Rows))
+	}
+	// Paper: geomean 0.74%, max 8.57%. Band: geomean under ~2%, max under ~12%.
+	if r.Geomean > 2.0 {
+		t.Errorf("geomean |diff| = %.2f%%, want ≲1%%", r.Geomean)
+	}
+	if r.MaxAbs > 12 {
+		t.Errorf("max |diff| = %.2f%%, want single digits", r.MaxAbs)
+	}
+	// Both signs must occur (WFQ wins some benchmarks in the paper too).
+	pos, neg := false, false
+	for _, row := range r.Rows {
+		if row.DiffPct > 0.05 {
+			pos = true
+		}
+		if row.DiffPct < -0.05 {
+			neg = true
+		}
+	}
+	if !pos || !neg {
+		t.Error("diffs should scatter around zero")
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	r := Table6(Options{Quick: true})
+	t.Log("\n" + r.String())
+	byName := map[string]Table6Row{}
+	for _, row := range r.Rows {
+		byName[row.Config] = row
+	}
+	cfs, random, hints := byName["CFS"], byName["Random"], byName["Hints"]
+	// Hints co-locate: an order of magnitude below CFS (paper 2µs vs 33µs).
+	if hints.P50*4 > cfs.P50 {
+		t.Errorf("hints p50 %v should be ≪ CFS %v", hints.P50, cfs.P50)
+	}
+	if us(hints.P50) > 10 {
+		t.Errorf("hints p50 = %v, want single-digit µs", hints.P50)
+	}
+	// Random placement behaves like CFS.
+	ratio := float64(random.P50) / float64(cfs.P50)
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("random/CFS p50 ratio = %.2f, want ~1", ratio)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	r := Fig2(Options{Quick: true}, false)
+	t.Log("\n" + r.String())
+	series := map[string]Fig2Series{}
+	for _, s := range r.Series {
+		series[s.Sched] = s
+	}
+	cfs := series["CFS"].Points
+	enoki := series["Enoki-Shinjuku"].Points
+	ghost := series["ghOSt-Shinjuku"].Points
+	// Mid-load: CFS tail is far above both Shinjuku variants.
+	mid := len(cfs) / 2
+	if cfs[mid].P99 < 4*enoki[mid].P99 {
+		t.Errorf("at %vk req/s CFS p99 %v should dwarf Enoki-Shinjuku %v",
+			cfs[mid].RateKRPS, cfs[mid].P99, enoki[mid].P99)
+	}
+	// Enoki-Shinjuku keeps sub-200µs tails until near saturation.
+	if us(enoki[mid].P99) > 200 {
+		t.Errorf("Enoki-Shinjuku mid-load p99 = %v", enoki[mid].P99)
+	}
+	// At high load ghOSt is worse than Enoki (the >65k claim).
+	hi := len(cfs) - 2
+	if ghost[hi].P99 < enoki[hi].P99 {
+		t.Errorf("at %vk: ghOSt %v should exceed Enoki %v",
+			ghost[hi].RateKRPS, ghost[hi].P99, enoki[hi].P99)
+	}
+}
+
+func TestFig2cShape(t *testing.T) {
+	r := Fig2(Options{Quick: true}, true)
+	t.Log("\n" + r.String())
+	series := map[string]Fig2Series{}
+	for _, s := range r.Series {
+		series[s.Sched] = s
+	}
+	for i := range series["CFS"].Points {
+		cfs := series["CFS"].Points[i]
+		enoki := series["Enoki-Shinjuku"].Points[i]
+		ghost := series["ghOSt-Shinjuku"].Points[i]
+		// Batch share declines with load and ghOSt gives the least
+		// (userspace scheduler tax, Fig 2c).
+		if ghost.BatchCPUs >= cfs.BatchCPUs {
+			t.Errorf("at %vk: ghOSt batch %.2f should be below CFS %.2f",
+				cfs.RateKRPS, ghost.BatchCPUs, cfs.BatchCPUs)
+		}
+		if ghost.BatchCPUs >= enoki.BatchCPUs {
+			t.Errorf("at %vk: ghOSt batch %.2f should be below Enoki %.2f",
+				cfs.RateKRPS, ghost.BatchCPUs, enoki.BatchCPUs)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	r := Fig3(Options{Quick: true})
+	t.Log("\n" + r.String())
+	series := map[string]Fig3Series{}
+	for _, s := range r.Series {
+		series[s.Config] = s
+	}
+	last := len(series["CFS"].Points) - 1
+	cfs := series["CFS"].Points[last]
+	native := series["Arachne"].Points[last]
+	enoki := series["Enoki-Arachne"].Points[last]
+	// High load: both Arachne variants beat CFS (§5.6).
+	if native.P99 >= cfs.P99 || enoki.P99 >= cfs.P99 {
+		t.Errorf("at %vk: Arachne %v / Enoki %v should beat CFS %v",
+			cfs.RateKRPS, native.P99, enoki.P99, cfs.P99)
+	}
+	// The two Arachne variants perform similarly (within 3x).
+	hi, lo := native.P99, enoki.P99
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	if hi > 3*lo {
+		t.Errorf("Arachne variants diverge: native %v vs enoki %v", native.P99, enoki.P99)
+	}
+}
+
+func TestUpgradeShape(t *testing.T) {
+	r := Upgrade(Options{Quick: true})
+	t.Log("\n" + r.String())
+	if len(r.Rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(r.Rows))
+	}
+	small, big := r.Rows[0], r.Rows[1]
+	// Paper: 1.5µs one socket, ~10µs two sockets.
+	if us(small.Blackout) < 0.8 || us(small.Blackout) > 3 {
+		t.Errorf("8-core blackout = %v, want ~1.5µs", small.Blackout)
+	}
+	if us(big.Blackout) < 6 || us(big.Blackout) > 15 {
+		t.Errorf("80-core blackout = %v, want ~10µs", big.Blackout)
+	}
+	if big.Blackout <= small.Blackout {
+		t.Error("blackout should grow with core count")
+	}
+}
+
+func TestRecordReplayShape(t *testing.T) {
+	r := RecordReplay(Options{Quick: true})
+	t.Log("\n" + r.String())
+	// Paper: ~7.5x record slowdown; replay slower still, dominated by
+	// lock-order blocking.
+	if r.RecordRatio < 2 || r.RecordRatio > 20 {
+		t.Errorf("record slowdown = %.1fx, want several-fold", r.RecordRatio)
+	}
+	if r.Divergences != 0 {
+		t.Errorf("faithful replay diverged %d times", r.Divergences)
+	}
+	if r.ReplayedMsgs == 0 || r.LogEntries == 0 {
+		t.Error("empty record/replay")
+	}
+}
+
+func TestEquivalenceShape(t *testing.T) {
+	r := Equivalence(Options{Quick: true})
+	t.Log("\n" + r.String())
+	if bad := r.CheckEquivalence(); len(bad) != 0 {
+		t.Errorf("equivalence violations: %v", bad)
+	}
+	// The moved-task probe shows more variation than the still probe
+	// (the appendix's CFS 0.001s→0.018s observation, scaled down).
+	if r.PlaceMovedWFQ <= r.PlaceStillWFQ {
+		t.Error("moving a task should increase completion spread")
+	}
+}
+
+func TestTable2Counts(t *testing.T) {
+	r := Table2(Options{})
+	t.Log("\n" + r.String())
+	if r.Total < 5000 {
+		t.Errorf("LoC count implausibly small: %d", r.Total)
+	}
+	for _, row := range r.Rows {
+		if row.LOC == 0 && !strings.Contains(row.Component, "record") &&
+			!strings.Contains(row.Component, "replay") {
+			t.Errorf("component %q counted no code", row.Component)
+		}
+	}
+}
+
+func TestExtNestShape(t *testing.T) {
+	r := ExtNest(Options{Quick: true})
+	t.Log("\n" + r.String())
+	if r.NestCores >= r.CFSCores {
+		t.Errorf("nest used %d cores vs CFS %d; consolidation missing", r.NestCores, r.CFSCores)
+	}
+	if r.NestP50 > 3*r.CFSP50 {
+		t.Errorf("nest p50 %v too far above CFS %v", r.NestP50, r.CFSP50)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(All()) != 12 {
+		t.Fatalf("registry has %d experiments", len(All()))
+	}
+	if _, ok := Find("table3"); !ok {
+		t.Fatal("Find failed")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatal("Find matched nonsense")
+	}
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"enoki/internal/kernel"
+	"enoki/internal/workload"
+)
+
+func TestFig3Debug(t *testing.T) {
+	r := NewRig(kernel.Machine8(), KindCFS)
+	mr := workload.RunMemcachedThreads(r.K, r.Policy, 8, workload.MemcachedConfig{
+		Rate: 200000, Warmup: 100 * time.Millisecond, Duration: 400 * time.Millisecond,
+	})
+	fmt.Printf("achieved=%.0f completed=%d p50=%v p99=%v\n", mr.Achieved, mr.Completed, mr.P50, mr.P99)
+	for c := 0; c < 8; c++ {
+		fmt.Printf("cpu%d busy=%v\n", c, r.K.CPUBusy(c))
+	}
+	for pid := 1; pid <= 8; pid++ {
+		fmt.Println(r.K.TaskByPID(pid))
+	}
+}

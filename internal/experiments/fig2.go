@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"enoki/internal/kernel"
+	"enoki/internal/stats"
+	"enoki/internal/workload"
+)
+
+// Fig2Point is one (offered load, result) sample for one scheduler.
+type Fig2Point struct {
+	RateKRPS   float64
+	P99        time.Duration
+	P50        time.Duration
+	BatchCPUs  float64
+	Achieved   float64
+	RangeShare float64
+}
+
+// Fig2Series is one scheduler's curve.
+type Fig2Series struct {
+	Sched  string
+	Points []Fig2Point
+}
+
+// Fig2Result reproduces Fig 2: RocksDB dispersive-load tail latency under
+// CFS, ghOSt-Shinjuku, and Enoki-Shinjuku — without (2a) and with (2b) a
+// co-located batch app, plus the batch app's CPU share (2c).
+type Fig2Result struct {
+	WithBatch bool
+	Series    []Fig2Series
+}
+
+// Name implements the experiment naming convention.
+func (r *Fig2Result) Name() string {
+	if r.WithBatch {
+		return "fig2b"
+	}
+	return "fig2a"
+}
+
+func (r *Fig2Result) String() string {
+	title := "Fig 2a: RocksDB 99% latency vs load (no batch app)"
+	if r.WithBatch {
+		title = "Fig 2b/2c: RocksDB 99% latency and batch CPU share vs load"
+	}
+	header := []string{"Load (k req/s)"}
+	for _, s := range r.Series {
+		header = append(header, s.Sched+" p99(µs)")
+		if r.WithBatch {
+			header = append(header, s.Sched+" batch-CPUs")
+		}
+	}
+	t := stats.NewTable(header...)
+	for i := range r.Series[0].Points {
+		row := []any{fmt.Sprintf("%.0f", r.Series[0].Points[i].RateKRPS)}
+		for _, s := range r.Series {
+			row = append(row, fmt.Sprintf("%d", s.Points[i].P99/time.Microsecond))
+			if r.WithBatch {
+				row = append(row, fmt.Sprintf("%.2f", s.Points[i].BatchCPUs))
+			}
+		}
+		t.Row(row...)
+	}
+	return title + "\n" + t.String()
+}
+
+// fig2Kinds are the three schedulers compared in Fig 2.
+var fig2Kinds = []Kind{KindCFS, KindGhostShinjuku, KindShinjuku}
+
+// Fig2 sweeps the offered load. withBatch co-locates the CFS batch app.
+func Fig2(o Options, withBatch bool) *Fig2Result {
+	rates := []float64{20000, 30000, 40000, 50000, 60000, 65000, 70000, 75000, 80000}
+	if o.Quick {
+		rates = []float64{20000, 40000, 60000, 70000, 80000}
+	}
+	duration := scaleDur(o, 2*time.Second, 400*time.Millisecond)
+	warmup := scaleDur(o, 500*time.Millisecond, 100*time.Millisecond)
+
+	res := &Fig2Result{WithBatch: withBatch}
+	workerCores := []int{3, 4, 5, 6, 7}
+	for _, kind := range fig2Kinds {
+		series := Fig2Series{Sched: fig2Name(kind)}
+		for _, rate := range rates {
+			r := NewRig(kernel.Machine8(), kind)
+			db := workload.NewRocksDB(r.K, workload.RocksDBConfig{
+				Policy:      r.Policy,
+				Workers:     50,
+				WorkerCores: workerCores,
+				Rate:        rate,
+				Warmup:      warmup,
+				Duration:    duration,
+			})
+			if kind == KindCFS {
+				// Paper setup: RocksDB at nice -20, batch at 19.
+				for pid := 1; pid <= 50; pid++ {
+					if t := r.K.TaskByPID(pid); t != nil {
+						r.K.SetNice(t, -20)
+					}
+				}
+			}
+			var batch *workload.BatchApp
+			var baseline, final time.Duration
+			if withBatch {
+				// The batch app may use the scheduling core (2) too:
+				// under CFS and Enoki "the scheduler is run on the
+				// same core as the application" (§5.4), so only
+				// ghOSt's agent actually consumes it.
+				batch = workload.NewBatchApp(r.K, PolicyCFS, 5, 19, []int{2, 3, 4, 5, 6, 7})
+				r.K.Engine().After(warmup, func() { baseline = batch.CPUTime() })
+				r.K.Engine().After(warmup+duration, func() { final = batch.CPUTime() })
+			}
+			dbr := db.Start()
+			p := Fig2Point{
+				RateKRPS: rate / 1000, P99: dbr.P99, P50: dbr.P50,
+				Achieved: dbr.Achieved,
+			}
+			if withBatch {
+				p.BatchCPUs = float64(final-baseline) / float64(duration)
+			}
+			series.Points = append(series.Points, p)
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res
+}
+
+func fig2Name(k Kind) string {
+	switch k {
+	case KindCFS:
+		return "CFS"
+	case KindGhostShinjuku:
+		return "ghOSt-Shinjuku"
+	case KindShinjuku:
+		return "Enoki-Shinjuku"
+	default:
+		return k.String()
+	}
+}

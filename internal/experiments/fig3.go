@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"enoki/internal/arachne"
+	"enoki/internal/kernel"
+	"enoki/internal/stats"
+	"enoki/internal/workload"
+)
+
+// Fig3Point is one (offered load, p99) sample.
+type Fig3Point struct {
+	RateKRPS float64
+	P99      time.Duration
+	Achieved float64
+	Cores    int
+}
+
+// Fig3Series is one configuration's curve.
+type Fig3Series struct {
+	Config string
+	Points []Fig3Point
+}
+
+// Fig3Result reproduces Fig 3: memcached tail latency under plain CFS,
+// native Arachne, and Arachne with the Enoki core arbiter.
+type Fig3Result struct {
+	Series []Fig3Series
+}
+
+// Name implements the experiment naming convention.
+func (r *Fig3Result) Name() string { return "fig3" }
+
+func (r *Fig3Result) String() string {
+	header := []string{"Load (k req/s)"}
+	for _, s := range r.Series {
+		header = append(header, s.Config+" p99(µs)")
+	}
+	t := stats.NewTable(header...)
+	for i := range r.Series[0].Points {
+		row := []any{fmt.Sprintf("%.0f", r.Series[0].Points[i].RateKRPS)}
+		for _, s := range r.Series {
+			row = append(row, fmt.Sprintf("%d", s.Points[i].P99/time.Microsecond))
+		}
+		t.Row(row...)
+	}
+	return "Fig 3: memcached 99% latency vs load (mutilate, ETC-like mix)\n" + t.String()
+}
+
+// Fig3 sweeps memcached offered load across the three configurations. The
+// Arachne configurations scale between 2 and 7 cores, reserving one for
+// background work; the CFS baseline uses all 8 cores (§5.6).
+func Fig3(o Options) *Fig3Result {
+	rates := []float64{100000, 150000, 200000, 250000, 280000, 300000}
+	if o.Quick {
+		rates = []float64{100000, 200000, 250000, 300000}
+	}
+	duration := scaleDur(o, 2*time.Second, 400*time.Millisecond)
+	warmup := scaleDur(o, 500*time.Millisecond, 100*time.Millisecond)
+	mk := func(rate float64) workload.MemcachedConfig {
+		return workload.MemcachedConfig{Rate: rate, Warmup: warmup, Duration: duration}
+	}
+
+	res := &Fig3Result{}
+
+	cfs := Fig3Series{Config: "CFS"}
+	for _, rate := range rates {
+		r := NewRig(kernel.Machine8(), KindCFS)
+		// Plain memcached runs more worker threads than cores (its
+		// default thread pools); the oversubscription is part of why
+		// CFS falls behind at high load.
+		mr := workload.RunMemcachedThreads(r.K, r.Policy, 16, mk(rate))
+		cfs.Points = append(cfs.Points, Fig3Point{RateKRPS: rate / 1000, P99: mr.P99, Achieved: mr.Achieved, Cores: 8})
+	}
+	res.Series = append(res.Series, cfs)
+
+	native := Fig3Series{Config: "Arachne"}
+	for _, rate := range rates {
+		r := NewRig(kernel.Machine8(), KindCFS)
+		rt := arachne.NewRuntime(r.K, arachne.DefaultConfig())
+		acts := rt.Start(PolicyCFS, 7)
+		na := arachne.NewNativeArbiter(r.K, []int{1, 2, 3, 4, 5, 6, 7})
+		na.Attach(rt, 1, acts)
+		rt.StartEstimator()
+		mr := workload.RunMemcachedArachne(r.K, rt, mk(rate))
+		native.Points = append(native.Points, Fig3Point{RateKRPS: rate / 1000, P99: mr.P99, Achieved: mr.Achieved, Cores: rt.Granted()})
+	}
+	res.Series = append(res.Series, native)
+
+	enoki := Fig3Series{Config: "Enoki-Arachne"}
+	for _, rate := range rates {
+		r, rt := NewArachneRig(kernel.Machine8(), 2, 7)
+		rt.StartEstimator()
+		mr := workload.RunMemcachedArachne(r.K, rt, mk(rate))
+		enoki.Points = append(enoki.Points, Fig3Point{RateKRPS: rate / 1000, P99: mr.P99, Achieved: mr.Achieved, Cores: rt.Granted()})
+	}
+	res.Series = append(res.Series, enoki)
+	return res
+}

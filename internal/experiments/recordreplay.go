@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/kernel"
+	"enoki/internal/record"
+	"enoki/internal/replay"
+	"enoki/internal/sched/wfq"
+	"enoki/internal/workload"
+)
+
+// RecordReplayResult reproduces §5.8: the perf pipe benchmark on the WFQ
+// scheduler run natively, under record, and replayed at userspace.
+type RecordReplayResult struct {
+	Messages     int
+	NativeTime   time.Duration // simulated
+	RecordTime   time.Duration // simulated
+	RecordRatio  float64
+	LogEntries   uint64
+	LogDropped   uint64
+	ReplayParse  time.Duration // host wall clock
+	ReplayRun    time.Duration // host wall clock
+	ReplayedMsgs int
+	Divergences  int
+}
+
+// Name implements the experiment naming convention.
+func (r *RecordReplayResult) Name() string { return "recordreplay" }
+
+func (r *RecordReplayResult) String() string {
+	return fmt.Sprintf(`Record and replay (§5.8): perf pipe on the Enoki WFQ scheduler, %d messages
+  native run:       %v (simulated)
+  record-mode run:  %v (simulated)  → %.1fx slower  [paper: ~4s → ~30s, 7.5x]
+  log:              %d entries, %d dropped
+  replay (host):    parse %v + replay %v, %d messages, %d divergences
+  replay is dominated by blocking threads until their recorded lock turn,
+  as §5.8 observes of the original system.
+`, r.Messages, r.NativeTime, r.RecordTime, r.RecordRatio,
+		r.LogEntries, r.LogDropped, r.ReplayParse, r.ReplayRun,
+		r.ReplayedMsgs, r.Divergences)
+}
+
+// RecordReplay runs the three phases.
+func RecordReplay(o Options) *RecordReplayResult {
+	messages := scaleInt(o, 2000, 300)
+	res := &RecordReplayResult{Messages: messages}
+
+	pipe := func(rec bool) (time.Duration, *record.Recorder, *bytes.Buffer) {
+		r := NewRig(kernel.Machine8(), KindWFQ)
+		var recorder *record.Recorder
+		var buf bytes.Buffer
+		if rec {
+			recorder = record.New(r.K, &buf, PolicyCFS, record.DefaultCosts())
+			r.Adapter.SetRecorder(recorder)
+		}
+		pr := workload.RunPipe(r.K, workload.PipeConfig{
+			Policy: PolicyEnoki, Messages: messages, SameCore: true,
+		})
+		if recorder != nil {
+			recorder.Close()
+		}
+		return pr.Total, recorder, &buf
+	}
+
+	res.NativeTime, _, _ = pipe(false)
+	recTime, recorder, buf := pipe(true)
+	res.RecordTime = recTime
+	res.RecordRatio = float64(recTime) / float64(res.NativeTime)
+	res.LogEntries = recorder.Entries
+	res.LogDropped = recorder.Dropped
+
+	rres, err := replay.Replay(bytes.NewReader(buf.Bytes()),
+		replay.Config{NumCPUs: 8},
+		func(env core.Env) core.Scheduler { return wfq.New(env, PolicyEnoki) })
+	if err == nil {
+		res.ReplayParse = rres.ParseTime
+		res.ReplayRun = rres.Elapsed
+		res.ReplayedMsgs = rres.Messages
+		res.Divergences = len(rres.Divergences)
+	}
+	return res
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import "fmt"
+
+// Result is what every experiment harness returns: a named, printable
+// reproduction of one table or figure.
+type Result interface {
+	fmt.Stringer
+	Name() string
+}
+
+// Spec describes one runnable experiment.
+type Spec struct {
+	Name  string
+	What  string
+	Run   func(Options) Result
+	Heavy bool // excluded from "all" in quick CLI runs unless asked
+}
+
+// All lists every experiment in paper order.
+func All() []Spec {
+	return []Spec{
+		{Name: "table2", What: "Table 2: lines of code per component",
+			Run: func(o Options) Result { return Table2(o) }},
+		{Name: "table3", What: "Table 3: perf pipe latency per scheduler",
+			Run: func(o Options) Result { return Table3(o) }},
+		{Name: "table4", What: "Table 4: schbench wakeup latency, 80 cores",
+			Run: func(o Options) Result { return Table4(o) }},
+		{Name: "table5", What: "Table 5: NAS + Phoronix apps, CFS vs WFQ",
+			Run: func(o Options) Result { return Table5(o) }},
+		{Name: "table6", What: "Table 6: locality hints on schbench",
+			Run: func(o Options) Result { return Table6(o) }},
+		{Name: "fig2a", What: "Fig 2a: RocksDB tail latency vs load",
+			Run: func(o Options) Result { return Fig2(o, false) }},
+		{Name: "fig2b", What: "Fig 2b/2c: RocksDB + batch app co-location",
+			Run: func(o Options) Result { return Fig2(o, true) }},
+		{Name: "fig3", What: "Fig 3: memcached on CFS / Arachne / Enoki-Arachne",
+			Run: func(o Options) Result { return Fig3(o) }},
+		{Name: "upgrade", What: "§5.7: live-upgrade blackout",
+			Run: func(o Options) Result { return Upgrade(o) }},
+		{Name: "recordreplay", What: "§5.8: record and replay overheads",
+			Run: func(o Options) Result { return RecordReplay(o) }},
+		{Name: "equivalence", What: "Appendix A.1: WFQ functional equivalence",
+			Run: func(o Options) Result { return Equivalence(o) }},
+		{Name: "ext-nest", What: "Extension (not in paper): Nest-style warm-core scheduler",
+			Run: func(o Options) Result { return ExtNest(o) }},
+	}
+}
+
+// Find returns the spec with the given name.
+func Find(name string) (Spec, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

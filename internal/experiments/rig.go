@@ -1,0 +1,178 @@
+// Package experiments contains one harness per table and figure in the
+// paper's evaluation (§5). Each harness builds a fresh simulated machine,
+// registers the schedulers under test, runs the workload model, and renders
+// a paper-style table; DESIGN.md §3 maps every experiment id to its modules
+// and bench target.
+package experiments
+
+import (
+	"time"
+
+	"enoki/internal/arachne"
+	"enoki/internal/core"
+	"enoki/internal/enokic"
+	"enoki/internal/ghost"
+	"enoki/internal/kernel"
+	"enoki/internal/sched/arbiter"
+	"enoki/internal/sched/fifo"
+	"enoki/internal/sched/locality"
+	"enoki/internal/sched/shinjuku"
+	"enoki/internal/sched/wfq"
+	"enoki/internal/sim"
+)
+
+// Scheduler policy numbers used across all experiments.
+const (
+	PolicyCFS   = 0
+	PolicyEnoki = 1
+	PolicyGhost = 2
+)
+
+// Kind names a scheduler configuration under test.
+type Kind int
+
+// Scheduler configurations.
+const (
+	KindCFS Kind = iota
+	KindFIFO
+	KindWFQ
+	KindShinjuku
+	KindLocality
+	KindArbiter
+	KindGhostFIFO
+	KindGhostSOL
+	KindGhostShinjuku
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCFS:
+		return "CFS"
+	case KindFIFO:
+		return "FIFO"
+	case KindWFQ:
+		return "WFQ"
+	case KindShinjuku:
+		return "Shinjuku"
+	case KindLocality:
+		return "Locality"
+	case KindArbiter:
+		return "Arachne"
+	case KindGhostFIFO:
+		return "GhOSt FIFO"
+	case KindGhostSOL:
+		return "GhOSt SOL"
+	case KindGhostShinjuku:
+		return "ghOSt-Shinjuku"
+	default:
+		return "?"
+	}
+}
+
+// Rig is one simulated machine with schedulers registered.
+type Rig struct {
+	K       *kernel.Kernel
+	Kind    Kind
+	Adapter *enokic.Adapter
+	Ghost   *ghost.Ghost
+	// Policy is the class workload tasks should spawn into.
+	Policy int
+	// AgentCPU is the ghOSt SOL dedicated core (-1 otherwise).
+	AgentCPU int
+}
+
+// NewRig builds a machine running the given scheduler kind. Enoki and ghOSt
+// classes register above CFS, matching the experiments' priority setup; CFS
+// is always present for background/batch work.
+func NewRig(m kernel.Machine, kind Kind) *Rig {
+	eng := sim.New()
+	k := kernel.New(eng, m, kernel.CostsFor(m))
+	r := &Rig{K: k, Kind: kind, Policy: PolicyCFS, AgentCPU: -1}
+
+	factory := func(overhead time.Duration, f func(core.Env) core.Scheduler) {
+		cfg := enokic.DefaultConfig()
+		// Per-invocation framework cost varies slightly with policy
+		// complexity, within the paper's 100-150 ns band.
+		cfg.CallOverhead = overhead
+		r.Adapter = enokic.Load(k, PolicyEnoki, cfg, f)
+		r.Policy = PolicyEnoki
+	}
+
+	switch kind {
+	case KindCFS:
+		// CFS only.
+	case KindFIFO:
+		factory(105*time.Nanosecond, func(env core.Env) core.Scheduler { return fifo.New(env, PolicyEnoki) })
+	case KindWFQ:
+		factory(130*time.Nanosecond, func(env core.Env) core.Scheduler { return wfq.New(env, PolicyEnoki) })
+	case KindShinjuku:
+		factory(130*time.Nanosecond, func(env core.Env) core.Scheduler {
+			return shinjuku.New(env, PolicyEnoki, shinjuku.DefaultSlice)
+		})
+	case KindLocality:
+		factory(110*time.Nanosecond, func(env core.Env) core.Scheduler { return locality.New(env, PolicyEnoki) })
+	case KindArbiter:
+		managed := make([]int, 0, m.NumCPUs-1)
+		for c := 1; c < m.NumCPUs; c++ {
+			managed = append(managed, c)
+		}
+		factory(115*time.Nanosecond, func(env core.Env) core.Scheduler {
+			return arbiter.New(env, PolicyEnoki, managed)
+		})
+	case KindGhostFIFO:
+		r.Ghost = ghost.New(k, ghost.ModePerCPU, ghost.NewFIFOPolicy(), -1, ghost.DefaultCosts())
+		k.RegisterClass(PolicyGhost, r.Ghost)
+		r.Policy = PolicyGhost
+	case KindGhostSOL:
+		r.AgentCPU = 2
+		r.Ghost = ghost.New(k, ghost.ModeSOL, ghost.NewSOLPolicy(), r.AgentCPU, ghost.DefaultCosts())
+		k.RegisterClass(PolicyGhost, r.Ghost)
+		r.Policy = PolicyGhost
+	case KindGhostShinjuku:
+		r.AgentCPU = 2
+		r.Ghost = ghost.New(k, ghost.ModeSOL, ghost.NewShinjukuPolicy(10*time.Microsecond),
+			r.AgentCPU, ghost.DefaultCosts())
+		k.RegisterClass(PolicyGhost, r.Ghost)
+		r.Policy = PolicyGhost
+	}
+	k.RegisterClass(PolicyCFS, kernel.NewCFS(k))
+	if r.Ghost != nil {
+		r.Ghost.Start(PolicyGhost)
+	}
+	return r
+}
+
+// NewArachneRig builds an Enoki-Arachne machine: arbiter module plus an
+// attached two-level runtime with maxCores activations.
+func NewArachneRig(m kernel.Machine, minCores, maxCores int) (*Rig, *arachne.Runtime) {
+	r := NewRig(m, KindArbiter)
+	cfg := arachne.DefaultConfig()
+	cfg.MinCores = minCores
+	cfg.MaxCores = maxCores
+	rt := arachne.NewRuntime(r.K, cfg)
+	acts := rt.Start(PolicyEnoki, maxCores)
+	arachne.AttachEnoki(rt, r.Adapter, 1, acts)
+	return r, rt
+}
+
+// Options tunes experiment scale: Quick shrinks message counts and
+// durations so the full suite runs in seconds (used by `go test -bench`);
+// the full scale matches the paper's run lengths.
+type Options struct {
+	Quick bool
+}
+
+// scale returns full when !Quick, quick otherwise.
+func scaleInt(o Options, full, quick int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+func scaleDur(o Options, full, quick time.Duration) time.Duration {
+	if o.Quick {
+		return quick
+	}
+	return full
+}

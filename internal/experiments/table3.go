@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"enoki/internal/kernel"
+	"enoki/internal/stats"
+	"enoki/internal/workload"
+)
+
+// Table3Row is one scheduler's pipe latency.
+type Table3Row struct {
+	Sched   string
+	OneCore time.Duration
+	TwoCore time.Duration
+}
+
+// Table3Result reproduces Table 3: perf bench sched pipe latency per wakeup
+// for every scheduler, one- and two-core configurations.
+type Table3Result struct {
+	Rows     []Table3Row
+	Messages int
+}
+
+// Name implements the experiment naming convention.
+func (r *Table3Result) Name() string { return "table3" }
+
+func (r *Table3Result) String() string {
+	t := stats.NewTable("Message Latency (µs)", "One Core", "Two Cores")
+	for _, row := range r.Rows {
+		t.Row(row.Sched, usNum(row.OneCore), usNum(row.TwoCore))
+	}
+	return "Table 3: scheduler latency for perf bench sched pipe (µs per wakeup)\n" +
+		fmt.Sprintf("messages per run: %d\n", r.Messages) + t.String()
+}
+
+func usNum(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d)/float64(time.Microsecond))
+}
+
+// Table3 runs the pipe benchmark across all Table 3 schedulers.
+func Table3(o Options) *Table3Result {
+	messages := scaleInt(o, 300000, 20000)
+	res := &Table3Result{Messages: messages}
+
+	kinds := []Kind{KindCFS, KindGhostSOL, KindGhostFIFO, KindWFQ, KindShinjuku, KindLocality}
+	for _, kind := range kinds {
+		var lat [2]time.Duration
+		for i, sameCore := range []bool{true, false} {
+			r := NewRig(kernel.Machine8(), kind)
+			pr := workload.RunPipe(r.K, workload.PipeConfig{
+				Policy:   r.Policy,
+				Messages: messages,
+				SameCore: sameCore,
+			})
+			lat[i] = pr.PerWakeup
+		}
+		res.Rows = append(res.Rows, Table3Row{Sched: kind.String(), OneCore: lat[0], TwoCore: lat[1]})
+	}
+
+	// Arachne: the ping-pong runs as user threads on the runtime.
+	var lat [2]time.Duration
+	for i, cores := range []int{1, 2} {
+		r, rt := NewArachneRig(kernel.Machine8(), cores, cores)
+		pr := workload.RunArachnePipe(r.K, rt, messages, cores == 2)
+		lat[i] = pr.PerWakeup
+	}
+	res.Rows = append(res.Rows, Table3Row{Sched: "Arachne", OneCore: lat[0], TwoCore: lat[1]})
+	return res
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"enoki/internal/kernel"
+	"enoki/internal/stats"
+	"enoki/internal/workload"
+)
+
+// Table4Cell is one scheduler's schbench percentiles for one worker count.
+type Table4Cell struct {
+	Sched    string
+	P50, P99 time.Duration
+}
+
+// Table4Result reproduces Table 4: schbench on the 80-core machine with 2
+// message threads and 2 or 40 workers per message thread.
+type Table4Result struct {
+	TwoWorkers   []Table4Cell
+	FortyWorkers []Table4Cell
+	Duration     time.Duration
+}
+
+// Name implements the experiment naming convention.
+func (r *Table4Result) Name() string { return "table4" }
+
+func (r *Table4Result) String() string {
+	t := stats.NewTable("Worker Threads", "", "CFS", "GhOSt SOL", "GhOSt FIFO", "WFQ", "Shinjuku", "Locality", "Arachne")
+	row := func(label, q string, cells []Table4Cell, pick func(Table4Cell) time.Duration) {
+		args := []any{label, q}
+		for _, c := range cells {
+			args = append(args, fmt.Sprintf("%d", pick(c)/time.Microsecond))
+		}
+		t.Row(args...)
+	}
+	row("2 Tasks (µs)", "50th", r.TwoWorkers, func(c Table4Cell) time.Duration { return c.P50 })
+	row("", "99th", r.TwoWorkers, func(c Table4Cell) time.Duration { return c.P99 })
+	row("40 Tasks (µs)", "50th", r.FortyWorkers, func(c Table4Cell) time.Duration { return c.P50 })
+	row("", "99th", r.FortyWorkers, func(c Table4Cell) time.Duration { return c.P99 })
+	return "Table 4: schbench thread wakeup latency, 2 message threads, 80-core machine\n" +
+		fmt.Sprintf("measurement window: %v\n", r.Duration) + t.String()
+}
+
+// Table4 runs schbench across the Table 4 schedulers on the 80-core
+// machine.
+func Table4(o Options) *Table4Result {
+	warmup := scaleDur(o, 5*time.Second, 100*time.Millisecond)
+	duration := scaleDur(o, 5*time.Second, 400*time.Millisecond)
+	res := &Table4Result{Duration: duration}
+
+	kinds := []Kind{KindCFS, KindGhostSOL, KindGhostFIFO, KindWFQ, KindShinjuku, KindLocality}
+	for _, workers := range []int{2, 40} {
+		var cells []Table4Cell
+		for _, kind := range kinds {
+			r := NewRig(kernel.Machine80(), kind)
+			sr := workload.RunSchbench(r.K, workload.SchbenchConfig{
+				Policy:         r.Policy,
+				MessageThreads: 2,
+				WorkersPerMsg:  workers,
+				Warmup:         warmup,
+				Duration:       duration,
+			})
+			cells = append(cells, Table4Cell{Sched: kind.String(), P50: sr.P50, P99: sr.P99})
+		}
+		// Arachne: user-level message/worker dispatch.
+		r, rt := NewArachneRig(kernel.Machine80(), 2, 79)
+		rt.StartEstimator()
+		sr := workload.RunArachneSchbench(r.K, rt, workload.SchbenchConfig{
+			Policy:         PolicyEnoki,
+			MessageThreads: 2,
+			WorkersPerMsg:  workers,
+			Warmup:         warmup,
+			Duration:       duration,
+		})
+		cells = append(cells, Table4Cell{Sched: "Arachne", P50: sr.P50, P99: sr.P99})
+		if workers == 2 {
+			res.TwoWorkers = cells
+		} else {
+			res.FortyWorkers = cells
+		}
+	}
+	return res
+}

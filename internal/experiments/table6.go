@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"enoki/internal/kernel"
+	"enoki/internal/stats"
+	"enoki/internal/workload"
+)
+
+// Table6Row is one placement policy's wakeup latency.
+type Table6Row struct {
+	Config   string
+	P50, P99 time.Duration
+}
+
+// Table6Result reproduces Table 6: the modified schbench under CFS, CFS
+// confined to one core via cgroups, the locality scheduler with random
+// placement (no hints), and the locality scheduler with co-location hints.
+type Table6Result struct {
+	Rows []Table6Row
+}
+
+// Name implements the experiment naming convention.
+func (r *Table6Result) Name() string { return "table6" }
+
+func (r *Table6Result) String() string {
+	t := stats.NewTable("Latency", "CFS", "CFS One Core", "Random", "Hints")
+	p50 := []any{"50th (µs)"}
+	p99 := []any{"99th (µs)"}
+	for _, row := range r.Rows {
+		p50 = append(p50, fmt.Sprintf("%d", row.P50/time.Microsecond))
+		p99 = append(p99, fmt.Sprintf("%d", row.P99/time.Microsecond))
+	}
+	t.Row(p50...)
+	t.Row(p99...)
+	return "Table 6: schbench wakeup latency with locality hints (2 msg × 2 workers)\n" + t.String()
+}
+
+// Table6 runs the modified schbench in the four placement configurations.
+func Table6(o Options) *Table6Result {
+	warmup := scaleDur(o, 5*time.Second, 100*time.Millisecond)
+	duration := scaleDur(o, 30*time.Second, 500*time.Millisecond)
+	base := workload.SchbenchConfig{
+		MessageThreads: 2,
+		WorkersPerMsg:  2,
+		Warmup:         warmup,
+		Duration:       duration,
+		// The modified schbench of §5.5: short message handling paced
+		// by a per-round pause, so the wakeup path itself is what is
+		// measured.
+		WorkerBurst: 2 * time.Microsecond,
+		MsgWork:     2 * time.Microsecond,
+		RoundPause:  150 * time.Microsecond,
+	}
+	res := &Table6Result{}
+
+	run := func(config string, kind Kind, mutate func(*Rig, *workload.SchbenchConfig)) {
+		r := NewRig(kernel.Machine8(), kind)
+		cfg := base
+		cfg.Policy = r.Policy
+		if mutate != nil {
+			mutate(r, &cfg)
+		}
+		sr := workload.RunSchbench(r.K, cfg)
+		res.Rows = append(res.Rows, Table6Row{Config: config, P50: sr.P50, P99: sr.P99})
+	}
+
+	run("CFS", KindCFS, nil)
+	run("CFS One Core", KindCFS, func(r *Rig, cfg *workload.SchbenchConfig) {
+		cfg.OneCore = true
+	})
+	run("Random", KindLocality, nil)
+	run("Hints", KindLocality, func(r *Rig, cfg *workload.SchbenchConfig) {
+		cfg.Hints = r.Adapter.CreateHintQueue(64)
+	})
+	return res
+}

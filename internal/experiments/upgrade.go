@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/enokic"
+	"enoki/internal/kernel"
+	"enoki/internal/sched/wfq"
+	"enoki/internal/stats"
+	"enoki/internal/workload"
+)
+
+// UpgradeRow is one machine configuration's live-upgrade measurement.
+type UpgradeRow struct {
+	Machine  string
+	Workers  int
+	Blackout time.Duration
+	WallSwap time.Duration
+	Deferred int
+	// P50/P99 are schbench wakeup percentiles over the whole run, three
+	// upgrades included: §5.7 found the interruption "too short to
+	// affect the tail latency of the schbench operations".
+	P50 time.Duration
+	P99 time.Duration
+}
+
+// UpgradeResult reproduces §5.7: live upgrade of the WFQ scheduler under
+// schbench load, measuring the service blackout on the one-socket and
+// two-socket machines.
+type UpgradeResult struct {
+	Rows []UpgradeRow
+}
+
+// Name implements the experiment naming convention.
+func (r *UpgradeResult) Name() string { return "upgrade" }
+
+func (r *UpgradeResult) String() string {
+	t := stats.NewTable("Machine", "Workers/msg", "Blackout", "Go swap (wall)", "Deferred calls", "schbench p50", "schbench p99")
+	for _, row := range r.Rows {
+		t.Row(row.Machine, row.Workers, row.Blackout, row.WallSwap, row.Deferred,
+			row.P50, row.P99)
+	}
+	return "Live upgrade (§5.7): WFQ→WFQ' under schbench; blackout is the simulated quiesce window\n" + t.String()
+}
+
+// Upgrade measures the blackout for the paper's three configurations.
+func Upgrade(o Options) *UpgradeResult {
+	res := &UpgradeResult{}
+	configs := []struct {
+		m       kernel.Machine
+		workers int
+	}{
+		{kernel.Machine8(), 2},
+		{kernel.Machine80(), 2},
+		{kernel.Machine80(), 40},
+	}
+	for _, cfg := range configs {
+		r := NewRig(cfg.m, KindWFQ)
+		var report enokic.UpgradeReport
+		upgrades := 0
+		// Trigger upgrades periodically during the run; the last report
+		// wins (they are deterministic per machine anyway).
+		var schedule func()
+		schedule = func() {
+			r.Adapter.Upgrade(func(env core.Env) core.Scheduler {
+				return wfq.New(env, PolicyEnoki)
+			}, func(u enokic.UpgradeReport) {
+				report = u
+				upgrades++
+				if upgrades < 3 {
+					r.K.Engine().After(50*time.Millisecond, schedule)
+				}
+			})
+		}
+		r.K.Engine().After(30*time.Millisecond, schedule)
+		sr := workload.RunSchbench(r.K, workload.SchbenchConfig{
+			Policy:         PolicyEnoki,
+			MessageThreads: 2,
+			WorkersPerMsg:  cfg.workers,
+			Warmup:         scaleDur(o, time.Second, 20*time.Millisecond),
+			Duration:       scaleDur(o, 2*time.Second, 300*time.Millisecond),
+		})
+		res.Rows = append(res.Rows, UpgradeRow{
+			Machine:  cfg.m.Name,
+			Workers:  cfg.workers,
+			Blackout: report.Blackout,
+			WallSwap: report.WallSwap,
+			Deferred: report.DeferredDelivered,
+			P50:      sr.P50,
+			P99:      sr.P99,
+		})
+	}
+	return res
+}

@@ -1,0 +1,59 @@
+// Package gls provides goroutine-local storage for the replay runtime: each
+// replay goroutine is named with the kernel thread id of the message it
+// replays (§3.4), and the gating locks read that identity from inside the
+// scheduler code, which cannot be changed to pass it explicitly — the whole
+// point of replay is running the exact same module code.
+//
+// The goroutine id is parsed from runtime.Stack, the standard (if inelegant)
+// trick; it is only used on replay paths, never in the simulator hot path.
+package gls
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+var (
+	mu     sync.RWMutex
+	values = make(map[uint64]int)
+)
+
+// goid returns the current goroutine's id.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// Stack header: "goroutine 123 [running]:"
+	fields := bytes.Fields(buf[:n])
+	if len(fields) < 2 {
+		return 0
+	}
+	id, _ := strconv.ParseUint(string(fields[1]), 10, 64)
+	return id
+}
+
+// Set binds v to the current goroutine.
+func Set(v int) {
+	id := goid()
+	mu.Lock()
+	values[id] = v
+	mu.Unlock()
+}
+
+// Get returns the value bound to the current goroutine (0 if none).
+func Get() int {
+	id := goid()
+	mu.RLock()
+	v := values[id]
+	mu.RUnlock()
+	return v
+}
+
+// Clear removes the current goroutine's binding.
+func Clear() {
+	id := goid()
+	mu.Lock()
+	delete(values, id)
+	mu.Unlock()
+}

@@ -1,0 +1,47 @@
+package gls
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSetGetClear(t *testing.T) {
+	if Get() != 0 {
+		t.Fatal("unset value not zero")
+	}
+	Set(42)
+	if Get() != 42 {
+		t.Fatal("Set/Get broken")
+	}
+	Clear()
+	if Get() != 0 {
+		t.Fatal("Clear broken")
+	}
+}
+
+func TestPerGoroutineIsolation(t *testing.T) {
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make(chan int, n)
+	for i := 1; i <= n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Set(i)
+			// Yield to force interleaving.
+			for j := 0; j < 100; j++ {
+				if Get() != i {
+					errs <- i
+					return
+				}
+			}
+			Clear()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for i := range errs {
+		t.Errorf("goroutine %d saw another goroutine's value", i)
+	}
+}

@@ -1,0 +1,100 @@
+package kernel
+
+import "time"
+
+// Class is the kernel-facing scheduler-class interface, the analogue of
+// struct sched_class in kernel/sched/sched.h. The core scheduling code calls
+// these hooks; a class only manages its own view of which tasks are queued
+// where. CFS implements it natively; the Enoki adapter (internal/enokic)
+// implements it by translating every call into a message for the loaded
+// scheduler module; the ghOSt adapter forwards events to userspace agents.
+//
+// Contract:
+//
+//   - PickNext returns the task the CPU should run and treats it as the
+//     class's current task; a picked task must not remain in the class's
+//     queue while it runs.
+//   - PutPrev requeues a still-runnable task that is being switched out.
+//   - Dequeue removes a task that blocked, died, or is migrating away. It
+//     may be called for the class's current (running) task, in which case
+//     the class just forgets it.
+//   - The kernel, not the class, owns task state transitions.
+type Class interface {
+	// Name identifies the class in logs and experiment tables.
+	Name() string
+
+	// OverheadPerCall is the framework overhead charged to the CPU for
+	// each hook invocation. Native classes return 0; the Enoki adapter
+	// returns the paper's ~100-150 ns; ghOSt charges per-message costs
+	// separately.
+	OverheadPerCall() time.Duration
+
+	// TaskNew tells the class a task joined it (fork or setscheduler).
+	// The task is not yet enqueued.
+	TaskNew(t *Task)
+
+	// TaskDead tells the class a task exited; the task was already
+	// dequeued.
+	TaskDead(t *Task)
+
+	// Detach removes a task that is leaving the class for another one
+	// (setscheduler away); the task was already dequeued.
+	Detach(t *Task)
+
+	// Enqueue makes t runnable on cpu's queue. wakeup distinguishes a
+	// wake from a fork/migration enqueue.
+	Enqueue(cpu int, t *Task, wakeup bool)
+
+	// Dequeue removes t from cpu's queue. sleep is true when the task is
+	// blocking (as opposed to dying or migrating).
+	Dequeue(cpu int, t *Task, sleep bool)
+
+	// Yield repositions the class's current task after sched_yield; t
+	// stays runnable and must be queued again.
+	Yield(cpu int, t *Task)
+
+	// PutPrev requeues the class's current task t, which remains
+	// runnable; preempted is true when an involuntary switch caused it.
+	PutPrev(cpu int, t *Task, preempted bool)
+
+	// PickNext chooses the next task for cpu, or nil if the class has
+	// nothing runnable there.
+	PickNext(cpu int) *Task
+
+	// Tick runs scheduler-tick policy for the running task t on cpu.
+	Tick(cpu int, t *Task)
+
+	// SelectRQ picks the CPU for a waking (or newly forked) task.
+	SelectRQ(t *Task, prevCPU int, wakeup bool) int
+
+	// CheckPreempt decides whether the newly woken t should preempt
+	// cpu's current task of the same class (kernel handles cross-class
+	// priority).
+	CheckPreempt(cpu int, t *Task)
+
+	// Balance lets the class pull work toward cpu; it runs at the top of
+	// every schedule pass, before PickNext.
+	Balance(cpu int)
+
+	// Migrate transfers class-private state when the kernel moves t from
+	// src to dst; it runs between the Dequeue on src and the Enqueue on
+	// dst.
+	Migrate(t *Task, src, dst int)
+
+	// PrioChanged tells the class t's nice value changed.
+	PrioChanged(t *Task)
+
+	// AffinityChanged tells the class t's allowed-CPU mask changed.
+	AffinityChanged(t *Task)
+
+	// NRunnable returns the number of queued (not running) tasks the
+	// class has on cpu; the kernel uses it for idle checks and
+	// instrumentation.
+	NRunnable(cpu int) int
+}
+
+// classSlot binds a registered class to its policy ID and priority position.
+type classSlot struct {
+	id    int
+	class Class
+}

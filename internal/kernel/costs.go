@@ -1,0 +1,114 @@
+package kernel
+
+import "time"
+
+// Costs is the calibration table mapping simulated kernel operations to
+// virtual time. The values below are the single place absolute numbers enter
+// the reproduction: they are fitted once so that CFS on the 8-core machine
+// matches the paper's Table 3 baseline (3.0 µs one-core / 3.6 µs two-core
+// pipe latency), and then held fixed across every scheduler so all relative
+// results are emergent.
+type Costs struct {
+	// ContextSwitch is charged whenever a CPU switches between two
+	// different tasks (register/stack/address-space switch plus the cold
+	// cache it drags in).
+	ContextSwitch time.Duration
+	// SchedBase is the native cost of one pass through __schedule
+	// (run-queue locks, class iteration) excluding policy work.
+	SchedBase time.Duration
+	// WakeLocal is the native try_to_wake_up cost when the target run
+	// queue is on the waking CPU.
+	WakeLocal time.Duration
+	// WakeRemoteExtra is the additional cost of a cross-CPU wake (remote
+	// run-queue lock + IPI send).
+	WakeRemoteExtra time.Duration
+	// IPIDeliver is the latency before the kicked CPU reacts to a remote
+	// reschedule interrupt.
+	IPIDeliver time.Duration
+	// CrossNodeExtra is added to wakes and migrations that cross NUMA
+	// nodes.
+	CrossNodeExtra time.Duration
+	// Tick is the cost of the per-CPU scheduler tick.
+	Tick time.Duration
+	// TimerArm is the cost of (re)arming a high-resolution reschedule
+	// timer, paid by schedulers such as Shinjuku that arm one per
+	// operation (§5.2).
+	TimerArm time.Duration
+	// MigrateTask is the cost of moving a task between run queues.
+	MigrateTask time.Duration
+	// TickPeriod is the scheduler tick interval (1 ms ≈ CONFIG_HZ 1000).
+	TickPeriod time.Duration
+	// IdleExitShallow is the cost of waking a briefly idle CPU (C1
+	// exit): every wake that targets an idle core pays it.
+	IdleExitShallow time.Duration
+	// DeepIdleAfter is how long a CPU must idle before cpuidle drops it
+	// into a deep C-state.
+	DeepIdleAfter time.Duration
+	// DeepIdleExit is the extra wakeup latency paid when a wake targets
+	// a CPU in a deep C-state. This is what makes spreading
+	// latency-sensitive tasks across idle cores expensive (Tables 4 and
+	// 6): a co-located wake pays a context switch, a cold-core wake pays
+	// the C-state exit.
+	DeepIdleExit time.Duration
+}
+
+// DefaultCosts returns the calibrated cost table used by every experiment.
+func DefaultCosts() Costs {
+	return Costs{
+		ContextSwitch:   1350 * time.Nanosecond,
+		SchedBase:       550 * time.Nanosecond,
+		WakeLocal:       700 * time.Nanosecond,
+		WakeRemoteExtra: 350 * time.Nanosecond,
+		IPIDeliver:      400 * time.Nanosecond,
+		CrossNodeExtra:  250 * time.Nanosecond,
+		Tick:            150 * time.Nanosecond,
+		TimerArm:        450 * time.Nanosecond,
+		MigrateTask:     600 * time.Nanosecond,
+		TickPeriod:      time.Millisecond,
+		IdleExitShallow: 900 * time.Nanosecond,
+		DeepIdleAfter:   60 * time.Microsecond,
+		DeepIdleExit:    30 * time.Microsecond,
+	}
+}
+
+// CostsFor returns the cost table calibrated for a machine: the two-socket
+// Xeon pays more for cross-node traffic and has deeper C-states (its
+// package states and two sockets roughly double observed cold-wake cost).
+func CostsFor(m Machine) Costs {
+	c := DefaultCosts()
+	if m.NumNodes > 1 {
+		c.DeepIdleExit = 68 * time.Microsecond
+		c.CrossNodeExtra = 400 * time.Nanosecond
+	}
+	return c
+}
+
+// Machine describes a simulated host topology.
+type Machine struct {
+	// Name labels the machine in experiment output.
+	Name string
+	// NumCPUs is the number of logical CPUs.
+	NumCPUs int
+	// NodeOf maps each CPU to its NUMA node.
+	NodeOf []int
+	// NumNodes is the number of NUMA nodes.
+	NumNodes int
+}
+
+// SameNode reports whether two CPUs share a NUMA node.
+func (m Machine) SameNode(a, b int) bool { return m.NodeOf[a] == m.NodeOf[b] }
+
+// Machine8 models the paper's 8-core one-socket Intel i7-9700.
+func Machine8() Machine {
+	return Machine{Name: "i7-9700 (8 cores, 1 socket)", NumCPUs: 8, NodeOf: make([]int, 8), NumNodes: 1}
+}
+
+// Machine80 models the paper's 80-core two-socket Xeon Gold 6138: CPUs
+// 0-39 on node 0, 40-79 on node 1.
+func Machine80() Machine {
+	node := make([]int, 80)
+	for i := 40; i < 80; i++ {
+		node[i] = 1
+	}
+	return Machine{Name: "Xeon 6138 (80 cores, 2 sockets)", NumCPUs: 80, NodeOf: node, NumNodes: 2}
+}

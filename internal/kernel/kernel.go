@@ -1,0 +1,688 @@
+// Package kernel implements the simulated Linux scheduling core the Enoki
+// reproduction runs on: per-CPU run states, scheduler classes in priority
+// order, ticks, reschedule timers, wake/block/yield/exit paths, migrations,
+// and calibrated cost accounting. It is the substrate the paper calls "the
+// core scheduling code"; internal/enokic plugs into it exactly where Enoki-C
+// plugs into kernel/sched/core.c.
+//
+// The whole kernel runs inside a deterministic discrete-event simulation
+// (internal/sim): there is no host concurrency, so runs are reproducible
+// bit-for-bit for a given seed and workload.
+package kernel
+
+import (
+	"fmt"
+	"time"
+
+	"enoki/internal/ktime"
+	"enoki/internal/sim"
+)
+
+// CPU is the per-CPU scheduling state (struct rq analogue).
+type CPU struct {
+	id          int
+	curr        *Task
+	needResched bool
+	kickPending bool
+	idleSince   ktime.Time
+	wakingUntil ktime.Time
+	wasIdle     bool
+
+	tickEvent    *sim.Event
+	reschedTimer *sim.Event
+
+	busy        time.Duration
+	pendingCost time.Duration
+	switches    uint64
+}
+
+// ID returns the CPU index.
+func (c *CPU) ID() int { return c.id }
+
+// Kernel is the simulated scheduling core.
+type Kernel struct {
+	eng     *sim.Engine
+	machine Machine
+	costs   Costs
+	cpus    []*CPU
+	classes []classSlot
+	byID    map[int]Class
+	tasks   map[int]*Task
+	nextPID int
+
+	rand *ktime.Rand
+
+	// CtxSwitches counts context switches machine-wide.
+	CtxSwitches uint64
+	// Wakeups counts successful task wakeups.
+	Wakeups uint64
+}
+
+// New creates a kernel for the given machine and cost table on engine eng.
+func New(eng *sim.Engine, m Machine, costs Costs) *Kernel {
+	k := &Kernel{
+		eng:     eng,
+		machine: m,
+		costs:   costs,
+		byID:    make(map[int]Class),
+		tasks:   make(map[int]*Task),
+		nextPID: 1,
+		rand:    ktime.NewRand(0x1d1e),
+	}
+	for i := 0; i < m.NumCPUs; i++ {
+		k.cpus = append(k.cpus, &CPU{id: i})
+	}
+	return k
+}
+
+// Engine returns the underlying event engine.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() ktime.Time { return k.eng.Now() }
+
+// NumCPUs returns the machine's CPU count.
+func (k *Kernel) NumCPUs() int { return k.machine.NumCPUs }
+
+// Topology returns the machine description.
+func (k *Kernel) Topology() Machine { return k.machine }
+
+// Costs returns the calibrated cost table.
+func (k *Kernel) Costs() Costs { return k.costs }
+
+// RegisterClass registers a scheduler class under policy id. Registration
+// order is priority order: earlier classes preempt later ones. Registering a
+// duplicate id panics.
+func (k *Kernel) RegisterClass(id int, c Class) {
+	if _, dup := k.byID[id]; dup {
+		panic(fmt.Sprintf("kernel: duplicate class id %d", id))
+	}
+	k.byID[id] = c
+	k.classes = append(k.classes, classSlot{id: id, class: c})
+}
+
+// ClassByID returns the class registered under id, or nil.
+func (k *Kernel) ClassByID(id int) Class { return k.byID[id] }
+
+func (k *Kernel) classPrio(c Class) int {
+	for i, s := range k.classes {
+		if s.class == c {
+			return i
+		}
+	}
+	return len(k.classes)
+}
+
+// CurrentOn returns the task running on cpu, or nil when idle.
+func (k *Kernel) CurrentOn(cpu int) *Task { return k.cpus[cpu].curr }
+
+// CPUBusy returns the accumulated busy time of cpu (task execution plus
+// kernel overheads charged to it).
+func (k *Kernel) CPUBusy(cpu int) time.Duration { return k.cpus[cpu].busy }
+
+// CPUSwitches returns the context-switch count of cpu.
+func (k *Kernel) CPUSwitches(cpu int) uint64 { return k.cpus[cpu].switches }
+
+// TaskByPID looks up a live task.
+func (k *Kernel) TaskByPID(pid int) *Task { return k.tasks[pid] }
+
+// NumTasks returns the number of live tasks.
+func (k *Kernel) NumTasks() int { return len(k.tasks) }
+
+// SpawnOption customises Spawn.
+type SpawnOption func(*Task)
+
+// WithAffinity restricts the task to the given CPUs.
+func WithAffinity(m CPUMask) SpawnOption { return func(t *Task) { t.allowed = m } }
+
+// WithNice sets the task's nice value.
+func WithNice(n int) SpawnOption { return func(t *Task) { t.nice = n } }
+
+// WithWakeObserver installs a wakeup-latency callback.
+func WithWakeObserver(f func(time.Duration)) SpawnOption {
+	return func(t *Task) { t.OnWake = f }
+}
+
+// WithExitObserver installs an exit callback.
+func WithExitObserver(f func()) SpawnOption { return func(t *Task) { t.OnExit = f } }
+
+// WithUserData attaches workload state to the task.
+func WithUserData(v any) SpawnOption { return func(t *Task) { t.UserData = v } }
+
+// Spawn creates a task in the class registered under classID and makes it
+// runnable. It panics on an unknown class; that is always a harness bug.
+func (k *Kernel) Spawn(name string, classID int, b Behavior, opts ...SpawnOption) *Task {
+	class, ok := k.byID[classID]
+	if !ok {
+		panic(fmt.Sprintf("kernel: Spawn into unregistered class %d", classID))
+	}
+	t := &Task{
+		pid:      k.nextPID,
+		name:     name,
+		class:    class,
+		behavior: b,
+		state:    StateNew,
+		allowed:  AllCPUs(k.machine.NumCPUs),
+	}
+	k.nextPID++
+	for _, o := range opts {
+		o(t)
+	}
+	k.tasks[t.pid] = t
+	class.TaskNew(t)
+	target := class.SelectRQ(t, t.cpu, false)
+	target = k.clampToAffinity(t, target)
+	t.cpu = target
+	t.state = StateRunnable
+	class.Enqueue(target, t, false)
+	k.afterEnqueue(t, target, false, 0)
+	return t
+}
+
+func (k *Kernel) clampToAffinity(t *Task, cpu int) int {
+	if cpu >= 0 && cpu < k.machine.NumCPUs && t.allowed.Has(cpu) {
+		return cpu
+	}
+	for i := 0; i < k.machine.NumCPUs; i++ {
+		if t.allowed.Has(i) {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("kernel: task %s has empty affinity mask", t))
+}
+
+// Wake transitions a blocked task to runnable from interrupt/external
+// context (timers, load generators). Waking an already-runnable task is a
+// no-op, like try_to_wake_up.
+func (k *Kernel) Wake(t *Task) {
+	if t.state != StateBlocked {
+		return
+	}
+	k.doWake(t, -1, 0)
+}
+
+// doWake performs the wake. wakerCPU is the CPU doing the waking, or -1 for
+// external context; offset is kernel work the waker has already queued ahead
+// of this wake (bulk futex wakes serialise on the waker). It returns the
+// cost charged to the waker.
+func (k *Kernel) doWake(t *Task, wakerCPU int, offset time.Duration) time.Duration {
+	now := k.eng.Now()
+	t.state = StateRunnable
+	t.lastWake = now
+	t.wakePending = true
+	k.Wakeups++
+
+	oh := k.costs.WakeLocal + t.class.OverheadPerCall()
+	prev := t.cpu
+	target := t.class.SelectRQ(t, prev, true)
+	target = k.clampToAffinity(t, target)
+	if wakerCPU >= 0 && target != wakerCPU {
+		oh += k.costs.WakeRemoteExtra
+		if !k.machine.SameNode(target, wakerCPU) {
+			oh += k.costs.CrossNodeExtra
+		}
+	}
+	if target != prev {
+		t.class.Migrate(t, prev, target)
+	}
+	t.cpu = target
+	oh += t.class.OverheadPerCall()
+	t.class.Enqueue(target, t, true)
+	k.afterEnqueue(t, target, wakerCPU >= 0 && target != wakerCPU, offset)
+	return oh
+}
+
+// afterEnqueue handles preemption and idle kicks once t is queued on target.
+func (k *Kernel) afterEnqueue(t *Task, target int, remote bool, offset time.Duration) {
+	tc := k.cpus[target]
+	delay := offset
+	if remote {
+		delay += k.costs.IPIDeliver
+	}
+	switch {
+	case tc.curr == nil:
+		k.kick(target, delay)
+	case k.classPrio(t.class) < k.classPrio(tc.curr.class):
+		// Higher-priority class preempts unconditionally.
+		k.Resched(target)
+	case t.class == tc.curr.class:
+		t.class.CheckPreempt(target, t)
+	}
+}
+
+// Resched marks cpu for rescheduling and kicks it.
+func (k *Kernel) Resched(cpu int) {
+	c := k.cpus[cpu]
+	if c.curr != nil {
+		c.needResched = true
+	}
+	k.kick(cpu, 0)
+}
+
+// ArmResched arms (or re-arms) cpu's high-resolution reschedule timer d from
+// now, cancelling any previously armed timer. The arming cost is charged to
+// the CPU.
+func (k *Kernel) ArmResched(cpu int, d time.Duration) {
+	c := k.cpus[cpu]
+	if c.reschedTimer != nil {
+		c.reschedTimer.Cancel()
+	}
+	c.pendingCost += k.costs.TimerArm
+	c.reschedTimer = k.eng.After(d, func() {
+		c.reschedTimer = nil
+		k.Resched(cpu)
+	})
+}
+
+// kick schedules a __schedule pass on cpu after delay. Kicking an idle CPU
+// pays its C-state exit latency: at least the shallow (C1) exit, plus the
+// jittered deep exit when cpuidle has had time to descend — this is the
+// cold-core wakeup cost that dominates Tables 4 and 6. The exit gates the
+// CPU itself: kicks arriving while an exit is already in flight wait for
+// it rather than bypassing it. Zero-delay kicks coalesce.
+func (k *Kernel) kick(cpu int, delay time.Duration) {
+	c := k.cpus[cpu]
+	now := k.eng.Now()
+	if c.curr == nil {
+		if now.Before(c.wakingUntil) {
+			// Exit already in flight; this kick lands after it.
+			if readyIn := c.wakingUntil.Sub(now); readyIn > delay {
+				delay = readyIn
+			}
+		} else {
+			exit := k.costs.IdleExitShallow
+			if idle := now.Sub(c.idleSince); c.wasIdle && idle >= k.costs.DeepIdleAfter {
+				exit += time.Duration(float64(k.costs.DeepIdleExit) * (0.65 + 0.75*k.rand.Float64()))
+			}
+			delay += exit
+			c.wakingUntil = now.Add(delay)
+		}
+	}
+	if delay == 0 {
+		if c.kickPending {
+			return
+		}
+		c.kickPending = true
+	}
+	k.eng.After(delay, func() {
+		if delay == 0 {
+			c.kickPending = false
+		}
+		k.schedule(cpu)
+	})
+}
+
+// account charges cpu's current task for the time it has run since the last
+// accounting point.
+func (k *Kernel) account(c *CPU) {
+	t := c.curr
+	if t == nil {
+		return
+	}
+	now := k.eng.Now()
+	if now <= t.execStart {
+		return
+	}
+	ran := now.Sub(t.execStart)
+	t.sumExec += ran
+	c.busy += ran
+	if ran >= t.segLeft {
+		t.segLeft = 0
+	} else {
+		t.segLeft -= ran
+	}
+	t.execStart = now
+}
+
+// schedule is __schedule: put the previous task, balance, pick, switch.
+func (k *Kernel) schedule(cpu int) {
+	c := k.cpus[cpu]
+	prev := c.curr
+	if prev != nil && prev.state == StateRunning && !c.needResched {
+		return
+	}
+	c.needResched = false
+
+	oh := k.costs.SchedBase + c.pendingCost
+	c.pendingCost = 0
+
+	if prev != nil {
+		k.account(c)
+		if prev.runEvent != nil {
+			prev.runEvent.Cancel()
+			prev.runEvent = nil
+		}
+		if prev.state == StateRunning {
+			prev.state = StateRunnable
+			oh += prev.class.OverheadPerCall()
+			prev.class.PutPrev(cpu, prev, true)
+		}
+		c.curr = nil
+	}
+
+	var next *Task
+	for _, slot := range k.classes {
+		oh += 2 * slot.class.OverheadPerCall() // balance + pick crossings
+		slot.class.Balance(cpu)
+		if next = slot.class.PickNext(cpu); next != nil {
+			break
+		}
+	}
+	// Costs incurred during balance/pick (timer arms, pulled-task
+	// migration) delay this schedule pass.
+	oh += c.pendingCost
+	c.pendingCost = 0
+	if next == nil {
+		c.busy += oh
+		if !c.wasIdle {
+			c.wasIdle = true
+			c.idleSince = k.eng.Now()
+		}
+		return
+	}
+	c.wasIdle = false
+	if next != prev {
+		oh += k.costs.ContextSwitch
+		c.switches++
+		k.CtxSwitches++
+	}
+	c.busy += oh
+	c.curr = next
+	next.state = StateRunning
+	next.cpu = cpu
+	k.startSegment(c, next, oh)
+	k.ensureTick(c)
+}
+
+// startSegment arms the completion event for the task's current compute
+// segment, fetching the next action if none is pending. delay is kernel work
+// (already charged) that precedes user execution.
+func (k *Kernel) startSegment(c *CPU, t *Task, delay time.Duration) {
+	if t.pending == nil {
+		act := t.behavior.Next(k, t)
+		t.pending = &act
+		t.segLeft = act.Run
+	}
+	now := k.eng.Now()
+	t.execStart = now.Add(delay)
+	if t.wakePending {
+		t.wakePending = false
+		if t.OnWake != nil {
+			t.OnWake(t.execStart.Sub(t.lastWake))
+		}
+	}
+	t.runEvent = k.eng.At(t.execStart.Add(t.segLeft), func() {
+		k.segmentDone(c, t)
+	})
+}
+
+// segmentDone completes the task's current segment: perform its wakes, then
+// apply its operation.
+func (k *Kernel) segmentDone(c *CPU, t *Task) {
+	if c.curr != t || t.state != StateRunning {
+		return // stale completion; the task was preempted or moved
+	}
+	t.runEvent = nil
+	k.account(c)
+	act := t.pending
+
+	extra := time.Duration(0)
+	for _, w := range act.Wake {
+		if w.state == StateBlocked {
+			extra += k.doWake(w, c.id, extra)
+		}
+	}
+	c.busy += extra
+
+	switch act.Op {
+	case OpContinue:
+		t.pending = nil
+		if c.needResched {
+			c.pendingCost += extra
+			k.schedule(c.id)
+		} else {
+			k.startSegment(c, t, extra)
+		}
+	case OpYield:
+		t.pending = nil
+		t.state = StateRunnable
+		c.curr = nil
+		c.pendingCost += extra + t.class.OverheadPerCall()
+		t.class.Yield(c.id, t)
+		k.schedule(c.id)
+	case OpBlock, OpSleep:
+		if act.Op == OpBlock && act.Recheck != nil && act.Recheck() {
+			// Futex-style recheck: a wake raced with the block
+			// decision; keep running.
+			t.pending = nil
+			if c.needResched {
+				c.pendingCost += extra
+				k.schedule(c.id)
+			} else {
+				k.startSegment(c, t, extra)
+			}
+			return
+		}
+		t.pending = nil
+		t.state = StateBlocked
+		c.curr = nil
+		c.pendingCost += extra + t.class.OverheadPerCall()
+		t.class.Dequeue(c.id, t, true)
+		if act.Op == OpSleep {
+			k.eng.After(act.SleepFor, func() { k.Wake(t) })
+		}
+		k.schedule(c.id)
+	case OpExit:
+		t.pending = nil
+		t.state = StateDead
+		c.curr = nil
+		c.pendingCost += extra + 2*t.class.OverheadPerCall()
+		t.class.Dequeue(c.id, t, false)
+		t.class.TaskDead(t)
+		delete(k.tasks, t.pid)
+		if t.OnExit != nil {
+			t.OnExit()
+		}
+		k.schedule(c.id)
+	default:
+		panic(fmt.Sprintf("kernel: invalid op %d from %s", act.Op, t))
+	}
+}
+
+// ensureTick starts the per-CPU scheduler tick chain if it is not running.
+// The chain self-stops when the CPU goes idle.
+func (k *Kernel) ensureTick(c *CPU) {
+	if c.tickEvent != nil {
+		return
+	}
+	var fire func()
+	fire = func() {
+		if c.curr == nil {
+			c.tickEvent = nil
+			return
+		}
+		c.busy += k.costs.Tick
+		k.account(c)
+		t := c.curr
+		c.busy += t.class.OverheadPerCall()
+		t.class.Tick(c.id, t)
+		k.nohzKick(c)
+		c.tickEvent = k.eng.After(k.costs.TickPeriod, fire)
+	}
+	c.tickEvent = k.eng.After(k.costs.TickPeriod, fire)
+}
+
+// nohzKick is the NOHZ idle-balance analogue: a busy CPU with queued work
+// kicks one idle CPU (same node preferred) so that CPU runs a schedule pass
+// and its classes get a Balance opportunity to pull the backlog.
+func (k *Kernel) nohzKick(c *CPU) {
+	queued := 0
+	for _, s := range k.classes {
+		queued += s.class.NRunnable(c.id)
+	}
+	if queued == 0 {
+		return
+	}
+	n := k.machine.NumCPUs
+	best := -1
+	for i := 1; i < n; i++ {
+		cpu := (c.id + i) % n
+		if k.cpus[cpu].curr != nil {
+			continue
+		}
+		if k.machine.SameNode(cpu, c.id) {
+			best = cpu
+			break
+		}
+		if best == -1 {
+			best = cpu
+		}
+	}
+	if best >= 0 {
+		k.kick(best, k.costs.IPIDeliver)
+	}
+}
+
+// MoveTask migrates a runnable (not running) task to dst, honouring
+// affinity. It reports whether the move happened. Balancers call this; the
+// migration cost is charged to dst's next schedule pass.
+func (k *Kernel) MoveTask(t *Task, dst int) bool {
+	if t.state != StateRunnable || !t.allowed.Has(dst) || dst == t.cpu {
+		return false
+	}
+	if k.cpus[t.cpu].curr == t {
+		return false
+	}
+	src := t.cpu
+	t.class.Dequeue(src, t, false)
+	t.class.Migrate(t, src, dst)
+	t.cpu = dst
+	t.class.Enqueue(dst, t, false)
+	c := k.cpus[dst]
+	c.pendingCost += k.costs.MigrateTask
+	if !k.machine.SameNode(src, dst) {
+		c.pendingCost += k.costs.CrossNodeExtra
+	}
+	if c.curr == nil {
+		k.kick(dst, 0)
+	}
+	return true
+}
+
+// SetNice changes a task's nice value and notifies its class.
+func (k *Kernel) SetNice(t *Task, nice int) {
+	if nice < -20 {
+		nice = -20
+	}
+	if nice > 19 {
+		nice = 19
+	}
+	if t.state == StateRunning {
+		k.account(k.cpus[t.cpu])
+	}
+	t.nice = nice
+	t.class.PrioChanged(t)
+}
+
+// SetAffinity changes a task's allowed CPUs. A running or queued task on a
+// now-forbidden CPU is moved to an allowed one.
+func (k *Kernel) SetAffinity(t *Task, m CPUMask) {
+	if m.Count() == 0 {
+		panic("kernel: SetAffinity with empty mask")
+	}
+	t.allowed = m
+	t.class.AffinityChanged(t)
+	if t.state == StateDead || m.Has(t.cpu) {
+		return
+	}
+	dst := k.clampToAffinity(t, -1)
+	switch t.state {
+	case StateRunnable:
+		if k.cpus[t.cpu].curr != t {
+			k.MoveTask(t, dst)
+		}
+	case StateRunning:
+		// Force the task off its CPU; it re-selects a queue on requeue.
+		c := k.cpus[t.cpu]
+		k.account(c)
+		if t.runEvent != nil {
+			t.runEvent.Cancel()
+			t.runEvent = nil
+		}
+		t.state = StateRunnable
+		t.class.PutPrev(t.cpu, t, true)
+		t.class.Dequeue(t.cpu, t, false)
+		t.class.Migrate(t, t.cpu, dst)
+		src := t.cpu
+		t.cpu = dst
+		t.class.Enqueue(dst, t, false)
+		c.curr = nil
+		k.schedule(src)
+		k.kick(dst, 0)
+	}
+}
+
+// SetScheduler moves a task to the class registered under classID
+// (sched_setscheduler). The task keeps running; its queueing moves to the
+// new class.
+func (k *Kernel) SetScheduler(t *Task, classID int) {
+	newClass, ok := k.byID[classID]
+	if !ok {
+		panic(fmt.Sprintf("kernel: SetScheduler to unregistered class %d", classID))
+	}
+	if newClass == t.class {
+		return
+	}
+	old := t.class
+	switch t.state {
+	case StateDead:
+		return
+	case StateBlocked:
+		old.Detach(t)
+		t.class = newClass
+		newClass.TaskNew(t)
+	case StateRunnable:
+		running := k.cpus[t.cpu].curr == t
+		if running {
+			// Impossible by state invariant, but guard anyway.
+			panic("kernel: runnable task is current")
+		}
+		old.Dequeue(t.cpu, t, false)
+		old.Detach(t)
+		t.class = newClass
+		newClass.TaskNew(t)
+		target := k.clampToAffinity(t, newClass.SelectRQ(t, t.cpu, false))
+		t.cpu = target
+		newClass.Enqueue(target, t, false)
+		k.afterEnqueue(t, target, false, 0)
+	case StateRunning:
+		c := k.cpus[t.cpu]
+		k.account(c)
+		if t.runEvent != nil {
+			t.runEvent.Cancel()
+			t.runEvent = nil
+		}
+		t.state = StateRunnable
+		old.PutPrev(t.cpu, t, true)
+		old.Dequeue(t.cpu, t, false)
+		old.Detach(t)
+		t.class = newClass
+		newClass.TaskNew(t)
+		target := k.clampToAffinity(t, newClass.SelectRQ(t, t.cpu, false))
+		src := t.cpu
+		t.cpu = target
+		newClass.Enqueue(target, t, false)
+		c.curr = nil
+		k.schedule(src)
+		k.afterEnqueue(t, target, false, 0)
+	}
+}
+
+// RunFor advances the simulation by d.
+func (k *Kernel) RunFor(d time.Duration) {
+	k.eng.RunUntil(k.eng.Now().Add(d))
+}
+
+// RunUntilIdle runs the simulation until the event queue drains (all tasks
+// exited or blocked with no timers pending).
+func (k *Kernel) RunUntilIdle() { k.eng.Run() }

@@ -1,0 +1,210 @@
+package kernel
+
+import (
+	"fmt"
+	"time"
+
+	"enoki/internal/ktime"
+)
+
+// State is a task's lifecycle state, mirroring the subset of Linux task
+// states the scheduler cares about.
+type State uint8
+
+// Task states.
+const (
+	StateNew State = iota
+	StateRunnable
+	StateRunning
+	StateBlocked
+	StateDead
+)
+
+func (s State) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateRunnable:
+		return "runnable"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateDead:
+		return "dead"
+	default:
+		return "invalid"
+	}
+}
+
+// Op is what a task does when its current compute segment finishes.
+type Op uint8
+
+// Segment-completion operations.
+const (
+	// OpContinue fetches the next action immediately (the task keeps the
+	// CPU unless a reschedule is pending).
+	OpContinue Op = iota
+	// OpBlock parks the task until Kernel.Wake.
+	OpBlock
+	// OpSleep parks the task for Action.SleepFor, then self-wakes.
+	OpSleep
+	// OpYield calls sched_yield: the task stays runnable but offers the
+	// CPU.
+	OpYield
+	// OpExit terminates the task.
+	OpExit
+)
+
+// Action is one step of a task's behaviour: compute for Run, then wake the
+// listed tasks, then apply Op. Zero Run is allowed (pure wake/block steps).
+type Action struct {
+	Run      time.Duration
+	Op       Op
+	SleepFor time.Duration // used by OpSleep
+	Wake     []*Task       // woken after Run completes, before Op applies
+	// Recheck, when set on an OpBlock action, is evaluated at the moment
+	// the kernel is about to park the task; returning true cancels the
+	// block and the task continues with its next action instead. This is
+	// futex_wait semantics: "sleep unless the world changed since I
+	// decided to", and it is how workloads avoid lost wakeups that race
+	// with an in-flight block decision.
+	Recheck func() bool
+}
+
+// Behavior generates a task's next action each time the kernel asks. It is
+// the workload model: pipe ping-pong, schbench trees, request servers, batch
+// loops are all Behaviors.
+type Behavior interface {
+	Next(k *Kernel, t *Task) Action
+}
+
+// BehaviorFunc adapts a function to the Behavior interface.
+type BehaviorFunc func(k *Kernel, t *Task) Action
+
+// Next calls f.
+func (f BehaviorFunc) Next(k *Kernel, t *Task) Action { return f(k, t) }
+
+// CPUMask is a set of allowed CPUs, wide enough for the 80-core machine.
+type CPUMask struct {
+	bits [2]uint64
+}
+
+// AllCPUs returns a mask allowing CPUs [0, n).
+func AllCPUs(n int) CPUMask {
+	var m CPUMask
+	for i := 0; i < n; i++ {
+		m.Set(i)
+	}
+	return m
+}
+
+// SingleCPU returns a mask allowing only cpu.
+func SingleCPU(cpu int) CPUMask {
+	var m CPUMask
+	m.Set(cpu)
+	return m
+}
+
+// Set adds cpu to the mask.
+func (m *CPUMask) Set(cpu int) { m.bits[cpu>>6] |= 1 << uint(cpu&63) }
+
+// Clear removes cpu from the mask.
+func (m *CPUMask) Clear(cpu int) { m.bits[cpu>>6] &^= 1 << uint(cpu&63) }
+
+// Has reports whether cpu is allowed.
+func (m CPUMask) Has(cpu int) bool {
+	if cpu < 0 || cpu >= 128 {
+		return false
+	}
+	return m.bits[cpu>>6]&(1<<uint(cpu&63)) != 0
+}
+
+// List returns the allowed CPUs in ascending order.
+func (m CPUMask) List() []int {
+	out := make([]int, 0, m.Count())
+	for i := 0; i < 128; i++ {
+		if m.Has(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Count returns the number of allowed CPUs.
+func (m CPUMask) Count() int {
+	n := 0
+	for _, w := range m.bits {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Task is the simulated task_struct. Fields are mutated only by the kernel
+// (single-threaded over virtual time); workloads read public accessors.
+type Task struct {
+	pid  int
+	name string
+	nice int
+
+	class Class
+	cpu   int // cpu whose run queue holds (or last held) the task
+	state State
+
+	behavior Behavior
+	pending  *Action
+	segLeft  time.Duration
+
+	sumExec   time.Duration
+	execStart ktime.Time // start of the currently running stretch
+
+	lastWake    ktime.Time
+	wakePending bool
+
+	allowed CPUMask
+
+	runEvent cancellable
+
+	// classData is private per-class state (e.g. the CFS entity).
+	classData any
+
+	// OnWake, if set, observes each wakeup-to-running latency.
+	OnWake func(lat time.Duration)
+	// OnExit, if set, runs when the task dies.
+	OnExit func()
+
+	// UserData is free space for workload models.
+	UserData any
+}
+
+type cancellable interface{ Cancel() }
+
+// PID returns the task's process ID.
+func (t *Task) PID() int { return t.pid }
+
+// Name returns the task's name.
+func (t *Task) Name() string { return t.name }
+
+// Nice returns the task's nice value (-20 highest priority .. 19 lowest).
+func (t *Task) Nice() int { return t.nice }
+
+// State returns the task's lifecycle state.
+func (t *Task) State() State { return t.state }
+
+// CPU returns the CPU whose run queue currently holds (or last held) the
+// task.
+func (t *Task) CPU() int { return t.cpu }
+
+// SumExec returns the task's accumulated CPU time. The kernel tracks this on
+// behalf of Enoki schedulers, as §3.1 describes.
+func (t *Task) SumExec() time.Duration { return t.sumExec }
+
+// Allowed returns the task's CPU affinity mask.
+func (t *Task) Allowed() CPUMask { return t.allowed }
+
+// String renders a compact description for logs and test failures.
+func (t *Task) String() string {
+	return fmt.Sprintf("%s[%d](%s cpu%d)", t.name, t.pid, t.state, t.cpu)
+}

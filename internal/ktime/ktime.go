@@ -1,0 +1,182 @@
+// Package ktime provides the virtual-time primitives the simulated kernel is
+// built on: a nanosecond-resolution simulation clock type, a fast
+// deterministic random number generator, and the sampling helpers the
+// workload models need (exponential inter-arrival gaps, bounded uniforms,
+// normal noise, Zipf-like key popularity).
+//
+// Everything in the repository that says "time" means virtual time unless it
+// is explicitly measuring host wall-clock (the live-upgrade blackout bench
+// measures both).
+package ktime
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is an instant in virtual nanoseconds since simulation start.
+type Time int64
+
+// Duration re-exports time.Duration so callers can write 10*time.Microsecond
+// against the simulated clock without conversions.
+type Duration = time.Duration
+
+// Common durations, re-exported for convenience in this package's callers.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+// String formats the instant as a duration offset from simulation start.
+func (t Time) String() string { return fmt.Sprintf("T+%v", Duration(t)) }
+
+// Rand is a small, fast, deterministic PRNG (SplitMix64). It is not safe for
+// concurrent use; the simulator is single-threaded by design, and each
+// workload owns its own stream so experiments are reproducible and
+// independently seedable.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed. Two generators with the same
+// seed produce identical streams.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("ktime: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with mean 1, via
+// inverse transform sampling.
+func (r *Rand) ExpFloat64() float64 {
+	u := r.Float64()
+	// Guard against log(0).
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1 - u)
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and standard
+// deviation 1 (Box-Muller).
+func (r *Rand) NormFloat64() float64 {
+	u1 := r.Float64()
+	if u1 <= 0 {
+		u1 = math.SmallestNonzeroFloat64
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// ExpDuration returns an exponentially distributed duration with the given
+// mean. The result is never negative and never zero (clamped to 1ns) so
+// open-loop arrival processes always advance.
+func (r *Rand) ExpDuration(mean Duration) Duration {
+	d := Duration(float64(mean) * r.ExpFloat64())
+	if d < Nanosecond {
+		d = Nanosecond
+	}
+	return d
+}
+
+// UniformDuration returns a uniformly distributed duration in [lo, hi].
+// It panics if hi < lo.
+func (r *Rand) UniformDuration(lo, hi Duration) Duration {
+	if hi < lo {
+		panic("ktime: UniformDuration with hi < lo")
+	}
+	if hi == lo {
+		return lo
+	}
+	return lo + Duration(r.Uint64()%uint64(hi-lo+1))
+}
+
+// NormDuration returns a normally distributed duration with the given mean
+// and standard deviation, clamped to be non-negative.
+func (r *Rand) NormDuration(mean, stddev Duration) Duration {
+	d := Duration(float64(mean) + r.NormFloat64()*float64(stddev))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Bernoulli reports true with probability p.
+func (r *Rand) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Zipf samples integers in [0, n) with a Zipf(s) popularity skew. It is used
+// by the memcached workload to approximate the Facebook ETC key popularity.
+// The implementation precomputes the CDF, so sampling is O(log n).
+type Zipf struct {
+	cdf []float64
+	r   *Rand
+}
+
+// NewZipf builds a Zipf sampler over [0, n) with exponent s > 0.
+func NewZipf(r *Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("ktime: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, r: r}
+}
+
+// Next returns the next sample.
+func (z *Zipf) Next() int {
+	u := z.r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

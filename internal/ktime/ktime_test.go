@@ -1,0 +1,231 @@
+package ktime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0)
+	t1 := t0.Add(3 * time.Microsecond)
+	if t1 != Time(3000) {
+		t.Fatalf("Add: got %d, want 3000", t1)
+	}
+	if d := t1.Sub(t0); d != 3*time.Microsecond {
+		t.Fatalf("Sub: got %v", d)
+	}
+	if !t0.Before(t1) || t1.Before(t0) {
+		t.Fatal("Before ordering wrong")
+	}
+	if !t1.After(t0) || t0.After(t1) {
+		t.Fatal("After ordering wrong")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if s := Time(1500).String(); s != "T+1.5µs" {
+		t.Fatalf("String: got %q", s)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	a = NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds too similar: %d collisions", same)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRandIntn(t *testing.T) {
+	r := NewRand(9)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn not covering range: %d values", len(seen))
+	}
+}
+
+func TestRandIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRand(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential sample %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean %v, want ~1", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRand(13)
+	var sum, sq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %v, want ~1", variance)
+	}
+}
+
+func TestExpDuration(t *testing.T) {
+	r := NewRand(17)
+	var sum time.Duration
+	const n = 100000
+	for i := 0; i < n; i++ {
+		d := r.ExpDuration(10 * time.Microsecond)
+		if d < time.Nanosecond {
+			t.Fatalf("ExpDuration below clamp: %v", d)
+		}
+		sum += d
+	}
+	mean := sum / n
+	if mean < 9500*time.Nanosecond || mean > 10500*time.Nanosecond {
+		t.Fatalf("ExpDuration mean %v, want ~10µs", mean)
+	}
+}
+
+func TestUniformDuration(t *testing.T) {
+	r := NewRand(19)
+	lo, hi := 5*time.Microsecond, 15*time.Microsecond
+	for i := 0; i < 10000; i++ {
+		d := r.UniformDuration(lo, hi)
+		if d < lo || d > hi {
+			t.Fatalf("UniformDuration out of range: %v", d)
+		}
+	}
+	if d := r.UniformDuration(lo, lo); d != lo {
+		t.Fatalf("degenerate UniformDuration: %v", d)
+	}
+}
+
+func TestUniformDurationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("hi < lo did not panic")
+		}
+	}()
+	NewRand(1).UniformDuration(10, 5)
+}
+
+func TestNormDurationClamped(t *testing.T) {
+	r := NewRand(23)
+	for i := 0; i < 10000; i++ {
+		if d := r.NormDuration(time.Microsecond, 10*time.Microsecond); d < 0 {
+			t.Fatalf("NormDuration negative: %v", d)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := NewRand(29)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate %v", p)
+	}
+}
+
+func TestZipfSkewAndRange(t *testing.T) {
+	r := NewRand(31)
+	z := NewZipf(r, 1000, 0.99)
+	counts := make([]int, 1000)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[500] {
+		t.Fatalf("Zipf not skewed: rank0=%d rank500=%d", counts[0], counts[500])
+	}
+	if counts[0] < n/100 {
+		t.Fatalf("Zipf head too light: %d", counts[0])
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0) did not panic")
+		}
+	}()
+	NewZipf(NewRand(1), 0, 1)
+}
+
+// Property: Float64 is a pure function of generator state — two generators
+// with equal seeds produce equal values for any seed.
+func TestQuickSeedDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := NewRand(seed), NewRand(seed)
+		for i := 0; i < 16; i++ {
+			if a.Float64() != b.Float64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,4 @@
+package rbtree
+
+// CheckInvariants exposes the internal red-black validation to tests.
+func (t *Tree[K, V]) CheckInvariants() int { return t.checkInvariants() }

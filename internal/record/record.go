@@ -1,0 +1,158 @@
+// Package record implements Enoki's record mode (§3.4): libEnoki records
+// every call and hint sent to the scheduler, plus the order of module lock
+// operations, so the exact same scheduler code can later be replayed at
+// userspace.
+//
+// Recording inside the scheduler context cannot write to a file — "writing
+// to a file has the potential to sleep" — so entries go into a ring buffer
+// shared with a separate userspace record task that drains them to the
+// writer. If the buffer overruns, events are dropped (and counted).
+package record
+
+import (
+	"encoding/gob"
+	"io"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/kernel"
+	"enoki/internal/ringbuf"
+)
+
+// Entry is one record-log element: exactly one of Msg or Lock is set.
+type Entry struct {
+	Msg  *core.Message
+	Lock *core.LockEvent
+}
+
+// Costs model what recording does to the live system.
+type Costs struct {
+	// PerCall is the extra framework cost per recorded scheduler
+	// invocation (serialise + ring push); this is why record mode runs
+	// several times slower (§5.8).
+	PerCall time.Duration
+	// DrainEvery is the userspace record task's polling period.
+	DrainEvery time.Duration
+	// WritePerEntry is the record task's CPU cost per entry written.
+	WritePerEntry time.Duration
+	// RingCapacity bounds the shared ring; overflow drops events.
+	RingCapacity int
+}
+
+// DefaultCosts returns the calibrated record-mode costs.
+func DefaultCosts() Costs {
+	return Costs{
+		PerCall:       3 * time.Microsecond,
+		DrainEvery:    200 * time.Microsecond,
+		WritePerEntry: 900 * time.Nanosecond,
+		RingCapacity:  1 << 16,
+	}
+}
+
+// Recorder is the live record-mode sink: core.Recorder backed by the shared
+// ring buffer and a userspace drainer task.
+type Recorder struct {
+	k     *kernel.Kernel
+	costs Costs
+	ring  *ringbuf.Buffer[Entry]
+	enc   *gob.Encoder
+
+	// Entries and Dropped count traffic and overflow.
+	Entries uint64
+	Dropped uint64
+	closed  bool
+}
+
+var _ core.Recorder = (*Recorder)(nil)
+
+// New builds a recorder writing to w and spawns the userspace record task
+// into the scheduler class drainPolicy (normally CFS — the record task is an
+// ordinary process).
+func New(k *kernel.Kernel, w io.Writer, drainPolicy int, costs Costs) *Recorder {
+	if costs.RingCapacity == 0 {
+		costs = DefaultCosts()
+	}
+	r := &Recorder{
+		k:     k,
+		costs: costs,
+		ring:  ringbuf.New[Entry](costs.RingCapacity),
+		enc:   gob.NewEncoder(w),
+	}
+	k.Spawn("record-task", drainPolicy, kernel.BehaviorFunc(r.drain))
+	return r
+}
+
+// PerCallCost returns the per-invocation overhead the framework should
+// charge while this recorder is installed.
+func (r *Recorder) PerCallCost() time.Duration { return r.costs.PerCall }
+
+// RecordMessage implements core.Recorder.
+func (r *Recorder) RecordMessage(m *core.Message) {
+	cp := *m // the live message keeps mutating; log a snapshot
+	r.push(Entry{Msg: &cp})
+}
+
+// RecordLock implements core.Recorder.
+func (r *Recorder) RecordLock(ev core.LockEvent) {
+	r.push(Entry{Lock: &ev})
+}
+
+func (r *Recorder) push(e Entry) {
+	r.Entries++
+	if !r.ring.Push(e) {
+		r.Dropped++
+	}
+}
+
+// drain is the userspace record task: poll the shared ring and write
+// entries out, paying CPU for each.
+func (r *Recorder) drain(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+	if r.closed {
+		return kernel.Action{Op: kernel.OpExit}
+	}
+	n := 0
+	for {
+		e, ok := r.ring.Pop()
+		if !ok {
+			break
+		}
+		n++
+		// The actual encoding happens here in host time; its simulated
+		// cost is WritePerEntry below.
+		_ = r.enc.Encode(&e)
+	}
+	return kernel.Action{
+		Run:      time.Duration(n)*r.costs.WritePerEntry + 2*time.Microsecond,
+		Op:       kernel.OpSleep,
+		SleepFor: r.costs.DrainEvery,
+	}
+}
+
+// Close drains any remaining entries synchronously and stops the record
+// task at its next wakeup.
+func (r *Recorder) Close() {
+	for {
+		e, ok := r.ring.Pop()
+		if !ok {
+			break
+		}
+		_ = r.enc.Encode(&e)
+	}
+	r.closed = true
+}
+
+// Load reads a record log back from rd.
+func Load(rd io.Reader) ([]Entry, error) {
+	dec := gob.NewDecoder(rd)
+	var out []Entry
+	for {
+		var e Entry
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, e)
+	}
+}

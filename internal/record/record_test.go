@@ -1,0 +1,108 @@
+package record
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/kernel"
+	"enoki/internal/sim"
+)
+
+func newKernel() *kernel.Kernel {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	k.RegisterClass(0, kernel.NewCFS(k))
+	return k
+}
+
+func TestRoundTrip(t *testing.T) {
+	k := newKernel()
+	var buf bytes.Buffer
+	r := New(k, &buf, 0, DefaultCosts())
+
+	r.RecordMessage(&core.Message{Kind: core.MsgPickNextTask, Seq: 1, CPU: 3,
+		RetSched: &core.SchedulableRef{PID: 9, CPU: 3, Gen: 2}})
+	r.RecordLock(core.LockEvent{Op: core.LockAcquire, LockID: 0, Thread: 3, Seq: 1})
+	r.RecordMessage(&core.Message{Kind: core.MsgTaskBlocked, Seq: 2, PID: 9, Runtime: time.Millisecond})
+	r.Close()
+
+	entries, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if entries[0].Msg == nil || entries[0].Msg.Kind != core.MsgPickNextTask {
+		t.Fatalf("entry 0 = %+v", entries[0])
+	}
+	if got := entries[0].Msg.RetSched; got == nil || got.PID != 9 || got.Gen != 2 {
+		t.Fatalf("RetSched lost: %+v", got)
+	}
+	if entries[1].Lock == nil || entries[1].Lock.Thread != 3 {
+		t.Fatalf("lock entry lost: %+v", entries[1])
+	}
+	if entries[2].Msg.Runtime != time.Millisecond {
+		t.Fatal("runtime field lost")
+	}
+}
+
+func TestSnapshotsAreImmutable(t *testing.T) {
+	k := newKernel()
+	var buf bytes.Buffer
+	r := New(k, &buf, 0, DefaultCosts())
+	m := &core.Message{Kind: core.MsgTaskTick, CPU: 1}
+	r.RecordMessage(m)
+	m.CPU = 7 // live message mutates after recording
+	r.Close()
+	entries, _ := Load(bytes.NewReader(buf.Bytes()))
+	if entries[0].Msg.CPU != 1 {
+		t.Fatal("recorder stored a reference, not a snapshot")
+	}
+}
+
+func TestOverflowCountsDrops(t *testing.T) {
+	k := newKernel()
+	var buf bytes.Buffer
+	costs := DefaultCosts()
+	costs.RingCapacity = 4
+	r := New(k, &buf, 0, costs)
+	for i := 0; i < 10; i++ {
+		r.RecordLock(core.LockEvent{Op: core.LockAcquire, Seq: uint64(i)})
+	}
+	if r.Dropped != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped)
+	}
+	if r.Entries != 10 {
+		t.Fatalf("Entries = %d", r.Entries)
+	}
+}
+
+func TestDrainTaskConsumesRing(t *testing.T) {
+	k := newKernel()
+	var buf bytes.Buffer
+	r := New(k, &buf, 0, DefaultCosts())
+	for i := 0; i < 100; i++ {
+		r.RecordLock(core.LockEvent{Op: core.LockAcquire, Seq: uint64(i)})
+	}
+	// Run the simulation: the userspace record task drains periodically.
+	k.RunFor(5 * time.Millisecond)
+	if buf.Len() == 0 {
+		t.Fatal("drain task wrote nothing")
+	}
+	entries, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(entries) != 100 {
+		t.Fatalf("drained %d entries (err %v)", len(entries), err)
+	}
+}
+
+func TestPerCallCost(t *testing.T) {
+	k := newKernel()
+	var buf bytes.Buffer
+	r := New(k, &buf, 0, DefaultCosts())
+	if r.PerCallCost() <= 0 {
+		t.Fatal("record mode must cost something per call")
+	}
+}

@@ -1,0 +1,65 @@
+package replay_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/enokic"
+	"enoki/internal/kernel"
+	"enoki/internal/record"
+	"enoki/internal/replay"
+	"enoki/internal/sched/locality"
+	"enoki/internal/sim"
+)
+
+// TestReplayWithHints records a hint-driven locality run and replays it:
+// hint pushes and enter_queue calls must flow through the log so the
+// replayed module makes the same placement decisions (which depend on the
+// hints AND on its deterministic random stream).
+func TestReplayWithHints(t *testing.T) {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	ad := enokic.Load(k, 1, enokic.DefaultConfig(), func(env core.Env) core.Scheduler {
+		return locality.New(env, 1)
+	})
+	k.RegisterClass(0, kernel.NewCFS(k))
+	var buf bytes.Buffer
+	rec := record.New(k, &buf, 0, record.DefaultCosts())
+	ad.SetRecorder(rec)
+
+	mk := func() kernel.Behavior {
+		n := 0
+		return kernel.BehaviorFunc(func(k *kernel.Kernel, tk *kernel.Task) kernel.Action {
+			n++
+			if n > 200 {
+				return kernel.Action{Op: kernel.OpExit}
+			}
+			return kernel.Action{Run: 20 * time.Microsecond, Op: kernel.OpSleep,
+				SleepFor: 80 * time.Microsecond}
+		})
+	}
+	a := k.Spawn("a", 1, mk())
+	b := k.Spawn("b", 1, mk())
+	c := k.Spawn("c", 1, mk())
+	q := ad.CreateHintQueue(16)
+	q.Send(locality.HintMsg{PID: a.PID(), Locality: 1})
+	q.Send(locality.HintMsg{PID: b.PID(), Locality: 1})
+	q.SendSync(locality.HintMsg{PID: c.PID(), Locality: 2})
+	k.RunFor(100 * time.Millisecond)
+	rec.Close()
+
+	res, err := replay.Replay(bytes.NewReader(buf.Bytes()),
+		replay.Config{NumCPUs: 8},
+		func(env core.Env) core.Scheduler { return locality.New(env, 1) })
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.Messages < 500 {
+		t.Fatalf("replayed only %d messages", res.Messages)
+	}
+	if len(res.Divergences) != 0 {
+		t.Fatalf("hint replay diverged: %v", res.Divergences[:min(3, len(res.Divergences))])
+	}
+}

@@ -1,0 +1,82 @@
+// Package ringbuf implements the fixed-capacity ring buffers Enoki uses at
+// the user/kernel boundary: the hint queues of §3.3 and the record channel of
+// §3.4.
+//
+// Two behaviours exist in the paper and both are provided here:
+//
+//   - Buffer: single-producer/single-consumer, non-blocking, drop-on-overflow.
+//     This is the record queue: "If the buffer overruns, events may be
+//     dropped." Overflows are counted so experiments can report loss.
+//   - Buffer is also used for hints, where the scheduler drains on
+//     enter_queue; a full queue makes Push report failure and the producer
+//     decides (hint senders drop, matching shared-memory queue semantics).
+//
+// The simulator is single-threaded over virtual time, so no atomics are
+// needed; the record drainer that runs on a real goroutine receives batches
+// handed off at event boundaries instead of sharing the buffer.
+package ringbuf
+
+// Buffer is a fixed-capacity FIFO ring. The zero value is unusable; create
+// with New.
+type Buffer[T any] struct {
+	buf       []T
+	head, len int
+	dropped   uint64
+}
+
+// New returns a ring with the given capacity (minimum 1).
+func New[T any](capacity int) *Buffer[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Buffer[T]{buf: make([]T, capacity)}
+}
+
+// Len returns the number of queued entries.
+func (b *Buffer[T]) Len() int { return b.len }
+
+// Cap returns the ring capacity.
+func (b *Buffer[T]) Cap() int { return len(b.buf) }
+
+// Dropped returns how many pushes were rejected because the ring was full.
+func (b *Buffer[T]) Dropped() uint64 { return b.dropped }
+
+// Push appends v and reports success. On a full ring the value is dropped and
+// the drop counter advances, matching the paper's overflow semantics.
+func (b *Buffer[T]) Push(v T) bool {
+	if b.len == len(b.buf) {
+		b.dropped++
+		return false
+	}
+	b.buf[(b.head+b.len)%len(b.buf)] = v
+	b.len++
+	return true
+}
+
+// Pop removes and returns the oldest entry; ok is false on an empty ring.
+func (b *Buffer[T]) Pop() (v T, ok bool) {
+	if b.len == 0 {
+		return v, false
+	}
+	v = b.buf[b.head]
+	var zero T
+	b.buf[b.head] = zero
+	b.head = (b.head + 1) % len(b.buf)
+	b.len--
+	return v, true
+}
+
+// Drain pops every queued entry into a fresh slice (nil if empty).
+func (b *Buffer[T]) Drain() []T {
+	if b.len == 0 {
+		return nil
+	}
+	out := make([]T, 0, b.len)
+	for {
+		v, ok := b.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}

@@ -1,0 +1,142 @@
+package ringbuf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"enoki/internal/ktime"
+)
+
+func TestPushPopFIFO(t *testing.T) {
+	b := New[int](4)
+	for i := 1; i <= 4; i++ {
+		if !b.Push(i) {
+			t.Fatalf("Push %d failed", i)
+		}
+	}
+	for i := 1; i <= 4; i++ {
+		v, ok := b.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop: got (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := b.Pop(); ok {
+		t.Fatal("Pop on empty succeeded")
+	}
+}
+
+func TestOverflowDropsAndCounts(t *testing.T) {
+	b := New[int](2)
+	b.Push(1)
+	b.Push(2)
+	if b.Push(3) {
+		t.Fatal("Push into full ring succeeded")
+	}
+	if b.Dropped() != 1 {
+		t.Fatalf("Dropped = %d", b.Dropped())
+	}
+	if v, _ := b.Pop(); v != 1 {
+		t.Fatalf("overflow corrupted head: %d", v)
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	b := New[int](3)
+	for cycle := 0; cycle < 10; cycle++ {
+		for i := 0; i < 3; i++ {
+			if !b.Push(cycle*10 + i) {
+				t.Fatal("Push failed mid-cycle")
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := b.Pop()
+			if !ok || v != cycle*10+i {
+				t.Fatalf("cycle %d: got %d", cycle, v)
+			}
+		}
+	}
+}
+
+func TestDrain(t *testing.T) {
+	b := New[string](8)
+	if b.Drain() != nil {
+		t.Fatal("Drain of empty ring not nil")
+	}
+	b.Push("a")
+	b.Push("b")
+	got := b.Drain()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Drain = %v", got)
+	}
+	if b.Len() != 0 {
+		t.Fatal("ring not empty after Drain")
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	b := New[int](0)
+	if b.Cap() != 1 {
+		t.Fatalf("Cap = %d", b.Cap())
+	}
+	b.Push(7)
+	if v, _ := b.Pop(); v != 7 {
+		t.Fatal("single-slot ring broken")
+	}
+}
+
+func TestLenCap(t *testing.T) {
+	b := New[int](5)
+	b.Push(1)
+	b.Push(2)
+	if b.Len() != 2 || b.Cap() != 5 {
+		t.Fatalf("Len=%d Cap=%d", b.Len(), b.Cap())
+	}
+}
+
+// Property: against a slice model, an arbitrary push/pop interleaving always
+// yields identical contents and drop counts.
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(seed uint64, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		r := ktime.NewRand(seed)
+		b := New[uint64](capacity)
+		var model []uint64
+		var drops uint64
+		for op := 0; op < 500; op++ {
+			if r.Bernoulli(0.55) {
+				v := r.Uint64()
+				pushed := b.Push(v)
+				if len(model) < capacity {
+					if !pushed {
+						return false
+					}
+					model = append(model, v)
+				} else {
+					if pushed {
+						return false
+					}
+					drops++
+				}
+			} else {
+				v, ok := b.Pop()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if b.Len() != len(model) || b.Dropped() != drops {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

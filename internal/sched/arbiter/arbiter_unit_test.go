@@ -1,0 +1,165 @@
+package arbiter
+
+import (
+	"testing"
+
+	"enoki/internal/core"
+	"enoki/internal/schedtest"
+)
+
+// unitRig wires one registered process with two activations and a 2-core
+// grant on a 4-cpu machine (cores 1-3 managed).
+func unitRig(t *testing.T) (*Sched, *schedtest.Env) {
+	t.Helper()
+	env := schedtest.NewEnv(4)
+	s := New(env, 1, []int{1, 2, 3})
+	s.RegisterQueue(core.NewHintQueue(8))
+	s.RegisterReverseQueue(core.NewRevQueue(8))
+	s.TaskNew(10, 0, false, nil, nil)
+	s.TaskNew(11, 0, false, nil, nil)
+	s.ParseHint(RegisterActivation{ProcID: 7, PID: 10})
+	s.ParseHint(RegisterActivation{ProcID: 7, PID: 11})
+	s.ParseHint(CoreRequest{ProcID: 7, Cores: 2})
+	if s.GetPolicy() != 1 {
+		t.Fatal("policy")
+	}
+	return s, env
+}
+
+func TestUnitPickServesQueuedActivation(t *testing.T) {
+	s, _ := unitRig(t)
+	c := s.SelectTaskRQ(10, 0, true)
+	s.TaskWakeup(10, 0, true, 0, c, schedtest.Tok(10, c, 1))
+	got := s.PickNextTask(c, nil, 0)
+	if got == nil || got.PID() != 10 {
+		t.Fatalf("pick = %v", got)
+	}
+	if s.PickNextTask(c, nil, 0) != nil {
+		t.Fatal("second pick should be empty")
+	}
+}
+
+func TestUnitPickSkipsHomeBoundActivation(t *testing.T) {
+	s, env := unitRig(t)
+	// Activation queued on the unmanaged core though it could be bound
+	// to a granted one: pick on core 0 must skip it and nudge its home.
+	s.TaskWakeup(10, 0, true, 0, 0, schedtest.Tok(10, 0, 1))
+	if got := s.PickNextTask(0, nil, 0); got != nil {
+		t.Fatalf("picked a home-bound activation on the shared core: %v", got)
+	}
+	if len(env.Rescheds) == 0 {
+		t.Fatal("home core not nudged")
+	}
+	// From the nudged core, balance pulls it.
+	home := env.Rescheds[0]
+	pid, ok := s.Balance(home)
+	if !ok || pid != 10 {
+		t.Fatalf("balance(%d) = %d,%v", home, pid, ok)
+	}
+}
+
+func TestUnitPickRunsUngrantedWork(t *testing.T) {
+	env := schedtest.NewEnv(4)
+	s := New(env, 1, []int{1, 2, 3})
+	// Unregistered activation (no proc): runs wherever it is queued.
+	s.TaskNew(20, 0, true, nil, schedtest.Tok(20, 0, 1))
+	if got := s.PickNextTask(0, nil, 0); got == nil || got.PID() != 20 {
+		t.Fatalf("ungranted work not served: %v", got)
+	}
+}
+
+func TestUnitRequeueAndTick(t *testing.T) {
+	s, env := unitRig(t)
+	c := s.SelectTaskRQ(10, 0, true)
+	s.TaskWakeup(10, 0, true, 0, c, schedtest.Tok(10, c, 1))
+	s.PickNextTask(c, nil, 0)
+	s.TaskPreempt(10, 0, c, schedtest.Tok(10, c, 2))
+	if got := s.PickNextTask(c, nil, 0); got == nil || got.Gen() != 2 {
+		t.Fatalf("preempt requeue = %v", got)
+	}
+	s.TaskYield(10, 0, c, schedtest.Tok(10, c, 3))
+	if got := s.PickNextTask(c, nil, 0); got == nil || got.Gen() != 3 {
+		t.Fatalf("yield requeue = %v", got)
+	}
+	// Tick on the right core with nothing waiting: quiet.
+	env.Rescheds = nil
+	s.TaskTick(c, false, 10, 0)
+	if len(env.Rescheds) != 0 {
+		t.Fatal("tick resched without cause")
+	}
+	// Tick on a foreign core: eviction requested.
+	s.TaskTick(0, false, 10, 0)
+	if len(env.Rescheds) == 0 {
+		t.Fatal("misplaced activation not evicted")
+	}
+}
+
+func TestUnitPntErrAndMigrate(t *testing.T) {
+	s, _ := unitRig(t)
+	c := s.SelectTaskRQ(10, 0, true)
+	s.TaskWakeup(10, 0, true, 0, c, schedtest.Tok(10, c, 1))
+	got := s.PickNextTask(c, nil, 0)
+	s.PntErr(c, 10, core.PickStale, got)
+	if s.PickNextTask(c, nil, 0) != got {
+		t.Fatal("pnt_err token lost")
+	}
+	// Requeue (preempt) so the module holds a token again, then migrate.
+	held := schedtest.Tok(10, c, 2)
+	s.TaskPreempt(10, 0, c, held)
+	old := s.MigrateTaskRQ(10, 2, schedtest.Tok(10, 2, 3))
+	if old != held {
+		t.Fatalf("migrate old = %v", old)
+	}
+	if picked := s.PickNextTask(2, nil, 0); picked == nil || picked.Gen() != 3 {
+		t.Fatalf("migrated pick = %v", picked)
+	}
+}
+
+func TestUnitBalanceErrUnbinds(t *testing.T) {
+	s, env := unitRig(t)
+	s.TaskWakeup(10, 0, true, 0, 0, schedtest.Tok(10, 0, 1))
+	_ = s.PickNextTask(0, nil, 0) // nudges + binds pid 10 to its home
+	home := env.Rescheds[0]
+	pid, ok := s.Balance(home)
+	if !ok {
+		t.Fatal("no balance decision")
+	}
+	s.BalanceErr(home, pid, nil)
+	// After the failed move the binding must clear so balance can retry
+	// (possibly binding a different core next pass).
+	if pid2, ok2 := s.Balance(home); !ok2 || pid2 != pid {
+		t.Fatalf("retry balance = %d,%v", pid2, ok2)
+	}
+}
+
+func TestUnitDeadAndDepartedRelease(t *testing.T) {
+	s, _ := unitRig(t)
+	c := s.SelectTaskRQ(10, 0, true)
+	s.TaskWakeup(10, 0, true, 0, c, schedtest.Tok(10, c, 1))
+	s.TaskDead(10)
+	if got := s.PickNextTask(c, nil, 0); got != nil {
+		t.Fatalf("dead activation still queued: %v", got)
+	}
+	c2 := s.SelectTaskRQ(11, 0, true)
+	s.TaskWakeup(11, 0, true, 0, c2, schedtest.Tok(11, c2, 1))
+	dep := s.TaskDeparted(11, c2)
+	if dep == nil || dep.PID() != 11 {
+		t.Fatalf("departed = %v", dep)
+	}
+	if s.TaskDeparted(99, 0) != nil {
+		t.Fatal("unknown departed")
+	}
+}
+
+func TestUnitUnregisterQueues(t *testing.T) {
+	env := schedtest.NewEnv(2)
+	s := New(env, 1, []int{1})
+	q := core.NewHintQueue(4)
+	rq := core.NewRevQueue(4)
+	s.RegisterQueue(q)
+	s.RegisterReverseQueue(rq)
+	if s.UnregisterQueue(1) != q || s.UnregisterRevQueue(2) != rq {
+		t.Fatal("unregister returned wrong queues")
+	}
+	s.EnterQueue(1, 1) // detached: must not panic
+}

@@ -1,0 +1,126 @@
+package locality_test
+
+import (
+	"testing"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/enokic"
+	"enoki/internal/kernel"
+	"enoki/internal/sched/locality"
+	"enoki/internal/sim"
+)
+
+const (
+	policyCFS = 0
+	policyLoc = 9
+)
+
+func rig() (*kernel.Kernel, *enokic.Adapter, *locality.Sched) {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	var sched *locality.Sched
+	a := enokic.Load(k, policyLoc, enokic.DefaultConfig(), func(env core.Env) core.Scheduler {
+		sched = locality.New(env, policyLoc)
+		return sched
+	})
+	k.RegisterClass(policyCFS, kernel.NewCFS(k))
+	return k, a, sched
+}
+
+func sleeper(work, nap time.Duration, rounds int) kernel.Behavior {
+	n := 0
+	return kernel.BehaviorFunc(func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+		n++
+		if n > rounds {
+			return kernel.Action{Op: kernel.OpExit}
+		}
+		return kernel.Action{Run: work, Op: kernel.OpSleep, SleepFor: nap}
+	})
+}
+
+func TestHintsColocateTasks(t *testing.T) {
+	k, a, sched := rig()
+	q := a.CreateHintQueue(64)
+	if q == nil {
+		t.Fatal("hint queue rejected")
+	}
+	var group1, group2 []*kernel.Task
+	for i := 0; i < 3; i++ {
+		group1 = append(group1, k.Spawn("g1", policyLoc, sleeper(50*time.Microsecond, 200*time.Microsecond, 500)))
+		group2 = append(group2, k.Spawn("g2", policyLoc, sleeper(50*time.Microsecond, 200*time.Microsecond, 500)))
+	}
+	for _, task := range group1 {
+		q.Send(locality.HintMsg{PID: task.PID(), Locality: 1})
+	}
+	for _, task := range group2 {
+		q.Send(locality.HintMsg{PID: task.PID(), Locality: 2})
+	}
+	k.RunFor(50 * time.Millisecond)
+	core1, ok1 := sched.GroupCore(1)
+	core2, ok2 := sched.GroupCore(2)
+	if !ok1 || !ok2 {
+		t.Fatal("groups never placed")
+	}
+	if core1 == core2 {
+		t.Fatalf("distinct groups share core %d", core1)
+	}
+	for _, task := range group1 {
+		if task.State() != kernel.StateDead && task.CPU() != core1 {
+			t.Fatalf("group-1 task on cpu %d, want %d", task.CPU(), core1)
+		}
+	}
+	if sched.HintsApplied == 0 {
+		t.Fatal("no hints applied")
+	}
+}
+
+func TestWithoutHintsPlacementIsSpread(t *testing.T) {
+	k, _, sched := rig()
+	seen := map[int]bool{}
+	for i := 0; i < 16; i++ {
+		task := k.Spawn("r", policyLoc, sleeper(50*time.Microsecond, 200*time.Microsecond, 200))
+		_ = task
+	}
+	k.RunFor(20 * time.Millisecond)
+	for pid := 1; pid <= 16; pid++ {
+		if task := k.TaskByPID(pid); task != nil {
+			seen[task.CPU()] = true
+		}
+	}
+	if len(seen) < 3 {
+		t.Fatalf("random placement used only %d CPUs", len(seen))
+	}
+	if sched.HintsApplied != 0 {
+		t.Fatal("hints applied without any hints sent")
+	}
+}
+
+func TestOverloadedHintIgnored(t *testing.T) {
+	k, a, sched := rig()
+	q := a.CreateHintQueue(256)
+	var tasks []*kernel.Task
+	// Far more tasks than maxGroupQueue in one group: the scheduler must
+	// start ignoring the hint rather than stack them all.
+	for i := 0; i < 30; i++ {
+		tasks = append(tasks, k.Spawn("g", policyLoc, sleeper(500*time.Microsecond, 100*time.Microsecond, 2000)))
+	}
+	for _, task := range tasks {
+		q.Send(locality.HintMsg{PID: task.PID(), Locality: 5})
+	}
+	k.RunFor(100 * time.Millisecond)
+	if sched.HintsIgnored == 0 {
+		t.Fatal("overloaded group never triggered hint ignoring")
+	}
+}
+
+func TestSyncParseHint(t *testing.T) {
+	k, a, sched := rig()
+	task := k.Spawn("s", policyLoc, sleeper(20*time.Microsecond, 100*time.Microsecond, 1000))
+	q := a.CreateHintQueue(8)
+	q.SendSync(locality.HintMsg{PID: task.PID(), Locality: 3})
+	k.RunFor(20 * time.Millisecond)
+	if _, ok := sched.GroupCore(3); !ok {
+		t.Fatal("sync hint not applied")
+	}
+}

@@ -1,0 +1,147 @@
+package nest_test
+
+import (
+	"testing"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/enokic"
+	"enoki/internal/kernel"
+	"enoki/internal/sched/nest"
+	"enoki/internal/sim"
+	"enoki/internal/stats"
+)
+
+const (
+	policyCFS  = 0
+	policyNest = 1
+)
+
+func rig() (*kernel.Kernel, *enokic.Adapter, *nest.Sched) {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.CostsFor(kernel.Machine8()))
+	var sched *nest.Sched
+	a := enokic.Load(k, policyNest, enokic.DefaultConfig(), func(env core.Env) core.Scheduler {
+		sched = nest.New(env, policyNest)
+		return sched
+	})
+	k.RegisterClass(policyCFS, kernel.NewCFS(k))
+	return k, a, sched
+}
+
+// periodic spawns a task that runs `work` then sleeps `nap`, n rounds.
+func periodic(k *kernel.Kernel, policy int, work, nap time.Duration, rounds int, hist *stats.Histogram) *kernel.Task {
+	n := 0
+	opts := []kernel.SpawnOption{}
+	if hist != nil {
+		opts = append(opts, kernel.WithWakeObserver(func(d time.Duration) { hist.Record(d) }))
+	}
+	return k.Spawn("periodic", policy, kernel.BehaviorFunc(
+		func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+			n++
+			if n > rounds {
+				return kernel.Action{Op: kernel.OpExit}
+			}
+			return kernel.Action{Run: work, Op: kernel.OpSleep, SleepFor: nap}
+		}), opts...)
+}
+
+func TestNestStaysSmallForLightLoad(t *testing.T) {
+	k, a, sched := rig()
+	for i := 0; i < 2; i++ {
+		periodic(k, policyNest, 30*time.Microsecond, 200*time.Microsecond, 2000, nil)
+	}
+	k.RunFor(500 * time.Millisecond)
+	if st := a.Stats(); st.PntErrs != 0 {
+		t.Fatalf("pnt_errs: %+v", st)
+	}
+	if size := sched.NestSize(); size > 3 {
+		t.Fatalf("nest grew to %d cores for a 2-task load", size)
+	}
+	// The cold cores must have stayed cold.
+	busy := 0
+	for c := 0; c < 8; c++ {
+		if k.CPUBusy(c) > 10*time.Millisecond {
+			busy++
+		}
+	}
+	if busy > 3 {
+		t.Fatalf("light load touched %d cores", busy)
+	}
+}
+
+func TestNestExpandsUnderLoadAndShrinksAfter(t *testing.T) {
+	k, _, sched := rig()
+	done := 0
+	for i := 0; i < 6; i++ {
+		remaining := 30 * time.Millisecond
+		k.Spawn("burst", policyNest, kernel.BehaviorFunc(
+			func(k *kernel.Kernel, tk *kernel.Task) kernel.Action {
+				if remaining <= 0 {
+					done++
+					return kernel.Action{Op: kernel.OpExit}
+				}
+				remaining -= 500 * time.Microsecond
+				return kernel.Action{Run: 500 * time.Microsecond, Op: kernel.OpContinue}
+			}))
+	}
+	// One periodic task keeps ticks alive after the burst so the nest
+	// can age-out.
+	periodic(k, policyNest, 200*time.Microsecond, 300*time.Microsecond, 100000, nil)
+	k.RunFor(40 * time.Millisecond)
+	grown := sched.NestSize()
+	if grown < 3 {
+		t.Fatalf("nest only %d cores during a 7-task burst", grown)
+	}
+	k.RunFor(80 * time.Millisecond)
+	if done != 6 {
+		t.Fatalf("burst tasks finished: %d/6", done)
+	}
+	k.RunFor(300 * time.Millisecond)
+	if sched.NestSize() >= grown {
+		t.Fatalf("nest did not shrink after the burst: %d -> %d", grown, sched.NestSize())
+	}
+	if sched.Shrinks == 0 {
+		t.Fatal("no shrink decisions recorded")
+	}
+}
+
+func TestNestConsolidatesAtComparableLatency(t *testing.T) {
+	// The Nest claim on this substrate: a light periodic load runs on a
+	// couple of cores (the rest stay in deep C-states — the energy
+	// proxy) at wakeup latency comparable to CFS's spread placement.
+	measure := func(policy int, build func() *kernel.Kernel) (time.Duration, int) {
+		k := build()
+		var hist stats.Histogram
+		for i := 0; i < 3; i++ {
+			periodic(k, policy, 20*time.Microsecond, 300*time.Microsecond, 3000, &hist)
+		}
+		k.RunFor(800 * time.Millisecond)
+		touched := 0
+		for c := 0; c < 8; c++ {
+			if k.CPUBusy(c) > 5*time.Millisecond {
+				touched++
+			}
+		}
+		return hist.Quantile(0.5), touched
+	}
+	nestP50, nestCores := measure(policyNest, func() *kernel.Kernel {
+		k, _, _ := rig()
+		return k
+	})
+	cfsP50, cfsCores := measure(policyCFS, func() *kernel.Kernel {
+		eng := sim.New()
+		k := kernel.New(eng, kernel.Machine8(), kernel.CostsFor(kernel.Machine8()))
+		k.RegisterClass(policyCFS, kernel.NewCFS(k))
+		return k
+	})
+	if nestCores > 2 {
+		t.Fatalf("nest used %d cores for a 3-task light load", nestCores)
+	}
+	if cfsCores < 3 {
+		t.Fatalf("CFS consolidated to %d cores; expected spread", cfsCores)
+	}
+	if nestP50 > 3*cfsP50 {
+		t.Fatalf("nest p50 %v too far above CFS %v", nestP50, cfsP50)
+	}
+}

@@ -1,0 +1,131 @@
+package shinjuku_test
+
+import (
+	"testing"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/enokic"
+	"enoki/internal/kernel"
+	"enoki/internal/sched/shinjuku"
+	"enoki/internal/sim"
+)
+
+const (
+	policyCFS  = 0
+	policyShin = 8
+)
+
+func rig() (*kernel.Kernel, *enokic.Adapter) {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	a := enokic.Load(k, policyShin, enokic.DefaultConfig(), func(env core.Env) core.Scheduler {
+		return shinjuku.New(env, policyShin, 10*time.Microsecond)
+	})
+	k.RegisterClass(policyCFS, kernel.NewCFS(k))
+	return k, a
+}
+
+func spin(total, chunk time.Duration) kernel.Behavior {
+	remaining := total
+	return kernel.BehaviorFunc(func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+		if remaining <= 0 {
+			return kernel.Action{Op: kernel.OpExit}
+		}
+		c := chunk
+		if c > remaining {
+			c = remaining
+		}
+		remaining -= c
+		return kernel.Action{Run: c, Op: kernel.OpContinue}
+	})
+}
+
+func TestCompletesAndValidates(t *testing.T) {
+	k, a := rig()
+	done := 0
+	for i := 0; i < 10; i++ {
+		k.Spawn("w", policyShin, spin(2*time.Millisecond, 100*time.Microsecond),
+			kernel.WithExitObserver(func() { done++ }))
+	}
+	k.RunFor(100 * time.Millisecond)
+	if done != 10 {
+		t.Fatalf("completed %d/10", done)
+	}
+	if st := a.Stats(); st.PntErrs != 0 {
+		t.Fatalf("pnt_errs: %+v", st)
+	}
+}
+
+func TestMicrosecondPreemption(t *testing.T) {
+	// A long request must be sliced at ~10µs so short requests behind it
+	// complete quickly — the core Shinjuku property (Fig 2a).
+	k, a := rig()
+	mask := kernel.SingleCPU(3)
+	k.Spawn("long", policyShin, spin(10*time.Millisecond, 10*time.Millisecond),
+		kernel.WithAffinity(mask))
+	k.RunFor(time.Millisecond)
+	start := k.Now()
+	var lat []time.Duration
+	for i := 0; i < 5; i++ {
+		k.Spawn("short", policyShin, spin(4*time.Microsecond, 4*time.Microsecond),
+			kernel.WithAffinity(mask),
+			kernel.WithExitObserver(func() { lat = append(lat, k.Now().Sub(start)) }))
+	}
+	k.RunFor(20 * time.Millisecond)
+	if len(lat) != 5 {
+		t.Fatalf("short requests finished: %d/5", len(lat))
+	}
+	for _, d := range lat {
+		if d > time.Millisecond {
+			t.Fatalf("short request waited %v; 10µs preemption not working", d)
+		}
+	}
+	sched := a.Scheduler().(*shinjuku.Sched)
+	if sched.Preemptions == 0 {
+		t.Fatal("no preemptions recorded")
+	}
+}
+
+func TestGlobalFCFSBalancing(t *testing.T) {
+	// Tasks stacked on one queue spread to idle CPUs in arrival order.
+	k, a := rig()
+	done := 0
+	for i := 0; i < 8; i++ {
+		k.Spawn("q", policyShin, spin(5*time.Millisecond, 100*time.Microsecond),
+			kernel.WithAffinity(kernel.SingleCPU(0)),
+			kernel.WithExitObserver(func() { done++ }))
+	}
+	k.RunFor(time.Millisecond)
+	for pid := 1; pid <= 8; pid++ {
+		if task := k.TaskByPID(pid); task != nil {
+			k.SetAffinity(task, kernel.AllCPUs(8))
+		}
+	}
+	k.RunFor(100 * time.Millisecond)
+	if done != 8 {
+		t.Fatalf("completed %d/8", done)
+	}
+	if a.Stats().Migrations == 0 {
+		t.Fatal("no cross-queue pulls despite idle CPUs")
+	}
+}
+
+func TestLiveUpgradeKeepsQueueOrder(t *testing.T) {
+	k, a := rig()
+	done := 0
+	for i := 0; i < 6; i++ {
+		k.Spawn("w", policyShin, spin(10*time.Millisecond, 200*time.Microsecond),
+			kernel.WithExitObserver(func() { done++ }))
+	}
+	k.RunFor(2 * time.Millisecond)
+	k.Engine().After(0, func() {
+		a.Upgrade(func(env core.Env) core.Scheduler {
+			return shinjuku.New(env, policyShin, 10*time.Microsecond)
+		}, nil)
+	})
+	k.RunFor(200 * time.Millisecond)
+	if done != 6 {
+		t.Fatalf("tasks lost across upgrade: %d/6", done)
+	}
+}

@@ -1,0 +1,76 @@
+// Package schedtest provides the fake environment scheduler-module unit
+// tests drive their modules with — no kernel, no simulation, just direct
+// trait calls. This is the paper's development-velocity story in miniature:
+// module logic is testable at userspace before anything is loaded.
+package schedtest
+
+import (
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/ktime"
+)
+
+// Env is a recording fake core.Env.
+type Env struct {
+	CPUs     int
+	Rescheds []int
+	Timers   []struct {
+		CPU int
+		D   time.Duration
+	}
+	Clock ktime.Time
+	rand  *ktime.Rand
+}
+
+var _ core.Env = (*Env)(nil)
+
+// NewEnv builds a fake environment with n CPUs.
+func NewEnv(n int) *Env { return &Env{CPUs: n, rand: ktime.NewRand(1)} }
+
+// Now implements core.Env.
+func (e *Env) Now() ktime.Time { return e.Clock }
+
+// NumCPUs implements core.Env.
+func (e *Env) NumCPUs() int { return e.CPUs }
+
+// SameNode implements core.Env.
+func (e *Env) SameNode(a, b int) bool { return true }
+
+// ArmTimer implements core.Env, recording the request.
+func (e *Env) ArmTimer(cpu int, d time.Duration) {
+	e.Timers = append(e.Timers, struct {
+		CPU int
+		D   time.Duration
+	}{cpu, d})
+}
+
+// Resched implements core.Env, recording the request.
+func (e *Env) Resched(cpu int) { e.Rescheds = append(e.Rescheds, cpu) }
+
+// Rand implements core.Env.
+func (e *Env) Rand() *ktime.Rand { return e.rand }
+
+// NewMutex implements core.Env with a self-deadlock-checking lock.
+func (e *Env) NewMutex(name string) core.Locker { return &lock{} }
+
+type lock struct{ held bool }
+
+func (l *lock) Lock() {
+	if l.held {
+		panic("schedtest: recursive lock")
+	}
+	l.held = true
+}
+
+func (l *lock) Unlock() {
+	if !l.held {
+		panic("schedtest: unlock of unlocked lock")
+	}
+	l.held = false
+}
+
+// Tok builds a Schedulable proof for tests.
+func Tok(pid, cpu int, gen uint64) *core.Schedulable {
+	return core.NewSchedulable(pid, cpu, gen)
+}

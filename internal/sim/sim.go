@@ -1,0 +1,165 @@
+// Package sim implements the discrete-event simulation engine underneath the
+// simulated kernel. The engine owns a binary-heap event queue ordered by
+// (virtual time, insertion sequence); ties in time execute in insertion
+// order, which makes every run fully deterministic.
+//
+// The engine is deliberately tiny: the kernel package layers CPUs, run
+// queues, and timers on top of it. Events are plain closures. An event can be
+// cancelled by its handle; cancellation is O(1) (the event is tombstoned and
+// skipped when popped), which matters because the kernel cancels and re-arms
+// per-CPU completion events on every preemption.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"enoki/internal/ktime"
+)
+
+// Event is a scheduled closure. The zero value is invalid; events are created
+// through Engine.At / Engine.After.
+type Event struct {
+	at        ktime.Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Cancel tombstones the event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+		e.fn = nil
+	}
+}
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
+
+// Time returns the virtual instant the event is (or was) scheduled for.
+func (e *Event) Time() ktime.Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event executor. It is not safe for
+// concurrent use; all simulation state mutates from event closures running on
+// the caller's goroutine.
+type Engine struct {
+	now     ktime.Time
+	seq     uint64
+	pq      eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// New returns an engine with the clock at T+0 and an empty queue.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() ktime.Time { return e.now }
+
+// Fired returns how many events have executed, a useful determinism probe in
+// tests.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of queued (possibly tombstoned) events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// At schedules fn at absolute virtual time t and returns a cancellable
+// handle. Scheduling in the past panics: it always indicates a kernel
+// accounting bug, and silently clamping would hide it.
+func (e *Engine) At(t ktime.Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past (%v < now %v)", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// After schedules fn d from now. Negative d panics via At.
+func (e *Engine) After(d ktime.Duration, fn func()) *Event {
+	return e.At(e.now.Add(d), fn)
+}
+
+// Stop makes the currently executing Run return after the current event
+// completes. Queued events remain queued and a later Run resumes them.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event (skipping tombstones) and
+// reports whether an event ran.
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the queue drains or the next event
+// lies strictly beyond t. The clock finishes at exactly t (even if the queue
+// drained earlier), so back-to-back RunUntil calls compose.
+func (e *Engine) RunUntil(t ktime.Time) {
+	e.stopped = false
+	for !e.stopped && len(e.pq) > 0 {
+		// Peek without popping: heap root is pq[0].
+		for len(e.pq) > 0 && e.pq[0].cancelled {
+			heap.Pop(&e.pq)
+		}
+		if len(e.pq) == 0 || e.pq[0].at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}

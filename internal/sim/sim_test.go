@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"enoki/internal/ktime"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.After(30*time.Nanosecond, func() { order = append(order, 3) })
+	e.After(10*time.Nanosecond, func() { order = append(order, 1) })
+	e.After(20*time.Nanosecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != ktime.Time(30) {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestTiesFireInInsertionOrder(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(ktime.Time(100), func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order broken at %d: %v", i, order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.After(10, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() false after Cancel")
+	}
+	// Cancel after firing is a no-op.
+	ev2 := e.After(10, func() {})
+	e.Run()
+	ev2.Cancel()
+}
+
+func TestCancelNilSafe(t *testing.T) {
+	var ev *Event
+	ev.Cancel() // must not panic
+	if ev.Cancelled() {
+		t.Fatal("nil event reports cancelled")
+	}
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	e := New()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 5 {
+			e.After(10, chain)
+		}
+	}
+	e.After(10, chain)
+	e.Run()
+	if count != 5 {
+		t.Fatalf("chained events: %d", count)
+	}
+	if e.Now() != ktime.Time(50) {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.After(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(ktime.Time(50), func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []ktime.Time
+	for _, at := range []ktime.Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(ktime.Time(25))
+	if len(fired) != 2 {
+		t.Fatalf("fired %v before T+25", fired)
+	}
+	if e.Now() != ktime.Time(25) {
+		t.Fatalf("clock should land exactly on boundary: %v", e.Now())
+	}
+	e.RunUntil(ktime.Time(100))
+	if len(fired) != 4 {
+		t.Fatalf("fired %v after full run", fired)
+	}
+	if e.Now() != ktime.Time(100) {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestRunUntilInclusiveBoundary(t *testing.T) {
+	e := New()
+	fired := false
+	e.At(ktime.Time(25), func() { fired = true })
+	e.RunUntil(ktime.Time(25))
+	if !fired {
+		t.Fatal("event exactly at boundary did not fire")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	count := 0
+	e.After(10, func() { count++; e.Stop() })
+	e.After(20, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("Stop did not halt: %d", count)
+	}
+	e.Run() // resume
+	if count != 2 {
+		t.Fatalf("resume failed: %d", count)
+	}
+}
+
+func TestStepAndPending(t *testing.T) {
+	e := New()
+	e.After(10, func() {})
+	ev := e.After(20, func() {})
+	ev.Cancel()
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	if !e.Step() {
+		t.Fatal("Step should fire the live event")
+	}
+	if e.Step() {
+		t.Fatal("Step should skip tombstone and report empty")
+	}
+	if e.Fired() != 1 {
+		t.Fatalf("Fired = %d", e.Fired())
+	}
+}
+
+func TestManyEventsDeterministic(t *testing.T) {
+	run := func() []ktime.Time {
+		e := New()
+		r := ktime.NewRand(99)
+		var log []ktime.Time
+		for i := 0; i < 5000; i++ {
+			at := ktime.Time(r.Intn(100000))
+			e.At(at, func() { log = append(log, e.Now()) })
+		}
+		e.Run()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != 5000 || len(b) != 5000 {
+		t.Fatalf("lengths: %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d", i)
+		}
+		if i > 0 && a[i] < a[i-1] {
+			t.Fatalf("time went backwards at %d", i)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package stats provides the measurement machinery the experiment harnesses
+// share: a log-linear latency histogram (HDR-style, constant memory, ~1%
+// relative error), streaming mean/stddev, geometric means, and an aligned
+// text table renderer used to print paper-style tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+	"time"
+)
+
+// Histogram records durations in log-linear buckets: values are grouped by
+// power-of-two magnitude and each magnitude is split into 64 linear
+// sub-buckets, giving a worst-case relative quantile error under 1.6%. The
+// zero value is ready to use.
+type Histogram struct {
+	buckets [64][64]uint64
+	count   uint64
+	sum     float64
+	min     time.Duration
+	max     time.Duration
+}
+
+const subBucketBits = 6 // 64 sub-buckets per power of two
+
+func bucketOf(v time.Duration) (int, int) {
+	if v < 1 {
+		v = 1
+	}
+	u := uint64(v)
+	exp := 63 - bits.LeadingZeros64(u)
+	var sub int
+	if exp > subBucketBits {
+		sub = int((u >> (uint(exp) - subBucketBits)) & 63)
+	} else {
+		sub = int(u & 63)
+	}
+	return exp, sub
+}
+
+func bucketMid(exp, sub int) time.Duration {
+	if exp <= subBucketBits {
+		return time.Duration(sub)
+	}
+	lo := (uint64(1) << uint(exp)) | (uint64(sub) << (uint(exp) - subBucketBits))
+	width := uint64(1) << (uint(exp) - subBucketBits)
+	return time.Duration(lo + width/2)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v time.Duration) {
+	exp, sub := bucketOf(v)
+	h.buckets[exp][sub]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += float64(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Min returns the smallest observation (0 if empty).
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest observation (0 if empty).
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Mean returns the arithmetic mean (0 if empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.count))
+}
+
+// Quantile returns the q-quantile (q in [0,1]), e.g. 0.99 for p99. Results
+// use bucket midpoints; with empty data it returns 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for exp := 0; exp < 64; exp++ {
+		for sub := 0; sub < 64; sub++ {
+			c := h.buckets[exp][sub]
+			if c == 0 {
+				continue
+			}
+			seen += c
+			if seen >= rank {
+				m := bucketMid(exp, sub)
+				if m < h.min {
+					m = h.min
+				}
+				if m > h.max {
+					m = h.max
+				}
+				return m
+			}
+		}
+	}
+	return h.max
+}
+
+// Merge adds every observation of o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	for exp := 0; exp < 64; exp++ {
+		for sub := 0; sub < 64; sub++ {
+			h.buckets[exp][sub] += o.buckets[exp][sub]
+		}
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Welford accumulates a streaming mean and standard deviation.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add records one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the sample count.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the sample mean (0 if empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Stddev returns the sample standard deviation (0 for n < 2).
+func (w *Welford) Stddev() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// Geomean returns the geometric mean of xs; non-positive values contribute
+// their absolute value (the Table 5 convention is geomean of |% diff|), and
+// zeros are treated as a small epsilon so one exact tie doesn't zero the
+// aggregate.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		x = math.Abs(x)
+		if x < 1e-9 {
+			x = 1e-9
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Table renders aligned text tables in the style the paper prints.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends one row; cells are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = fmtDuration(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// String renders the table with two-space gutters and a rule under the
+// header.
+func (t *Table) String() string {
+	ncol := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	width := make([]int, ncol)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < ncol; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range width {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(ncol-1)))
+	b.WriteString("\n")
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"enoki/internal/ktime"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != time.Microsecond || h.Max() != 100*time.Microsecond {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	mean := h.Mean()
+	if mean < 50*time.Microsecond || mean > 51*time.Microsecond {
+		t.Fatalf("Mean = %v", mean)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	r := ktime.NewRand(5)
+	var samples []time.Duration
+	for i := 0; i < 100000; i++ {
+		d := r.ExpDuration(100 * time.Microsecond)
+		samples = append(samples, d)
+		h.Record(d)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := h.Quantile(q)
+		relErr := math.Abs(float64(got-exact)) / float64(exact)
+		if relErr > 0.03 {
+			t.Fatalf("q=%v: got %v want ~%v (err %.1f%%)", q, got, exact, 100*relErr)
+		}
+	}
+}
+
+func TestHistogramQuantileClamping(t *testing.T) {
+	var h Histogram
+	h.Record(5 * time.Microsecond)
+	if h.Quantile(-1) != 5*time.Microsecond || h.Quantile(2) != 5*time.Microsecond {
+		t.Fatal("out-of-range q not clamped")
+	}
+	if h.Quantile(0.5) != 5*time.Microsecond {
+		t.Fatalf("single-sample quantile = %v", h.Quantile(0.5))
+	}
+}
+
+func TestHistogramSubMicrosecond(t *testing.T) {
+	var h Histogram
+	h.Record(0) // clamps to 1ns
+	h.Record(10 * time.Nanosecond)
+	if h.Count() != 2 {
+		t.Fatal("tiny values lost")
+	}
+	if h.Quantile(1.0) > 15*time.Nanosecond {
+		t.Fatalf("p100 = %v", h.Quantile(1.0))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 1000; i++ {
+		a.Record(time.Microsecond)
+		b.Record(time.Millisecond)
+	}
+	a.Merge(&b)
+	if a.Count() != 2000 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if q := a.Quantile(0.25); q < time.Microsecond || q > 1100*time.Nanosecond {
+		t.Fatalf("p25 = %v", q)
+	}
+	if q := a.Quantile(0.99); q < 900*time.Microsecond {
+		t.Fatalf("p99 = %v", q)
+	}
+	var empty Histogram
+	a.Merge(&empty) // must be a no-op
+	if a.Count() != 2000 {
+		t.Fatal("merging empty changed count")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-9 {
+		t.Fatalf("Mean = %v", w.Mean())
+	}
+	if math.Abs(w.Stddev()-2.138) > 0.01 {
+		t.Fatalf("Stddev = %v", w.Stddev())
+	}
+	var single Welford
+	single.Add(3)
+	if single.Stddev() != 0 {
+		t.Fatal("Stddev of one sample not 0")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if Geomean(nil) != 0 {
+		t.Fatal("Geomean(nil) != 0")
+	}
+	g := Geomean([]float64{1, 4})
+	if math.Abs(g-2) > 1e-9 {
+		t.Fatalf("Geomean = %v", g)
+	}
+	// Negative values contribute magnitude (Table 5 convention).
+	g = Geomean([]float64{-1, 4})
+	if math.Abs(g-2) > 1e-9 {
+		t.Fatalf("Geomean with negatives = %v", g)
+	}
+	// A zero must not zero the aggregate.
+	if Geomean([]float64{0, 100}) <= 0 {
+		t.Fatal("zero annihilated geomean")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Bench", "CFS", "WFQ")
+	tab.Row("pipe", 3.0, 3.6)
+	tab.Row("latency", 101*time.Microsecond, 104*time.Microsecond)
+	s := tab.String()
+	if !strings.Contains(s, "Bench") || !strings.Contains(s, "3.60") {
+		t.Fatalf("table output:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatalf("missing rule:\n%s", s)
+	}
+}
+
+func TestDurationFormatting(t *testing.T) {
+	cases := map[time.Duration]string{
+		0:                       "0",
+		500 * time.Nanosecond:   "500ns",
+		3600 * time.Nanosecond:  "3.6µs",
+		2500 * time.Microsecond: "2.50ms",
+		3 * time.Second:         "3.00s",
+	}
+	for d, want := range cases {
+		if got := fmtDuration(d); got != want {
+			t.Errorf("fmtDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+// Property: for any batch of durations, the histogram's p0/p100 equal the
+// true min/max, count matches, and quantiles are monotone in q.
+func TestQuickHistogramProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := ktime.NewRand(seed)
+		var h Histogram
+		n := 1 + r.Intn(500)
+		min, max := time.Duration(math.MaxInt64), time.Duration(0)
+		for i := 0; i < n; i++ {
+			d := time.Duration(1 + r.Intn(1e9))
+			h.Record(d)
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		if h.Count() != uint64(n) || h.Min() != min || h.Max() != max {
+			return false
+		}
+		prev := time.Duration(0)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev || v < min || v > max {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,275 @@
+package workload
+
+import (
+	"time"
+
+	"enoki/internal/kernel"
+	"enoki/internal/ktime"
+)
+
+// AppKind selects a parallel-application scheduling footprint.
+type AppKind int
+
+// Application footprints.
+const (
+	// AppBarrier is bulk-synchronous compute (the NAS pattern): one
+	// thread per core, phases separated by barriers. Placement barely
+	// matters; per-phase jitter decides barrier wait.
+	AppBarrier AppKind = iota
+	// AppForkJoin is a worker pool draining batches of variable-size
+	// chunks with a join between batches (general Phoronix pattern);
+	// mildly balance-sensitive.
+	AppForkJoin
+	// AppPipeline is producers feeding consumers through a queue with
+	// blocking on both sides (Cassandra writes, Zstd long-mode): the
+	// pattern §5.3 found most sensitive to the rebalancing policy.
+	AppPipeline
+)
+
+// AppProfile describes one Table 5 benchmark as a scheduling footprint plus
+// the paper's CFS score used to anchor the displayed metric.
+type AppProfile struct {
+	Name   string
+	Suite  string // "NAS" or "Phoronix"
+	Metric string
+	// PaperCFS anchors displayed metrics: displayed CFS = PaperCFS, and
+	// the other scheduler's metric scales by measured relative speed.
+	PaperCFS      float64
+	LowerIsBetter bool
+
+	Kind    AppKind
+	Threads int
+
+	// Barrier parameters.
+	Phases    int
+	PhaseWork time.Duration
+	Jitter    float64
+
+	// Fork-join parameters.
+	Batches   int
+	Chunks    int
+	ChunkWork time.Duration
+	ChunkVar  float64
+
+	// Pipeline parameters.
+	Producers   int
+	Consumers   int
+	Items       int
+	ProduceWork time.Duration
+	ConsumeWork time.Duration
+	ConsumeVar  float64
+}
+
+// RunApp executes the profile under the given policy and returns the
+// makespan. The kernel must be fresh (no other load).
+func RunApp(k *kernel.Kernel, policy int, p AppProfile, seed uint64) time.Duration {
+	switch p.Kind {
+	case AppBarrier:
+		return runBarrier(k, policy, p, seed)
+	case AppForkJoin:
+		return runForkJoin(k, policy, p, seed)
+	case AppPipeline:
+		return runPipeline(k, policy, p, seed)
+	default:
+		panic("workload: unknown app kind")
+	}
+}
+
+func runBarrier(k *kernel.Kernel, policy int, p AppProfile, seed uint64) time.Duration {
+	rng := ktime.NewRand(seed)
+	var tasks []*kernel.Task
+	arrived := 0
+	epoch := 0 // barrier generation, so rechecks see releases
+	finished := 0
+	var finishAt ktime.Time
+	for i := 0; i < p.Threads; i++ {
+		phase := 0
+		computed := false
+		behavior := kernel.BehaviorFunc(func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+			if !computed {
+				if phase >= p.Phases {
+					finished++
+					if finished == p.Threads {
+						finishAt = k.Now()
+					}
+					return kernel.Action{Op: kernel.OpExit}
+				}
+				phase++
+				computed = true
+				j := 1 + p.Jitter*(2*rng.Float64()-1)
+				return kernel.Action{
+					Run: time.Duration(float64(p.PhaseWork) * j),
+					Op:  kernel.OpContinue,
+				}
+			}
+			// Arrived at the barrier after computing.
+			computed = false
+			arrived++
+			if arrived == p.Threads {
+				arrived = 0
+				epoch++
+				var wake []*kernel.Task
+				for _, o := range tasks {
+					if o != t && o.State() == kernel.StateBlocked {
+						wake = append(wake, o)
+					}
+				}
+				return kernel.Action{Wake: wake, Op: kernel.OpContinue}
+			}
+			myEpoch := epoch
+			return kernel.Action{Op: kernel.OpBlock, Recheck: func() bool {
+				return epoch != myEpoch
+			}}
+		})
+		tasks = append(tasks, k.Spawn("barrier", policy, behavior))
+	}
+	deadline := time.Duration(p.Phases)*p.PhaseWork*time.Duration(p.Threads) + 10*time.Second
+	k.RunFor(deadline)
+	if finished < p.Threads {
+		return time.Hour
+	}
+	return time.Duration(finishAt)
+}
+
+func runForkJoin(k *kernel.Kernel, policy int, p AppProfile, seed uint64) time.Duration {
+	rng := ktime.NewRand(seed)
+	var queue []time.Duration
+	var blocked []*kernel.Task
+	batch := 0
+	outstanding := 0
+	var finishAt ktime.Time
+	done := false
+
+	refill := func() bool {
+		if batch >= p.Batches {
+			return false
+		}
+		batch++
+		for c := 0; c < p.Chunks; c++ {
+			v := 1 + p.ChunkVar*(2*rng.Float64()-1)
+			queue = append(queue, time.Duration(float64(p.ChunkWork)*v))
+		}
+		outstanding = p.Chunks
+		return true
+	}
+	refill()
+
+	for i := 0; i < p.Threads; i++ {
+		working := false
+		behavior := kernel.BehaviorFunc(func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+			if working {
+				working = false
+				outstanding--
+				if outstanding == 0 {
+					// Join: next batch; wake the pool.
+					if !refill() {
+						done = true
+						finishAt = k.Now()
+					}
+					var wake []*kernel.Task
+					for _, o := range blocked {
+						if o.State() == kernel.StateBlocked {
+							wake = append(wake, o)
+						}
+					}
+					blocked = nil
+					if done {
+						return kernel.Action{Wake: wake, Op: kernel.OpExit}
+					}
+					if len(queue) > 0 {
+						work := queue[0]
+						queue = queue[1:]
+						working = true
+						return kernel.Action{Run: work, Wake: wake, Op: kernel.OpContinue}
+					}
+					return kernel.Action{Wake: wake, Op: kernel.OpBlock}
+				}
+			}
+			if done {
+				return kernel.Action{Op: kernel.OpExit}
+			}
+			if len(queue) == 0 {
+				blocked = append(blocked, t)
+				return kernel.Action{Op: kernel.OpBlock, Recheck: func() bool {
+					return done || len(queue) > 0
+				}}
+			}
+			work := queue[0]
+			queue = queue[1:]
+			working = true
+			return kernel.Action{Run: work, Op: kernel.OpContinue}
+		})
+		k.Spawn("forkjoin", policy, behavior)
+	}
+	deadline := time.Duration(p.Batches*p.Chunks)*p.ChunkWork + 10*time.Second
+	k.RunFor(deadline)
+	if !done {
+		return time.Hour
+	}
+	return time.Duration(finishAt)
+}
+
+func runPipeline(k *kernel.Kernel, policy int, p AppProfile, seed uint64) time.Duration {
+	rng := ktime.NewRand(seed)
+	// Per-consumer queues: producers hash items across consumers (the
+	// connection/stream structure of Cassandra, Zstd long-mode, video
+	// codecs). Chunk-size variance makes per-task load uneven, which is
+	// what separates CFS's periodic balancing from WFQ's idle stealing.
+	queues := make([][]time.Duration, p.Consumers)
+	consumers := make([]*kernel.Task, p.Consumers)
+	produced, consumed := 0, 0
+	var finishAt ktime.Time
+
+	for i := 0; i < p.Producers; i++ {
+		next := i
+		behavior := kernel.BehaviorFunc(func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+			if produced >= p.Items {
+				return kernel.Action{Op: kernel.OpExit}
+			}
+			produced++
+			v := 1 + p.ConsumeVar*(2*rng.Float64()-1)
+			c := next % p.Consumers
+			next += p.Producers
+			queues[c] = append(queues[c], time.Duration(float64(p.ConsumeWork)*v))
+			var wake []*kernel.Task
+			if tc := consumers[c]; tc != nil && tc.State() == kernel.StateBlocked {
+				wake = []*kernel.Task{tc}
+			}
+			return kernel.Action{Run: p.ProduceWork, Wake: wake, Op: kernel.OpContinue}
+		})
+		k.Spawn("producer", policy, behavior)
+	}
+	for i := 0; i < p.Consumers; i++ {
+		i := i
+		working := false
+		behavior := kernel.BehaviorFunc(func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+			if working {
+				working = false
+				consumed++
+				if consumed >= p.Items {
+					finishAt = k.Now()
+					return kernel.Action{Op: kernel.OpExit}
+				}
+			}
+			if len(queues[i]) == 0 {
+				if produced >= p.Items {
+					return kernel.Action{Op: kernel.OpExit}
+				}
+				return kernel.Action{Op: kernel.OpBlock, Recheck: func() bool {
+					return len(queues[i]) > 0 || produced >= p.Items
+				}}
+			}
+			work := queues[i][0]
+			queues[i] = queues[i][1:]
+			working = true
+			return kernel.Action{Run: work, Op: kernel.OpContinue}
+		})
+		consumers[i] = k.Spawn("consumer", policy, behavior)
+	}
+	total := time.Duration(p.Items) * (p.ProduceWork + p.ConsumeWork)
+	k.RunFor(total + 30*time.Second)
+	if consumed < p.Items {
+		return time.Hour
+	}
+	return time.Duration(finishAt)
+}

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"time"
+
+	"enoki/internal/arachne"
+	"enoki/internal/kernel"
+	"enoki/internal/ktime"
+	"enoki/internal/stats"
+)
+
+// MemcachedConfig is the Fig 3 workload: a mutilate-style open-loop load
+// with the Facebook ETC mix — small values, Zipf key popularity, 3%
+// updates — against a memcached server. Four load-generating clients are
+// modelled as one Poisson process of their aggregate rate (the paper's
+// clients exist to saturate the server, which an open-loop arrival process
+// does directly).
+type MemcachedConfig struct {
+	// Rate is offered load, req/s.
+	Rate float64
+	// ServiceMean/ServiceSigma shape the per-request service time
+	// (log-normal-ish via clamped normal); ETC requests are small.
+	ServiceMean  time.Duration
+	ServiceSigma time.Duration
+	// UpdateFrac is the SET fraction (3%), costing UpdateFactor× a GET.
+	UpdateFrac   float64
+	UpdateFactor float64
+	// Keys is the keyspace size for the Zipf popularity model; hot keys
+	// hit warmer code paths and run slightly faster.
+	Keys     int
+	Warmup   time.Duration
+	Duration time.Duration
+	Seed     uint64
+}
+
+func (c *MemcachedConfig) defaults() {
+	if c.ServiceMean == 0 {
+		c.ServiceMean = 18 * time.Microsecond
+	}
+	if c.ServiceSigma == 0 {
+		c.ServiceSigma = 6 * time.Microsecond
+	}
+	if c.UpdateFrac == 0 {
+		c.UpdateFrac = 0.03
+	}
+	if c.UpdateFactor == 0 {
+		c.UpdateFactor = 1.6
+	}
+	if c.Keys == 0 {
+		c.Keys = 1_000_000 / 1000 // bucketed: 1M records, 1000 popularity classes
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 200 * time.Millisecond
+	}
+	if c.Duration == 0 {
+		c.Duration = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xe7c
+	}
+}
+
+// MemcachedResult reports latency and achieved throughput.
+type MemcachedResult struct {
+	P50, P99, Mean time.Duration
+	Completed      uint64
+	Achieved       float64
+}
+
+// memcachedGen produces the service time of the next request.
+type memcachedGen struct {
+	cfg  MemcachedConfig
+	rng  *ktime.Rand
+	zipf *ktime.Zipf
+}
+
+func newMemcachedGen(cfg MemcachedConfig) *memcachedGen {
+	rng := ktime.NewRand(cfg.Seed)
+	return &memcachedGen{cfg: cfg, rng: rng, zipf: ktime.NewZipf(rng, cfg.Keys, 0.99)}
+}
+
+func (g *memcachedGen) next() time.Duration {
+	svc := g.rng.NormDuration(g.cfg.ServiceMean, g.cfg.ServiceSigma)
+	if svc < 2*time.Microsecond {
+		svc = 2 * time.Microsecond
+	}
+	// Cold keys miss caches: the coldest 90% of popularity classes cost
+	// ~25% extra.
+	if g.zipf.Next() > g.cfg.Keys/10 {
+		svc += svc / 4
+	}
+	if g.rng.Bernoulli(g.cfg.UpdateFrac) {
+		svc = time.Duration(float64(svc) * g.cfg.UpdateFactor)
+	}
+	return svc
+}
+
+// RunMemcachedThreads runs the baseline server: plain memcached's
+// thread-per-connection-pool design, where each worker thread owns a set of
+// connections and serves only its own queue (no stealing). This is exactly
+// the structure Arachne's shared-queue user-level threading replaces, and
+// why the CFS baseline falls behind at high load (§5.6).
+func RunMemcachedThreads(k *kernel.Kernel, policy int, threads int, cfg MemcachedConfig) MemcachedResult {
+	cfg.defaults()
+	gen := newMemcachedGen(cfg)
+	var hist stats.Histogram
+	queues := make([][]rocksReq, threads)
+	workers := make([]*kernel.Task, threads)
+	var done uint64
+	warmEnd := k.Now().Add(cfg.Warmup)
+
+	type mcWorker struct {
+		current *rocksReq
+	}
+	for i := 0; i < threads; i++ {
+		i := i
+		w := &mcWorker{}
+		workers[i] = k.Spawn("memcached-worker", policy, kernel.BehaviorFunc(
+			func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+				if w.current != nil {
+					if k.Now().After(warmEnd) {
+						hist.Record(k.Now().Sub(w.current.arrival))
+						done++
+					}
+					w.current = nil
+				}
+				if len(queues[i]) == 0 {
+					return kernel.Action{Op: kernel.OpBlock, Recheck: func() bool {
+						return len(queues[i]) > 0
+					}}
+				}
+				req := queues[i][0]
+				queues[i] = queues[i][1:]
+				w.current = &req
+				return kernel.Action{Run: req.service, Op: kernel.OpContinue}
+			}))
+	}
+
+	rng := ktime.NewRand(cfg.Seed ^ 0xa11)
+	gap := time.Duration(float64(time.Second) / cfg.Rate)
+	end := k.Now().Add(cfg.Warmup + cfg.Duration)
+	conn := 0
+	var arrive func()
+	arrive = func() {
+		if k.Now().After(end) {
+			return
+		}
+		// Connections hash round-robin across worker threads.
+		i := conn % threads
+		conn++
+		// Each request costs the thread an extra trip through the
+		// kernel network path (epoll wakeup, socket syscalls) that
+		// Arachne's polling runtime mostly avoids.
+		queues[i] = append(queues[i], rocksReq{arrival: k.Now(), service: gen.next() + 5*time.Microsecond})
+		if workers[i].State() == kernel.StateBlocked {
+			k.Wake(workers[i])
+		}
+		k.Engine().After(rng.ExpDuration(gap), arrive)
+	}
+	k.Engine().After(0, arrive)
+	k.RunFor(cfg.Warmup + cfg.Duration + 50*time.Millisecond)
+	return MemcachedResult{
+		P50: hist.Quantile(0.5), P99: hist.Quantile(0.99), Mean: hist.Mean(),
+		Completed: done, Achieved: float64(done) / cfg.Duration.Seconds(),
+	}
+}
+
+// RunMemcachedArachne runs the server on an Arachne runtime (native or
+// Enoki-arbitrated — the caller wires the arbiter): each request becomes a
+// user-level thread.
+func RunMemcachedArachne(k *kernel.Kernel, rt *arachne.Runtime, cfg MemcachedConfig) MemcachedResult {
+	cfg.defaults()
+	gen := newMemcachedGen(cfg)
+	var hist stats.Histogram
+	var done uint64
+	k.RunFor(2 * time.Millisecond) // grants settle
+	warmEnd := k.Now().Add(cfg.Warmup)
+
+	rng := ktime.NewRand(cfg.Seed ^ 0xa11)
+	gap := time.Duration(float64(time.Second) / cfg.Rate)
+	end := k.Now().Add(cfg.Warmup + cfg.Duration)
+	var arrive func()
+	arrive = func() {
+		if k.Now().After(end) {
+			return
+		}
+		arrival := k.Now()
+		rt.Submit(arachne.UserThread{
+			Service: gen.next() + time.Microsecond,
+			Done: func() {
+				if k.Now().After(warmEnd) {
+					hist.Record(k.Now().Sub(arrival))
+					done++
+				}
+			},
+		})
+		k.Engine().After(rng.ExpDuration(gap), arrive)
+	}
+	k.Engine().After(0, arrive)
+	k.RunFor(cfg.Warmup + cfg.Duration + 50*time.Millisecond)
+	return MemcachedResult{
+		P50: hist.Quantile(0.5), P99: hist.Quantile(0.99), Mean: hist.Mean(),
+		Completed: done, Achieved: float64(done) / cfg.Duration.Seconds(),
+	}
+}

@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"time"
+
+	"enoki/internal/kernel"
+	"enoki/internal/ktime"
+	"enoki/internal/stats"
+)
+
+// RocksDBConfig is the Fig 2 dispersive load: an open-loop Poisson stream
+// of requests, 99.5% short GETs and 0.5% long range queries, served by a
+// pool of workers pinned to a few cores. Three cores are reserved as in the
+// paper: background, load generator, and (when a scheduler needs one) the
+// scheduling core.
+type RocksDBConfig struct {
+	Policy  int
+	Workers int
+	// WorkerCores are the CPUs the workers may use (the paper's five).
+	WorkerCores []int
+	// Rate is the offered load in requests/second.
+	Rate float64
+	// GetService and RangeService are the assigned request costs (4 µs
+	// and 10 ms in §5.4); RangeFrac is the range-query fraction.
+	GetService   time.Duration
+	RangeService time.Duration
+	RangeFrac    float64
+	Warmup       time.Duration
+	Duration     time.Duration
+	Seed         uint64
+}
+
+func (c *RocksDBConfig) defaults() {
+	if c.Workers == 0 {
+		c.Workers = 50
+	}
+	if len(c.WorkerCores) == 0 {
+		c.WorkerCores = []int{3, 4, 5, 6, 7}
+	}
+	if c.GetService == 0 {
+		c.GetService = 4 * time.Microsecond
+	}
+	if c.RangeService == 0 {
+		c.RangeService = 10 * time.Millisecond
+	}
+	if c.RangeFrac == 0 {
+		c.RangeFrac = 0.005
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 200 * time.Millisecond
+	}
+	if c.Duration == 0 {
+		c.Duration = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xdb
+	}
+}
+
+// RocksDBResult reports request latencies and achieved throughput.
+type RocksDBResult struct {
+	P50, P99, Mean time.Duration
+	Completed      uint64
+	// Achieved is completed requests / measurement duration, in req/s.
+	Achieved float64
+}
+
+type rocksReq struct {
+	arrival ktime.Time
+	service time.Duration
+}
+
+// RocksDB is a running instance; it exposes Start so a batch app can be
+// co-located before the simulation runs.
+type RocksDB struct {
+	k       *kernel.Kernel
+	cfg     RocksDBConfig
+	queue   []rocksReq
+	workers []*kernel.Task
+	hist    stats.Histogram
+	started ktime.Time
+	warmEnd ktime.Time
+	done    uint64
+}
+
+// NewRocksDB builds the server and its worker tasks on k.
+func NewRocksDB(k *kernel.Kernel, cfg RocksDBConfig) *RocksDB {
+	cfg.defaults()
+	r := &RocksDB{k: k, cfg: cfg}
+	var mask kernel.CPUMask
+	for _, c := range cfg.WorkerCores {
+		mask.Set(c)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &rocksWorker{r: r}
+		w.task = k.Spawn("rocksdb-worker", cfg.Policy, kernel.BehaviorFunc(w.next),
+			kernel.WithAffinity(mask))
+		r.workers = append(r.workers, w.task)
+	}
+	return r
+}
+
+// rocksWorker is the two-phase request loop: pop+serve, then account.
+type rocksWorker struct {
+	r       *RocksDB
+	task    *kernel.Task
+	current *rocksReq
+}
+
+func (w *rocksWorker) next(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+	r := w.r
+	if w.current != nil {
+		// Service segment finished: account the sojourn time.
+		if k.Now().After(r.warmEnd) {
+			r.hist.Record(k.Now().Sub(w.current.arrival))
+			r.done++
+		}
+		w.current = nil
+	}
+	if len(r.queue) == 0 {
+		return kernel.Action{Op: kernel.OpBlock, Recheck: func() bool {
+			return len(r.queue) > 0
+		}}
+	}
+	req := r.queue[0]
+	r.queue = r.queue[1:]
+	w.current = &req
+	return kernel.Action{Run: req.service, Op: kernel.OpContinue}
+}
+
+// Start begins the open-loop load generator and runs warmup + measurement;
+// call after any co-located apps are set up.
+func (r *RocksDB) Start() RocksDBResult {
+	k := r.k
+	cfg := r.cfg
+	rng := ktime.NewRand(cfg.Seed)
+	gap := time.Duration(float64(time.Second) / cfg.Rate)
+	end := k.Now().Add(cfg.Warmup + cfg.Duration)
+	r.warmEnd = k.Now().Add(cfg.Warmup)
+	var arrive func()
+	arrive = func() {
+		if k.Now().After(end) {
+			return
+		}
+		service := cfg.GetService
+		if rng.Float64() < cfg.RangeFrac {
+			service = cfg.RangeService
+		}
+		r.queue = append(r.queue, rocksReq{arrival: k.Now(), service: service})
+		// Wake one parked worker. The scan is state-based (not a wake
+		// list) so a worker whose block raced an earlier pop is found
+		// again on the next arrival; in-flight blocks are covered by
+		// the futex recheck.
+		for _, t := range r.workers {
+			if t.State() == kernel.StateBlocked {
+				k.Wake(t)
+				break
+			}
+		}
+		k.Engine().After(rng.ExpDuration(gap), arrive)
+	}
+	k.Engine().After(0, arrive)
+	// Run the load plus drain time for in-flight range queries.
+	k.RunFor(cfg.Warmup + cfg.Duration + 100*time.Millisecond)
+	return RocksDBResult{
+		P50:       r.hist.Quantile(0.50),
+		P99:       r.hist.Quantile(0.99),
+		Mean:      r.hist.Mean(),
+		Completed: r.done,
+		Achieved:  float64(r.done) / cfg.Duration.Seconds(),
+	}
+}
+
+// BatchApp is the co-located CPU-hungry application of Fig 2b/2c: plain
+// CPU-bound tasks, usually niced down, whose CPU share is the measurement.
+type BatchApp struct {
+	tasks []*kernel.Task
+}
+
+// NewBatchApp spawns n spinner tasks with the given nice in policy,
+// restricted to cores.
+func NewBatchApp(k *kernel.Kernel, policy, n, nice int, cores []int) *BatchApp {
+	var mask kernel.CPUMask
+	for _, c := range cores {
+		mask.Set(c)
+	}
+	b := &BatchApp{}
+	for i := 0; i < n; i++ {
+		t := k.Spawn("batch", policy, kernel.BehaviorFunc(
+			func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+				return kernel.Action{Run: 500 * time.Microsecond, Op: kernel.OpContinue}
+			}),
+			kernel.WithAffinity(mask), kernel.WithNice(nice))
+		b.tasks = append(b.tasks, t)
+	}
+	return b
+}
+
+// CPUTime returns the batch app's total accumulated CPU time.
+func (b *BatchApp) CPUTime() time.Duration {
+	var sum time.Duration
+	for _, t := range b.tasks {
+		sum += t.SumExec()
+	}
+	return sum
+}
+
+// Share returns the batch app's CPU consumption in cores-worth over the
+// window since the given CPUTime baseline (the Fig 2c y-axis).
+func (b *BatchApp) Share(window, baseline time.Duration) float64 {
+	return float64(b.CPUTime()-baseline) / float64(window)
+}

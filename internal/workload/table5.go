@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"time"
+
+	"enoki/internal/kernel"
+)
+
+// Table5Profiles returns the 36 application benchmarks of Table 5 — the
+// nine NAS Parallel Benchmarks and the 27 Phoronix Multicore selections —
+// as scheduling-footprint profiles. PaperCFS anchors each displayed metric
+// to the paper's CFS column; relative performance between schedulers is
+// measured, not copied (see DESIGN.md).
+//
+// Footprint assignment follows §5.3's own analysis: the NAS benchmarks
+// "start one task per core" (bulk-synchronous barriers); the balancing
+// mechanism "most affected the Arrayfire, Cassandra, and Zstandard
+// compression benchmarks" (queue-imbalanced pipelines and fork-joins);
+// miner/inference workloads are embarrassingly parallel.
+func Table5Profiles() []AppProfile {
+	ms := time.Millisecond
+	us := time.Microsecond
+
+	nas := func(name string, paperCFS float64, phases int, work time.Duration, jitter float64) AppProfile {
+		return AppProfile{
+			Name: name, Suite: "NAS", Metric: "total Mops/s", PaperCFS: paperCFS,
+			Kind: AppBarrier, Threads: 8, Phases: phases, PhaseWork: work, Jitter: jitter,
+		}
+	}
+	barrier := func(name, metric string, paperCFS float64, lower bool, threads, phases int, work time.Duration, jitter float64) AppProfile {
+		return AppProfile{
+			Name: name, Suite: "Phoronix", Metric: metric, PaperCFS: paperCFS, LowerIsBetter: lower,
+			Kind: AppBarrier, Threads: threads, Phases: phases, PhaseWork: work, Jitter: jitter,
+		}
+	}
+	forkjoin := func(name, metric string, paperCFS float64, lower bool, threads, batches, chunks int, work time.Duration, cvar float64) AppProfile {
+		return AppProfile{
+			Name: name, Suite: "Phoronix", Metric: metric, PaperCFS: paperCFS, LowerIsBetter: lower,
+			Kind: AppForkJoin, Threads: threads, Batches: batches, Chunks: chunks,
+			ChunkWork: work, ChunkVar: cvar,
+		}
+	}
+	pipeline := func(name, metric string, paperCFS float64, lower bool, prod, cons, items int, pwork, cwork time.Duration, cvar float64) AppProfile {
+		return AppProfile{
+			Name: name, Suite: "Phoronix", Metric: metric, PaperCFS: paperCFS, LowerIsBetter: lower,
+			Kind: AppPipeline, Producers: prod, Consumers: cons, Items: items,
+			ProduceWork: pwork, ConsumeWork: cwork, ConsumeVar: cvar,
+		}
+	}
+
+	return []AppProfile{
+		// NAS Parallel Benchmarks, size C: one task per core, barriers.
+		nas("BT", 26669.1, 30, 2*ms, 0.010),
+		nas("CG", 4535.8, 36, 1500*us, 0.030),
+		nas("EP", 487.9, 16, 3*ms, 0.004),
+		nas("FT", 14886.8, 28, 2*ms, 0.020),
+		nas("IS", 1297.4, 24, 1200*us, 0.030),
+		nas("LU", 30469.4, 40, 1500*us, 0.025),
+		nas("MG", 8601.4, 30, 1800*us, 0.018),
+		nas("SP", 11797.0, 34, 1700*us, 0.015),
+		nas("UA", 73.8, 30, 2*ms, 0.022),
+
+		// Phoronix Multicore.
+		forkjoin("Arrayfire, 1 (BLAS CPU)", "GFLOPS", 812.98, false, 8, 12, 26, 300*us, 0.35),
+		forkjoin("Arrayfire, 2 (Conj. Gradient)", "ms", 26.72, true, 8, 10, 22, 280*us, 0.40),
+		pipeline("Cassandra, 1 (Writes)", "Op/s", 55100, false, 4, 8, 1600, 30*us, 130*us, 0.85),
+		forkjoin("ASKAP, 4 (Hogbom Clean)", "Iter/s", 161.46, false, 8, 10, 24, 320*us, 0.25),
+		barrier("Cpuminer, 2 (Triple SHA-256)", "kH/s", 51363, false, 8, 20, 1500*us, 0.005),
+		barrier("Cpuminer, 3 (Quad SHA-256)", "kH/s", 35667, false, 8, 20, 1500*us, 0.005),
+		barrier("Cpuminer, 4 (Myriad-Groestl)", "kH/s", 9499.87, false, 8, 20, 1600*us, 0.006),
+		barrier("Cpuminer, 6 (Blake-2 S)", "kH/s", 258100, false, 8, 20, 1400*us, 0.005),
+		barrier("Cpuminer, 11 (Skeincoin)", "kH/s", 29400, false, 8, 20, 1500*us, 0.006),
+		pipeline("Ffmpeg, 1, 1 (libx264 Live)", "s", 23.98, true, 2, 6, 1400, 40*us, 110*us, 0.45),
+		forkjoin("Graphics-Magick, 4 (Resizing)", "Iter/m", 781, false, 8, 12, 30, 250*us, 0.30),
+		barrier("OIDN, 1 (RT.hdr 4K)", "Images/s", 0.31, false, 8, 24, 1800*us, 0.015),
+		barrier("OIDN, 2 (RT.ldr 4K)", "Images/s", 0.31, false, 8, 24, 1800*us, 0.015),
+		barrier("OIDN, 3 (RTLightmap 4K)", "Images/s", 0.15, false, 8, 28, 2*ms, 0.015),
+		forkjoin("Rodina, 3 (OpenMP Leukocyte)", "s", 159.32, true, 8, 14, 26, 300*us, 0.28),
+		pipeline("Zstd, 2 (3 Long Compression)", "MB/s", 856.1, false, 1, 8, 1400, 25*us, 150*us, 0.90),
+		pipeline("Zstd, 4 (8 Long Compression)", "MB/s", 153.1, false, 1, 8, 500, 35*us, 420*us, 0.55),
+		forkjoin("AVIFEnc, 4 (6 Lossless)", "s", 14.94, true, 8, 10, 22, 350*us, 0.55),
+		pipeline("Libgav1, 1 (Summer 1080p)", "FPS", 262.95, false, 1, 4, 1200, 35*us, 120*us, 0.30),
+		pipeline("Libgav1, 2 (Summer 4K)", "FPS", 67.28, false, 1, 6, 900, 45*us, 240*us, 0.35),
+		pipeline("Libgav1, 3 (Chimera 1080p)", "FPS", 222.70, false, 1, 4, 1200, 35*us, 130*us, 0.35),
+		pipeline("Libgav1, 4 (Chimera 10-bit)", "FPS", 64.10, false, 1, 6, 900, 45*us, 260*us, 0.40),
+		barrier("OneDNN, 4, 1 (IP 1D f32)", "ms", 4.26, true, 8, 18, 1200*us, 0.012),
+		barrier("OneDNN, 5, 1 (IP 3D f32)", "ms", 9.71, true, 8, 18, 1300*us, 0.014),
+		barrier("OneDNN, 7, 1 (RNN f32)", "ms", 4166.31, true, 8, 26, 1600*us, 0.010),
+		barrier("OneDNN, 7, 2 (RNN u8s8f32)", "ms", 4166.40, true, 8, 26, 1600*us, 0.010),
+		barrier("OneDNN, 7, 3 (RNN bf16)", "ms", 4164.25, true, 8, 26, 1600*us, 0.010),
+	}
+}
+
+// --- Appendix A.1 functional-equivalence probes ------------------------------
+
+// FairnessProbe runs five equal CPU-bound tasks (the appendix uses ~4.6 s
+// of work each) and returns their completion times. With sameCore they are
+// pinned together, otherwise free.
+func FairnessProbe(k *kernel.Kernel, policy int, sameCore bool, work time.Duration) []time.Duration {
+	return completionProbe(k, policy, 5, work, func(i int) []kernel.SpawnOption {
+		if sameCore {
+			return []kernel.SpawnOption{kernel.WithAffinity(kernel.SingleCPU(0))}
+		}
+		return nil
+	}, nil)
+}
+
+// WeightProbe runs five co-located CPU-bound tasks with the last reduced to
+// minimum priority and returns the completion times (index 4 is the
+// low-priority task).
+func WeightProbe(k *kernel.Kernel, policy int, work time.Duration) []time.Duration {
+	return completionProbe(k, policy, 5, work, func(i int) []kernel.SpawnOption {
+		opts := []kernel.SpawnOption{kernel.WithAffinity(kernel.SingleCPU(0))}
+		if i == 4 {
+			opts = append(opts, kernel.WithNice(19))
+		}
+		return opts
+	}, nil)
+}
+
+// PlacementProbe runs one CPU-bound task per core; when moveOne is set, the
+// first task is forced to a different core mid-run. It returns completion
+// times (their spread is the appendix's metric).
+func PlacementProbe(k *kernel.Kernel, policy int, work time.Duration, moveOne bool) []time.Duration {
+	n := k.NumCPUs()
+	var mid func([]*kernel.Task)
+	if moveOne {
+		mid = func(tasks []*kernel.Task) {
+			k.Engine().After(work/3, func() {
+				if tasks[0].State() != kernel.StateDead {
+					k.SetAffinity(tasks[0], kernel.SingleCPU(1))
+				}
+			})
+		}
+	}
+	return completionProbe(k, policy, n, work, func(i int) []kernel.SpawnOption {
+		return nil
+	}, mid)
+}
+
+// completionProbe spawns n spinners of `work` CPU time each and returns
+// their completion times.
+func completionProbe(k *kernel.Kernel, policy, n int, work time.Duration,
+	opts func(i int) []kernel.SpawnOption, mid func([]*kernel.Task)) []time.Duration {
+	times := make([]time.Duration, n)
+	var tasks []*kernel.Task
+	for i := 0; i < n; i++ {
+		i := i
+		remaining := work
+		behavior := kernel.BehaviorFunc(func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+			if remaining <= 0 {
+				times[i] = time.Duration(k.Now())
+				return kernel.Action{Op: kernel.OpExit}
+			}
+			chunk := time.Millisecond
+			if chunk > remaining {
+				chunk = remaining
+			}
+			remaining -= chunk
+			return kernel.Action{Run: chunk, Op: kernel.OpContinue}
+		})
+		tasks = append(tasks, k.Spawn("probe", policy, behavior, opts(i)...))
+	}
+	if mid != nil {
+		mid(tasks)
+	}
+	k.RunFor(time.Duration(n)*work + 10*time.Second)
+	return times
+}

@@ -1,0 +1,112 @@
+package enoki
+
+import (
+	"io"
+	"time"
+
+	"enoki/internal/arachne"
+	"enoki/internal/core"
+	"enoki/internal/record"
+	"enoki/internal/replay"
+	"enoki/internal/sched/arbiter"
+	"enoki/internal/sched/fifo"
+	"enoki/internal/sched/locality"
+	"enoki/internal/sched/nest"
+	"enoki/internal/sched/shinjuku"
+	"enoki/internal/sched/wfq"
+)
+
+// The schedulers shipped with the framework (§4.2), constructible from the
+// public API. Each returns a Scheduler ready to pass to Load.
+
+// NewWFQScheduler builds the weighted fair queuing scheduler of §4.2.1, the
+// paper's CFS-comparable headline module.
+func NewWFQScheduler(env Env, policy int) Scheduler { return wfq.New(env, policy) }
+
+// NewFIFOScheduler builds the minimal per-core FIFO from §3.1's worked
+// example.
+func NewFIFOScheduler(env Env, policy int) Scheduler { return fifo.New(env, policy) }
+
+// NewShinjukuScheduler builds the centralized FCFS scheduler with µs-scale
+// preemption of §4.2.2 (slice 0 means the paper's 10 µs).
+func NewShinjukuScheduler(env Env, policy int, slice time.Duration) Scheduler {
+	return shinjuku.New(env, policy, slice)
+}
+
+// NewLocalityScheduler builds the hint-driven co-location scheduler of
+// §4.2.3; send LocalityHint values through a hint queue.
+func NewLocalityScheduler(env Env, policy int) Scheduler { return locality.New(env, policy) }
+
+// LocalityHint asks the locality scheduler to co-locate the task with its
+// group.
+type LocalityHint = locality.HintMsg
+
+// NewNestScheduler builds the Nest-inspired warm-core extension scheduler:
+// it consolidates light loads onto a small set of warm cores, expanding
+// only under saturation (not part of the paper's evaluation; see the nest
+// package comment).
+func NewNestScheduler(env Env, policy int) Scheduler { return nest.New(env, policy) }
+
+// NewArbiterScheduler builds the Enoki port of the Arachne core arbiter
+// (§4.2.4) managing the given cores.
+func NewArbiterScheduler(env Env, policy int, managed []int) Scheduler {
+	return arbiter.New(env, policy, managed)
+}
+
+// Arbiter message types for the bidirectional queues.
+type (
+	CoreRequest        = arbiter.CoreRequest
+	RegisterActivation = arbiter.RegisterActivation
+	GrantMsg           = arbiter.GrantMsg
+	ReclaimMsg         = arbiter.ReclaimMsg
+)
+
+// ArachneRuntime is the two-level user threading runtime of §5.6.
+type ArachneRuntime = arachne.Runtime
+
+// ArachneConfig tunes the runtime.
+type ArachneConfig = arachne.Config
+
+// UserThread is one unit of user-level work.
+type UserThread = arachne.UserThread
+
+// NewArachneRuntime builds a runtime; attach it to an Enoki arbiter with
+// AttachArachne.
+func NewArachneRuntime(k *Kernel, cfg ArachneConfig) *ArachneRuntime {
+	return arachne.NewRuntime(k, cfg)
+}
+
+// DefaultArachneConfig returns the calibrated runtime parameters.
+func DefaultArachneConfig() ArachneConfig { return arachne.DefaultConfig() }
+
+// AttachArachne wires a runtime to an Enoki arbiter through the hint queues.
+func AttachArachne(rt *ArachneRuntime, ad *Adapter, procID int, acts []*Task) {
+	arachne.AttachEnoki(rt, ad, procID, acts)
+}
+
+// --- record and replay (§3.4) ------------------------------------------------
+
+// Recorder captures every scheduler message and lock operation.
+type Recorder = record.Recorder
+
+// RecordCosts models what recording costs the live system.
+type RecordCosts = record.Costs
+
+// NewRecorder builds a recorder writing to w; drainPolicy is the scheduler
+// class its userspace drain task runs in (normally the CFS policy id).
+// Install it with Adapter.SetRecorder.
+func NewRecorder(k *Kernel, w io.Writer, drainPolicy int) *Recorder {
+	return record.New(k, w, drainPolicy, record.DefaultCosts())
+}
+
+// ReplayConfig tunes a replay run.
+type ReplayConfig = replay.Config
+
+// ReplayResult summarises a replay.
+type ReplayResult = replay.Result
+
+// Replay runs a recorded log against a fresh module at userspace,
+// validating every decision against the recording.
+func Replay(rd io.Reader, cfg ReplayConfig, factory func(Env) Scheduler) (*ReplayResult, error) {
+	return replay.Replay(rd, cfg, func(env core.Env) core.Scheduler { return factory(env) })
+}
