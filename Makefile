@@ -1,0 +1,28 @@
+# Development entry points. `make check` is the tier-1 gate; `make bench`
+# regenerates the hot-path benchmark snapshot committed as
+# BENCH_hotpath.json (compare runs with benchstat on `go test -bench` output).
+
+GO ?= go
+
+.PHONY: check build test race vet bench quick
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) run ./cmd/enokibench -benchjson BENCH_hotpath.json
+
+# Fast full-suite pass of every table/figure, fanned out across all cores.
+quick:
+	$(GO) run ./cmd/enokibench -quick -parallel $$($(GO) env GOMAXPROCS 2>/dev/null || nproc)

@@ -5,11 +5,16 @@
 //
 // Usage:
 //
-//	enokibench [-quick] [-list] [experiment ...]
+//	enokibench [-quick] [-parallel N] [-list] [experiment ...]
+//	enokibench -benchjson [file]
 //
 // With no experiment names, everything runs in paper order. -quick shrinks
 // message counts and durations so the full suite finishes in well under a
-// minute; without it, runs use paper-scale durations.
+// minute; without it, runs use paper-scale durations. -parallel N runs up
+// to N independent experiment cells concurrently, each on its own simulated
+// machine — results are byte-identical to a serial run. -benchjson runs the
+// hot-path micro-benchmarks instead and writes ns/op + allocs/op to
+// BENCH_hotpath.json (or the given file).
 package main
 
 import (
@@ -18,19 +23,41 @@ import (
 	"os"
 	"time"
 
+	"enoki/internal/bench"
 	"enoki/internal/experiments"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink durations/message counts for a fast pass")
+	parallel := flag.Int("parallel", 1, "run up to N experiment cells concurrently (same output as serial)")
+	benchjson := flag.Bool("benchjson", false, "run hot-path micro-benchmarks, write BENCH_hotpath.json, and exit")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: enokibench [-quick] [-list] [experiment ...]\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: enokibench [-quick] [-parallel N] [-list] [experiment ...]\n"+
+			"       enokibench -benchjson [file]\n\nexperiments:\n")
 		for _, s := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %-13s %s\n", s.Name, s.What)
 		}
 	}
 	flag.Parse()
+
+	if *benchjson {
+		path := "BENCH_hotpath.json"
+		if flag.NArg() > 0 {
+			path = flag.Arg(0)
+		}
+		results, err := bench.WriteJSON(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "enokibench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Printf("%-28s %12.1f ns/op %8d B/op %6d allocs/op\n",
+				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+		fmt.Printf("wrote %s\n", path)
+		return
+	}
 
 	if *list {
 		for _, s := range experiments.All() {
@@ -54,7 +81,7 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{Quick: *quick}
+	opts := experiments.Options{Quick: *quick, Parallel: *parallel}
 	for i, s := range specs {
 		if i > 0 {
 			fmt.Println()

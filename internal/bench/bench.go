@@ -1,0 +1,282 @@
+// Package bench holds the hot-path micro-benchmarks in plain functions so
+// they can run two ways: as ordinary `go test -bench` benchmarks (thin
+// delegates in each package's _test.go) and from `enokibench -benchjson`,
+// which drives them through testing.Benchmark and writes ns/op + allocs/op
+// to a JSON file for benchstat-style tracking.
+//
+// These benchmarks pin the zero-allocation invariant of the simulation hot
+// path (DESIGN.md "Performance model"): the steady-state schedule loop —
+// event firing, tick/preemption re-arming, message dispatch — must not
+// allocate, so experiment throughput is bounded by work, not by the
+// collector.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/kernel"
+	"enoki/internal/sim"
+)
+
+// --- sim ---
+
+// SimPostStep measures the fire-and-forget event path: Post draws from the
+// engine free list, Step fires and recycles. Steady state allocates nothing.
+func SimPostStep(b *testing.B) {
+	eng := sim.New()
+	var fn func()
+	n := 0
+	fn = func() {
+		n++
+		eng.Post(time.Microsecond, fn)
+	}
+	eng.Post(time.Microsecond, fn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !eng.Step() {
+			b.Fatal("engine drained")
+		}
+	}
+}
+
+// SimReschedule measures the persistent-event re-arm path used by per-CPU
+// tick and preemption timers: one Event, re-armed every firing.
+func SimReschedule(b *testing.B) {
+	eng := sim.New()
+	var ev *sim.Event
+	ev = eng.NewEvent(func() { eng.RescheduleAfter(ev, time.Microsecond) })
+	eng.RescheduleAfter(ev, time.Microsecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !eng.Step() {
+			b.Fatal("engine drained")
+		}
+	}
+}
+
+// --- kernel ---
+
+// ScheduleOp measures one full block→wake→schedule round trip per
+// iteration: two pinned tasks ping-pong on one CPU.
+func ScheduleOp(b *testing.B) {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	k.RegisterClass(0, kernel.NewCFS(k))
+	var a, c *kernel.Task
+	count := 0
+	mk := func(peer **kernel.Task, starts bool) kernel.Behavior {
+		started := false
+		wake := make([]*kernel.Task, 1)
+		return kernel.BehaviorFunc(func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+			wake[0] = *peer
+			if starts && !started {
+				started = true
+				return kernel.Action{Run: 100 * time.Nanosecond, Wake: wake, Op: kernel.OpBlock}
+			}
+			count++
+			return kernel.Action{Run: 100 * time.Nanosecond, Wake: wake, Op: kernel.OpBlock}
+		})
+	}
+	a = k.Spawn("a", 0, mk(&c, true), kernel.WithAffinity(kernel.SingleCPU(0)))
+	c = k.Spawn("b", 0, mk(&a, false), kernel.WithAffinity(kernel.SingleCPU(0)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	target := 0
+	for i := 0; i < b.N; i++ {
+		target++
+		for count < target {
+			if !eng.Step() {
+				b.Fatal("engine drained")
+			}
+		}
+	}
+}
+
+// SpawnExit measures task creation and teardown.
+func SpawnExit(b *testing.B) {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	k.RegisterClass(0, kernel.NewCFS(k))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Spawn("s", 0, kernel.BehaviorFunc(func(*kernel.Kernel, *kernel.Task) kernel.Action {
+			return kernel.Action{Run: time.Microsecond, Op: kernel.OpExit}
+		}))
+		k.RunFor(100 * time.Microsecond)
+	}
+	if k.NumTasks() != 0 {
+		b.Fatal("tasks leaked")
+	}
+}
+
+// TickPath measures the steady-state tick + preemption machinery with 16
+// CPU-bound tasks on 8 cores. Zero allocations once warmed up.
+func TickPath(b *testing.B) {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	k.RegisterClass(0, kernel.NewCFS(k))
+	for i := 0; i < 16; i++ {
+		k.Spawn("t", 0, kernel.BehaviorFunc(func(*kernel.Kernel, *kernel.Task) kernel.Action {
+			return kernel.Action{Run: 10 * time.Millisecond, Op: kernel.OpContinue}
+		}))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.RunFor(time.Millisecond) // ≥8 ticks + preemptions per iteration
+	}
+}
+
+// --- core ---
+
+// nopSched is the cheapest possible module, isolating Dispatch's own cost.
+type nopSched struct{ core.BaseScheduler }
+
+func (nopSched) GetPolicy() int { return 1 }
+func (nopSched) PickNextTask(cpu int, curr *core.Schedulable, rt time.Duration) *core.Schedulable {
+	return nil
+}
+func (nopSched) TaskNew(pid int, rt time.Duration, r bool, allowed []int, s *core.Schedulable) {}
+func (nopSched) TaskWakeup(pid int, rt time.Duration, d bool, l, w int, s *core.Schedulable)  {}
+func (nopSched) TaskPreempt(pid int, rt time.Duration, cpu int, s *core.Schedulable)          {}
+func (nopSched) TaskYield(pid int, rt time.Duration, cpu int, s *core.Schedulable)            {}
+func (nopSched) TaskDeparted(pid, cpu int) *core.Schedulable                                  { return nil }
+func (nopSched) SelectTaskRQ(pid, prev int, wakeup bool) int                                  { return prev }
+func (nopSched) MigrateTaskRQ(pid, newCPU int, s *core.Schedulable) *core.Schedulable         { return s }
+
+// Dispatch measures libEnoki's processing function: the per-message parse +
+// call + reply write that happens on every framework crossing.
+func Dispatch(b *testing.B) {
+	s := nopSched{}
+	m := &core.Message{Kind: core.MsgPickNextTask, CPU: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.RetSched = nil
+		core.Dispatch(s, m)
+	}
+}
+
+// DispatchWakeup includes a token materialisation (the replay path): the
+// Schedulable is built in the message's inline scratch slot, so the hot
+// path stays allocation-free.
+func DispatchWakeup(b *testing.B) {
+	s := nopSched{}
+	m := &core.Message{Kind: core.MsgTaskWakeup, PID: 7,
+		Sched: &core.SchedulableRef{PID: 7, CPU: 2, Gen: 9}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.Dispatch(s, m)
+	}
+}
+
+// DispatchAllMessages returns one pre-built message per dispatchable Kind,
+// exactly what a replay drain feeds through Dispatch. Shared with the
+// zero-allocation pin test in internal/core.
+func DispatchAllMessages() []*core.Message {
+	ref := &core.SchedulableRef{PID: 7, CPU: 2, Gen: 9}
+	allowed := []int{0, 1, 2}
+	return []*core.Message{
+		{Kind: core.MsgPickNextTask, CPU: 3},
+		{Kind: core.MsgPntErr, CPU: 3, PID: 7, ErrCode: int(core.PickStale), Sched: ref},
+		{Kind: core.MsgTaskDead, PID: 7},
+		{Kind: core.MsgTaskBlocked, PID: 7, CPU: 3},
+		{Kind: core.MsgTaskWakeup, PID: 7, LastCPU: 1, WakeCPU: 2, Sched: ref},
+		{Kind: core.MsgTaskNew, PID: 7, Runnable: true, Allowed: allowed, Sched: ref},
+		{Kind: core.MsgTaskPreempt, PID: 7, CPU: 3, Sched: ref},
+		{Kind: core.MsgTaskYield, PID: 7, CPU: 3, Sched: ref},
+		{Kind: core.MsgTaskDeparted, PID: 7, CPU: 3},
+		{Kind: core.MsgTaskAffinityChanged, PID: 7, Allowed: allowed},
+		{Kind: core.MsgTaskPrioChanged, PID: 7, Prio: 4},
+		{Kind: core.MsgTaskTick, CPU: 3, Queued: true, PID: 7},
+		{Kind: core.MsgSelectTaskRQ, PID: 7, PrevCPU: 1, Wakeup: true},
+		{Kind: core.MsgMigrateTaskRQ, PID: 7, NewCPU: 4, Sched: ref},
+		{Kind: core.MsgBalance, CPU: 3},
+		{Kind: core.MsgBalanceErr, CPU: 3, BalancePID: 7, Sched: ref},
+		{Kind: core.MsgEnterQueue, QueueID: 1, Count: 2},
+		{Kind: core.MsgParseHint},
+	}
+}
+
+// DispatchAll drives every dispatchable message Kind through Dispatch each
+// iteration — the full trait surface a record log can carry.
+func DispatchAll(b *testing.B) {
+	s := nopSched{}
+	msgs := DispatchAllMessages()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range msgs {
+			m.RetSched = nil
+			core.Dispatch(s, m)
+		}
+	}
+}
+
+// --- registry + JSON output ---
+
+// Entry names one benchmark.
+type Entry struct {
+	Name string
+	Fn   func(*testing.B)
+}
+
+// All lists every hot-path benchmark under its `go test -bench` name.
+func All() []Entry {
+	return []Entry{
+		{"BenchmarkSimPostStep", SimPostStep},
+		{"BenchmarkSimReschedule", SimReschedule},
+		{"BenchmarkScheduleOp", ScheduleOp},
+		{"BenchmarkSpawnExit", SpawnExit},
+		{"BenchmarkTickPath", TickPath},
+		{"BenchmarkDispatch", Dispatch},
+		{"BenchmarkDispatchWakeup", DispatchWakeup},
+		{"BenchmarkDispatchAll", DispatchAll},
+	}
+}
+
+// Result is one benchmark's measurement, JSON-ready.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Run measures every benchmark via testing.Benchmark.
+func Run() []Result {
+	var out []Result
+	for _, e := range All() {
+		r := testing.Benchmark(e.Fn)
+		out = append(out, Result{
+			Name:        e.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	return out
+}
+
+// WriteJSON runs every benchmark and writes the results to path.
+func WriteJSON(path string) ([]Result, error) {
+	res := Run()
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, fmt.Errorf("bench: writing %s: %w", path, err)
+	}
+	return res, nil
+}

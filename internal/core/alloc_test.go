@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"enoki/internal/bench"
+	"enoki/internal/core"
+)
+
+// nopSched isolates Dispatch's own cost from module work.
+type nopSched struct{ core.BaseScheduler }
+
+func (nopSched) GetPolicy() int { return 1 }
+func (nopSched) PickNextTask(cpu int, curr *core.Schedulable, rt time.Duration) *core.Schedulable {
+	return nil
+}
+func (nopSched) TaskNew(pid int, rt time.Duration, r bool, allowed []int, s *core.Schedulable) {}
+func (nopSched) TaskWakeup(pid int, rt time.Duration, d bool, l, w int, s *core.Schedulable)  {}
+func (nopSched) TaskPreempt(pid int, rt time.Duration, cpu int, s *core.Schedulable)          {}
+func (nopSched) TaskYield(pid int, rt time.Duration, cpu int, s *core.Schedulable)            {}
+func (nopSched) TaskDeparted(pid, cpu int) *core.Schedulable                                  { return nil }
+func (nopSched) SelectTaskRQ(pid, prev int, wakeup bool) int                                  { return prev }
+func (nopSched) MigrateTaskRQ(pid, newCPU int, s *core.Schedulable) *core.Schedulable         { return s }
+
+// TestDispatchAllKindsZeroAlloc pins the zero-allocation invariant of the
+// framework crossing: every dispatchable message Kind — including the
+// replay-path token materialisation, which uses the message's inline
+// scratch slot — must not allocate.
+func TestDispatchAllKindsZeroAlloc(t *testing.T) {
+	s := nopSched{}
+	for _, m := range bench.DispatchAllMessages() {
+		m := m
+		avg := testing.AllocsPerRun(200, func() {
+			m.RetSched = nil
+			core.Dispatch(s, m)
+		})
+		if avg != 0 {
+			t.Errorf("Dispatch(%v): %v allocs/op, want 0", m.Kind, avg)
+		}
+	}
+}
+
+// TestMessageResetKeepsAllowedCapacity pins the pooled-message contract:
+// Reset clears the message but keeps the Allowed backing array, so a reused
+// message re-fills its affinity list without allocating.
+func TestMessageResetKeepsAllowedCapacity(t *testing.T) {
+	m := &core.Message{Allowed: make([]int, 0, 8)}
+	avg := testing.AllocsPerRun(100, func() {
+		m.Allowed = append(m.Allowed, 0, 1, 2, 3)
+		m.Reset()
+	})
+	if avg != 0 {
+		t.Errorf("Reset loses Allowed capacity: %v allocs/op, want 0", avg)
+	}
+}

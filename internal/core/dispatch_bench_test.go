@@ -1,45 +1,22 @@
-package core
+package core_test
 
 import (
 	"testing"
-	"time"
+
+	"enoki/internal/bench"
 )
 
-// nopSched is the cheapest possible module, isolating Dispatch's own cost.
-type nopSched struct{ BaseScheduler }
-
-func (nopSched) GetPolicy() int { return 1 }
-func (nopSched) PickNextTask(cpu int, curr *Schedulable, rt time.Duration) *Schedulable {
-	return nil
-}
-func (nopSched) TaskNew(pid int, rt time.Duration, r bool, allowed []int, s *Schedulable) {}
-func (nopSched) TaskWakeup(pid int, rt time.Duration, d bool, l, w int, s *Schedulable)   {}
-func (nopSched) TaskPreempt(pid int, rt time.Duration, cpu int, s *Schedulable)           {}
-func (nopSched) TaskYield(pid int, rt time.Duration, cpu int, s *Schedulable)             {}
-func (nopSched) TaskDeparted(pid, cpu int) *Schedulable                                   { return nil }
-func (nopSched) SelectTaskRQ(pid, prev int, wakeup bool) int                              { return prev }
-func (nopSched) MigrateTaskRQ(pid, newCPU int, s *Schedulable) *Schedulable               { return s }
+// The benchmark bodies live in internal/bench so `enokibench -benchjson`
+// can run the same code and track ns/op + allocs/op in BENCH_hotpath.json.
 
 // BenchmarkDispatch measures libEnoki's processing function: the per-message
 // parse + call + reply write that happens on every framework crossing.
-func BenchmarkDispatch(b *testing.B) {
-	s := nopSched{}
-	m := &Message{Kind: MsgPickNextTask, CPU: 3}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		m.RetSched = nil
-		Dispatch(s, m)
-	}
-}
+func BenchmarkDispatch(b *testing.B) { bench.Dispatch(b) }
 
 // BenchmarkDispatchWakeup includes a token materialisation (the replay
 // path).
-func BenchmarkDispatchWakeup(b *testing.B) {
-	s := nopSched{}
-	m := &Message{Kind: MsgTaskWakeup, PID: 7,
-		Sched: &SchedulableRef{PID: 7, CPU: 2, Gen: 9}}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		Dispatch(s, m)
-	}
-}
+func BenchmarkDispatchWakeup(b *testing.B) { bench.DispatchWakeup(b) }
+
+// BenchmarkDispatchAll drives every dispatchable message Kind through
+// Dispatch each iteration.
+func BenchmarkDispatchAll(b *testing.B) { bench.DispatchAll(b) }

@@ -116,12 +116,56 @@ type Message struct {
 	// enter the record log (unexported ⇒ skipped by gob).
 	schedObj    *Schedulable
 	retSchedObj *Schedulable
+
+	// Inline backing storage for Sched/RetSched and the replay-path token.
+	// AttachSched/setRet point the exported ref pointers here so building a
+	// message allocates nothing; Clone re-points them into the copy.
+	schedRef  SchedulableRef
+	retRef    SchedulableRef
+	replayTok Schedulable
+}
+
+// Reset zeroes the message for reuse, keeping the Allowed backing array so a
+// pooled message re-fills it without allocating.
+func (m *Message) Reset() {
+	allowed := m.Allowed[:0]
+	*m = Message{}
+	m.Allowed = allowed
+}
+
+// Clone returns a deep snapshot safe to retain after the original is Reset
+// or recycled: the ref pointers are re-pointed at the clone's inline buffers
+// and the Allowed slice is copied. Live token objects do not travel — clones
+// exist for record logs, which carry only the wire fields.
+func (m *Message) Clone() *Message {
+	cp := *m
+	if m.Sched != nil {
+		cp.schedRef = *m.Sched
+		cp.Sched = &cp.schedRef
+	}
+	if m.RetSched != nil {
+		cp.retRef = *m.RetSched
+		cp.RetSched = &cp.retRef
+	}
+	if len(m.Allowed) > 0 {
+		cp.Allowed = append([]int(nil), m.Allowed...)
+	} else {
+		cp.Allowed = nil
+	}
+	cp.schedObj = nil
+	cp.retSchedObj = nil
+	return &cp
 }
 
 // AttachSched sets the live token object the call delivers to the module.
 func (m *Message) AttachSched(s *Schedulable) {
 	m.schedObj = s
-	m.Sched = s.Ref()
+	if s == nil {
+		m.Sched = nil
+		return
+	}
+	m.schedRef = SchedulableRef{PID: s.pid, CPU: s.cpu, Gen: s.gen}
+	m.Sched = &m.schedRef
 }
 
 // TakeRetSched returns the token object the module handed back.
@@ -129,17 +173,27 @@ func (m *Message) TakeRetSched() *Schedulable { return m.retSchedObj }
 
 // inSched returns the token to pass to the module: the live object when the
 // framework attached one, otherwise a token materialised from the recorded
-// ref (replay path).
+// ref into the message's inline scratch slot (replay path — each replayed
+// message is a fresh copy, so a module retaining the token is safe).
 func (m *Message) inSched() *Schedulable {
 	if m.schedObj != nil {
 		return m.schedObj
 	}
-	return m.Sched.Materialize()
+	if m.Sched == nil {
+		return nil
+	}
+	m.replayTok = Schedulable{pid: m.Sched.PID, cpu: m.Sched.CPU, gen: m.Sched.Gen}
+	return &m.replayTok
 }
 
 func (m *Message) setRet(s *Schedulable) {
 	m.retSchedObj = s
-	m.RetSched = s.Ref()
+	if s == nil {
+		m.RetSched = nil
+		return
+	}
+	m.retRef = SchedulableRef{PID: s.pid, CPU: s.cpu, Gen: s.gen}
+	m.RetSched = &m.retRef
 }
 
 // Dispatch is libEnoki's processing function: it parses the message,

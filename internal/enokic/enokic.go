@@ -98,6 +98,12 @@ type Adapter struct {
 	deferred    []*core.Message
 	kickPending []bool
 
+	// msgFree recycles Message structs: every crossing draws from it and
+	// returns the message once the dispatch (and any reply read) completes,
+	// so the message path allocates nothing in steady state. Deferred
+	// messages return to the pool after the post-upgrade flush.
+	msgFree []*core.Message
+
 	queues    map[int]*core.HintQueue
 	revQueues map[int]*core.RevQueue
 
@@ -160,6 +166,27 @@ func (a *Adapter) Kernel() *kernel.Kernel { return a.k }
 
 // --- message plumbing ------------------------------------------------------
 
+// getMsg returns a zeroed Message from the free list (its Allowed backing
+// array is retained across reuses). Pair with putMsg once the dispatch and
+// every reply read are done.
+func (a *Adapter) getMsg() *core.Message {
+	if n := len(a.msgFree); n > 0 {
+		m := a.msgFree[n-1]
+		a.msgFree[n-1] = nil
+		a.msgFree = a.msgFree[:n-1]
+		return m
+	}
+	return &core.Message{}
+}
+
+// putMsg resets m and returns it to the free list. The caller must have
+// finished with every field — including reply refs — and the recorder must
+// already have taken its deep snapshot (record.Recorder clones).
+func (a *Adapter) putMsg(m *core.Message) {
+	m.Reset()
+	a.msgFree = append(a.msgFree, m)
+}
+
 // dispatch sends one message through libEnoki's processing function,
 // recording it afterwards so the log contains the reply.
 func (a *Adapter) dispatch(m *core.Message) {
@@ -183,12 +210,15 @@ func (a *Adapter) defer1(m *core.Message) {
 }
 
 // notify sends a reply-less message now, or defers it during an upgrade.
+// Either way it owns the message: immediate sends recycle it here, deferred
+// ones after the post-upgrade flush.
 func (a *Adapter) notify(m *core.Message) {
 	if a.upgrading {
 		a.defer1(m)
 		return
 	}
 	a.dispatch(m)
+	a.putMsg(m)
 }
 
 func (a *Adapter) issue(ti *taskInfo, cpu int) *core.Schedulable {
@@ -232,7 +262,9 @@ func (a *Adapter) TaskDead(t *kernel.Task) {
 	}
 	a.unmarkQueued(ti)
 	delete(a.info, t.PID())
-	a.notify(&core.Message{Kind: core.MsgTaskDead, Thread: t.CPU(), PID: t.PID()})
+	m := a.getMsg()
+	m.Kind, m.Thread, m.PID = core.MsgTaskDead, t.CPU(), t.PID()
+	a.notify(m)
 }
 
 // Detach implements kernel.Class: the task leaves for another class; the
@@ -248,9 +280,12 @@ func (a *Adapter) Detach(t *kernel.Task) {
 	}
 	a.unmarkQueued(ti)
 	delete(a.info, t.PID())
-	m := &core.Message{Kind: core.MsgTaskDeparted, Thread: t.CPU(), PID: t.PID(), CPU: t.CPU()}
+	m := a.getMsg()
+	m.Kind, m.Thread, m.PID, m.CPU = core.MsgTaskDeparted, t.CPU(), t.PID(), t.CPU()
 	a.dispatch(m)
-	if tok := m.TakeRetSched(); tok != nil {
+	tok := m.TakeRetSched()
+	a.putMsg(m)
+	if tok != nil {
 		tok.Consume()
 	}
 }
@@ -268,23 +303,22 @@ func (a *Adapter) Enqueue(cpu int, t *kernel.Task, wakeup bool) {
 	}
 	tok := a.issue(ti, cpu)
 	a.markQueued(ti, cpu)
-	m := &core.Message{
-		Thread: cpu, PID: t.PID(), CPU: cpu,
-		Runtime: t.SumExec(),
-	}
+	m := a.getMsg()
+	m.Thread, m.PID, m.CPU = cpu, t.PID(), cpu
+	m.Runtime = t.SumExec()
 	switch {
 	case !ti.newSent:
 		ti.newSent = true
 		m.Kind = core.MsgTaskNew
 		m.Runnable = true
-		m.Allowed = t.Allowed().List()
+		m.Allowed = t.Allowed().AppendTo(m.Allowed[:0])
 		m.Prio = t.Nice()
 		if t.Nice() != 0 {
 			// Deliver the initial priority right after task_new.
-			defer a.notify(&core.Message{
-				Kind: core.MsgTaskPrioChanged, Thread: cpu,
-				PID: t.PID(), Prio: t.Nice(),
-			})
+			pm := a.getMsg()
+			pm.Kind, pm.Thread = core.MsgTaskPrioChanged, cpu
+			pm.PID, pm.Prio = t.PID(), t.Nice()
+			defer a.notify(pm)
 		}
 	default:
 		m.Kind = core.MsgTaskWakeup
@@ -310,10 +344,10 @@ func (a *Adapter) Dequeue(cpu int, t *kernel.Task, sleep bool) {
 	}
 	if sleep {
 		ti.moveInFlight = false
-		a.notify(&core.Message{
-			Kind: core.MsgTaskBlocked, Thread: cpu,
-			PID: t.PID(), CPU: cpu, Runtime: t.SumExec(),
-		})
+		m := a.getMsg()
+		m.Kind, m.Thread = core.MsgTaskBlocked, cpu
+		m.PID, m.CPU, m.Runtime = t.PID(), cpu, t.SumExec()
+		a.notify(m)
 	}
 }
 
@@ -330,13 +364,14 @@ func (a *Adapter) Migrate(t *kernel.Task, src, dst int) {
 	a.stats.Migrations++
 	tok := a.issue(ti, dst)
 	a.markQueued(ti, dst)
-	m := &core.Message{
-		Kind: core.MsgMigrateTaskRQ, Thread: dst,
-		PID: t.PID(), NewCPU: dst, Runtime: t.SumExec(),
-	}
+	m := a.getMsg()
+	m.Kind, m.Thread = core.MsgMigrateTaskRQ, dst
+	m.PID, m.NewCPU, m.Runtime = t.PID(), dst, t.SumExec()
 	m.AttachSched(tok)
 	a.dispatch(m)
-	if old := m.TakeRetSched(); old != nil {
+	old := m.TakeRetSched()
+	a.putMsg(m)
+	if old != nil {
 		old.Consume()
 	}
 }
@@ -359,10 +394,9 @@ func (a *Adapter) requeueCurrent(kind core.Kind, cpu int, t *kernel.Task) {
 	ti.running = false
 	tok := a.issue(ti, cpu)
 	a.markQueued(ti, cpu)
-	m := &core.Message{
-		Kind: kind, Thread: cpu,
-		PID: t.PID(), CPU: cpu, Runtime: t.SumExec(),
-	}
+	m := a.getMsg()
+	m.Kind, m.Thread = kind, cpu
+	m.PID, m.CPU, m.Runtime = t.PID(), cpu, t.SumExec()
 	m.AttachSched(tok)
 	a.notify(m)
 }
@@ -374,9 +408,11 @@ func (a *Adapter) PickNext(cpu int) *kernel.Task {
 		a.kickAfterUpgrade(cpu)
 		return nil
 	}
-	m := &core.Message{Kind: core.MsgPickNextTask, Thread: cpu, CPU: cpu}
+	m := a.getMsg()
+	m.Kind, m.Thread, m.CPU = core.MsgPickNextTask, cpu, cpu
 	a.dispatch(m)
 	tok := m.TakeRetSched()
+	a.putMsg(m)
 	if tok == nil {
 		return nil
 	}
@@ -394,12 +430,12 @@ func (a *Adapter) PickNext(cpu int) *kernel.Task {
 	}
 	if perr != 0 {
 		a.stats.PntErrs++
-		em := &core.Message{
-			Kind: core.MsgPntErr, Thread: cpu,
-			CPU: cpu, PID: tok.PID(), ErrCode: int(perr),
-		}
+		em := a.getMsg()
+		em.Kind, em.Thread = core.MsgPntErr, cpu
+		em.CPU, em.PID, em.ErrCode = cpu, tok.PID(), int(perr)
 		em.AttachSched(tok)
 		a.dispatch(em)
+		a.putMsg(em)
 		return nil
 	}
 	tok.Consume()
@@ -414,10 +450,11 @@ func (a *Adapter) Tick(cpu int, t *kernel.Task) {
 	if a.upgrading {
 		return
 	}
-	a.dispatch(&core.Message{
-		Kind: core.MsgTaskTick, Thread: cpu, CPU: cpu,
-		PID: t.PID(), Runtime: t.SumExec(),
-	})
+	m := a.getMsg()
+	m.Kind, m.Thread, m.CPU = core.MsgTaskTick, cpu, cpu
+	m.PID, m.Runtime = t.PID(), t.SumExec()
+	a.dispatch(m)
+	a.putMsg(m)
 }
 
 // SelectRQ implements kernel.Class.
@@ -425,15 +462,16 @@ func (a *Adapter) SelectRQ(t *kernel.Task, prevCPU int, wakeup bool) int {
 	if a.upgrading {
 		return prevCPU
 	}
-	m := &core.Message{
-		Kind: core.MsgSelectTaskRQ, Thread: prevCPU,
-		PID: t.PID(), PrevCPU: prevCPU, Wakeup: wakeup,
-	}
+	m := a.getMsg()
+	m.Kind, m.Thread = core.MsgSelectTaskRQ, prevCPU
+	m.PID, m.PrevCPU, m.Wakeup = t.PID(), prevCPU, wakeup
 	a.dispatch(m)
-	if m.RetCPU < 0 || m.RetCPU >= a.k.NumCPUs() {
+	ret := m.RetCPU
+	a.putMsg(m)
+	if ret < 0 || ret >= a.k.NumCPUs() {
 		return prevCPU
 	}
-	return m.RetCPU
+	return ret
 }
 
 // CheckPreempt implements kernel.Class: Enoki modules request wakeup
@@ -447,19 +485,22 @@ func (a *Adapter) Balance(cpu int) {
 	if a.upgrading {
 		return
 	}
-	m := &core.Message{Kind: core.MsgBalance, Thread: cpu, CPU: cpu}
+	m := a.getMsg()
+	m.Kind, m.Thread, m.CPU = core.MsgBalance, cpu, cpu
 	a.dispatch(m)
-	if !m.RetOK {
+	retOK, retPID := m.RetOK, m.RetPID
+	a.putMsg(m)
+	if !retOK {
 		return
 	}
-	pid := int(m.RetPID)
-	ti := a.info[pid]
+	ti := a.info[int(retPID)]
 	if ti == nil || !ti.queued || ti.queuedOn == cpu || !a.k.MoveTask(ti.t, cpu) {
 		a.stats.BalanceErrs++
-		a.dispatch(&core.Message{
-			Kind: core.MsgBalanceErr, Thread: cpu,
-			CPU: cpu, BalancePID: m.RetPID,
-		})
+		em := a.getMsg()
+		em.Kind, em.Thread = core.MsgBalanceErr, cpu
+		em.CPU, em.BalancePID = cpu, retPID
+		a.dispatch(em)
+		a.putMsg(em)
 	}
 }
 
@@ -468,10 +509,10 @@ func (a *Adapter) PrioChanged(t *kernel.Task) {
 	if a.info[t.PID()] == nil {
 		return
 	}
-	a.notify(&core.Message{
-		Kind: core.MsgTaskPrioChanged, Thread: t.CPU(),
-		PID: t.PID(), Prio: t.Nice(),
-	})
+	m := a.getMsg()
+	m.Kind, m.Thread = core.MsgTaskPrioChanged, t.CPU()
+	m.PID, m.Prio = t.PID(), t.Nice()
+	a.notify(m)
 }
 
 // AffinityChanged implements kernel.Class.
@@ -479,10 +520,10 @@ func (a *Adapter) AffinityChanged(t *kernel.Task) {
 	if a.info[t.PID()] == nil {
 		return
 	}
-	a.notify(&core.Message{
-		Kind: core.MsgTaskAffinityChanged, Thread: t.CPU(), PID: t.PID(),
-		Allowed: t.Allowed().List(),
-	})
+	m := a.getMsg()
+	m.Kind, m.Thread, m.PID = core.MsgTaskAffinityChanged, t.CPU(), t.PID()
+	m.Allowed = t.Allowed().AppendTo(m.Allowed[:0])
+	a.notify(m)
 }
 
 // NRunnable implements kernel.Class from the authoritative table.

@@ -22,32 +22,37 @@ func (u *UserQueue) ID() int { return u.id }
 // false if the ring overflowed (the hint was dropped, as in shared memory).
 func (u *UserQueue) Send(h core.Hint) bool {
 	if u.a.recorder != nil {
-		u.a.recorder.RecordMessage(&core.Message{
-			Kind: core.MsgHintPush, Seq: u.a.nextSeq(), Thread: -1,
-			Now: int64(u.a.k.Now()), QueueID: u.id, Hint: h,
-		})
+		m := u.a.getMsg()
+		m.Kind, m.Seq, m.Thread = core.MsgHintPush, u.a.nextSeq(), -1
+		m.Now, m.QueueID, m.Hint = int64(u.a.k.Now()), u.id, h
+		u.a.recorder.RecordMessage(m)
+		u.a.putMsg(m)
 	}
 	if !u.q.Push(h) {
 		return false
 	}
 	// notify (not dispatch): hint delivery queues behind an in-flight
 	// upgrade like every other module entry (§3.2's quiesce).
-	u.a.notify(&core.Message{
-		Kind: core.MsgEnterQueue, Thread: -1, QueueID: u.id, Count: 1,
-	})
+	m := u.a.getMsg()
+	m.Kind, m.Thread, m.QueueID, m.Count = core.MsgEnterQueue, -1, u.id, 1
+	u.a.notify(m)
 	return true
 }
 
 // SendSync delivers a hint through the synchronous parse_hint path (it too
 // waits out an in-flight upgrade).
 func (u *UserQueue) SendSync(h core.Hint) {
-	u.a.notify(&core.Message{Kind: core.MsgParseHint, Thread: -1, Hint: h})
+	m := u.a.getMsg()
+	m.Kind, m.Thread, m.Hint = core.MsgParseHint, -1, h
+	u.a.notify(m)
 }
 
 // Close unregisters the queue from the module.
 func (u *UserQueue) Close() {
 	got := u.a.sched.UnregisterQueue(u.id)
-	u.a.record(&core.Message{Kind: core.MsgUnregisterQueue, Thread: -1, QueueID: u.id})
+	m := u.a.getMsg()
+	m.Kind, m.Thread, m.QueueID = core.MsgUnregisterQueue, -1, u.id
+	u.a.record(m)
 	if got != u.q {
 		panic(fmt.Sprintf("enokic: module returned wrong queue for id %d", u.id))
 	}
@@ -59,12 +64,14 @@ func (a *Adapter) nextSeq() uint64 {
 	return s
 }
 
+// record logs a control-plane message (no dispatch) and recycles it.
 func (a *Adapter) record(m *core.Message) {
 	if a.recorder != nil {
 		m.Seq = a.nextSeq()
 		m.Now = int64(a.k.Now())
 		a.recorder.RecordMessage(m)
 	}
+	a.putMsg(m)
 }
 
 // CreateHintQueue builds a user-to-kernel hint queue of the given capacity
@@ -73,7 +80,9 @@ func (a *Adapter) record(m *core.Message) {
 func (a *Adapter) CreateHintQueue(capacity int) *UserQueue {
 	q := core.NewHintQueue(capacity)
 	id := a.sched.RegisterQueue(q)
-	a.record(&core.Message{Kind: core.MsgRegisterQueue, Thread: -1, QueueID: id, Count: capacity})
+	m := a.getMsg()
+	m.Kind, m.Thread, m.QueueID, m.Count = core.MsgRegisterQueue, -1, id, capacity
+	a.record(m)
 	if id < 0 {
 		return nil
 	}
@@ -88,7 +97,9 @@ func (a *Adapter) CreateRevQueue(capacity int) *core.RevQueue {
 	q := core.NewRevQueue(capacity)
 	q.Deferrer = func(fn func()) { a.k.Engine().After(0, fn) }
 	id := a.sched.RegisterReverseQueue(q)
-	a.record(&core.Message{Kind: core.MsgRegisterRevQueue, Thread: -1, QueueID: id, Count: capacity})
+	m := a.getMsg()
+	m.Kind, m.Thread, m.QueueID, m.Count = core.MsgRegisterRevQueue, -1, id, capacity
+	a.record(m)
 	if id < 0 {
 		return nil
 	}

@@ -56,6 +56,7 @@ func (a *Adapter) Upgrade(factory func(core.Env) core.Scheduler, done func(Upgra
 		a.deferred = nil
 		for _, m := range queued {
 			a.dispatch(m)
+			a.putMsg(m)
 		}
 		for i := range a.kickPending {
 			a.kickPending[i] = false

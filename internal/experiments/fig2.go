@@ -81,9 +81,15 @@ func Fig2(o Options, withBatch bool) *Fig2Result {
 
 	res := &Fig2Result{WithBatch: withBatch}
 	workerCores := []int{3, 4, 5, 6, 7}
-	for _, kind := range fig2Kinds {
-		series := Fig2Series{Sched: fig2Name(kind)}
-		for _, rate := range rates {
+	// Each (scheduler, rate) cell is an independent rig: fan out, collect
+	// into index-addressed slots.
+	points := make([][]Fig2Point, len(fig2Kinds))
+	for i := range points {
+		points[i] = make([]Fig2Point, len(rates))
+	}
+	parDo(o, len(fig2Kinds)*len(rates), func(ci int) {
+		kind, rate := fig2Kinds[ci/len(rates)], rates[ci%len(rates)]
+		{
 			r := NewRig(kernel.Machine8(), kind)
 			db := workload.NewRocksDB(r.K, workload.RocksDBConfig{
 				Policy:      r.Policy,
@@ -120,9 +126,11 @@ func Fig2(o Options, withBatch bool) *Fig2Result {
 			if withBatch {
 				p.BatchCPUs = float64(final-baseline) / float64(duration)
 			}
-			series.Points = append(series.Points, p)
+			points[ci/len(rates)][ci%len(rates)] = p
 		}
-		res.Series = append(res.Series, series)
+	})
+	for i, kind := range fig2Kinds {
+		res.Series = append(res.Series, Fig2Series{Sched: fig2Name(kind), Points: points[i]})
 	}
 	return res
 }

@@ -65,37 +65,43 @@ func Fig3(o Options) *Fig3Result {
 
 	res := &Fig3Result{}
 
-	cfs := Fig3Series{Config: "CFS"}
-	for _, rate := range rates {
-		r := NewRig(kernel.Machine8(), KindCFS)
-		// Plain memcached runs more worker threads than cores (its
-		// default thread pools); the oversubscription is part of why
-		// CFS falls behind at high load.
-		mr := workload.RunMemcachedThreads(r.K, r.Policy, 16, mk(rate))
-		cfs.Points = append(cfs.Points, Fig3Point{RateKRPS: rate / 1000, P99: mr.P99, Achieved: mr.Achieved, Cores: 8})
+	// One cell per (configuration, rate); every cell is a fresh machine, so
+	// they fan out across parDo workers into index-addressed slots.
+	configs := []string{"CFS", "Arachne", "Enoki-Arachne"}
+	points := make([][]Fig3Point, len(configs))
+	for i := range points {
+		points[i] = make([]Fig3Point, len(rates))
 	}
-	res.Series = append(res.Series, cfs)
-
-	native := Fig3Series{Config: "Arachne"}
-	for _, rate := range rates {
-		r := NewRig(kernel.Machine8(), KindCFS)
-		rt := arachne.NewRuntime(r.K, arachne.DefaultConfig())
-		acts := rt.Start(PolicyCFS, 7)
-		na := arachne.NewNativeArbiter(r.K, []int{1, 2, 3, 4, 5, 6, 7})
-		na.Attach(rt, 1, acts)
-		rt.StartEstimator()
-		mr := workload.RunMemcachedArachne(r.K, rt, mk(rate))
-		native.Points = append(native.Points, Fig3Point{RateKRPS: rate / 1000, P99: mr.P99, Achieved: mr.Achieved, Cores: rt.Granted()})
+	parDo(o, len(configs)*len(rates), func(ci int) {
+		cfg, rate := ci/len(rates), rates[ci%len(rates)]
+		var p Fig3Point
+		switch cfg {
+		case 0:
+			r := NewRig(kernel.Machine8(), KindCFS)
+			// Plain memcached runs more worker threads than cores (its
+			// default thread pools); the oversubscription is part of why
+			// CFS falls behind at high load.
+			mr := workload.RunMemcachedThreads(r.K, r.Policy, 16, mk(rate))
+			p = Fig3Point{RateKRPS: rate / 1000, P99: mr.P99, Achieved: mr.Achieved, Cores: 8}
+		case 1:
+			r := NewRig(kernel.Machine8(), KindCFS)
+			rt := arachne.NewRuntime(r.K, arachne.DefaultConfig())
+			acts := rt.Start(PolicyCFS, 7)
+			na := arachne.NewNativeArbiter(r.K, []int{1, 2, 3, 4, 5, 6, 7})
+			na.Attach(rt, 1, acts)
+			rt.StartEstimator()
+			mr := workload.RunMemcachedArachne(r.K, rt, mk(rate))
+			p = Fig3Point{RateKRPS: rate / 1000, P99: mr.P99, Achieved: mr.Achieved, Cores: rt.Granted()}
+		default:
+			r, rt := NewArachneRig(kernel.Machine8(), 2, 7)
+			rt.StartEstimator()
+			mr := workload.RunMemcachedArachne(r.K, rt, mk(rate))
+			p = Fig3Point{RateKRPS: rate / 1000, P99: mr.P99, Achieved: mr.Achieved, Cores: rt.Granted()}
+		}
+		points[cfg][ci%len(rates)] = p
+	})
+	for i, name := range configs {
+		res.Series = append(res.Series, Fig3Series{Config: name, Points: points[i]})
 	}
-	res.Series = append(res.Series, native)
-
-	enoki := Fig3Series{Config: "Enoki-Arachne"}
-	for _, rate := range rates {
-		r, rt := NewArachneRig(kernel.Machine8(), 2, 7)
-		rt.StartEstimator()
-		mr := workload.RunMemcachedArachne(r.K, rt, mk(rate))
-		enoki.Points = append(enoki.Points, Fig3Point{RateKRPS: rate / 1000, P99: mr.P99, Achieved: mr.Achieved, Cores: rt.Granted()})
-	}
-	res.Series = append(res.Series, enoki)
 	return res
 }

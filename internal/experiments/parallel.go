@@ -1,0 +1,39 @@
+package experiments
+
+import "sync"
+
+// parDo runs fn(i) for every i in [0, n), fanning the calls across up to
+// o.Parallel worker goroutines (0 or 1 means serial). Experiment harnesses
+// use it to run independent cells — one scheduler kind at one load point —
+// concurrently: each cell builds its own Rig, and therefore its own
+// sim.Engine, so cells share no mutable state and per-cell determinism is
+// preserved by construction. Results must land in index-addressed slots so
+// the rendered tables never depend on goroutine scheduling.
+func parDo(o Options, n int, fn func(i int)) {
+	workers := o.Parallel
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

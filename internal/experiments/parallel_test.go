@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"enoki/internal/core"
+	"enoki/internal/kernel"
+	"enoki/internal/record"
+	"enoki/internal/replay"
+	"enoki/internal/sched/wfq"
+	"enoki/internal/workload"
+)
+
+// These tests pin the parallel runner's contract: every experiment cell owns
+// its own sim.Engine, so a parallel run must be bit-for-bit identical to a
+// serial same-seed run — the fan-out buys wall clock, never determinism.
+
+// TestParallelMatchesSerialTable3 renders Table 3 serially and with four
+// workers; the tables must be byte-identical.
+func TestParallelMatchesSerialTable3(t *testing.T) {
+	serial := Table3(Options{Quick: true}).String()
+	par := Table3(Options{Quick: true, Parallel: 4}).String()
+	if serial != par {
+		t.Errorf("parallel Table3 diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, par)
+	}
+}
+
+// TestParallelMatchesSerialFig2 does the same for the Fig 2 load sweep.
+func TestParallelMatchesSerialFig2(t *testing.T) {
+	serial := Fig2(Options{Quick: true}, false).String()
+	par := Fig2(Options{Quick: true, Parallel: 4}, false).String()
+	if serial != par {
+		t.Errorf("parallel Fig2 diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, par)
+	}
+}
+
+// recordedPipeLog runs the §5.8 recorded pipe workload on a fresh rig and
+// returns the raw record log bytes.
+func recordedPipeLog(messages int) []byte {
+	r := NewRig(kernel.Machine8(), KindWFQ)
+	var buf bytes.Buffer
+	recorder := record.New(r.K, &buf, PolicyCFS, record.DefaultCosts())
+	r.Adapter.SetRecorder(recorder)
+	workload.RunPipe(r.K, workload.PipeConfig{
+		Policy: PolicyEnoki, Messages: messages, SameCore: true,
+	})
+	recorder.Close()
+	return buf.Bytes()
+}
+
+// TestParallelRecordLogByteIdentical records the same workload once
+// serially and four times concurrently. Pooled messages are snapshotted
+// (Clone) at record time, so every log must be byte-identical regardless of
+// which goroutine produced it.
+func TestParallelRecordLogByteIdentical(t *testing.T) {
+	const messages = 300
+	serial := recordedPipeLog(messages)
+	if len(serial) == 0 {
+		t.Fatal("empty record log")
+	}
+
+	logs := make([][]byte, 4)
+	var wg sync.WaitGroup
+	for i := range logs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			logs[i] = recordedPipeLog(messages)
+		}(i)
+	}
+	wg.Wait()
+	for i, log := range logs {
+		if !bytes.Equal(serial, log) {
+			t.Errorf("concurrent record log %d differs from serial (%d vs %d bytes)", i, len(log), len(serial))
+		}
+	}
+
+	// The log must still replay exactly: message recycling on the live path
+	// cannot leak into the recorded stream.
+	rres, err := replay.Replay(bytes.NewReader(serial),
+		replay.Config{NumCPUs: 8},
+		func(env core.Env) core.Scheduler { return wfq.New(env, PolicyEnoki) })
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(rres.Divergences) != 0 {
+		t.Errorf("replay diverged %d times with pooled messages", len(rres.Divergences))
+	}
+	if rres.Messages == 0 {
+		t.Error("replay processed no messages")
+	}
+}

@@ -157,9 +157,12 @@ func NewArachneRig(m kernel.Machine, minCores, maxCores int) (*Rig, *arachne.Run
 
 // Options tunes experiment scale: Quick shrinks message counts and
 // durations so the full suite runs in seconds (used by `go test -bench`);
-// the full scale matches the paper's run lengths.
+// the full scale matches the paper's run lengths. Parallel sets how many
+// independent experiment cells may run concurrently (each on its own Rig and
+// engine); 0 or 1 runs serially and produces byte-identical output.
 type Options struct {
-	Quick bool
+	Quick    bool
+	Parallel int
 }
 
 // scale returns full when !Quick, quick otherwise.

@@ -45,27 +45,32 @@ func Table3(o Options) *Table3Result {
 	res := &Table3Result{Messages: messages}
 
 	kinds := []Kind{KindCFS, KindGhostSOL, KindGhostFIFO, KindWFQ, KindShinjuku, KindLocality}
-	for _, kind := range kinds {
-		var lat [2]time.Duration
-		for i, sameCore := range []bool{true, false} {
-			r := NewRig(kernel.Machine8(), kind)
+	// One cell per (row, core-config); the last row is Arachne, whose
+	// ping-pong runs as user threads on the runtime. Cells are independent
+	// rigs, so they fan out across parDo workers; lats is index-addressed
+	// to keep the table order deterministic.
+	lats := make([][2]time.Duration, len(kinds)+1)
+	parDo(o, 2*len(lats), func(ci int) {
+		row, i := ci/2, ci%2
+		if row < len(kinds) {
+			r := NewRig(kernel.Machine8(), kinds[row])
 			pr := workload.RunPipe(r.K, workload.PipeConfig{
 				Policy:   r.Policy,
 				Messages: messages,
-				SameCore: sameCore,
+				SameCore: i == 0,
 			})
-			lat[i] = pr.PerWakeup
+			lats[row][i] = pr.PerWakeup
+		} else {
+			cores := i + 1
+			r, rt := NewArachneRig(kernel.Machine8(), cores, cores)
+			pr := workload.RunArachnePipe(r.K, rt, messages, cores == 2)
+			lats[row][i] = pr.PerWakeup
 		}
-		res.Rows = append(res.Rows, Table3Row{Sched: kind.String(), OneCore: lat[0], TwoCore: lat[1]})
+	})
+	for row, kind := range kinds {
+		res.Rows = append(res.Rows, Table3Row{Sched: kind.String(), OneCore: lats[row][0], TwoCore: lats[row][1]})
 	}
-
-	// Arachne: the ping-pong runs as user threads on the runtime.
-	var lat [2]time.Duration
-	for i, cores := range []int{1, 2} {
-		r, rt := NewArachneRig(kernel.Machine8(), cores, cores)
-		pr := workload.RunArachnePipe(r.K, rt, messages, cores == 2)
-		lat[i] = pr.PerWakeup
-	}
-	res.Rows = append(res.Rows, Table3Row{Sched: "Arachne", OneCore: lat[0], TwoCore: lat[1]})
+	last := lats[len(kinds)]
+	res.Rows = append(res.Rows, Table3Row{Sched: "Arachne", OneCore: last[0], TwoCore: last[1]})
 	return res
 }

@@ -51,9 +51,16 @@ func Table4(o Options) *Table4Result {
 	res := &Table4Result{Duration: duration}
 
 	kinds := []Kind{KindCFS, KindGhostSOL, KindGhostFIFO, KindWFQ, KindShinjuku, KindLocality}
-	for _, workers := range []int{2, 40} {
-		var cells []Table4Cell
-		for _, kind := range kinds {
+	workerCounts := []int{2, 40}
+	// Cells are (worker-count, scheduler) pairs; the last column per worker
+	// count is Arachne. Index-addressed so fan-out keeps table order.
+	perRow := len(kinds) + 1
+	cells := make([]Table4Cell, len(workerCounts)*perRow)
+	parDo(o, len(cells), func(ci int) {
+		workers := workerCounts[ci/perRow]
+		col := ci % perRow
+		if col < len(kinds) {
+			kind := kinds[col]
 			r := NewRig(kernel.Machine80(), kind)
 			sr := workload.RunSchbench(r.K, workload.SchbenchConfig{
 				Policy:         r.Policy,
@@ -62,7 +69,8 @@ func Table4(o Options) *Table4Result {
 				Warmup:         warmup,
 				Duration:       duration,
 			})
-			cells = append(cells, Table4Cell{Sched: kind.String(), P50: sr.P50, P99: sr.P99})
+			cells[ci] = Table4Cell{Sched: kind.String(), P50: sr.P50, P99: sr.P99}
+			return
 		}
 		// Arachne: user-level message/worker dispatch.
 		r, rt := NewArachneRig(kernel.Machine80(), 2, 79)
@@ -74,12 +82,9 @@ func Table4(o Options) *Table4Result {
 			Warmup:         warmup,
 			Duration:       duration,
 		})
-		cells = append(cells, Table4Cell{Sched: "Arachne", P50: sr.P50, P99: sr.P99})
-		if workers == 2 {
-			res.TwoWorkers = cells
-		} else {
-			res.FortyWorkers = cells
-		}
-	}
+		cells[ci] = Table4Cell{Sched: "Arachne", P50: sr.P50, P99: sr.P99}
+	})
+	res.TwoWorkers = cells[:perRow]
+	res.FortyWorkers = cells[perRow:]
 	return res
 }

@@ -56,24 +56,31 @@ func Table6(o Options) *Table6Result {
 	}
 	res := &Table6Result{}
 
-	run := func(config string, kind Kind, mutate func(*Rig, *workload.SchbenchConfig)) {
-		r := NewRig(kernel.Machine8(), kind)
+	specs := []struct {
+		config string
+		kind   Kind
+		mutate func(*Rig, *workload.SchbenchConfig)
+	}{
+		{"CFS", KindCFS, nil},
+		{"CFS One Core", KindCFS, func(r *Rig, cfg *workload.SchbenchConfig) {
+			cfg.OneCore = true
+		}},
+		{"Random", KindLocality, nil},
+		{"Hints", KindLocality, func(r *Rig, cfg *workload.SchbenchConfig) {
+			cfg.Hints = r.Adapter.CreateHintQueue(64)
+		}},
+	}
+	res.Rows = make([]Table6Row, len(specs))
+	parDo(o, len(specs), func(si int) {
+		s := specs[si]
+		r := NewRig(kernel.Machine8(), s.kind)
 		cfg := base
 		cfg.Policy = r.Policy
-		if mutate != nil {
-			mutate(r, &cfg)
+		if s.mutate != nil {
+			s.mutate(r, &cfg)
 		}
 		sr := workload.RunSchbench(r.K, cfg)
-		res.Rows = append(res.Rows, Table6Row{Config: config, P50: sr.P50, P99: sr.P99})
-	}
-
-	run("CFS", KindCFS, nil)
-	run("CFS One Core", KindCFS, func(r *Rig, cfg *workload.SchbenchConfig) {
-		cfg.OneCore = true
-	})
-	run("Random", KindLocality, nil)
-	run("Hints", KindLocality, func(r *Rig, cfg *workload.SchbenchConfig) {
-		cfg.Hints = r.Adapter.CreateHintQueue(64)
+		res.Rows[si] = Table6Row{Config: s.config, P50: sr.P50, P99: sr.P99}
 	})
 	return res
 }

@@ -188,7 +188,9 @@ func (c *CFS) Dequeue(cpu int, t *Task, sleep bool) {
 		return
 	}
 	if e.node != nil {
-		rq.tree.Delete(e.node)
+		n := e.node
+		rq.tree.Delete(n)
+		rq.tree.Free(n)
 		e.node = nil
 		rq.totalWeight -= e.weight
 		rq.updateMinV()
@@ -229,6 +231,7 @@ func (c *CFS) PickNext(cpu int) *Task {
 	}
 	e := n.Value()
 	rq.tree.Delete(n)
+	rq.tree.Free(n)
 	e.node = nil
 	rq.curr = e
 	e.prevSum = e.t.SumExec()

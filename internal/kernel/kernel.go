@@ -28,8 +28,18 @@ type CPU struct {
 	wakingUntil ktime.Time
 	wasIdle     bool
 
+	// tickEvent and reschedTimer are persistent events re-armed in place
+	// (sim.Reschedule): one Event object per CPU for the life of the kernel
+	// instead of a closure + Event allocation per arm.
 	tickEvent    *sim.Event
 	reschedTimer *sim.Event
+	tickRunning  bool
+
+	// kickFn and kick0Fn are the pre-built closures behind kick(): delayed
+	// and coalesced zero-delay kicks post them fire-and-forget, keeping the
+	// kick path allocation-free.
+	kickFn  func()
+	kick0Fn func()
 
 	busy        time.Duration
 	pendingCost time.Duration
@@ -70,7 +80,15 @@ func New(eng *sim.Engine, m Machine, costs Costs) *Kernel {
 		rand:    ktime.NewRand(0x1d1e),
 	}
 	for i := 0; i < m.NumCPUs; i++ {
-		k.cpus = append(k.cpus, &CPU{id: i})
+		c := &CPU{id: i}
+		c.tickEvent = eng.NewEvent(func() { k.tickFire(c) })
+		c.reschedTimer = eng.NewEvent(func() { k.Resched(c.id) })
+		c.kickFn = func() { k.schedule(c.id) }
+		c.kick0Fn = func() {
+			c.kickPending = false
+			k.schedule(c.id)
+		}
+		k.cpus = append(k.cpus, c)
 	}
 	return k
 }
@@ -264,14 +282,10 @@ func (k *Kernel) Resched(cpu int) {
 // the CPU.
 func (k *Kernel) ArmResched(cpu int, d time.Duration) {
 	c := k.cpus[cpu]
-	if c.reschedTimer != nil {
-		c.reschedTimer.Cancel()
-	}
 	c.pendingCost += k.costs.TimerArm
-	c.reschedTimer = k.eng.After(d, func() {
-		c.reschedTimer = nil
-		k.Resched(cpu)
-	})
+	// Reschedule moves an already-armed timer in place (the old arm is
+	// superseded, matching the previous cancel + re-create semantics).
+	k.eng.RescheduleAfter(c.reschedTimer, d)
 }
 
 // kick schedules a __schedule pass on cpu after delay. Kicking an idle CPU
@@ -303,13 +317,10 @@ func (k *Kernel) kick(cpu int, delay time.Duration) {
 			return
 		}
 		c.kickPending = true
+		k.eng.Post(0, c.kick0Fn)
+		return
 	}
-	k.eng.After(delay, func() {
-		if delay == 0 {
-			c.kickPending = false
-		}
-		k.schedule(cpu)
-	})
+	k.eng.Post(delay, c.kickFn)
 }
 
 // account charges cpu's current task for the time it has run since the last
@@ -348,10 +359,7 @@ func (k *Kernel) schedule(cpu int) {
 
 	if prev != nil {
 		k.account(c)
-		if prev.runEvent != nil {
-			prev.runEvent.Cancel()
-			prev.runEvent = nil
-		}
+		prev.runEvent.Cancel()
 		if prev.state == StateRunning {
 			prev.state = StateRunnable
 			oh += prev.class.OverheadPerCall()
@@ -398,10 +406,10 @@ func (k *Kernel) schedule(cpu int) {
 // segment, fetching the next action if none is pending. delay is kernel work
 // (already charged) that precedes user execution.
 func (k *Kernel) startSegment(c *CPU, t *Task, delay time.Duration) {
-	if t.pending == nil {
-		act := t.behavior.Next(k, t)
-		t.pending = &act
-		t.segLeft = act.Run
+	if !t.hasPending {
+		t.pending = t.behavior.Next(k, t)
+		t.hasPending = true
+		t.segLeft = t.pending.Run
 	}
 	now := k.eng.Now()
 	t.execStart = now.Add(delay)
@@ -411,9 +419,10 @@ func (k *Kernel) startSegment(c *CPU, t *Task, delay time.Duration) {
 			t.OnWake(t.execStart.Sub(t.lastWake))
 		}
 	}
-	t.runEvent = k.eng.At(t.execStart.Add(t.segLeft), func() {
-		k.segmentDone(c, t)
-	})
+	if t.runEvent == nil {
+		t.runEvent = k.eng.NewEvent(func() { k.segmentDone(k.cpus[t.cpu], t) })
+	}
+	k.eng.Reschedule(t.runEvent, t.execStart.Add(t.segLeft))
 }
 
 // segmentDone completes the task's current segment: perform its wakes, then
@@ -422,8 +431,9 @@ func (k *Kernel) segmentDone(c *CPU, t *Task) {
 	if c.curr != t || t.state != StateRunning {
 		return // stale completion; the task was preempted or moved
 	}
-	t.runEvent = nil
 	k.account(c)
+	// Copy the action out of the inline slot: a startSegment below refills
+	// t.pending for the next segment.
 	act := t.pending
 
 	extra := time.Duration(0)
@@ -436,7 +446,7 @@ func (k *Kernel) segmentDone(c *CPU, t *Task) {
 
 	switch act.Op {
 	case OpContinue:
-		t.pending = nil
+		t.hasPending = false
 		if c.needResched {
 			c.pendingCost += extra
 			k.schedule(c.id)
@@ -444,7 +454,7 @@ func (k *Kernel) segmentDone(c *CPU, t *Task) {
 			k.startSegment(c, t, extra)
 		}
 	case OpYield:
-		t.pending = nil
+		t.hasPending = false
 		t.state = StateRunnable
 		c.curr = nil
 		c.pendingCost += extra + t.class.OverheadPerCall()
@@ -454,7 +464,7 @@ func (k *Kernel) segmentDone(c *CPU, t *Task) {
 		if act.Op == OpBlock && act.Recheck != nil && act.Recheck() {
 			// Futex-style recheck: a wake raced with the block
 			// decision; keep running.
-			t.pending = nil
+			t.hasPending = false
 			if c.needResched {
 				c.pendingCost += extra
 				k.schedule(c.id)
@@ -463,17 +473,20 @@ func (k *Kernel) segmentDone(c *CPU, t *Task) {
 			}
 			return
 		}
-		t.pending = nil
+		t.hasPending = false
 		t.state = StateBlocked
 		c.curr = nil
 		c.pendingCost += extra + t.class.OverheadPerCall()
 		t.class.Dequeue(c.id, t, true)
 		if act.Op == OpSleep {
-			k.eng.After(act.SleepFor, func() { k.Wake(t) })
+			if t.wakeFn == nil {
+				t.wakeFn = func() { k.Wake(t) }
+			}
+			k.eng.Post(act.SleepFor, t.wakeFn)
 		}
 		k.schedule(c.id)
 	case OpExit:
-		t.pending = nil
+		t.hasPending = false
 		t.state = StateDead
 		c.curr = nil
 		c.pendingCost += extra + 2*t.class.OverheadPerCall()
@@ -492,24 +505,27 @@ func (k *Kernel) segmentDone(c *CPU, t *Task) {
 // ensureTick starts the per-CPU scheduler tick chain if it is not running.
 // The chain self-stops when the CPU goes idle.
 func (k *Kernel) ensureTick(c *CPU) {
-	if c.tickEvent != nil {
+	if c.tickRunning {
 		return
 	}
-	var fire func()
-	fire = func() {
-		if c.curr == nil {
-			c.tickEvent = nil
-			return
-		}
-		c.busy += k.costs.Tick
-		k.account(c)
-		t := c.curr
-		c.busy += t.class.OverheadPerCall()
-		t.class.Tick(c.id, t)
-		k.nohzKick(c)
-		c.tickEvent = k.eng.After(k.costs.TickPeriod, fire)
+	c.tickRunning = true
+	k.eng.RescheduleAfter(c.tickEvent, k.costs.TickPeriod)
+}
+
+// tickFire is one scheduler tick on c: charge the tick cost, let the current
+// task's class account and preempt, then re-arm the persistent tick event.
+func (k *Kernel) tickFire(c *CPU) {
+	if c.curr == nil {
+		c.tickRunning = false
+		return
 	}
-	c.tickEvent = k.eng.After(k.costs.TickPeriod, fire)
+	c.busy += k.costs.Tick
+	k.account(c)
+	t := c.curr
+	c.busy += t.class.OverheadPerCall()
+	t.class.Tick(c.id, t)
+	k.nohzKick(c)
+	k.eng.RescheduleAfter(c.tickEvent, k.costs.TickPeriod)
 }
 
 // nohzKick is the NOHZ idle-balance analogue: a busy CPU with queued work
@@ -605,10 +621,7 @@ func (k *Kernel) SetAffinity(t *Task, m CPUMask) {
 		// Force the task off its CPU; it re-selects a queue on requeue.
 		c := k.cpus[t.cpu]
 		k.account(c)
-		if t.runEvent != nil {
-			t.runEvent.Cancel()
-			t.runEvent = nil
-		}
+		t.runEvent.Cancel()
 		t.state = StateRunnable
 		t.class.PutPrev(t.cpu, t, true)
 		t.class.Dequeue(t.cpu, t, false)
@@ -658,10 +671,7 @@ func (k *Kernel) SetScheduler(t *Task, classID int) {
 	case StateRunning:
 		c := k.cpus[t.cpu]
 		k.account(c)
-		if t.runEvent != nil {
-			t.runEvent.Cancel()
-			t.runEvent = nil
-		}
+		t.runEvent.Cancel()
 		t.state = StateRunnable
 		old.PutPrev(t.cpu, t, true)
 		old.Dequeue(t.cpu, t, false)

@@ -1,76 +1,17 @@
-package kernel
+package kernel_test
 
 import (
 	"testing"
-	"time"
 
-	"enoki/internal/sim"
+	"enoki/internal/bench"
 )
 
 // Micro-benchmarks of the hot simulator paths: these bound how much virtual
-// work the harness can push per host second.
+// work the harness can push per host second. The bodies live in
+// internal/bench so `enokibench -benchjson` can run the same code.
 
-func BenchmarkScheduleOp(b *testing.B) {
-	// One full block→wake→schedule round trip per iteration.
-	eng := sim.New()
-	k := New(eng, Machine8(), DefaultCosts())
-	k.RegisterClass(0, NewCFS(k))
-	var a, c *Task
-	count := 0
-	mk := func(peer **Task, starts bool) Behavior {
-		started := false
-		return BehaviorFunc(func(k *Kernel, t *Task) Action {
-			if starts && !started {
-				started = true
-				return Action{Run: 100 * time.Nanosecond, Wake: []*Task{*peer}, Op: OpBlock}
-			}
-			count++
-			return Action{Run: 100 * time.Nanosecond, Wake: []*Task{*peer}, Op: OpBlock}
-		})
-	}
-	a = k.Spawn("a", 0, mk(&c, true), WithAffinity(SingleCPU(0)))
-	c = k.Spawn("b", 0, mk(&a, false), WithAffinity(SingleCPU(0)))
-	b.ReportAllocs()
-	b.ResetTimer()
-	target := 0
-	for i := 0; i < b.N; i++ {
-		target += 1
-		for count < target {
-			if !eng.Step() {
-				b.Fatal("engine drained")
-			}
-		}
-	}
-}
+func BenchmarkScheduleOp(b *testing.B) { bench.ScheduleOp(b) }
 
-func BenchmarkSpawnExit(b *testing.B) {
-	eng := sim.New()
-	k := New(eng, Machine8(), DefaultCosts())
-	k.RegisterClass(0, NewCFS(k))
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		k.Spawn("s", 0, BehaviorFunc(func(*Kernel, *Task) Action {
-			return Action{Run: time.Microsecond, Op: OpExit}
-		}))
-		k.RunFor(100 * time.Microsecond)
-	}
-	if k.NumTasks() != 0 {
-		b.Fatal("tasks leaked")
-	}
-}
+func BenchmarkSpawnExit(b *testing.B) { bench.SpawnExit(b) }
 
-func BenchmarkTickPath(b *testing.B) {
-	eng := sim.New()
-	k := New(eng, Machine8(), DefaultCosts())
-	k.RegisterClass(0, NewCFS(k))
-	for i := 0; i < 16; i++ {
-		k.Spawn("t", 0, BehaviorFunc(func(*Kernel, *Task) Action {
-			return Action{Run: 10 * time.Millisecond, Op: OpContinue}
-		}))
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		k.RunFor(time.Millisecond) // ≥8 ticks + preemptions per iteration
-	}
-}
+func BenchmarkTickPath(b *testing.B) { bench.TickPath(b) }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"enoki/internal/ktime"
+	"enoki/internal/sim"
 )
 
 // State is a task's lifecycle state, mirroring the subset of Linux task
@@ -122,13 +123,19 @@ func (m CPUMask) Has(cpu int) bool {
 
 // List returns the allowed CPUs in ascending order.
 func (m CPUMask) List() []int {
-	out := make([]int, 0, m.Count())
+	return m.AppendTo(make([]int, 0, m.Count()))
+}
+
+// AppendTo appends the allowed CPUs in ascending order to dst and returns
+// the extended slice. It allocates only when dst lacks capacity, which lets
+// hot paths reuse one backing array across calls.
+func (m CPUMask) AppendTo(dst []int) []int {
 	for i := 0; i < 128; i++ {
 		if m.Has(i) {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	return out
+	return dst
 }
 
 // Count returns the number of allowed CPUs.
@@ -154,8 +161,12 @@ type Task struct {
 	state State
 
 	behavior Behavior
-	pending  *Action
-	segLeft  time.Duration
+	// pending is an inline action slot, valid only while hasPending is set;
+	// storing the Action by value keeps the segment hot path free of the
+	// per-segment box the old *Action field required.
+	pending    Action
+	hasPending bool
+	segLeft    time.Duration
 
 	sumExec   time.Duration
 	execStart ktime.Time // start of the currently running stretch
@@ -165,7 +176,11 @@ type Task struct {
 
 	allowed CPUMask
 
-	runEvent cancellable
+	// runEvent is the task's persistent segment-completion event, re-armed
+	// in place (sim.Reschedule) for every compute segment. wakeFn is the
+	// lazily built OpSleep self-wake closure, posted fire-and-forget.
+	runEvent *sim.Event
+	wakeFn   func()
 
 	// classData is private per-class state (e.g. the CFS entity).
 	classData any
@@ -178,8 +193,6 @@ type Task struct {
 	// UserData is free space for workload models.
 	UserData any
 }
-
-type cancellable interface{ Cancel() }
 
 // PID returns the task's process ID.
 func (t *Task) PID() int { return t.pid }

@@ -47,6 +47,10 @@ type Tree[K, V any] struct {
 	nilNode  *Node[K, V]
 	leftmost *Node[K, V]
 	size     int
+	// pool chains removed nodes handed back via Free (linked through
+	// .right); Insert reuses them so steady-state enqueue/dequeue cycles
+	// allocate no nodes.
+	pool *Node[K, V]
 }
 
 // New returns an empty tree ordered by less.
@@ -72,10 +76,19 @@ func (t *Tree[K, V]) Min() *Node[K, V] {
 
 // Insert adds (key, val) and returns the node handle.
 func (t *Tree[K, V]) Insert(key K, val V) *Node[K, V] {
-	n := &Node[K, V]{
-		key: key, val: val,
-		left: t.nilNode, right: t.nilNode, parent: t.nilNode,
-		color: red, tree: t,
+	n := t.pool
+	if n != nil {
+		t.pool = n.right
+		n.key, n.val = key, val
+		n.left, n.right, n.parent = t.nilNode, t.nilNode, t.nilNode
+		n.color = red
+		n.tree = t
+	} else {
+		n = &Node[K, V]{
+			key: key, val: val,
+			left: t.nilNode, right: t.nilNode, parent: t.nilNode,
+			color: red, tree: t,
+		}
 	}
 	y := t.nilNode
 	x := t.root
@@ -119,6 +132,27 @@ func (t *Tree[K, V]) Delete(n *Node[K, V]) {
 	n.tree = nil
 	n.left, n.right, n.parent = nil, nil, nil
 	t.size--
+}
+
+// Free hands a removed node back to the tree for reuse by a later Insert.
+// It is an explicit opt-in, not part of Delete, because PopMin callers read
+// the node after removal. The node must already be out of the tree; freeing
+// a queued node or double-freeing panics. After Free the caller must drop
+// every reference to n — it will be recycled as a different element.
+func (t *Tree[K, V]) Free(n *Node[K, V]) {
+	if n == nil || n.tree != nil {
+		panic("rbtree: Free of nil or still-inserted node")
+	}
+	if n.parent == n {
+		panic("rbtree: double Free")
+	}
+	var zk K
+	var zv V
+	n.key, n.val = zk, zv
+	n.parent = n // free-marker, cleared by Insert
+	n.left = nil
+	n.right = t.pool
+	t.pool = n
 }
 
 // PopMin removes and returns the minimum node, or nil if empty.

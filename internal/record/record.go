@@ -88,8 +88,9 @@ func (r *Recorder) PerCallCost() time.Duration { return r.costs.PerCall }
 
 // RecordMessage implements core.Recorder.
 func (r *Recorder) RecordMessage(m *core.Message) {
-	cp := *m // the live message keeps mutating; log a snapshot
-	r.push(Entry{Msg: &cp})
+	// Deep snapshot: the live message is pooled and will be reset and
+	// reused, and its ref pointers point into its own inline buffers.
+	r.push(Entry{Msg: m.Clone()})
 }
 
 // RecordLock implements core.Recorder.

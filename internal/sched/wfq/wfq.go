@@ -152,7 +152,9 @@ func (s *Sched) enqueue(rq *runq, t *task, cpu int) {
 
 func (s *Sched) dequeue(rq *runq, t *task) {
 	if t.node != nil {
-		rq.tree.Delete(t.node)
+		n := t.node
+		rq.tree.Delete(n)
+		rq.tree.Free(n)
 		t.node = nil
 	}
 	t.queued = false
@@ -294,6 +296,7 @@ func (s *Sched) PickNextTask(cpu int, curr *core.Schedulable, currRuntime time.D
 	}
 	t := n.Value()
 	rq.tree.Delete(n)
+	rq.tree.Free(n)
 	t.node = nil
 	t.queued = false
 	rq.curr = t

@@ -8,6 +8,20 @@
 // cancelled by its handle; cancellation is O(1) (the event is tombstoned and
 // skipped when popped), which matters because the kernel cancels and re-arms
 // per-CPU completion events on every preemption.
+//
+// The hot paths are allocation-free in steady state:
+//
+//   - Post/PostAt schedule fire-and-forget events drawn from an internal
+//     free list; because no handle escapes, the Event is recycled the moment
+//     it fires.
+//   - NewEvent + Reschedule give timer owners (the kernel's per-CPU tick and
+//     reschedule timers, per-task completion events) one persistent Event
+//     that is re-armed in place instead of allocating a closure + Event per
+//     arm.
+//
+// Tombstones do not accumulate: the engine tracks the live count, and when
+// more than half the heap is cancelled events it compacts the heap in one
+// O(n) pass.
 package sim
 
 import (
@@ -18,29 +32,44 @@ import (
 )
 
 // Event is a scheduled closure. The zero value is invalid; events are created
-// through Engine.At / Engine.After.
+// through Engine.At / Engine.After / Engine.NewEvent.
 type Event struct {
 	at        ktime.Time
 	seq       uint64
 	fn        func()
 	cancelled bool
-	index     int // heap index, -1 once popped
+	// recycle marks a fire-and-forget event (Post/PostAt): no handle
+	// escaped, so the engine returns it to the free list once it leaves
+	// the heap.
+	recycle bool
+	index   int // heap index, -1 when not queued
+	eng     *Engine
 }
 
 // Cancel tombstones the event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op. The event object stays valid: a later
+// Engine.Reschedule re-arms it.
 func (e *Event) Cancel() {
-	if e != nil {
-		e.cancelled = true
-		e.fn = nil
+	if e == nil || e.cancelled {
+		return
+	}
+	e.cancelled = true
+	if e.index >= 0 && e.eng != nil {
+		e.eng.live--
+		e.eng.maybeCompact()
 	}
 }
 
-// Cancelled reports whether Cancel was called before the event fired.
+// Cancelled reports whether Cancel was called after the event was last
+// armed.
 func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
 
 // Time returns the virtual instant the event is (or was) scheduled for.
 func (e *Event) Time() ktime.Time { return e.at }
+
+// Queued reports whether the event is currently armed (in the heap and not
+// tombstoned).
+func (e *Event) Queued() bool { return e != nil && e.index >= 0 && !e.cancelled }
 
 type eventHeap []*Event
 
@@ -71,6 +100,10 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// compactFloor is the minimum heap size before tombstone compaction is
+// considered; below it the garbage is too small to matter.
+const compactFloor = 64
+
 // Engine is a deterministic discrete-event executor. It is not safe for
 // concurrent use; all simulation state mutates from event closures running on
 // the caller's goroutine.
@@ -78,8 +111,11 @@ type Engine struct {
 	now     ktime.Time
 	seq     uint64
 	pq      eventHeap
+	live    int // queued events that are not tombstoned
+	free    []*Event
 	stopped bool
-	fired   uint64
+	fired    uint64
+	recycled uint64
 }
 
 // New returns an engine with the clock at T+0 and an empty queue.
@@ -94,25 +130,160 @@ func (e *Engine) Now() ktime.Time { return e.now }
 // tests.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of queued (possibly tombstoned) events.
-func (e *Engine) Pending() int { return len(e.pq) }
+// Pending returns the number of live (non-cancelled) queued events.
+func (e *Engine) Pending() int { return e.live }
+
+// QueueLen returns the raw heap length, tombstones included (tests and
+// diagnostics; Pending is the meaningful count).
+func (e *Engine) QueueLen() int { return len(e.pq) }
+
+// Recycled returns how many fire-and-forget events have been returned to the
+// free list, an allocation-behaviour probe for tests.
+func (e *Engine) Recycled() uint64 { return e.recycled }
+
+// alloc produces an Event, reusing a recycled one when available.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{eng: e, index: -1}
+}
+
+// release returns a fire-and-forget event to the free list once it is out of
+// the heap. Handle-returning events are never recycled: a retained handle
+// could otherwise cancel an unrelated future event.
+func (e *Engine) release(ev *Event) {
+	if !ev.recycle || ev.index >= 0 {
+		return
+	}
+	ev.fn = nil
+	ev.cancelled = false
+	e.recycled++
+	e.free = append(e.free, ev)
+}
+
+func (e *Engine) checkFuture(t ktime.Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past (%v < now %v)", t, e.now))
+	}
+}
+
+// push arms ev at t with a fresh sequence number.
+func (e *Engine) push(ev *Event, t ktime.Time) {
+	ev.at = t
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.pq, ev)
+	e.live++
+}
 
 // At schedules fn at absolute virtual time t and returns a cancellable
 // handle. Scheduling in the past panics: it always indicates a kernel
 // accounting bug, and silently clamping would hide it.
 func (e *Engine) At(t ktime.Time, fn func()) *Event {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: event scheduled in the past (%v < now %v)", t, e.now))
-	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.pq, ev)
+	e.checkFuture(t)
+	ev := e.alloc()
+	ev.fn = fn
+	ev.recycle = false
+	e.push(ev, t)
 	return ev
 }
 
 // After schedules fn d from now. Negative d panics via At.
 func (e *Engine) After(d ktime.Duration, fn func()) *Event {
 	return e.At(e.now.Add(d), fn)
+}
+
+// PostAt schedules fn at absolute time t as a fire-and-forget event: no
+// handle is returned, so the Event object is drawn from and returned to the
+// engine's free list — the steady-state cost is zero allocations. Use it for
+// one-shot work that is never cancelled (kicks, self-wakes).
+func (e *Engine) PostAt(t ktime.Time, fn func()) {
+	e.checkFuture(t)
+	ev := e.alloc()
+	ev.fn = fn
+	ev.recycle = true
+	e.push(ev, t)
+}
+
+// Post schedules fn d from now, fire-and-forget (see PostAt).
+func (e *Engine) Post(d ktime.Duration, fn func()) {
+	e.PostAt(e.now.Add(d), fn)
+}
+
+// NewEvent returns an unarmed event bound to fn, intended to be armed (and
+// re-armed, and cancelled) many times via Reschedule: one Event object per
+// recurring timer instead of one per arm. The handle owner must not share it.
+func (e *Engine) NewEvent(fn func()) *Event {
+	if fn == nil {
+		panic("sim: NewEvent with nil function")
+	}
+	return &Event{eng: e, index: -1, fn: fn}
+}
+
+// Reschedule (re-)arms ev at absolute time t, keeping its function. It
+// accepts an event in any state: queued (moved in place), tombstoned
+// (revived), or fired/unarmed (pushed again) — including the event currently
+// executing, which is how recurring timers re-arm themselves. A fresh
+// sequence number is assigned, so ordering is exactly as if a new event had
+// been scheduled.
+func (e *Engine) Reschedule(ev *Event, t ktime.Time) {
+	if ev == nil || ev.fn == nil {
+		panic("sim: Reschedule of an event without a function")
+	}
+	if ev.recycle {
+		panic("sim: Reschedule of a fire-and-forget event")
+	}
+	e.checkFuture(t)
+	if ev.eng == nil {
+		ev.eng = e
+	}
+	if ev.index >= 0 {
+		if ev.cancelled {
+			ev.cancelled = false
+			e.live++
+		}
+		ev.at = t
+		ev.seq = e.seq
+		e.seq++
+		heap.Fix(&e.pq, ev.index)
+		return
+	}
+	ev.cancelled = false
+	e.push(ev, t)
+}
+
+// RescheduleAfter re-arms ev d from now (see Reschedule).
+func (e *Engine) RescheduleAfter(ev *Event, d ktime.Duration) {
+	e.Reschedule(ev, e.now.Add(d))
+}
+
+// maybeCompact rebuilds the heap without tombstones once they outnumber live
+// events and the heap is big enough for the O(n) pass to pay off.
+func (e *Engine) maybeCompact() {
+	if len(e.pq) < compactFloor || 2*e.live > len(e.pq) {
+		return
+	}
+	kept := e.pq[:0]
+	for _, ev := range e.pq {
+		if ev.cancelled {
+			ev.index = -1
+			e.release(ev)
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	for i := len(kept); i < len(e.pq); i++ {
+		e.pq[i] = nil
+	}
+	e.pq = kept
+	for i, ev := range e.pq {
+		ev.index = i
+	}
+	heap.Init(&e.pq)
 }
 
 // Stop makes the currently executing Run return after the current event
@@ -125,13 +296,16 @@ func (e *Engine) Step() bool {
 	for len(e.pq) > 0 {
 		ev := heap.Pop(&e.pq).(*Event)
 		if ev.cancelled {
+			e.release(ev)
 			continue
 		}
+		e.live--
 		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
 		e.fired++
-		fn()
+		ev.fn()
+		// The closure may have re-armed ev (recurring timers); only a
+		// still-unqueued fire-and-forget event is recyclable.
+		e.release(ev)
 		return true
 	}
 	return false
@@ -145,7 +319,8 @@ func (e *Engine) RunUntil(t ktime.Time) {
 	for !e.stopped && len(e.pq) > 0 {
 		// Peek without popping: heap root is pq[0].
 		for len(e.pq) > 0 && e.pq[0].cancelled {
-			heap.Pop(&e.pq)
+			ev := heap.Pop(&e.pq).(*Event)
+			e.release(ev)
 		}
 		if len(e.pq) == 0 || e.pq[0].at > t {
 			break

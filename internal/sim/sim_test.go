@@ -149,8 +149,12 @@ func TestStepAndPending(t *testing.T) {
 	e.After(10, func() {})
 	ev := e.After(20, func() {})
 	ev.Cancel()
-	if e.Pending() != 2 {
+	// Pending counts live events only; the tombstone is excluded.
+	if e.Pending() != 1 {
 		t.Fatalf("Pending = %d", e.Pending())
+	}
+	if e.QueueLen() != 2 {
+		t.Fatalf("QueueLen = %d", e.QueueLen())
 	}
 	if !e.Step() {
 		t.Fatal("Step should fire the live event")
@@ -186,5 +190,164 @@ func TestManyEventsDeterministic(t *testing.T) {
 		if i > 0 && a[i] < a[i-1] {
 			t.Fatalf("time went backwards at %d", i)
 		}
+	}
+}
+
+func TestPostFireAndRecycle(t *testing.T) {
+	e := New()
+	count := 0
+	e.Post(10, func() { count++ })
+	e.Post(20, func() { count++ })
+	e.Run()
+	if count != 2 {
+		t.Fatalf("posted events fired %d times", count)
+	}
+	if e.Recycled() != 2 {
+		t.Fatalf("Recycled = %d, want 2", e.Recycled())
+	}
+	// The next Post must reuse a recycled Event object.
+	e.Post(10, func() { count++ })
+	e.Run()
+	if count != 3 || e.Recycled() != 3 {
+		t.Fatalf("count=%d recycled=%d", count, e.Recycled())
+	}
+}
+
+func TestRescheduleRecurring(t *testing.T) {
+	e := New()
+	var times []ktime.Time
+	var ev *Event
+	ev = e.NewEvent(func() {
+		times = append(times, e.Now())
+		if len(times) < 3 {
+			e.RescheduleAfter(ev, 10)
+		}
+	})
+	if ev.Queued() {
+		t.Fatal("fresh NewEvent reports queued")
+	}
+	e.RescheduleAfter(ev, 10)
+	if !ev.Queued() {
+		t.Fatal("armed event not queued")
+	}
+	e.Run()
+	want := []ktime.Time{10, 20, 30}
+	if len(times) != 3 || times[0] != want[0] || times[1] != want[1] || times[2] != want[2] {
+		t.Fatalf("fired at %v, want %v", times, want)
+	}
+}
+
+func TestRescheduleMovesQueuedEvent(t *testing.T) {
+	e := New()
+	var order []int
+	ev := e.NewEvent(func() { order = append(order, 1) })
+	e.Reschedule(ev, ktime.Time(100))
+	e.At(ktime.Time(50), func() { order = append(order, 2) })
+	// Move the armed event ahead of the other one.
+	e.Reschedule(ev, ktime.Time(10))
+	e.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestRescheduleRevivesCancelled(t *testing.T) {
+	e := New()
+	fired := 0
+	ev := e.NewEvent(func() { fired++ })
+	e.Reschedule(ev, ktime.Time(10))
+	ev.Cancel()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after cancel", e.Pending())
+	}
+	e.Reschedule(ev, ktime.Time(20))
+	if ev.Cancelled() {
+		t.Fatal("rescheduled event still reports cancelled")
+	}
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired %d times", fired)
+	}
+	if e.Now() != ktime.Time(20) {
+		t.Fatalf("fired at %v, want 20", e.Now())
+	}
+}
+
+func TestRescheduleTieOrderMatchesFreshEvent(t *testing.T) {
+	// A rescheduled event must order against same-time events exactly as a
+	// freshly created one would: by (re-)arm order.
+	e := New()
+	var order []int
+	ev := e.NewEvent(func() { order = append(order, 1) })
+	e.Reschedule(ev, ktime.Time(5))
+	e.Run()
+	order = nil
+	e.At(ktime.Time(100), func() { order = append(order, 2) })
+	e.Reschedule(ev, ktime.Time(100)) // re-armed after: fires after
+	e.Run()
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("tie order = %v, want [2 1]", order)
+	}
+}
+
+func TestTombstoneCompaction(t *testing.T) {
+	e := New()
+	var evs []*Event
+	for i := 0; i < 1000; i++ {
+		evs = append(evs, e.At(ktime.Time(1000+i), func() {}))
+	}
+	// Cancel 90%: the heap must shrink well below the raw event count.
+	for i := 0; i < 900; i++ {
+		evs[i].Cancel()
+	}
+	if e.Pending() != 100 {
+		t.Fatalf("Pending = %d, want 100", e.Pending())
+	}
+	if e.QueueLen() > 500 {
+		t.Fatalf("QueueLen = %d after mass cancel; compaction did not run", e.QueueLen())
+	}
+	e.Run()
+	if e.Fired() != 100 {
+		t.Fatalf("Fired = %d, want 100", e.Fired())
+	}
+}
+
+func TestCompactionPreservesOrder(t *testing.T) {
+	e := New()
+	r := ktime.NewRand(7)
+	var fired []ktime.Time
+	var evs []*Event
+	for i := 0; i < 500; i++ {
+		at := ktime.Time(r.Intn(10000))
+		evs = append(evs, e.At(at, func() { fired = append(fired, e.Now()) }))
+	}
+	for i := 0; i < 400; i++ {
+		evs[i].Cancel()
+	}
+	e.Run()
+	if len(fired) != 100 {
+		t.Fatalf("fired %d events", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("time went backwards at %d after compaction", i)
+		}
+	}
+}
+
+func TestHotPathsAllocationFree(t *testing.T) {
+	e := New()
+	tick := e.NewEvent(func() {})
+	fn := func() {}
+	// Warm the free list.
+	e.Post(1, fn)
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Post(1, fn)
+		e.RescheduleAfter(tick, 2)
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("Post+Reschedule steady state allocates %.1f/op, want 0", allocs)
 	}
 }
