@@ -43,7 +43,7 @@ func (s *myScheduler) TaskNew(pid int, rt time.Duration, runnable bool, allowed 
 func (s *myScheduler) TaskWakeup(pid int, rt time.Duration, deferrable bool, lastCPU, wakeCPU int, sched *enoki.Schedulable) {
 	s.queues[wakeCPU] = append(s.queues[wakeCPU], sched)
 }
-func (s *myScheduler) TaskPreempt(pid int, rt time.Duration, cpu int, sched *enoki.Schedulable) {
+func (s *myScheduler) TaskPreempt(pid int, rt time.Duration, cpu int, preempted bool, sched *enoki.Schedulable) {
 	s.queues[cpu] = append(s.queues[cpu], sched)
 }
 func (s *myScheduler) TaskYield(pid int, rt time.Duration, cpu int, sched *enoki.Schedulable) {

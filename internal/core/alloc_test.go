@@ -17,7 +17,7 @@ func (nopSched) PickNextTask(cpu int, curr *core.Schedulable, rt time.Duration) 
 }
 func (nopSched) TaskNew(pid int, rt time.Duration, r bool, allowed []int, s *core.Schedulable) {}
 func (nopSched) TaskWakeup(pid int, rt time.Duration, d bool, l, w int, s *core.Schedulable)  {}
-func (nopSched) TaskPreempt(pid int, rt time.Duration, cpu int, s *core.Schedulable)          {}
+func (nopSched) TaskPreempt(pid int, rt time.Duration, cpu int, preempted bool, s *core.Schedulable)          {}
 func (nopSched) TaskYield(pid int, rt time.Duration, cpu int, s *core.Schedulable)            {}
 func (nopSched) TaskDeparted(pid, cpu int) *core.Schedulable                                  { return nil }
 func (nopSched) SelectTaskRQ(pid, prev int, wakeup bool) int                                  { return prev }
@@ -40,6 +40,45 @@ func TestDispatchAllKindsZeroAlloc(t *testing.T) {
 		}
 	}
 }
+
+// TestSafeDispatchZeroAlloc pins the cost of panic containment: the
+// recovery wrapper every live crossing now goes through must not allocate
+// on the non-panicking path (its defer is open-coded by the compiler).
+func TestSafeDispatchZeroAlloc(t *testing.T) {
+	s := nopSched{}
+	for _, m := range bench.DispatchAllMessages() {
+		m := m
+		avg := testing.AllocsPerRun(200, func() {
+			m.RetSched = nil
+			if f := core.SafeDispatch(s, m); f != nil {
+				t.Fatalf("SafeDispatch(%v): unexpected fault %v", m.Kind, f)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("SafeDispatch(%v): %v allocs/op, want 0", m.Kind, avg)
+		}
+	}
+}
+
+// TestSafeDispatchContainsPanic pins the containment contract itself: a
+// panicking module surfaces as a structured ModuleFault, not an unwind.
+func TestSafeDispatchContainsPanic(t *testing.T) {
+	m := &core.Message{Kind: core.MsgTaskDead, PID: 7, Thread: 3}
+	f := core.SafeDispatch(panickySched{}, m)
+	if f == nil {
+		t.Fatal("SafeDispatch swallowed the panic without reporting a fault")
+	}
+	if f.Cause != core.FaultPanic || f.MsgKind != core.MsgTaskDead || f.CPU != 3 {
+		t.Errorf("fault = %+v, want panic on task_dead thread 3", f)
+	}
+	if f.PanicValue != "boom" || f.Stack == "" {
+		t.Errorf("fault did not capture panic value/stack: %+v", f)
+	}
+}
+
+type panickySched struct{ nopSched }
+
+func (panickySched) TaskDead(pid int) { panic("boom") }
 
 // TestMessageResetKeepsAllowedCapacity pins the pooled-message contract:
 // Reset clears the message but keeps the Allowed backing array, so a reused

@@ -65,7 +65,7 @@ func (s *traceScheduler) TaskWakeup(pid int, rt time.Duration, d bool, l, w int,
 	s.calls = append(s.calls, "wakeup")
 	s.lastS = sc
 }
-func (s *traceScheduler) TaskPreempt(pid int, rt time.Duration, cpu int, sc *Schedulable) {
+func (s *traceScheduler) TaskPreempt(pid int, rt time.Duration, cpu int, preempted bool, sc *Schedulable) {
 	s.calls = append(s.calls, "preempt")
 }
 func (s *traceScheduler) TaskYield(pid int, rt time.Duration, cpu int, sc *Schedulable) {

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// FaultCause classifies why the framework declared a scheduler module dead.
+// The paper's safety argument (§3.1) stops a buggy module from corrupting
+// kernel state; the fault layer extends it to modules that crash or wedge:
+// instead of taking the kernel down, the module is terminated and its tasks
+// fall back to a native class — the verify-or-terminate model of the eBPF
+// runtime, applied at the module boundary.
+type FaultCause int
+
+// Module fault causes.
+const (
+	// FaultNone is the zero value; a live module has no fault.
+	FaultNone FaultCause = iota
+	// FaultPanic: the module panicked inside a trait function. The panic
+	// is caught at the Dispatch crossing, never unwinding into the
+	// (simulated) kernel.
+	FaultPanic
+	// FaultStarvation: a CPU held queued module tasks past the watchdog
+	// window without one successful pick_next_task — the module went
+	// quiet (returns nil forever, lost its tokens, dropped a wakeup).
+	FaultStarvation
+	// FaultPickErrors: the module burned through its budget of rejected
+	// pick_next_task results (stale, forged, wrong-CPU or consumed
+	// Schedulables) without recovering.
+	FaultPickErrors
+	// FaultQueueLie: the module returned the wrong object (or nothing)
+	// when asked to unregister a hint queue it had accepted.
+	FaultQueueLie
+)
+
+func (c FaultCause) String() string {
+	switch c {
+	case FaultNone:
+		return "none"
+	case FaultPanic:
+		return "panic"
+	case FaultStarvation:
+		return "starvation"
+	case FaultPickErrors:
+		return "pick-errors"
+	case FaultQueueLie:
+		return "queue-lie"
+	default:
+		return "unknown"
+	}
+}
+
+// ModuleFault describes one fatal module failure: what tripped, on which
+// message kind and CPU, and (for panics) the recovered value and stack.
+type ModuleFault struct {
+	Cause FaultCause
+	// MsgKind is the trait call in flight when the fault tripped
+	// (MsgInvalid when no call was, e.g. a watchdog trip).
+	MsgKind Kind
+	// CPU is the kernel thread the fault is attributed to (-1 when none).
+	CPU int
+	// PanicValue and Stack capture the recovered panic for FaultPanic.
+	PanicValue any
+	Stack      string
+}
+
+func (f ModuleFault) String() string {
+	switch f.Cause {
+	case FaultPanic:
+		return fmt.Sprintf("module panic in %v: %v", f.MsgKind, f.PanicValue)
+	case FaultStarvation:
+		return fmt.Sprintf("module starved cpu %d", f.CPU)
+	case FaultPickErrors:
+		return "module exhausted pick-error budget"
+	case FaultQueueLie:
+		return fmt.Sprintf("module lied on %v", f.MsgKind)
+	default:
+		return f.Cause.String()
+	}
+}
+
+// SafeDispatch runs Dispatch with panic containment: a panic raised by the
+// module (or by Dispatch parsing a malformed message) is recovered and
+// returned as a ModuleFault instead of unwinding into the kernel's
+// scheduling core. The non-panicking path adds only an open-coded defer, so
+// the framework crossing stays allocation-free.
+func SafeDispatch(s Scheduler, m *Message) (fault *ModuleFault) {
+	defer func() {
+		if r := recover(); r != nil {
+			fault = &ModuleFault{
+				Cause:      FaultPanic,
+				MsgKind:    m.Kind,
+				CPU:        m.Thread,
+				PanicValue: r,
+				Stack:      string(debug.Stack()),
+			}
+		}
+	}()
+	Dispatch(s, m)
+	return nil
+}

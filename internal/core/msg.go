@@ -39,6 +39,7 @@ const (
 	MsgUnregisterQueue
 	MsgUnregisterRevQueue
 	MsgHintPush
+	MsgModuleFault
 )
 
 var kindNames = map[Kind]string{
@@ -65,6 +66,7 @@ var kindNames = map[Kind]string{
 	MsgUnregisterQueue:     "unregister_queue",
 	MsgUnregisterRevQueue:  "unregister_rev_queue",
 	MsgHintPush:            "hint_push",
+	MsgModuleFault:         "module_fault",
 }
 
 func (k Kind) String() string {
@@ -98,6 +100,7 @@ type Message struct {
 	Wakeup     bool
 	Deferrable bool
 	Queued     bool
+	Preempted  bool
 	ErrCode    int
 	BalancePID uint64
 	QueueID    int
@@ -116,6 +119,10 @@ type Message struct {
 	// enter the record log (unexported ⇒ skipped by gob).
 	schedObj    *Schedulable
 	retSchedObj *Schedulable
+
+	// retQueue carries the *HintQueue / *RevQueue an unregister call
+	// returned; like the tokens it is live-path only and never recorded.
+	retQueue any
 
 	// Inline backing storage for Sched/RetSched and the replay-path token.
 	// AttachSched/setRet point the exported ref pointers here so building a
@@ -154,6 +161,7 @@ func (m *Message) Clone() *Message {
 	}
 	cp.schedObj = nil
 	cp.retSchedObj = nil
+	cp.retQueue = nil
 	return &cp
 }
 
@@ -170,6 +178,10 @@ func (m *Message) AttachSched(s *Schedulable) {
 
 // TakeRetSched returns the token object the module handed back.
 func (m *Message) TakeRetSched() *Schedulable { return m.retSchedObj }
+
+// TakeRetQueue returns the queue object an unregister call handed back
+// (*HintQueue or *RevQueue, possibly nil if the module lost it).
+func (m *Message) TakeRetQueue() any { return m.retQueue }
 
 // inSched returns the token to pass to the module: the live object when the
 // framework attached one, otherwise a token materialised from the recorded
@@ -216,7 +228,7 @@ func Dispatch(s Scheduler, m *Message) {
 	case MsgTaskNew:
 		s.TaskNew(m.PID, m.Runtime, m.Runnable, m.Allowed, m.inSched())
 	case MsgTaskPreempt:
-		s.TaskPreempt(m.PID, m.Runtime, m.CPU, m.inSched())
+		s.TaskPreempt(m.PID, m.Runtime, m.CPU, m.Preempted, m.inSched())
 	case MsgTaskYield:
 		s.TaskYield(m.PID, m.Runtime, m.CPU, m.inSched())
 	case MsgTaskDeparted:
@@ -239,6 +251,10 @@ func Dispatch(s Scheduler, m *Message) {
 		s.EnterQueue(m.QueueID, m.Count)
 	case MsgParseHint:
 		s.ParseHint(m.Hint)
+	case MsgUnregisterQueue:
+		m.retQueue = s.UnregisterQueue(m.QueueID)
+	case MsgUnregisterRevQueue:
+		m.retQueue = s.UnregisterRevQueue(m.QueueID)
 	default:
 		panic(fmt.Sprintf("core: Dispatch of non-dispatchable message %v", m.Kind))
 	}

@@ -108,9 +108,13 @@ type Scheduler interface {
 	// allowed is the task's CPU affinity list (nil means all CPUs).
 	TaskNew(pid int, runtime time.Duration, runnable bool, allowed []int, sched *Schedulable)
 
-	// TaskPreempt reports that the task was involuntarily descheduled on
-	// cpu and is runnable again there; sched is fresh proof.
-	TaskPreempt(pid int, runtime time.Duration, cpu int, sched *Schedulable)
+	// TaskPreempt reports that the task was descheduled on cpu and is
+	// runnable again there; sched is fresh proof. preempted is true for
+	// an involuntary preemption (a higher-priority class or resched took
+	// the CPU) and false when the framework requeued the task for its own
+	// reasons (affinity or policy moves), letting latency-sensitive
+	// policies boost genuinely preempted tasks.
+	TaskPreempt(pid int, runtime time.Duration, cpu int, preempted bool, sched *Schedulable)
 
 	// TaskYield reports a voluntary yield; sched is fresh proof.
 	TaskYield(pid int, runtime time.Duration, cpu int, sched *Schedulable)

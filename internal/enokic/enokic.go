@@ -20,6 +20,7 @@ import (
 	"enoki/internal/core"
 	"enoki/internal/kernel"
 	"enoki/internal/ktime"
+	"enoki/internal/sim"
 )
 
 // Config tunes the framework's modelled costs.
@@ -37,6 +38,20 @@ type Config struct {
 	UpgradePerCPU time.Duration
 	// RandSeed seeds the module's deterministic random stream.
 	RandSeed uint64
+	// FallbackPolicy is the class id tasks are re-homed to if the module
+	// is killed by the fault layer (default 0, conventionally CFS). The
+	// class must be registered before the first fault trips.
+	FallbackPolicy int
+	// StarveWindow is how long a CPU may hold queued module tasks while
+	// every PickNext comes back empty before the starvation watchdog
+	// kills the module. Zero selects the 50ms default; negative disables
+	// the watchdog.
+	StarveWindow time.Duration
+	// PntErrBudget is how many rejected pick_next_task results
+	// (stale/forged/wrong-CPU/consumed Schedulables) the module may
+	// accumulate before being killed. Zero selects the 5000 default;
+	// negative disables the budget.
+	PntErrBudget int
 }
 
 // DefaultConfig returns the calibrated framework costs.
@@ -46,6 +61,8 @@ func DefaultConfig() Config {
 		UpgradeBase:   600 * time.Nanosecond,
 		UpgradePerCPU: 115 * time.Nanosecond,
 		RandSeed:      0x5eed,
+		StarveWindow:  50 * time.Millisecond,
+		PntErrBudget:  5000,
 	}
 }
 
@@ -58,6 +75,8 @@ type Stats struct {
 	Migrations  uint64
 	Upgrades    uint64
 	Deferred    uint64
+	// Faults counts module kills (0 or 1 per adapter lifetime).
+	Faults uint64
 }
 
 // taskInfo is Enoki-C's authoritative view of one task: which queue holds
@@ -94,9 +113,32 @@ type Adapter struct {
 	recorder core.Recorder
 	thread   int // kernel thread id of the in-flight call
 
-	upgrading   bool
-	deferred    []*core.Message
-	kickPending []bool
+	upgrading       bool
+	deferred        []*core.Message
+	kickPending     []bool
+	pendingUpgrades []pendingUpgrade
+
+	// Fault-isolation state. killed flips once, on the first fault; every
+	// crossing into the module checks it so a dead module is never called
+	// again (not even by the rehome migration it triggers).
+	killed   bool
+	fault    core.ModuleFault
+	faultLag time.Duration
+	report   *FailureReport
+	onFault  func(*FailureReport)
+	fallback int
+
+	// Starvation watchdog: wdFailing[cpu] is set while the CPU's last
+	// pick attempt found queued tasks but got nothing runnable,
+	// wdFailAt[cpu] timestamps the first such failure, and wdEvent is a
+	// persistent timer armed only while some CPU is failing (so the
+	// healthy hot path never touches the event queue).
+	wdWindow  time.Duration
+	pntBudget uint64
+	wdFailing []bool
+	wdFailAt  []ktime.Time
+	wdEvent   *sim.Event
+	wdArmed   bool
 
 	// msgFree recycles Message structs: every crossing draws from it and
 	// returns the message once the dispatch (and any reply read) completes,
@@ -127,6 +169,22 @@ func Load(k *kernel.Kernel, policy int, cfg Config, factory func(core.Env) core.
 		queues:      make(map[int]*core.HintQueue),
 		revQueues:   make(map[int]*core.RevQueue),
 		thread:      -1,
+		fallback:    cfg.FallbackPolicy,
+		wdFailing:   make([]bool, k.NumCPUs()),
+		wdFailAt:    make([]ktime.Time, k.NumCPUs()),
+	}
+	a.wdEvent = k.Engine().NewEvent(a.wdCheck)
+	switch {
+	case cfg.StarveWindow > 0:
+		a.wdWindow = cfg.StarveWindow
+	case cfg.StarveWindow == 0:
+		a.wdWindow = 50 * time.Millisecond
+	}
+	switch {
+	case cfg.PntErrBudget > 0:
+		a.pntBudget = uint64(cfg.PntErrBudget)
+	case cfg.PntErrBudget == 0:
+		a.pntBudget = 5000
 	}
 	a.env = &kernelEnv{a: a, rand: ktime.NewRand(cfg.RandSeed)}
 	s := factory(a.env)
@@ -188,16 +246,33 @@ func (a *Adapter) putMsg(m *core.Message) {
 }
 
 // dispatch sends one message through libEnoki's processing function,
-// recording it afterwards so the log contains the reply.
+// recording it afterwards so the log contains the reply. Every crossing is
+// panic-contained: a module panic surfaces as a ModuleFault and kills the
+// module instead of unwinding into the scheduler core. A panicked (or
+// dead-module) message is not recorded — it produced no reply, and the log
+// instead carries the module_fault entry the kill emits. Callers reading
+// reply fields from a guarded message see the zero values, which every
+// reply path treats as "module declined".
 func (a *Adapter) dispatch(m *core.Message) {
+	if a.killed {
+		return
+	}
 	m.Seq = a.seq
 	a.seq++
 	m.Now = int64(a.k.Now())
 	a.stats.Messages++
 	prev := a.thread
 	a.thread = m.Thread
-	core.Dispatch(a.sched, m)
+	fault := core.SafeDispatch(a.sched, m)
 	a.thread = prev
+	if fault != nil {
+		a.trip(*fault, 0)
+		return
+	}
+	switch m.Kind {
+	case core.MsgUnregisterQueue, core.MsgUnregisterRevQueue:
+		a.finishUnregister(m)
+	}
 	if a.recorder != nil {
 		a.recorder.RecordMessage(m)
 	}
@@ -211,8 +286,12 @@ func (a *Adapter) defer1(m *core.Message) {
 
 // notify sends a reply-less message now, or defers it during an upgrade.
 // Either way it owns the message: immediate sends recycle it here, deferred
-// ones after the post-upgrade flush.
+// ones after the post-upgrade flush. A dead module gets nothing.
 func (a *Adapter) notify(m *core.Message) {
+	if a.killed {
+		a.putMsg(m)
+		return
+	}
 	if a.upgrading {
 		a.defer1(m)
 		return
@@ -235,6 +314,10 @@ func (a *Adapter) markQueued(ti *taskInfo, cpu int) {
 func (a *Adapter) unmarkQueued(ti *taskInfo) {
 	if ti.queued {
 		a.nqueued[ti.queuedOn]--
+		if a.nqueued[ti.queuedOn] == 0 {
+			// Empty queue cannot starve; stop the CPU's clock.
+			a.wdPickServed(ti.queuedOn)
+		}
 		ti.queued = false
 	}
 }
@@ -378,15 +461,17 @@ func (a *Adapter) Migrate(t *kernel.Task, src, dst int) {
 
 // Yield implements kernel.Class.
 func (a *Adapter) Yield(cpu int, t *kernel.Task) {
-	a.requeueCurrent(core.MsgTaskYield, cpu, t)
+	a.requeueCurrent(core.MsgTaskYield, cpu, t, false)
 }
 
-// PutPrev implements kernel.Class.
+// PutPrev implements kernel.Class: the kernel's preempted flag travels in
+// the message, so modules can tell an involuntary preemption from a
+// framework-initiated requeue.
 func (a *Adapter) PutPrev(cpu int, t *kernel.Task, preempted bool) {
-	a.requeueCurrent(core.MsgTaskPreempt, cpu, t)
+	a.requeueCurrent(core.MsgTaskPreempt, cpu, t, preempted)
 }
 
-func (a *Adapter) requeueCurrent(kind core.Kind, cpu int, t *kernel.Task) {
+func (a *Adapter) requeueCurrent(kind core.Kind, cpu int, t *kernel.Task, preempted bool) {
 	ti := a.info[t.PID()]
 	if ti == nil {
 		return
@@ -397,6 +482,7 @@ func (a *Adapter) requeueCurrent(kind core.Kind, cpu int, t *kernel.Task) {
 	m := a.getMsg()
 	m.Kind, m.Thread = kind, cpu
 	m.PID, m.CPU, m.Runtime = t.PID(), cpu, t.SumExec()
+	m.Preempted = preempted
 	m.AttachSched(tok)
 	a.notify(m)
 }
@@ -404,6 +490,9 @@ func (a *Adapter) requeueCurrent(kind core.Kind, cpu int, t *kernel.Task) {
 // PickNext implements kernel.Class: ask the module, then validate its proof
 // against the authoritative table before letting the kernel act (§3.1).
 func (a *Adapter) PickNext(cpu int) *kernel.Task {
+	if a.killed {
+		return nil
+	}
 	if a.upgrading {
 		a.kickAfterUpgrade(cpu)
 		return nil
@@ -414,6 +503,10 @@ func (a *Adapter) PickNext(cpu int) *kernel.Task {
 	tok := m.TakeRetSched()
 	a.putMsg(m)
 	if tok == nil {
+		if a.nqueued[cpu] > 0 {
+			// Queued tasks but nothing offered: a starvation candidate.
+			a.wdPickFailed(cpu)
+		}
 		return nil
 	}
 	ti := a.info[tok.PID()]
@@ -436,9 +529,21 @@ func (a *Adapter) PickNext(cpu int) *kernel.Task {
 		em.AttachSched(tok)
 		a.dispatch(em)
 		a.putMsg(em)
+		if a.pntBudget > 0 && a.stats.PntErrs >= a.pntBudget {
+			a.trip(core.ModuleFault{
+				Cause:   core.FaultPickErrors,
+				MsgKind: core.MsgPickNextTask,
+				CPU:     cpu,
+			}, 0)
+			return nil
+		}
+		if a.nqueued[cpu] > 0 {
+			a.wdPickFailed(cpu)
+		}
 		return nil
 	}
 	tok.Consume()
+	a.wdPickServed(cpu)
 	a.unmarkQueued(ti)
 	ti.running = true
 	return ti.t
@@ -459,7 +564,7 @@ func (a *Adapter) Tick(cpu int, t *kernel.Task) {
 
 // SelectRQ implements kernel.Class.
 func (a *Adapter) SelectRQ(t *kernel.Task, prevCPU int, wakeup bool) int {
-	if a.upgrading {
+	if a.killed || a.upgrading {
 		return prevCPU
 	}
 	m := a.getMsg()

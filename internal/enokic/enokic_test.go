@@ -187,7 +187,7 @@ func (b *buggyScheduler) TaskNew(pid int, rt time.Duration, runnable bool, allow
 func (b *buggyScheduler) TaskWakeup(pid int, rt time.Duration, d bool, l, w int, s *core.Schedulable) {
 	b.tokens = append(b.tokens, s)
 }
-func (b *buggyScheduler) TaskPreempt(pid int, rt time.Duration, cpu int, s *core.Schedulable) {
+func (b *buggyScheduler) TaskPreempt(pid int, rt time.Duration, cpu int, preempted bool, s *core.Schedulable) {
 	b.tokens = append(b.tokens, s)
 }
 func (b *buggyScheduler) TaskYield(pid int, rt time.Duration, cpu int, s *core.Schedulable) {
@@ -341,8 +341,8 @@ func (h *hintScheduler) TaskNew(pid int, rt time.Duration, r bool, allowed []int
 func (h *hintScheduler) TaskWakeup(pid int, rt time.Duration, d bool, l, w int, s *core.Schedulable) {
 	h.fifo.TaskWakeup(pid, rt, d, l, w, s)
 }
-func (h *hintScheduler) TaskPreempt(pid int, rt time.Duration, cpu int, s *core.Schedulable) {
-	h.fifo.TaskPreempt(pid, rt, cpu, s)
+func (h *hintScheduler) TaskPreempt(pid int, rt time.Duration, cpu int, preempted bool, s *core.Schedulable) {
+	h.fifo.TaskPreempt(pid, rt, cpu, preempted, s)
 }
 func (h *hintScheduler) TaskYield(pid int, rt time.Duration, cpu int, s *core.Schedulable) {
 	h.fifo.TaskYield(pid, rt, cpu, s)
@@ -365,6 +365,24 @@ func (h *hintScheduler) UnregisterQueue(id int) *core.HintQueue {
 	q := h.queue
 	h.queue = nil
 	return q
+}
+func (h *hintScheduler) UnregisterRevQueue(id int) *core.RevQueue {
+	q := h.rev
+	h.rev = nil
+	return q
+}
+func (h *hintScheduler) ReregisterPrepare() *core.TransferOut {
+	// Queue ownership is module state: it must ride the upgrade capsule
+	// so the next version can honour unregister calls.
+	return &core.TransferOut{State: [2]any{h.queue, h.rev}}
+}
+func (h *hintScheduler) ReregisterInit(in *core.TransferIn) {
+	if in == nil || in.State == nil {
+		return
+	}
+	s := in.State.([2]any)
+	h.queue, _ = s[0].(*core.HintQueue)
+	h.rev, _ = s[1].(*core.RevQueue)
 }
 func (h *hintScheduler) EnterQueue(id, count int) {
 	for i := 0; i < count; i++ {

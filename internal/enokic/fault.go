@@ -1,0 +1,174 @@
+package enokic
+
+import (
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/ktime"
+)
+
+// FailureReport describes one module kill: what tripped, when, how many
+// tasks the framework re-homed to the fallback class, and how long the
+// fault went undetected. It is delivered to the fault handler, kept on the
+// adapter for inspection, and summarised into the record log as a
+// module_fault entry.
+type FailureReport struct {
+	// Fault is the failure that tripped the kill.
+	Fault core.ModuleFault
+	// At is the virtual time the kill completed.
+	At ktime.Time
+	// TasksMigrated is how many tasks moved to the fallback class.
+	TasksMigrated int
+	// Downtime is the detection lag: for a starvation trip, how long the
+	// starved CPU sat past its last service before the watchdog fired;
+	// for synchronous trips (panic, pick errors, queue lies) it is zero —
+	// the fault is caught on the crossing that raised it.
+	Downtime time.Duration
+}
+
+// Killed reports whether the module was terminated by the fault layer.
+func (a *Adapter) Killed() bool { return a.killed }
+
+// Failure returns the report of the kill, or nil while the module lives.
+// Between a fault tripping and the kill event running (same virtual
+// timestamp) Killed is already true but the report is not built yet.
+func (a *Adapter) Failure() *FailureReport { return a.report }
+
+// SetFaultHandler installs a callback invoked once if the module is killed.
+func (a *Adapter) SetFaultHandler(fn func(*FailureReport)) { a.onFault = fn }
+
+// trip marks the module dead and schedules the kill. It is idempotent; the
+// first fault wins. The kill itself runs from a zero-delay engine event so
+// the mass migration never re-enters the scheduler core from inside one of
+// its own hooks (a fault can trip mid-PickNext, mid-schedule()).
+func (a *Adapter) trip(f core.ModuleFault, lag time.Duration) {
+	if a.killed {
+		return
+	}
+	a.killed = true
+	a.fault = f
+	a.faultLag = lag
+	a.stats.Faults++
+	a.wdEvent.Cancel()
+	a.wdArmed = false
+	a.k.Engine().Post(0, a.killModule)
+}
+
+// killModule tears the dead module down: every task it still owns is
+// re-homed to the fallback class through the kernel's normal setscheduler
+// path (Detach runs against the adapter, whose killed guard keeps the dead
+// module out of the loop), the class is deregistered with the fallback
+// installed under its policy id, and the FailureReport is built, logged,
+// and delivered.
+func (a *Adapter) killModule() {
+	n := a.k.RehomeTasks(a, a.fallback)
+	a.k.DeregisterClass(a.policy, a.fallback)
+	now := a.k.Now()
+	a.report = &FailureReport{
+		Fault:         a.fault,
+		At:            now,
+		TasksMigrated: n,
+		Downtime:      a.faultLag,
+	}
+	m := a.getMsg()
+	m.Kind, m.Thread = core.MsgModuleFault, a.fault.CPU
+	m.CPU, m.ErrCode, m.Count = a.fault.CPU, int(a.fault.Cause), n
+	a.record(m)
+	if a.onFault != nil {
+		a.onFault(a.report)
+	}
+}
+
+// --- starvation watchdog ----------------------------------------------------
+//
+// The watchdog catches the failure Schedulable validation cannot: a module
+// that simply stops producing work. The tracked condition is "this CPU asked
+// for a task, the authoritative table says the module has runnable tasks
+// queued there, and the module returned nothing usable". One failed pick is
+// legal (a module may decline a CPU); a CPU stuck in that state for a full
+// StarveWindow with tasks still queued means those tasks are starving —
+// nothing will ever run them, because the kernel only re-asks when the
+// module itself requests a resched or new work arrives.
+
+// wdPickFailed notes that cpu asked for work, had nqueued > 0, and got
+// nothing schedulable. The first failure starts the CPU's starvation clock;
+// repeats keep the original deadline (the tasks have been waiting since
+// then).
+func (a *Adapter) wdPickFailed(cpu int) {
+	if a.wdWindow <= 0 || a.killed {
+		return
+	}
+	if !a.wdFailing[cpu] {
+		a.wdFailing[cpu] = true
+		a.wdFailAt[cpu] = a.k.Now()
+	}
+	if !a.wdArmed {
+		a.wdArmed = true
+		a.k.Engine().RescheduleAfter(a.wdEvent, a.wdWindow)
+	}
+}
+
+// wdPickServed clears cpu's starvation clock: the module produced a usable
+// task. Also called when a CPU's queue drains (no tasks ⇒ nothing starves).
+func (a *Adapter) wdPickServed(cpu int) {
+	a.wdFailing[cpu] = false
+}
+
+// wdCheck is the watchdog timer body: trip if any CPU has been starving for
+// a full window, otherwise re-arm for the earliest outstanding deadline.
+// When no CPU is failing the timer stays idle — it is event-driven, so an
+// idle or healthy simulation never has a watchdog event pending (which
+// would keep RunUntilIdle from draining).
+func (a *Adapter) wdCheck() {
+	a.wdArmed = false
+	if a.killed {
+		return
+	}
+	now := a.k.Now()
+	var next ktime.Time
+	pending := false
+	for cpu, failing := range a.wdFailing {
+		if !failing || a.nqueued[cpu] == 0 {
+			continue
+		}
+		deadline := a.wdFailAt[cpu].Add(a.wdWindow)
+		if !deadline.After(now) {
+			a.trip(core.ModuleFault{
+				Cause: core.FaultStarvation,
+				CPU:   cpu,
+			}, now.Sub(a.wdFailAt[cpu]))
+			return
+		}
+		if !pending || deadline.Before(next) {
+			next = deadline
+			pending = true
+		}
+	}
+	if pending {
+		a.wdArmed = true
+		a.k.Engine().RescheduleAfter(a.wdEvent, next.Sub(now))
+	}
+}
+
+// finishUnregister completes an unregister_queue / unregister_rev_queue
+// dispatch: the framework's own queue table says which object the module
+// must hand back; returning anything else (or nothing) means the module's
+// queue bookkeeping is corrupt, which is a kill — the framework can no
+// longer trust the module's view of shared memory.
+func (a *Adapter) finishUnregister(m *core.Message) {
+	got := m.TakeRetQueue()
+	switch m.Kind {
+	case core.MsgUnregisterQueue:
+		want, known := a.queues[m.QueueID]
+		delete(a.queues, m.QueueID)
+		if q, _ := got.(*core.HintQueue); known && q != want {
+			a.trip(core.ModuleFault{Cause: core.FaultQueueLie, MsgKind: m.Kind, CPU: -1}, 0)
+		}
+	case core.MsgUnregisterRevQueue:
+		want, known := a.revQueues[m.QueueID]
+		delete(a.revQueues, m.QueueID)
+		if q, _ := got.(*core.RevQueue); known && q != want {
+			a.trip(core.ModuleFault{Cause: core.FaultQueueLie, MsgKind: m.Kind, CPU: -1}, 0)
+		}
+	}
+}

@@ -1,0 +1,407 @@
+package enokic
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/kernel"
+	"enoki/internal/record"
+	"enoki/internal/replay"
+	"enoki/internal/sched/fifo"
+	"enoki/internal/schedtest"
+	"enoki/internal/sim"
+)
+
+// faultRig builds a kernel with the module under test at high priority and
+// CFS as the fallback class, mirroring newRig but with a custom Config.
+func faultRig(cfg Config, factory func(core.Env) core.Scheduler) (*kernel.Kernel, *Adapter) {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	a := Load(k, policyEnoki, cfg, factory)
+	k.RegisterClass(policyCFS, kernel.NewCFS(k))
+	return k, a
+}
+
+// sleeper runs iters cycles of (run, sleep) then exits — a workload whose
+// progress depends on wakeups being delivered.
+func sleeper(iters int, run, sleep time.Duration) kernel.Behavior {
+	n := 0
+	return kernel.BehaviorFunc(func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+		n++
+		if n > iters {
+			return kernel.Action{Op: kernel.OpExit}
+		}
+		return kernel.Action{Run: run, Op: kernel.OpSleep, SleepFor: sleep}
+	})
+}
+
+func TestPanickingModuleKilledTasksSurvive(t *testing.T) {
+	k, a := faultRig(DefaultConfig(), func(env core.Env) core.Scheduler {
+		return &schedtest.Panicky{Scheduler: fifo.New(env, policyEnoki), PanicAfterPicks: 3}
+	})
+	done := 0
+	for i := 0; i < 6; i++ {
+		k.Spawn("w", policyEnoki, spin(5*time.Millisecond, time.Millisecond),
+			kernel.WithExitObserver(func() { done++ }))
+	}
+	k.RunFor(200 * time.Millisecond)
+
+	if !a.Killed() {
+		t.Fatal("panicking module was not killed")
+	}
+	rep := a.Failure()
+	if rep == nil {
+		t.Fatal("no FailureReport after kill")
+	}
+	if rep.Fault.Cause != core.FaultPanic || rep.Fault.MsgKind != core.MsgPickNextTask {
+		t.Fatalf("fault = %+v, want panic in pick_next_task", rep.Fault)
+	}
+	if rep.TasksMigrated == 0 {
+		t.Fatalf("kill migrated no tasks: %+v", rep)
+	}
+	if done != 6 {
+		t.Fatalf("only %d/6 tasks completed under CFS fallback", done)
+	}
+	if st := a.Stats(); st.Faults != 1 {
+		t.Fatalf("Stats.Faults = %d, want 1", st.Faults)
+	}
+	// The dead policy id now resolves to the fallback class…
+	if k.ClassByID(policyEnoki) != k.ClassByID(policyCFS) {
+		t.Fatal("dead policy id does not resolve to the fallback class")
+	}
+	// …so late spawns into it still run.
+	late := 0
+	k.Spawn("late", policyEnoki, spin(time.Millisecond, time.Millisecond),
+		kernel.WithExitObserver(func() { late++ }))
+	k.RunFor(50 * time.Millisecond)
+	if late != 1 {
+		t.Fatal("spawn into the dead policy id did not complete under fallback")
+	}
+	if k.NumTasks() != 0 {
+		t.Fatalf("leaked tasks: %d", k.NumTasks())
+	}
+}
+
+func TestStallingModuleKilledByWatchdog(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StarveWindow = 5 * time.Millisecond
+	k, a := faultRig(cfg, func(env core.Env) core.Scheduler {
+		return &schedtest.Staller{Scheduler: fifo.New(env, policyEnoki), StallAfterPicks: 2}
+	})
+	done := 0
+	for i := 0; i < 4; i++ {
+		k.Spawn("w", policyEnoki, spin(3*time.Millisecond, 500*time.Microsecond),
+			kernel.WithExitObserver(func() { done++ }))
+	}
+	k.RunFor(100 * time.Millisecond)
+
+	if !a.Killed() {
+		t.Fatal("stalled module was not killed")
+	}
+	rep := a.Failure()
+	if rep == nil || rep.Fault.Cause != core.FaultStarvation {
+		t.Fatalf("fault = %+v, want starvation", rep)
+	}
+	if rep.Downtime < cfg.StarveWindow {
+		t.Fatalf("downtime %v below the %v watchdog window", rep.Downtime, cfg.StarveWindow)
+	}
+	if done != 4 {
+		t.Fatalf("only %d/4 tasks completed under CFS fallback", done)
+	}
+}
+
+func TestForgingModuleKilledOnPntErrBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PntErrBudget = 1
+	k, a := faultRig(cfg, func(env core.Env) core.Scheduler {
+		return &schedtest.Forger{Scheduler: fifo.New(env, policyEnoki), ForgeAfterPicks: 2}
+	})
+	done := 0
+	for i := 0; i < 4; i++ {
+		k.Spawn("w", policyEnoki, spin(3*time.Millisecond, 500*time.Microsecond),
+			kernel.WithExitObserver(func() { done++ }))
+	}
+	k.RunFor(100 * time.Millisecond)
+
+	if !a.Killed() {
+		t.Fatal("token-forging module was not killed")
+	}
+	rep := a.Failure()
+	if rep == nil || rep.Fault.Cause != core.FaultPickErrors {
+		t.Fatalf("fault = %+v, want pick-errors", rep)
+	}
+	if st := a.Stats(); st.PntErrs == 0 {
+		t.Fatalf("no pnt_errs counted before the kill: %+v", st)
+	}
+	if done != 4 {
+		t.Fatalf("only %d/4 tasks completed under CFS fallback", done)
+	}
+}
+
+func TestLeakingModuleKilledByWatchdog(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StarveWindow = 5 * time.Millisecond
+	k, a := faultRig(cfg, func(env core.Env) core.Scheduler {
+		return &schedtest.Leaker{Scheduler: fifo.New(env, policyEnoki), DropEvery: 1}
+	})
+	done := 0
+	for i := 0; i < 3; i++ {
+		k.Spawn("s", policyEnoki, sleeper(20, 100*time.Microsecond, 100*time.Microsecond),
+			kernel.WithExitObserver(func() { done++ }))
+	}
+	k.RunFor(200 * time.Millisecond)
+
+	if !a.Killed() {
+		t.Fatal("wakeup-leaking module was not killed")
+	}
+	if rep := a.Failure(); rep == nil || rep.Fault.Cause != core.FaultStarvation {
+		t.Fatalf("fault = %+v, want starvation", rep)
+	}
+	if done != 3 {
+		t.Fatalf("only %d/3 sleepers completed under CFS fallback", done)
+	}
+}
+
+func TestQueueLyingModuleKilled(t *testing.T) {
+	var hs *hintScheduler
+	k, a := faultRig(DefaultConfig(), func(env core.Env) core.Scheduler {
+		hs = &hintScheduler{fifo: fifo.New(env, policyEnoki)}
+		return &schedtest.QueueLiar{Scheduler: hs}
+	})
+	uq := a.CreateHintQueue(8)
+	if uq == nil {
+		t.Fatal("queue registration failed")
+	}
+	uq.Close()
+	k.RunFor(time.Millisecond) // let the deferred kill run
+
+	if !a.Killed() {
+		t.Fatal("queue-lying module was not killed")
+	}
+	if rep := a.Failure(); rep == nil || rep.Fault.Cause != core.FaultQueueLie {
+		t.Fatalf("fault = %+v, want queue-lie", rep)
+	}
+	if len(a.queues) != 0 {
+		t.Fatalf("queue table leaked %d entries past Close", len(a.queues))
+	}
+}
+
+func TestUserQueueCloseCleansTables(t *testing.T) {
+	var hs *hintScheduler
+	k, a := newRig(t, func(env core.Env) core.Scheduler {
+		hs = &hintScheduler{fifo: fifo.New(env, policyEnoki)}
+		return hs
+	})
+	uq := a.CreateHintQueue(8)
+	rev := a.CreateRevQueue(8)
+	if uq == nil || rev == nil {
+		t.Fatal("queue registration failed")
+	}
+	if len(a.queues) != 1 || len(a.revQueues) != 1 {
+		t.Fatalf("tables = %d/%d entries, want 1/1", len(a.queues), len(a.revQueues))
+	}
+	uq.Close()
+	a.CloseRevQueue(rev)
+	k.RunFor(time.Millisecond)
+	if len(a.queues) != 0 || len(a.revQueues) != 0 {
+		t.Fatalf("Close leaked table entries: %d hint, %d rev", len(a.queues), len(a.revQueues))
+	}
+	if a.Killed() {
+		t.Fatalf("honest module killed on Close: %+v", a.Failure())
+	}
+	// Registering again must not collide with stale state.
+	if q2 := a.CreateHintQueue(8); q2 == nil || len(a.queues) != 1 {
+		t.Fatal("re-registration after Close failed")
+	}
+}
+
+// TestCloseDuringUpgradeWaitsForSwap pins the quiesce contract Close now
+// honours: a close issued during the blackout is deferred and unregisters
+// from the post-swap module.
+func TestCloseDuringUpgradeWaitsForSwap(t *testing.T) {
+	var first, second *hintScheduler
+	mk := func(slot **hintScheduler) func(core.Env) core.Scheduler {
+		return func(env core.Env) core.Scheduler {
+			*slot = &hintScheduler{fifo: fifo.New(env, policyEnoki)}
+			return *slot
+		}
+	}
+	k, a := newRig(t, mk(&first))
+	uq := a.CreateHintQueue(8)
+	upgraded := false
+	k.Engine().After(0, func() {
+		a.Upgrade(mk(&second), func(UpgradeReport) { upgraded = true })
+		uq.Close() // mid-blackout: must wait for the new module
+	})
+	k.RunFor(10 * time.Millisecond)
+	if !upgraded {
+		t.Fatal("upgrade never completed")
+	}
+	if first.queue == nil {
+		t.Fatal("close ran against the old module during the blackout")
+	}
+	if len(a.queues) != 0 {
+		t.Fatal("deferred close did not clean the framework table")
+	}
+	if a.Killed() {
+		// The new module returns its own (nil) queue for the id; the
+		// framework table still maps it to the original object. That is
+		// a framework-visible mismatch only if the table wasn't cleaned
+		// through the same deferred path — which is what this guards.
+		t.Fatalf("deferred close tripped a fault: %+v", a.Failure())
+	}
+}
+
+// TestConcurrentUpgradesQueue is the regression test for the "concurrent
+// upgrades" panic: a second upgrade during an in-flight blackout must queue
+// and run after the first completes.
+func TestConcurrentUpgradesQueue(t *testing.T) {
+	k, a := newRig(t, wfqFactory)
+	for i := 0; i < 4; i++ {
+		k.Spawn("w", policyEnoki, spin(10*time.Millisecond, 500*time.Microsecond))
+	}
+	var order []int
+	k.Engine().After(0, func() {
+		a.Upgrade(wfqFactory, func(UpgradeReport) { order = append(order, 1) })
+		a.Upgrade(wfqFactory, func(UpgradeReport) { order = append(order, 2) }) // mid-blackout
+	})
+	k.RunFor(50 * time.Millisecond)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("upgrade completion order = %v, want [1 2]", order)
+	}
+	if st := a.Stats(); st.Upgrades != 2 {
+		t.Fatalf("Stats.Upgrades = %d, want 2", st.Upgrades)
+	}
+}
+
+// TestPreemptedFlagRecorded pins the PutPrev satellite: involuntary
+// preemptions reach the module (and the record log) with Preempted set,
+// while yields stay on their own message kind.
+func TestPreemptedFlagRecorded(t *testing.T) {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	a := Load(k, policyEnoki, DefaultConfig(), wfqFactory)
+	k.RegisterClass(policyCFS, kernel.NewCFS(k))
+	var buf bytes.Buffer
+	rec := record.New(k, &buf, policyCFS, record.DefaultCosts())
+	a.SetRecorder(rec)
+	// Two CPU-bound tasks on one core force tick preemptions.
+	for i := 0; i < 2; i++ {
+		k.Spawn("w", policyEnoki, spin(20*time.Millisecond, 10*time.Millisecond),
+			kernel.WithAffinity(kernel.SingleCPU(0)))
+	}
+	k.RunFor(100 * time.Millisecond)
+	rec.Close()
+	entries, err := record.Load(&buf)
+	if err != nil {
+		t.Fatalf("loading record log: %v", err)
+	}
+	preempts := 0
+	for _, e := range entries {
+		if e.Msg == nil || e.Msg.Kind != core.MsgTaskPreempt {
+			continue
+		}
+		preempts++
+		if !e.Msg.Preempted {
+			t.Fatalf("seq %d: task_preempt recorded with Preempted=false", e.Msg.Seq)
+		}
+	}
+	if preempts == 0 {
+		t.Fatal("workload produced no task_preempt messages")
+	}
+}
+
+// recordedFaultLog runs the stalling-module scenario under record mode and
+// returns the raw log bytes plus the adapter's failure report.
+func recordedFaultLog() ([]byte, *FailureReport) {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	cfg := DefaultConfig()
+	cfg.StarveWindow = 2 * time.Millisecond
+	a := Load(k, policyEnoki, cfg, func(env core.Env) core.Scheduler {
+		return &schedtest.Staller{Scheduler: fifo.New(env, policyEnoki), StallAfterPicks: 2}
+	})
+	k.RegisterClass(policyCFS, kernel.NewCFS(k))
+	var buf bytes.Buffer
+	rec := record.New(k, &buf, policyCFS, record.DefaultCosts())
+	a.SetRecorder(rec)
+	for i := 0; i < 4; i++ {
+		k.Spawn("w", policyEnoki, spin(3*time.Millisecond, 500*time.Microsecond))
+	}
+	k.RunFor(50 * time.Millisecond)
+	rec.Close()
+	return buf.Bytes(), a.Failure()
+}
+
+// TestFailureReportInRecordLog asserts a module kill leaves a module_fault
+// entry in the record log carrying the cause and migration count, and that
+// the truncated log still replays cleanly against the same faulty module.
+func TestFailureReportInRecordLog(t *testing.T) {
+	log, rep := recordedFaultLog()
+	if rep == nil {
+		t.Fatal("module was not killed")
+	}
+	entries, err := record.Load(bytes.NewReader(log))
+	if err != nil {
+		t.Fatalf("loading record log: %v", err)
+	}
+	found := false
+	for _, e := range entries {
+		if e.Msg == nil || e.Msg.Kind != core.MsgModuleFault {
+			continue
+		}
+		found = true
+		if core.FaultCause(e.Msg.ErrCode) != rep.Fault.Cause {
+			t.Errorf("logged cause %v, report says %v", core.FaultCause(e.Msg.ErrCode), rep.Fault.Cause)
+		}
+		if e.Msg.Count != rep.TasksMigrated {
+			t.Errorf("logged %d migrated tasks, report says %d", e.Msg.Count, rep.TasksMigrated)
+		}
+	}
+	if !found {
+		t.Fatal("no module_fault entry in the record log")
+	}
+
+	rres, err := replay.Replay(bytes.NewReader(log), replay.Config{NumCPUs: 8},
+		func(env core.Env) core.Scheduler {
+			return &schedtest.Staller{Scheduler: fifo.New(env, policyEnoki), StallAfterPicks: 2}
+		})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(rres.Divergences) != 0 {
+		t.Errorf("replay of fault log diverged: %v", rres.Divergences)
+	}
+}
+
+// TestFaultLogByteIdenticalSerialParallel runs the fault scenario once
+// serially and four times concurrently; module death must be as
+// deterministic as normal operation (the kill path iterates tasks in pid
+// order, never map order).
+func TestFaultLogByteIdenticalSerialParallel(t *testing.T) {
+	serial, rep := recordedFaultLog()
+	if rep == nil {
+		t.Fatal("module was not killed")
+	}
+	if len(serial) == 0 {
+		t.Fatal("empty record log")
+	}
+	logs := make([][]byte, 4)
+	var wg sync.WaitGroup
+	for i := range logs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			logs[i], _ = recordedFaultLog()
+		}(i)
+	}
+	wg.Wait()
+	for i, log := range logs {
+		if !bytes.Equal(serial, log) {
+			t.Errorf("concurrent fault log %d differs from serial (%d vs %d bytes)", i, len(log), len(serial))
+		}
+	}
+}

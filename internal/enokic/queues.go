@@ -1,8 +1,6 @@
 package enokic
 
 import (
-	"fmt"
-
 	"enoki/internal/core"
 )
 
@@ -47,15 +45,15 @@ func (u *UserQueue) SendSync(h core.Hint) {
 	u.a.notify(m)
 }
 
-// Close unregisters the queue from the module.
+// Close unregisters the queue from the module. Like Send/SendSync it goes
+// through the notify path, so a close issued during a live-upgrade blackout
+// waits for the swap and unregisters from the new module. The framework
+// drops its own table entry when the dispatch completes and kills the
+// module if it hands back the wrong queue (FaultQueueLie).
 func (u *UserQueue) Close() {
-	got := u.a.sched.UnregisterQueue(u.id)
 	m := u.a.getMsg()
 	m.Kind, m.Thread, m.QueueID = core.MsgUnregisterQueue, -1, u.id
-	u.a.record(m)
-	if got != u.q {
-		panic(fmt.Sprintf("enokic: module returned wrong queue for id %d", u.id))
-	}
+	u.a.notify(m)
 }
 
 func (a *Adapter) nextSeq() uint64 {
@@ -88,6 +86,20 @@ func (a *Adapter) CreateHintQueue(capacity int) *UserQueue {
 	}
 	a.queues[id] = q
 	return &UserQueue{a: a, q: q, id: id}
+}
+
+// CloseRevQueue unregisters a reverse queue previously returned by
+// CreateRevQueue, with the same quiesce and lie-detection semantics as
+// UserQueue.Close. Closing a queue this adapter does not own is a no-op.
+func (a *Adapter) CloseRevQueue(q *core.RevQueue) {
+	for id, have := range a.revQueues {
+		if have == q {
+			m := a.getMsg()
+			m.Kind, m.Thread, m.QueueID = core.MsgUnregisterRevQueue, -1, id
+			a.notify(m)
+			return
+		}
+	}
 }
 
 // CreateRevQueue builds a kernel-to-user queue, registers it, and returns it

@@ -20,6 +20,13 @@ type UpgradeReport struct {
 	DeferredDelivered int
 }
 
+// pendingUpgrade is an upgrade requested while another was in flight; it
+// starts once the blackout ahead of it completes.
+type pendingUpgrade struct {
+	factory func(core.Env) core.Scheduler
+	done    func(UpgradeReport)
+}
+
 // Upgrade replaces the running module with a new version built by factory,
 // transferring state through reregister_prepare/reregister_init. It models
 // the paper's quiesce protocol: a per-module read-write lock is taken in
@@ -27,16 +34,37 @@ type UpgradeReport struct {
 // UpgradePerCPU×cores of blackout), state transfers, the dispatch pointer
 // swaps, and deferred calls proceed against the new module.
 //
+// An Upgrade requested while another is in flight queues behind it — the
+// write lock serialises upgraders the same way it serialises them against
+// schedule operations — and runs (with its own blackout and done callback)
+// once the earlier swap completes. Upgrading a module the fault layer has
+// killed is a no-op: there is nothing left to swap, and done never fires.
+//
 // Upgrade must be called from simulation context (inside an event or before
 // Run); done fires when the upgrade completes.
 func (a *Adapter) Upgrade(factory func(core.Env) core.Scheduler, done func(UpgradeReport)) {
-	if a.upgrading {
-		panic("enokic: concurrent upgrades")
+	if a.killed {
+		return
 	}
+	if a.upgrading {
+		a.pendingUpgrades = append(a.pendingUpgrades, pendingUpgrade{factory, done})
+		return
+	}
+	a.startUpgrade(factory, done)
+}
+
+func (a *Adapter) startUpgrade(factory func(core.Env) core.Scheduler, done func(UpgradeReport)) {
 	a.upgrading = true
 	a.stats.Upgrades++
 	blackout := a.cfg.UpgradeBase + time.Duration(a.k.NumCPUs())*a.cfg.UpgradePerCPU
 	a.k.Engine().After(blackout, func() {
+		if a.killed {
+			// The module died during the blackout; the swap is moot and
+			// any queued upgraders die with it.
+			a.upgrading = false
+			a.pendingUpgrades = nil
+			return
+		}
 		wallStart := time.Now()
 		out := a.sched.ReregisterPrepare()
 		next := factory(a.env)
@@ -70,6 +98,11 @@ func (a *Adapter) Upgrade(factory func(core.Env) core.Scheduler, done func(Upgra
 				WallSwap:          wall,
 				DeferredDelivered: len(queued),
 			})
+		}
+		if len(a.pendingUpgrades) > 0 && !a.killed {
+			nextUp := a.pendingUpgrades[0]
+			a.pendingUpgrades = a.pendingUpgrades[1:]
+			a.startUpgrade(nextUp.factory, nextUp.done)
 		}
 	})
 }

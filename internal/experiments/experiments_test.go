@@ -290,11 +290,14 @@ func TestExtNestShape(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(All()) != 12 {
+	if len(All()) != 13 {
 		t.Fatalf("registry has %d experiments", len(All()))
 	}
 	if _, ok := Find("table3"); !ok {
 		t.Fatal("Find failed")
+	}
+	if _, ok := Find("faults"); !ok {
+		t.Fatal("Find failed for faults")
 	}
 	if _, ok := Find("nope"); ok {
 		t.Fatal("Find matched nonsense")

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/enokic"
+	"enoki/internal/kernel"
+	"enoki/internal/sched/wfq"
+	"enoki/internal/schedtest"
+	"enoki/internal/sim"
+	"enoki/internal/stats"
+)
+
+// FaultsRow is one fault-injection scenario's outcome.
+type FaultsRow struct {
+	Scenario  string
+	Cause     string
+	Migrated  int
+	Downtime  time.Duration
+	Completed int
+	Total     int
+	Makespan  time.Duration
+}
+
+// FaultsResult summarises the fault-isolation experiment: the same mixed
+// workload run under a healthy WFQ module and under four sabotaged variants,
+// each of which the framework must detect, kill, and survive by re-homing
+// the workload to CFS.
+type FaultsResult struct {
+	Rows []FaultsRow
+}
+
+// Name implements the experiment naming convention.
+func (r *FaultsResult) Name() string { return "faults" }
+
+func (r *FaultsResult) String() string {
+	t := stats.NewTable("Module fault", "Cause", "Rehomed", "Detect (ms)", "Done", "Makespan (ms)")
+	for _, row := range r.Rows {
+		t.Row(row.Scenario,
+			row.Cause,
+			fmt.Sprintf("%d", row.Migrated),
+			fmt.Sprintf("%.2f", float64(row.Downtime)/float64(time.Millisecond)),
+			fmt.Sprintf("%d/%d", row.Completed, row.Total),
+			fmt.Sprintf("%.1f", float64(row.Makespan)/float64(time.Millisecond)))
+	}
+	return "Fault isolation: sabotaged WFQ modules killed, workload re-homed to CFS\n" +
+		"(detect = watchdog/validation lag; synchronous trips detect in 0)\n" + t.String()
+}
+
+// faultScenario builds the wrapper for one sabotage mode (nil = healthy).
+type faultScenario struct {
+	name string
+	wrap func(core.Scheduler) core.Scheduler
+}
+
+func faultScenarios() []faultScenario {
+	return []faultScenario{
+		{"healthy", nil},
+		{"panicking", func(s core.Scheduler) core.Scheduler {
+			return &schedtest.Panicky{Scheduler: s, PanicAfterPicks: 40}
+		}},
+		{"stalling", func(s core.Scheduler) core.Scheduler {
+			return &schedtest.Staller{Scheduler: s, StallAfterPicks: 40}
+		}},
+		{"token-forging", func(s core.Scheduler) core.Scheduler {
+			return &schedtest.Forger{Scheduler: s, ForgeAfterPicks: 40}
+		}},
+		{"wakeup-leaking", func(s core.Scheduler) core.Scheduler {
+			return &schedtest.Leaker{Scheduler: s, DropEvery: 2}
+		}},
+	}
+}
+
+// Faults runs the fault-isolation experiment: every scenario runs the same
+// mixed CPU-bound + sleep/wake workload to completion; a row survives when
+// all its tasks finish even though the module died mid-run.
+func Faults(o Options) *FaultsResult {
+	scenarios := faultScenarios()
+	spinners := scaleInt(o, 16, 8)
+	sleepers := scaleInt(o, 8, 4)
+	rows := make([]FaultsRow, len(scenarios))
+	parDo(o, len(scenarios), func(i int) {
+		rows[i] = runFaultCell(scenarios[i], spinners, sleepers)
+	})
+	return &FaultsResult{Rows: rows}
+}
+
+func runFaultCell(sc faultScenario, spinners, sleepers int) FaultsRow {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.CostsFor(kernel.Machine8()))
+	cfg := enokic.DefaultConfig()
+	cfg.StarveWindow = 5 * time.Millisecond
+	cfg.PntErrBudget = 3
+	a := enokic.Load(k, PolicyEnoki, cfg, func(env core.Env) core.Scheduler {
+		var s core.Scheduler = wfq.New(env, PolicyEnoki)
+		if sc.wrap != nil {
+			s = sc.wrap(s)
+		}
+		return s
+	})
+	k.RegisterClass(PolicyCFS, kernel.NewCFS(k))
+
+	total := spinners + sleepers
+	done := 0
+	exit := kernel.WithExitObserver(func() { done++ })
+	for i := 0; i < spinners; i++ {
+		remaining := 20 * time.Millisecond
+		k.Spawn("spin", PolicyEnoki, kernel.BehaviorFunc(
+			func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+				if remaining <= 0 {
+					return kernel.Action{Op: kernel.OpExit}
+				}
+				remaining -= time.Millisecond
+				return kernel.Action{Run: time.Millisecond, Op: kernel.OpContinue}
+			}), exit)
+	}
+	for i := 0; i < sleepers; i++ {
+		iters := 40
+		k.Spawn("sleep", PolicyEnoki, kernel.BehaviorFunc(
+			func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+				iters--
+				if iters < 0 {
+					return kernel.Action{Op: kernel.OpExit}
+				}
+				return kernel.Action{Run: 200 * time.Microsecond, Op: kernel.OpSleep,
+					SleepFor: 300 * time.Microsecond}
+			}), exit)
+	}
+	k.RunFor(2 * time.Second)
+
+	row := FaultsRow{
+		Scenario:  sc.name,
+		Cause:     "-",
+		Completed: done,
+		Total:     total,
+		Makespan:  maxTaskFinish(k),
+	}
+	if rep := a.Failure(); rep != nil {
+		row.Cause = rep.Fault.Cause.String()
+		row.Migrated = rep.TasksMigrated
+		row.Downtime = rep.Downtime
+	}
+	return row
+}
+
+// maxTaskFinish returns the time the machine last did work — with all tasks
+// exited, the busiest CPU's busy time bounds the makespan.
+func maxTaskFinish(k *kernel.Kernel) time.Duration {
+	var max time.Duration
+	for i := 0; i < k.NumCPUs(); i++ {
+		if b := k.CPUBusy(i); b > max {
+			max = b
+		}
+	}
+	return max
+}

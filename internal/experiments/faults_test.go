@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+// TestFaultsWorkloadsSurviveModuleDeath pins the experiment's claim: every
+// sabotaged module is killed and its workload still runs to completion.
+func TestFaultsWorkloadsSurviveModuleDeath(t *testing.T) {
+	res := Faults(Options{Quick: true})
+	for _, row := range res.Rows {
+		if row.Completed != row.Total {
+			t.Errorf("%s: %d/%d tasks completed", row.Scenario, row.Completed, row.Total)
+		}
+		if row.Scenario == "healthy" {
+			if row.Cause != "-" {
+				t.Errorf("healthy module killed: cause %s", row.Cause)
+			}
+			continue
+		}
+		if row.Cause == "-" {
+			t.Errorf("%s: module was not killed", row.Scenario)
+		}
+		if row.Migrated == 0 {
+			t.Errorf("%s: kill migrated no tasks", row.Scenario)
+		}
+	}
+}
+
+// TestParallelMatchesSerialFaults: module death must be as deterministic as
+// normal operation — the fan-out buys wall clock, never determinism.
+func TestParallelMatchesSerialFaults(t *testing.T) {
+	serial := Faults(Options{Quick: true}).String()
+	par := Faults(Options{Quick: true, Parallel: 4}).String()
+	if serial != par {
+		t.Errorf("parallel Faults diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, par)
+	}
+}

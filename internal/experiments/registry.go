@@ -44,6 +44,8 @@ func All() []Spec {
 			Run: func(o Options) Result { return Equivalence(o) }},
 		{Name: "ext-nest", What: "Extension (not in paper): Nest-style warm-core scheduler",
 			Run: func(o Options) Result { return ExtNest(o) }},
+		{Name: "faults", What: "Extension (not in paper): module fault isolation, kill + CFS fallback",
+			Run: func(o Options) Result { return Faults(o) }},
 	}
 }
 

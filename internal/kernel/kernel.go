@@ -12,6 +12,7 @@ package kernel
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"enoki/internal/ktime"
@@ -121,6 +122,57 @@ func (k *Kernel) RegisterClass(id int, c Class) {
 
 // ClassByID returns the class registered under id, or nil.
 func (k *Kernel) ClassByID(id int) Class { return k.byID[id] }
+
+// DeregisterClass removes the class registered under id from the scheduling
+// pick order and re-points the id at the class registered under fallbackID.
+// Later Spawn or SetScheduler calls naming the dead policy silently land in
+// the fallback class — the userspace-visible behaviour of a scheduler module
+// being killed out from under its processes. The dead class must hold no
+// tasks (rehome them first); panics on unknown ids or id == fallbackID.
+func (k *Kernel) DeregisterClass(id, fallbackID int) {
+	dead, ok := k.byID[id]
+	if !ok {
+		panic(fmt.Sprintf("kernel: DeregisterClass of unregistered class %d", id))
+	}
+	fb, ok := k.byID[fallbackID]
+	if !ok {
+		panic(fmt.Sprintf("kernel: DeregisterClass fallback %d not registered", fallbackID))
+	}
+	if fb == dead {
+		panic(fmt.Sprintf("kernel: DeregisterClass %d onto itself", id))
+	}
+	for _, t := range k.tasks {
+		if t.class == dead {
+			panic(fmt.Sprintf("kernel: DeregisterClass %d still owns task %s", id, t))
+		}
+	}
+	for i, s := range k.classes {
+		if s.id == id {
+			k.classes = append(k.classes[:i], k.classes[i+1:]...)
+			break
+		}
+	}
+	k.byID[id] = fb
+}
+
+// RehomeTasks moves every live task owned by class from into the class
+// registered under toID (SetScheduler per task, in pid order so the
+// migration sequence is deterministic). It returns how many tasks moved.
+// This is the mass-migration half of killing a faulty module: the caller
+// rehomes, then deregisters the empty class.
+func (k *Kernel) RehomeTasks(from Class, toID int) int {
+	pids := make([]int, 0, len(k.tasks))
+	for pid, t := range k.tasks {
+		if t.class == from {
+			pids = append(pids, pid)
+		}
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		k.SetScheduler(k.tasks[pid], toID)
+	}
+	return len(pids)
+}
 
 func (k *Kernel) classPrio(c Class) int {
 	for i, s := range k.classes {

@@ -246,6 +246,10 @@ func replayOne(sched core.Scheduler, m *core.Message, queues map[int]*core.HintQ
 			q.Push(m.Hint)
 		}
 		return
+	case core.MsgModuleFault:
+		// The framework killed the module here; nothing to replay — the
+		// log simply ends (or continues without this module's messages).
+		return
 	}
 
 	cp := *m

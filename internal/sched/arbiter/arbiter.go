@@ -310,7 +310,7 @@ func (s *Sched) TaskBlocked(pid int, runtime time.Duration, cpu int) {
 }
 
 // TaskPreempt implements core.Scheduler.
-func (s *Sched) TaskPreempt(pid int, runtime time.Duration, cpu int, sched *core.Schedulable) {
+func (s *Sched) TaskPreempt(pid int, runtime time.Duration, cpu int, preempted bool, sched *core.Schedulable) {
 	s.requeue(pid, cpu, sched)
 }
 

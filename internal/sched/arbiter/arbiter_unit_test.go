@@ -73,7 +73,7 @@ func TestUnitRequeueAndTick(t *testing.T) {
 	c := s.SelectTaskRQ(10, 0, true)
 	s.TaskWakeup(10, 0, true, 0, c, schedtest.Tok(10, c, 1))
 	s.PickNextTask(c, nil, 0)
-	s.TaskPreempt(10, 0, c, schedtest.Tok(10, c, 2))
+	s.TaskPreempt(10, 0, c, true, schedtest.Tok(10, c, 2))
 	if got := s.PickNextTask(c, nil, 0); got == nil || got.Gen() != 2 {
 		t.Fatalf("preempt requeue = %v", got)
 	}
@@ -105,7 +105,7 @@ func TestUnitPntErrAndMigrate(t *testing.T) {
 	}
 	// Requeue (preempt) so the module holds a token again, then migrate.
 	held := schedtest.Tok(10, c, 2)
-	s.TaskPreempt(10, 0, c, held)
+	s.TaskPreempt(10, 0, c, true, held)
 	old := s.MigrateTaskRQ(10, 2, schedtest.Tok(10, 2, 3))
 	if old != held {
 		t.Fatalf("migrate old = %v", old)

@@ -95,7 +95,7 @@ func TestUnitLifecycleHooks(t *testing.T) {
 
 	// Preempt/yield requeue.
 	got := s.PickNextTask(1, nil, 0)
-	s.TaskPreempt(1, 0, 1, schedtest.Tok(1, 1, 2))
+	s.TaskPreempt(1, 0, 1, true, schedtest.Tok(1, 1, 2))
 	got = s.PickNextTask(1, nil, 0)
 	s.TaskYield(1, 0, 1, schedtest.Tok(1, 1, 3))
 	got = s.PickNextTask(1, nil, 0)

@@ -89,7 +89,7 @@ func TestUnitLifecycle(t *testing.T) {
 	if s.PickNextTask(0, nil, 0) != got {
 		t.Fatal("pnt_err token lost")
 	}
-	s.TaskPreempt(1, 0, 0, schedtest.Tok(1, 0, 2))
+	s.TaskPreempt(1, 0, 0, true, schedtest.Tok(1, 0, 2))
 	s.PickNextTask(0, nil, 0)
 	s.TaskYield(1, 0, 0, schedtest.Tok(1, 0, 3))
 	s.PickNextTask(0, nil, 0)

@@ -149,7 +149,7 @@ func (s *Sched) TaskWakeup(pid int, runtime time.Duration, deferrable bool, last
 
 // TaskPreempt implements core.Scheduler: back of the queue, new arrival
 // order — this is what bounds long requests to slice-sized chunks.
-func (s *Sched) TaskPreempt(pid int, runtime time.Duration, cpu int, sched *core.Schedulable) {
+func (s *Sched) TaskPreempt(pid int, runtime time.Duration, cpu int, preempted bool, sched *core.Schedulable) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t := s.st.tasks[pid]

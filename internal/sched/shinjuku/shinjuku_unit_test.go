@@ -57,7 +57,7 @@ func TestUnitTimerArming(t *testing.T) {
 		t.Fatalf("contended re-arm = %+v", last)
 	}
 	// Contended pick arms the tight quantum too.
-	s.TaskPreempt(1, 0, 0, schedtest.Tok(1, 0, 2))
+	s.TaskPreempt(1, 0, 0, true, schedtest.Tok(1, 0, 2))
 	s.PickNextTask(0, nil, 0)
 	last = env.Timers[len(env.Timers)-1]
 	if last.D != 10*time.Microsecond {
@@ -70,7 +70,7 @@ func TestUnitPreemptGoesToGlobalTail(t *testing.T) {
 	s.TaskNew(1, 0, true, nil, schedtest.Tok(1, 0, 1))
 	s.PickNextTask(0, nil, 0)
 	s.TaskNew(2, 0, true, nil, schedtest.Tok(2, 0, 1))
-	s.TaskPreempt(1, 10*time.Microsecond, 0, schedtest.Tok(1, 0, 2))
+	s.TaskPreempt(1, 10*time.Microsecond, 0, true, schedtest.Tok(1, 0, 2))
 	if got := s.PickNextTask(0, nil, 0); got.PID() != 2 {
 		t.Fatalf("preempted task kept its slot: %d", got.PID())
 	}

@@ -206,7 +206,7 @@ func (s *Sched) TaskWakeup(pid int, runtime time.Duration, deferrable bool, last
 }
 
 // TaskPreempt implements core.Scheduler.
-func (s *Sched) TaskPreempt(pid int, runtime time.Duration, cpu int, sched *core.Schedulable) {
+func (s *Sched) TaskPreempt(pid int, runtime time.Duration, cpu int, preempted bool, sched *core.Schedulable) {
 	s.requeue(pid, runtime, cpu, sched)
 }
 

@@ -69,7 +69,7 @@ func TestPickOrderIsVruntime(t *testing.T) {
 		t.Fatalf("first pick = %d", got.PID())
 	}
 	// Task 1 ran 10ms, got preempted: it should requeue behind task 2.
-	s.TaskPreempt(1, 10*time.Millisecond, 0, tok(1, 0, 2))
+	s.TaskPreempt(1, 10*time.Millisecond, 0, true, tok(1, 0, 2))
 	if got := s.PickNextTask(0, nil, 0); got.PID() != 2 {
 		t.Fatalf("pick after preempt = %d, want the unrun task", got.PID())
 	}
@@ -83,7 +83,7 @@ func TestSleeperCreditIsBounded(t *testing.T) {
 	// Task 1 runs 10ms then blocks; task 2 accumulates 50ms meanwhile.
 	s.TaskBlocked(1, 10*time.Millisecond, 0)
 	s.PickNextTask(0, nil, 0)
-	s.TaskPreempt(2, 50*time.Millisecond, 0, tok(2, 0, 2))
+	s.TaskPreempt(2, 50*time.Millisecond, 0, true, tok(2, 0, 2))
 	// Task 1 wakes with bounded sleeper credit: it runs next, but only
 	// a few ms ahead — not its whole 40ms sleep.
 	s.TaskWakeup(1, 10*time.Millisecond, true, 0, 0, tok(1, 0, 2))
@@ -92,7 +92,7 @@ func TestSleeperCreditIsBounded(t *testing.T) {
 	}
 	// After a short run the sleeper must NOT still be ahead by its full
 	// sleep: 5ms of running exceeds the ~3ms credit, so task 2 is next.
-	s.TaskPreempt(1, 15*time.Millisecond, 0, tok(1, 0, 3))
+	s.TaskPreempt(1, 15*time.Millisecond, 0, true, tok(1, 0, 3))
 	if got := s.PickNextTask(0, nil, 0); got.PID() != 2 {
 		t.Fatalf("sleeper credit not bounded: picked %d", got.PID())
 	}
@@ -203,11 +203,11 @@ func TestPrioChangedReweights(t *testing.T) {
 	// pid 2's weight is 15, so had pid 2 run the same wall time its
 	// vruntime would be ~68x larger. After requeue, pid 2 (never ran)
 	// still goes first, then running it briefly sends it far back.
-	s.TaskPreempt(1, 10*time.Millisecond, 0, tok(1, 0, 2))
+	s.TaskPreempt(1, 10*time.Millisecond, 0, true, tok(1, 0, 2))
 	if got := s.PickNextTask(0, nil, 0); got.PID() != 2 {
 		t.Fatalf("unrun low-prio task should still pick first, got %d", got.PID())
 	}
-	s.TaskPreempt(2, time.Millisecond, 0, tok(2, 0, 2))
+	s.TaskPreempt(2, time.Millisecond, 0, true, tok(2, 0, 2))
 	if got := s.PickNextTask(0, nil, 0); got.PID() != 1 {
 		t.Fatalf("after 1ms at weight 15, pid 2 should be far behind; got %d", got.PID())
 	}

@@ -1,0 +1,108 @@
+package schedtest
+
+import (
+	"fmt"
+	"time"
+
+	"enoki/internal/core"
+)
+
+// Faulty-module wrappers: each wraps a correct scheduler module and injects
+// exactly one class of failure at the trait boundary, for exercising the
+// framework's fault-isolation layer. Every wrapper is deterministic — the
+// injection point is a fixed call count, never a clock or random draw — so
+// fault-injection runs replay bit-for-bit.
+//
+// The wrappers embed the inner module, forwarding every trait function they
+// do not sabotage, so the workload runs normally up to the injection point.
+
+// Panicky panics inside pick_next_task once PanicAfterPicks calls have
+// completed — the module crash the Dispatch recovery wrapper must contain.
+type Panicky struct {
+	core.Scheduler
+	// PanicAfterPicks is how many picks succeed before the panic.
+	PanicAfterPicks int
+	picks           int
+}
+
+// PickNextTask implements core.Scheduler.
+func (p *Panicky) PickNextTask(cpu int, curr *core.Schedulable, rt time.Duration) *core.Schedulable {
+	p.picks++
+	if p.picks > p.PanicAfterPicks {
+		panic(fmt.Sprintf("schedtest: injected panic on pick %d", p.picks))
+	}
+	return p.Scheduler.PickNextTask(cpu, curr, rt)
+}
+
+// Staller goes silent after StallAfterPicks picks: every later
+// pick_next_task returns nil while the module still holds queued tasks —
+// the quiet starvation the watchdog exists to catch.
+type Staller struct {
+	core.Scheduler
+	// StallAfterPicks is how many picks succeed before the stall.
+	StallAfterPicks int
+	picks           int
+}
+
+// PickNextTask implements core.Scheduler.
+func (s *Staller) PickNextTask(cpu int, curr *core.Schedulable, rt time.Duration) *core.Schedulable {
+	s.picks++
+	if s.picks > s.StallAfterPicks {
+		return nil
+	}
+	return s.Scheduler.PickNextTask(cpu, curr, rt)
+}
+
+// Forger returns counterfeit Schedulables: after ForgeAfterPicks honest
+// picks it swaps the real token for one with a fabricated generation, the
+// attack the proof-of-runnability validation rejects (PickStale). Each
+// forged pick burns one unit of the adapter's PntErr budget.
+type Forger struct {
+	core.Scheduler
+	// ForgeAfterPicks is how many picks stay honest before forging.
+	ForgeAfterPicks int
+	picks           int
+}
+
+// PickNextTask implements core.Scheduler.
+func (f *Forger) PickNextTask(cpu int, curr *core.Schedulable, rt time.Duration) *core.Schedulable {
+	tok := f.Scheduler.PickNextTask(cpu, curr, rt)
+	f.picks++
+	if tok == nil || f.picks <= f.ForgeAfterPicks {
+		return tok
+	}
+	return core.NewSchedulable(tok.PID(), tok.CPU(), tok.Gen()+1000)
+}
+
+// QueueLiar corrupts its queue bookkeeping: unregister_queue hands back a
+// queue object the framework never registered (after letting the inner
+// module clean up), which the adapter detects against its own table.
+type QueueLiar struct {
+	core.Scheduler
+}
+
+// UnregisterQueue implements core.Scheduler.
+func (q *QueueLiar) UnregisterQueue(id int) *core.HintQueue {
+	q.Scheduler.UnregisterQueue(id)
+	return core.NewHintQueue(1)
+}
+
+// Leaker silently drops task_wakeup notifications (every DropEvery-th one;
+// 1 drops all). The kernel's authoritative table counts the task as queued
+// but the module never learns it exists, so the CPU starves on it — the
+// lost-task leak that only the watchdog, not validation, can see.
+type Leaker struct {
+	core.Scheduler
+	// DropEvery drops every DropEvery-th wakeup (1 = every wakeup).
+	DropEvery int
+	wakes     int
+}
+
+// TaskWakeup implements core.Scheduler.
+func (l *Leaker) TaskWakeup(pid int, rt time.Duration, deferrable bool, lastCPU, wakeCPU int, sched *core.Schedulable) {
+	l.wakes++
+	if l.DropEvery > 0 && l.wakes%l.DropEvery == 0 {
+		return
+	}
+	l.Scheduler.TaskWakeup(pid, rt, deferrable, lastCPU, wakeCPU, sched)
+}
