@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench quick
+.PHONY: check build test race vet bench quick cover fuzz trace
 
 check: vet build race
 
@@ -26,3 +26,19 @@ bench:
 # Fast full-suite pass of every table/figure, fanned out across all cores.
 quick:
 	$(GO) run ./cmd/enokibench -quick -parallel $$($(GO) env GOMAXPROCS 2>/dev/null || nproc)
+
+# Coverage report mirroring the CI ratchet job.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Short local fuzz pass over the untrusted-input decoders (CI runs the same
+# two targets for 30s each).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) ./internal/record
+	$(GO) test -fuzz=FuzzBuffer -fuzztime=$(FUZZTIME) ./internal/ringbuf
+
+# Render the fixed-seed demo timeline to trace.json for Perfetto.
+trace:
+	$(GO) run ./cmd/enoki-trace -demo -sched wfq -o trace.json

@@ -46,14 +46,23 @@ func main() {
 		if flag.NArg() > 0 {
 			path = flag.Arg(0)
 		}
-		results, err := bench.WriteJSON(path)
+		out, err := bench.WriteJSON(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "enokibench: %v\n", err)
 			os.Exit(1)
 		}
-		for _, r := range results {
+		for _, r := range out.Benchmarks {
 			fmt.Printf("%-28s %12.1f ns/op %8d B/op %6d allocs/op\n",
 				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+		fmt.Printf("\ntraced run: %d events (%d dropped)\n", out.Trace.Events, out.Trace.Dropped)
+		for _, cs := range out.TraceHistograms {
+			fmt.Printf("%-12s crossings=%d picks=%d faults=%d dispatch p50/p99=%d/%dns pickwait p50/p99=%d/%dns wake2run p50/p99=%d/%dns depth p90=%d\n",
+				cs.Name, cs.Crossings, cs.Picks, cs.Faults,
+				cs.DispatchLat.P50, cs.DispatchLat.P99,
+				cs.PickWait.P50, cs.PickWait.P99,
+				cs.WakeToRun.P50, cs.WakeToRun.P99,
+				cs.QueueDepth.P90)
 		}
 		fmt.Printf("wrote %s\n", path)
 		return

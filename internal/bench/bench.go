@@ -19,8 +19,12 @@ import (
 	"time"
 
 	"enoki/internal/core"
+	"enoki/internal/enokic"
 	"enoki/internal/kernel"
+	"enoki/internal/metrics"
+	"enoki/internal/sched/fifo"
 	"enoki/internal/sim"
+	"enoki/internal/trace"
 )
 
 // --- sim ---
@@ -65,10 +69,21 @@ func SimReschedule(b *testing.B) {
 
 // ScheduleOp measures one full block→wake→schedule round trip per
 // iteration: two pinned tasks ping-pong on one CPU.
-func ScheduleOp(b *testing.B) {
+func ScheduleOp(b *testing.B) { scheduleOp(b, false) }
+
+// ScheduleOpTraced is ScheduleOp with the full observability layer live —
+// tracer ring plus per-class/per-CPU histograms — guarding the PR 1
+// invariant: enabling tracing must keep the hot path at 0 allocs/op.
+func ScheduleOpTraced(b *testing.B) { scheduleOp(b, true) }
+
+func scheduleOp(b *testing.B, traced bool) {
 	eng := sim.New()
 	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
 	k.RegisterClass(0, kernel.NewCFS(k))
+	if traced {
+		k.SetTracer(trace.New(1 << 16))
+		k.SetMetrics(metrics.NewSet(k.NumCPUs()))
+	}
 	var a, c *kernel.Task
 	count := 0
 	mk := func(peer **kernel.Task, starts bool) kernel.Behavior {
@@ -220,6 +235,25 @@ func DispatchAll(b *testing.B) {
 	}
 }
 
+// DispatchTraced drives the same message set through the panic-contained +
+// traced crossing (SafeDispatchTraced with a live tracer sink) — the most
+// instrumented form a crossing can take, still zero allocations.
+func DispatchTraced(b *testing.B) {
+	s := nopSched{}
+	msgs := DispatchAllMessages()
+	tr := trace.New(1 << 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range msgs {
+			m.RetSched = nil
+			if f := core.SafeDispatchTraced(s, m, tr); f != nil {
+				b.Fatalf("unexpected fault: %v", f)
+			}
+		}
+	}
+}
+
 // --- registry + JSON output ---
 
 // Entry names one benchmark.
@@ -234,12 +268,64 @@ func All() []Entry {
 		{"BenchmarkSimPostStep", SimPostStep},
 		{"BenchmarkSimReschedule", SimReschedule},
 		{"BenchmarkScheduleOp", ScheduleOp},
+		{"BenchmarkScheduleOpTraced", ScheduleOpTraced},
 		{"BenchmarkSpawnExit", SpawnExit},
 		{"BenchmarkTickPath", TickPath},
 		{"BenchmarkDispatch", Dispatch},
 		{"BenchmarkDispatchWakeup", DispatchWakeup},
 		{"BenchmarkDispatchAll", DispatchAll},
+		{"BenchmarkDispatchTraced", DispatchTraced},
 	}
+}
+
+// --- fixed-seed traced run ---------------------------------------------------
+
+// TraceStats describes the tracer's view of the fixed-seed run.
+type TraceStats struct {
+	Events  int    `json:"events"`
+	Dropped uint64 `json:"dropped"`
+}
+
+// TraceRun executes a small fixed-seed workload (an Enoki FIFO module above
+// CFS, spinners + sleepers on 8 CPUs, 20 ms of virtual time) with the full
+// observability layer enabled and returns the per-class histogram summaries
+// plus the tracer stats. Everything is virtual-time-driven, so the result is
+// identical on every host and run.
+func TraceRun() ([]metrics.ClassSummary, TraceStats) {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	const policyEnoki = 1
+	a := enokic.Load(k, policyEnoki, enokic.DefaultConfig(), func(env core.Env) core.Scheduler {
+		return fifo.New(env, policyEnoki)
+	})
+	k.RegisterClass(0, kernel.NewCFS(k))
+
+	tr := trace.New(1 << 16)
+	ms := metrics.NewSet(k.NumCPUs())
+	k.SetTracer(tr)
+	k.SetMetrics(ms)
+	a.SetTracer(tr)
+	a.SetMetrics(ms)
+
+	mkLoop := func(rounds int, run, sleep time.Duration) kernel.Behavior {
+		n := 0
+		return kernel.BehaviorFunc(func(*kernel.Kernel, *kernel.Task) kernel.Action {
+			n++
+			if n > rounds {
+				return kernel.Action{Op: kernel.OpExit}
+			}
+			return kernel.Action{Run: run, Op: kernel.OpSleep, SleepFor: sleep}
+		})
+	}
+	for i := 0; i < 6; i++ {
+		k.Spawn("enoki-worker", policyEnoki, mkLoop(60, 150*time.Microsecond, 50*time.Microsecond))
+	}
+	for i := 0; i < 2; i++ {
+		k.Spawn("cfs-batch", 0, mkLoop(30, 400*time.Microsecond, 100*time.Microsecond))
+	}
+	k.RunFor(20 * time.Millisecond)
+
+	return ms.Summaries(), TraceStats{Events: tr.Len(), Dropped: tr.Dropped()}
 }
 
 // Result is one benchmark's measurement, JSON-ready.
@@ -267,10 +353,20 @@ func Run() []Result {
 	return out
 }
 
-// WriteJSON runs every benchmark and writes the results to path.
-func WriteJSON(path string) ([]Result, error) {
-	res := Run()
-	data, err := json.MarshalIndent(res, "", "  ")
+// Output is the full -benchjson document: micro-benchmark measurements plus
+// the histogram summaries of the fixed-seed traced run.
+type Output struct {
+	Benchmarks      []Result               `json:"benchmarks"`
+	TraceHistograms []metrics.ClassSummary `json:"trace_histograms"`
+	Trace           TraceStats             `json:"trace"`
+}
+
+// WriteJSON runs every benchmark and the fixed-seed traced workload, writes
+// the combined document to path, and returns it.
+func WriteJSON(path string) (*Output, error) {
+	out := &Output{Benchmarks: Run()}
+	out.TraceHistograms, out.Trace = TraceRun()
+	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return nil, err
 	}
@@ -278,5 +374,5 @@ func WriteJSON(path string) ([]Result, error) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return nil, fmt.Errorf("bench: writing %s: %w", path, err)
 	}
-	return res, nil
+	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"enoki/internal/bench"
 	"enoki/internal/core"
+	"enoki/internal/trace"
 )
 
 // nopSched isolates Dispatch's own cost from module work.
@@ -79,6 +80,30 @@ func TestSafeDispatchContainsPanic(t *testing.T) {
 type panickySched struct{ nopSched }
 
 func (panickySched) TaskDead(pid int) { panic("boom") }
+
+// TestSafeDispatchTracedZeroAlloc pins the observability invariant: the
+// fully instrumented crossing — panic containment plus a live tracer sink
+// recording every message into its ring — must still not allocate. This is
+// what makes always-on tracing viable.
+func TestSafeDispatchTracedZeroAlloc(t *testing.T) {
+	s := nopSched{}
+	tr := trace.New(1 << 12)
+	for _, m := range bench.DispatchAllMessages() {
+		m := m
+		avg := testing.AllocsPerRun(200, func() {
+			m.RetSched = nil
+			if f := core.SafeDispatchTraced(s, m, tr); f != nil {
+				t.Fatalf("SafeDispatchTraced(%v): unexpected fault %v", m.Kind, f)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("SafeDispatchTraced(%v): %v allocs/op, want 0", m.Kind, avg)
+		}
+	}
+	if tr.Len() == 0 && tr.Dropped() == 0 {
+		t.Error("tracer sink recorded nothing — the zero-alloc result proves nothing")
+	}
+}
 
 // TestMessageResetKeepsAllowedCapacity pins the pooled-message contract:
 // Reset clears the message but keeps the Allowed backing array, so a reused

@@ -20,3 +20,7 @@ func BenchmarkDispatchWakeup(b *testing.B) { bench.DispatchWakeup(b) }
 // BenchmarkDispatchAll drives every dispatchable message Kind through
 // Dispatch each iteration.
 func BenchmarkDispatchAll(b *testing.B) { bench.DispatchAll(b) }
+
+// BenchmarkDispatchTraced is the fully instrumented crossing: panic
+// containment plus a live tracer sink recording every message.
+func BenchmarkDispatchTraced(b *testing.B) { bench.DispatchTraced(b) }

@@ -80,12 +80,29 @@ func (f ModuleFault) String() string {
 	}
 }
 
+// TraceSink observes completed framework crossings. SafeDispatchTraced calls
+// it exactly once per message, after the module returned (or panicked, with
+// faulted=true). Implementations must not retain m — it is pooled and will
+// be Reset — and must not allocate if the caller's hot path is pinned to
+// zero allocations.
+type TraceSink interface {
+	TraceCrossing(m *Message, faulted bool)
+}
+
 // SafeDispatch runs Dispatch with panic containment: a panic raised by the
 // module (or by Dispatch parsing a malformed message) is recovered and
 // returned as a ModuleFault instead of unwinding into the kernel's
 // scheduling core. The non-panicking path adds only an open-coded defer, so
 // the framework crossing stays allocation-free.
-func SafeDispatch(s Scheduler, m *Message) (fault *ModuleFault) {
+func SafeDispatch(s Scheduler, m *Message) *ModuleFault {
+	return SafeDispatchTraced(s, m, nil)
+}
+
+// SafeDispatchTraced is SafeDispatch with an observability tap: when sink is
+// non-nil it sees every crossing — including ones that panicked, which a
+// sink placed after a plain SafeDispatch call would miss because the fault
+// return short-circuits the caller.
+func SafeDispatchTraced(s Scheduler, m *Message, sink TraceSink) (fault *ModuleFault) {
 	defer func() {
 		if r := recover(); r != nil {
 			fault = &ModuleFault{
@@ -95,8 +112,14 @@ func SafeDispatch(s Scheduler, m *Message) (fault *ModuleFault) {
 				PanicValue: r,
 				Stack:      string(debug.Stack()),
 			}
+			if sink != nil {
+				sink.TraceCrossing(m, true)
+			}
 		}
 	}()
 	Dispatch(s, m)
+	if sink != nil {
+		sink.TraceCrossing(m, false)
+	}
 	return nil
 }

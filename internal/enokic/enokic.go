@@ -20,7 +20,9 @@ import (
 	"enoki/internal/core"
 	"enoki/internal/kernel"
 	"enoki/internal/ktime"
+	"enoki/internal/metrics"
 	"enoki/internal/sim"
+	"enoki/internal/trace"
 )
 
 // Config tunes the framework's modelled costs.
@@ -112,6 +114,12 @@ type Adapter struct {
 	lockSeq  uint64
 	recorder core.Recorder
 	thread   int // kernel thread id of the in-flight call
+
+	// Observability taps (observe.go). sink caches the TraceSink handed to
+	// SafeDispatchTraced — a, when any tap is live, else nil.
+	tracer *trace.Tracer
+	met    *metrics.ClassMetrics
+	sink   core.TraceSink
 
 	upgrading       bool
 	deferred        []*core.Message
@@ -263,7 +271,7 @@ func (a *Adapter) dispatch(m *core.Message) {
 	a.stats.Messages++
 	prev := a.thread
 	a.thread = m.Thread
-	fault := core.SafeDispatch(a.sched, m)
+	fault := core.SafeDispatchTraced(a.sched, m, a.sink)
 	a.thread = prev
 	if fault != nil {
 		a.trip(*fault, 0)

@@ -5,6 +5,7 @@ import (
 
 	"enoki/internal/core"
 	"enoki/internal/ktime"
+	"enoki/internal/trace"
 )
 
 // FailureReport describes one module kill: what tripped, when, how many
@@ -49,6 +50,7 @@ func (a *Adapter) trip(f core.ModuleFault, lag time.Duration) {
 	a.fault = f
 	a.faultLag = lag
 	a.stats.Faults++
+	a.traceFaultEvent(trace.KindFault, f.CPU, int64(f.Cause))
 	a.wdEvent.Cancel()
 	a.wdArmed = false
 	a.k.Engine().Post(0, a.killModule)
@@ -74,6 +76,7 @@ func (a *Adapter) killModule() {
 	m.Kind, m.Thread = core.MsgModuleFault, a.fault.CPU
 	m.CPU, m.ErrCode, m.Count = a.fault.CPU, int(a.fault.Cause), n
 	a.record(m)
+	a.traceFaultEvent(trace.KindKill, a.fault.CPU, int64(n))
 	if a.onFault != nil {
 		a.onFault(a.report)
 	}
@@ -101,6 +104,7 @@ func (a *Adapter) wdPickFailed(cpu int) {
 	if !a.wdFailing[cpu] {
 		a.wdFailing[cpu] = true
 		a.wdFailAt[cpu] = a.k.Now()
+		a.traceFaultEvent(trace.KindWatchdog, cpu, 0)
 	}
 	if !a.wdArmed {
 		a.wdArmed = true

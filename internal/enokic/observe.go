@@ -1,0 +1,91 @@
+package enokic
+
+import (
+	"enoki/internal/core"
+	"enoki/internal/metrics"
+	"enoki/internal/trace"
+)
+
+// Observability taps for the framework crossing itself: where the kernel's
+// tracer sees scheduling decisions (switch/idle/wake), the adapter's taps see
+// every message that crosses into the module, plus the fault machinery
+// (watchdog arms, trips, kills) and the hint-queue plumbing. Both taps are
+// optional, preallocated, and guarded by one branch, preserving the
+// zero-allocation dispatch path.
+
+// SetTracer installs (or removes, with nil) the adapter's event tracer.
+// Point it at the same tracer as Kernel.SetTracer to get one interleaved
+// timeline.
+func (a *Adapter) SetTracer(t *trace.Tracer) {
+	a.tracer = t
+	a.refreshSink()
+}
+
+// SetMetrics registers this adapter's class in s and routes the adapter's
+// crossing metrics there (nil removes the tap).
+func (a *Adapter) SetMetrics(s *metrics.Set) {
+	if s == nil {
+		a.met = nil
+	} else {
+		a.met = s.Register(a.policy, a.Name())
+	}
+	a.refreshSink()
+}
+
+// refreshSink caches the TraceSink handed to SafeDispatchTraced: the adapter
+// itself when any tap is live, nil otherwise so the dispatch fast path keeps
+// a single pointer test.
+func (a *Adapter) refreshSink() {
+	if a.tracer != nil || a.met != nil {
+		a.sink = a
+	} else {
+		a.sink = nil
+	}
+}
+
+// TraceCrossing implements core.TraceSink: called once per dispatched
+// message, including ones that panicked. The modeled crossing cost
+// (OverheadPerCall) is the dispatch latency — virtual, so serial and
+// parallel runs aggregate identically.
+func (a *Adapter) TraceCrossing(m *core.Message, faulted bool) {
+	if a.tracer != nil {
+		ev := trace.Event{
+			Ts:     m.Now,
+			Dur:    int64(a.OverheadPerCall()),
+			Kind:   trace.KindDispatch,
+			CPU:    int32(m.Thread),
+			PID:    int32(m.PID),
+			Policy: int32(a.policy),
+			Arg:    int64(m.Kind),
+		}
+		if faulted {
+			a.tracer.EmitAlways(ev)
+		} else {
+			a.tracer.Emit(ev)
+		}
+	}
+	if a.met != nil {
+		cm := a.met.CPU(m.Thread)
+		cm.Crossings++
+		cm.DispatchLat.Record(a.OverheadPerCall())
+		if faulted {
+			cm.Faults++
+		}
+	}
+}
+
+var _ core.TraceSink = (*Adapter)(nil)
+
+// traceFaultEvent emits a fault-machinery event when a tracer is installed.
+func (a *Adapter) traceFaultEvent(kind trace.Kind, cpu int, arg int64) {
+	if a.tracer == nil {
+		return
+	}
+	a.tracer.Emit(trace.Event{
+		Ts:     int64(a.k.Now()),
+		Kind:   kind,
+		CPU:    int32(cpu),
+		Policy: int32(a.policy),
+		Arg:    arg,
+	})
+}

@@ -2,6 +2,7 @@ package enokic
 
 import (
 	"enoki/internal/core"
+	"enoki/internal/trace"
 )
 
 // UserQueue is the userspace handle to a registered hint queue: the analogue
@@ -28,6 +29,15 @@ func (u *UserQueue) Send(h core.Hint) bool {
 	}
 	if !u.q.Push(h) {
 		return false
+	}
+	if u.a.tracer != nil {
+		u.a.tracer.Emit(trace.Event{
+			Ts:     int64(u.a.k.Now()),
+			Kind:   trace.KindHint,
+			CPU:    -1,
+			Policy: int32(u.a.policy),
+			Arg:    int64(u.id),
+		})
 	}
 	// notify (not dispatch): hint delivery queues behind an in-flight
 	// upgrade like every other module entry (§3.2's quiesce).

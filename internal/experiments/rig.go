@@ -13,12 +13,14 @@ import (
 	"enoki/internal/enokic"
 	"enoki/internal/ghost"
 	"enoki/internal/kernel"
+	"enoki/internal/metrics"
 	"enoki/internal/sched/arbiter"
 	"enoki/internal/sched/fifo"
 	"enoki/internal/sched/locality"
 	"enoki/internal/sched/shinjuku"
 	"enoki/internal/sched/wfq"
 	"enoki/internal/sim"
+	"enoki/internal/trace"
 )
 
 // Scheduler policy numbers used across all experiments.
@@ -140,6 +142,22 @@ func NewRig(m kernel.Machine, kind Kind) *Rig {
 		r.Ghost.Start(PolicyGhost)
 	}
 	return r
+}
+
+// Observe installs a shared tracer (ring capacity events) and metric set on
+// the rig's kernel and, when an Enoki module is loaded, on its adapter — one
+// interleaved timeline and one histogram set covering kernel decisions and
+// framework crossings alike. Call before running the workload.
+func (r *Rig) Observe(capacity int) (*trace.Tracer, *metrics.Set) {
+	tr := trace.New(capacity)
+	ms := metrics.NewSet(r.K.NumCPUs())
+	r.K.SetTracer(tr)
+	r.K.SetMetrics(ms)
+	if r.Adapter != nil {
+		r.Adapter.SetTracer(tr)
+		r.Adapter.SetMetrics(ms)
+	}
+	return tr, ms
 }
 
 // NewArachneRig builds an Enoki-Arachne machine: arbiter module plus an

@@ -1,0 +1,23 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"enoki/internal/bench"
+)
+
+// TestScheduleOpTracedZeroAlloc is the allocation ratchet for the
+// observability layer at the kernel level: a full block→wake→schedule round
+// trip with the tracer ring and per-class histograms live must stay at 0
+// allocs/op, same as the untraced path. Run as a test (not only a
+// benchmark) so `go test ./...` catches a regression without anyone
+// remembering to read benchmark output.
+func TestScheduleOpTracedZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed; skipped in -short")
+	}
+	r := testing.Benchmark(bench.ScheduleOpTraced)
+	if allocs := r.AllocsPerOp(); allocs != 0 {
+		t.Errorf("traced ScheduleOp: %d allocs/op, want 0", allocs)
+	}
+}

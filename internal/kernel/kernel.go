@@ -16,7 +16,9 @@ import (
 	"time"
 
 	"enoki/internal/ktime"
+	"enoki/internal/metrics"
 	"enoki/internal/sim"
+	"enoki/internal/trace"
 )
 
 // CPU is the per-CPU scheduling state (struct rq analogue).
@@ -58,10 +60,16 @@ type Kernel struct {
 	cpus    []*CPU
 	classes []classSlot
 	byID    map[int]Class
+	idOf    map[Class]int
 	tasks   map[int]*Task
 	nextPID int
 
 	rand *ktime.Rand
+
+	// tracer and met are the optional observability taps (observe.go); nil
+	// means off, and every hook guards on that.
+	tracer *trace.Tracer
+	met    *metrics.Set
 
 	// CtxSwitches counts context switches machine-wide.
 	CtxSwitches uint64
@@ -76,6 +84,7 @@ func New(eng *sim.Engine, m Machine, costs Costs) *Kernel {
 		machine: m,
 		costs:   costs,
 		byID:    make(map[int]Class),
+		idOf:    make(map[Class]int),
 		tasks:   make(map[int]*Task),
 		nextPID: 1,
 		rand:    ktime.NewRand(0x1d1e),
@@ -117,7 +126,11 @@ func (k *Kernel) RegisterClass(id int, c Class) {
 		panic(fmt.Sprintf("kernel: duplicate class id %d", id))
 	}
 	k.byID[id] = c
+	k.idOf[c] = id
 	k.classes = append(k.classes, classSlot{id: id, class: c})
+	if k.met != nil {
+		k.met.Register(id, c.Name())
+	}
 }
 
 // ClassByID returns the class registered under id, or nil.
@@ -298,12 +311,18 @@ func (k *Kernel) doWake(t *Task, wakerCPU int, offset time.Duration) time.Durati
 	t.cpu = target
 	oh += t.class.OverheadPerCall()
 	t.class.Enqueue(target, t, true)
+	k.traceEvent(trace.KindWake, target, t.pid, k.classID(t.class), int64(wakerCPU))
 	k.afterEnqueue(t, target, wakerCPU >= 0 && target != wakerCPU, offset)
 	return oh
 }
 
 // afterEnqueue handles preemption and idle kicks once t is queued on target.
 func (k *Kernel) afterEnqueue(t *Task, target int, remote bool, offset time.Duration) {
+	t.queuedAt = k.eng.Now()
+	if k.met != nil {
+		cm := k.met.Class(k.classID(t.class)).CPU(target)
+		cm.QueueDepth.RecordValue(int64(t.class.NRunnable(target)))
+	}
 	tc := k.cpus[target]
 	delay := offset
 	if remote {
@@ -416,15 +435,21 @@ func (k *Kernel) schedule(cpu int) {
 			prev.state = StateRunnable
 			oh += prev.class.OverheadPerCall()
 			prev.class.PutPrev(cpu, prev, true)
+			prev.queuedAt = k.eng.Now()
 		}
 		c.curr = nil
 	}
 
 	var next *Task
+	nextPolicy := -1
 	for _, slot := range k.classes {
 		oh += 2 * slot.class.OverheadPerCall() // balance + pick crossings
 		slot.class.Balance(cpu)
+		if k.tracer != nil {
+			k.traceEvent(trace.KindBalance, cpu, 0, slot.id, 0)
+		}
 		if next = slot.class.PickNext(cpu); next != nil {
+			nextPolicy = slot.id
 			break
 		}
 	}
@@ -438,6 +463,7 @@ func (k *Kernel) schedule(cpu int) {
 			c.wasIdle = true
 			c.idleSince = k.eng.Now()
 		}
+		k.traceEvent(trace.KindIdle, cpu, 0, -1, 0)
 		return
 	}
 	c.wasIdle = false
@@ -450,6 +476,14 @@ func (k *Kernel) schedule(cpu int) {
 	c.curr = next
 	next.state = StateRunning
 	next.cpu = cpu
+	if k.tracer != nil {
+		k.traceEvent(trace.KindSwitch, cpu, next.pid, nextPolicy, 0)
+	}
+	if k.met != nil {
+		cm := k.met.Class(nextPolicy).CPU(cpu)
+		cm.Picks++
+		cm.PickWait.Record(k.eng.Now().Sub(next.queuedAt))
+	}
 	k.startSegment(c, next, oh)
 	k.ensureTick(c)
 }
@@ -467,8 +501,12 @@ func (k *Kernel) startSegment(c *CPU, t *Task, delay time.Duration) {
 	t.execStart = now.Add(delay)
 	if t.wakePending {
 		t.wakePending = false
+		lat := t.execStart.Sub(t.lastWake)
+		if k.met != nil {
+			k.met.Class(k.classID(t.class)).CPU(c.id).WakeToRun.Record(lat)
+		}
 		if t.OnWake != nil {
-			t.OnWake(t.execStart.Sub(t.lastWake))
+			t.OnWake(lat)
 		}
 	}
 	if t.runEvent == nil {
@@ -511,6 +549,7 @@ func (k *Kernel) segmentDone(c *CPU, t *Task) {
 		c.curr = nil
 		c.pendingCost += extra + t.class.OverheadPerCall()
 		t.class.Yield(c.id, t)
+		t.queuedAt = k.eng.Now()
 		k.schedule(c.id)
 	case OpBlock, OpSleep:
 		if act.Op == OpBlock && act.Recheck != nil && act.Recheck() {
@@ -545,6 +584,7 @@ func (k *Kernel) segmentDone(c *CPU, t *Task) {
 		t.class.Dequeue(c.id, t, false)
 		t.class.TaskDead(t)
 		delete(k.tasks, t.pid)
+		k.traceEvent(trace.KindExit, c.id, t.pid, k.classID(t.class), 0)
 		if t.OnExit != nil {
 			t.OnExit()
 		}
@@ -576,6 +616,7 @@ func (k *Kernel) tickFire(c *CPU) {
 	t := c.curr
 	c.busy += t.class.OverheadPerCall()
 	t.class.Tick(c.id, t)
+	k.traceEvent(trace.KindTick, c.id, t.pid, k.classID(t.class), 0)
 	k.nohzKick(c)
 	k.eng.RescheduleAfter(c.tickEvent, k.costs.TickPeriod)
 }
@@ -681,6 +722,7 @@ func (k *Kernel) SetAffinity(t *Task, m CPUMask) {
 		src := t.cpu
 		t.cpu = dst
 		t.class.Enqueue(dst, t, false)
+		t.queuedAt = k.eng.Now()
 		c.curr = nil
 		k.schedule(src)
 		k.kick(dst, 0)

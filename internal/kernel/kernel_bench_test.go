@@ -12,6 +12,8 @@ import (
 
 func BenchmarkScheduleOp(b *testing.B) { bench.ScheduleOp(b) }
 
+func BenchmarkScheduleOpTraced(b *testing.B) { bench.ScheduleOpTraced(b) }
+
 func BenchmarkSpawnExit(b *testing.B) { bench.SpawnExit(b) }
 
 func BenchmarkTickPath(b *testing.B) { bench.TickPath(b) }

@@ -1,0 +1,58 @@
+package kernel
+
+import (
+	"enoki/internal/metrics"
+	"enoki/internal/trace"
+)
+
+// Observability taps. Both are optional and default to off; a nil tracer or
+// metric set keeps every hook a single branch on the hot path, and the live
+// hooks record into preallocated rings/histograms so enabling them preserves
+// the zero-allocation scheduling invariant.
+
+// SetTracer installs (or removes, with nil) the kernel's event tracer.
+func (k *Kernel) SetTracer(t *trace.Tracer) { k.tracer = t }
+
+// Tracer returns the installed tracer, or nil.
+func (k *Kernel) Tracer() *trace.Tracer { return k.tracer }
+
+// SetMetrics installs (or removes, with nil) the kernel's metric set. Every
+// already-registered class is pre-registered in the set so the scheduling
+// hot path never performs a first-use create; classes registered later are
+// added by RegisterClass.
+func (k *Kernel) SetMetrics(s *metrics.Set) {
+	k.met = s
+	if s == nil {
+		return
+	}
+	for _, slot := range k.classes {
+		s.Register(slot.id, slot.class.Name())
+	}
+}
+
+// Metrics returns the installed metric set, or nil.
+func (k *Kernel) Metrics() *metrics.Set { return k.met }
+
+// classID maps a class back to its policy id (-1 for classes the kernel no
+// longer tracks, e.g. after a deregister).
+func (k *Kernel) classID(c Class) int {
+	if id, ok := k.idOf[c]; ok {
+		return id
+	}
+	return -1
+}
+
+// traceEvent emits into the tracer when one is installed.
+func (k *Kernel) traceEvent(kind trace.Kind, cpu, pid, policy int, arg int64) {
+	if k.tracer == nil {
+		return
+	}
+	k.tracer.Emit(trace.Event{
+		Ts:     int64(k.eng.Now()),
+		Kind:   kind,
+		CPU:    int32(cpu),
+		PID:    int32(pid),
+		Policy: int32(policy),
+		Arg:    arg,
+	})
+}

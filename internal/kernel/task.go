@@ -173,6 +173,9 @@ type Task struct {
 
 	lastWake    ktime.Time
 	wakePending bool
+	// queuedAt is when the task last became queued-waiting (enqueue, yield,
+	// put-prev); the metrics layer derives pick-wait latency from it.
+	queuedAt ktime.Time
 
 	allowed CPUMask
 

@@ -1,0 +1,204 @@
+// Package metrics aggregates the observability layer's latency and depth
+// distributions: log-bucketed histograms (stats.LogHist) of dispatch
+// latency, pick wait, wakeup-to-run delay and queue depth, kept per CPU and
+// per scheduler class. All recording paths are zero-alloc — every histogram
+// a run will touch is preallocated when the class is registered — and all
+// values are modeled (virtual-time) quantities, so serial and parallel runs
+// of the same seed aggregate identically.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"enoki/internal/stats"
+)
+
+// CPUMetrics holds one CPU's distributions for one scheduler class. Slot
+// conventions are handled by ClassMetrics.CPU; use that accessor.
+type CPUMetrics struct {
+	// DispatchLat is the modeled cost of one framework crossing (message
+	// build + processing-function call + reply copy-back), ns.
+	DispatchLat stats.LogHist
+	// PickWait is how long a task sat runnable in the class queue before a
+	// pick_next_task chose it, ns.
+	PickWait stats.LogHist
+	// WakeToRun is wakeup-to-first-instruction latency, ns.
+	WakeToRun stats.LogHist
+	// QueueDepth samples the class's runnable backlog at enqueue time.
+	QueueDepth stats.LogHist
+
+	// Crossings counts framework crossings attributed to this CPU.
+	Crossings uint64
+	// Picks counts pick_next_task crossings that returned a task.
+	Picks uint64
+	// Faults counts crossings that tripped the fault layer.
+	Faults uint64
+}
+
+// ClassMetrics is one scheduler class's per-CPU metric set. The perCPU slice
+// has ncpus+1 slots: slot 0 collects user/unattributed context (CPU -1) and
+// slot c+1 collects CPU c, so a crossing from any context records without a
+// bounds branch allocating or failing.
+type ClassMetrics struct {
+	Policy int
+	Name   string
+	perCPU []CPUMetrics
+}
+
+// NewClassMetrics returns a metric set for a class on an ncpus machine.
+func NewClassMetrics(policy int, name string, ncpus int) *ClassMetrics {
+	if ncpus < 1 {
+		ncpus = 1
+	}
+	return &ClassMetrics{Policy: policy, Name: name, perCPU: make([]CPUMetrics, ncpus+1)}
+}
+
+// CPU returns the metric slot for a CPU id; -1 (user context) and any
+// out-of-range id map to the unattributed slot.
+func (c *ClassMetrics) CPU(cpu int) *CPUMetrics {
+	idx := cpu + 1
+	if idx < 1 || idx >= len(c.perCPU) {
+		idx = 0
+	}
+	return &c.perCPU[idx]
+}
+
+// NCPUs returns how many real CPU slots the set holds.
+func (c *ClassMetrics) NCPUs() int { return len(c.perCPU) - 1 }
+
+// merged folds every CPU slot of one metric into a single histogram.
+func (c *ClassMetrics) merged(pick func(*CPUMetrics) *stats.LogHist) stats.LogHist {
+	var out stats.LogHist
+	for i := range c.perCPU {
+		out.Merge(pick(&c.perCPU[i]))
+	}
+	return out
+}
+
+// Totals sums the counters across CPUs.
+func (c *ClassMetrics) Totals() (crossings, picks, faults uint64) {
+	for i := range c.perCPU {
+		m := &c.perCPU[i]
+		crossings += m.Crossings
+		picks += m.Picks
+		faults += m.Faults
+	}
+	return
+}
+
+// ClassSummary is the JSON-facing digest of one class's metrics, histograms
+// merged across CPUs.
+type ClassSummary struct {
+	Policy      int           `json:"policy"`
+	Name        string        `json:"name"`
+	Crossings   uint64        `json:"crossings"`
+	Picks       uint64        `json:"picks"`
+	Faults      uint64        `json:"faults"`
+	DispatchLat stats.Summary `json:"dispatch_lat_ns"`
+	PickWait    stats.Summary `json:"pick_wait_ns"`
+	WakeToRun   stats.Summary `json:"wake_to_run_ns"`
+	QueueDepth  stats.Summary `json:"queue_depth"`
+}
+
+// Summarize reduces the class to its digest.
+func (c *ClassMetrics) Summarize() ClassSummary {
+	crossings, picks, faults := c.Totals()
+	dl := c.merged(func(m *CPUMetrics) *stats.LogHist { return &m.DispatchLat })
+	pw := c.merged(func(m *CPUMetrics) *stats.LogHist { return &m.PickWait })
+	wr := c.merged(func(m *CPUMetrics) *stats.LogHist { return &m.WakeToRun })
+	qd := c.merged(func(m *CPUMetrics) *stats.LogHist { return &m.QueueDepth })
+	return ClassSummary{
+		Policy:      c.Policy,
+		Name:        c.Name,
+		Crossings:   crossings,
+		Picks:       picks,
+		Faults:      faults,
+		DispatchLat: dl.Summarize(),
+		PickWait:    pw.Summarize(),
+		WakeToRun:   wr.Summarize(),
+		QueueDepth:  qd.Summarize(),
+	}
+}
+
+// Set holds the ClassMetrics of every scheduler class in a run. Classes must
+// be registered (Register or Class) before the hot path records into them —
+// registration is the only allocating operation.
+type Set struct {
+	byPolicy map[int]*ClassMetrics
+	ncpus    int
+}
+
+// NewSet returns an empty metric set for an ncpus machine.
+func NewSet(ncpus int) *Set {
+	if ncpus < 1 {
+		ncpus = 1
+	}
+	return &Set{byPolicy: make(map[int]*ClassMetrics), ncpus: ncpus}
+}
+
+// Register pre-creates (or renames) the metric set for a class. Call it at
+// class-registration time so the hot path never needs to.
+func (s *Set) Register(policy int, name string) *ClassMetrics {
+	if c, ok := s.byPolicy[policy]; ok {
+		if name != "" {
+			c.Name = name
+		}
+		return c
+	}
+	c := NewClassMetrics(policy, name, s.ncpus)
+	s.byPolicy[policy] = c
+	return c
+}
+
+// Class returns the metric set for a policy, creating it on first use. The
+// lookup itself does not allocate; only a first-time create does.
+func (s *Set) Class(policy int) *ClassMetrics {
+	if c, ok := s.byPolicy[policy]; ok {
+		return c
+	}
+	return s.Register(policy, fmt.Sprintf("policy-%d", policy))
+}
+
+// Has reports whether a class is registered without creating it.
+func (s *Set) Has(policy int) bool {
+	_, ok := s.byPolicy[policy]
+	return ok
+}
+
+// Classes returns the registered classes sorted by policy id, so iteration
+// order — and everything rendered from it — is deterministic.
+func (s *Set) Classes() []*ClassMetrics {
+	out := make([]*ClassMetrics, 0, len(s.byPolicy))
+	for _, c := range s.byPolicy {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Policy < out[j].Policy })
+	return out
+}
+
+// Summaries returns every class digest, sorted by policy id.
+func (s *Set) Summaries() []ClassSummary {
+	cls := s.Classes()
+	out := make([]ClassSummary, 0, len(cls))
+	for _, c := range cls {
+		out = append(out, c.Summarize())
+	}
+	return out
+}
+
+// Table renders the digests as an aligned text table for CLI output.
+func (s *Set) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %10s %8s %14s %14s %14s %10s\n",
+		"class", "crossings", "picks", "faults",
+		"dispatch p50", "pickwait p50", "wake2run p50", "depth p90")
+	for _, cs := range s.Summaries() {
+		fmt.Fprintf(&b, "%-12s %10d %10d %8d %12dns %12dns %12dns %10d\n",
+			cs.Name, cs.Crossings, cs.Picks, cs.Faults,
+			cs.DispatchLat.P50, cs.PickWait.P50, cs.WakeToRun.P50,
+			cs.QueueDepth.P90)
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCPUSlotMapping(t *testing.T) {
+	c := NewClassMetrics(1, "test", 4)
+	if c.NCPUs() != 4 {
+		t.Fatalf("NCPUs() = %d, want 4", c.NCPUs())
+	}
+	// Each real CPU gets a distinct slot; -1 and out-of-range ids share the
+	// unattributed slot instead of panicking or allocating.
+	if c.CPU(0) == c.CPU(1) {
+		t.Error("CPU 0 and 1 share a slot")
+	}
+	if c.CPU(-1) != c.CPU(99) || c.CPU(-1) != c.CPU(-7) {
+		t.Error("user-context and out-of-range ids should share the unattributed slot")
+	}
+	if c.CPU(-1) == c.CPU(0) {
+		t.Error("unattributed slot collides with CPU 0")
+	}
+}
+
+func TestTotalsAndSummarizeMergeAcrossCPUs(t *testing.T) {
+	c := NewClassMetrics(1, "test", 2)
+	c.CPU(0).Crossings = 3
+	c.CPU(1).Crossings = 4
+	c.CPU(-1).Crossings = 1
+	c.CPU(0).Picks = 2
+	c.CPU(1).Faults = 1
+	c.CPU(0).DispatchLat.Record(100 * time.Nanosecond)
+	c.CPU(1).DispatchLat.Record(300 * time.Nanosecond)
+
+	crossings, picks, faults := c.Totals()
+	if crossings != 8 || picks != 2 || faults != 1 {
+		t.Errorf("Totals() = %d, %d, %d; want 8, 2, 1", crossings, picks, faults)
+	}
+	cs := c.Summarize()
+	if cs.Crossings != 8 || cs.DispatchLat.Count != 2 {
+		t.Errorf("summary = %+v", cs)
+	}
+	if cs.DispatchLat.Min > cs.DispatchLat.P50 || cs.DispatchLat.P50 > cs.DispatchLat.Max {
+		t.Errorf("merged quantiles out of order: %+v", cs.DispatchLat)
+	}
+}
+
+func TestSetRegisterAndOrdering(t *testing.T) {
+	s := NewSet(4)
+	s.Register(2, "beta")
+	s.Register(0, "alpha")
+	if !s.Has(2) || s.Has(1) {
+		t.Error("Has() wrong after Register")
+	}
+	// Class() on an unregistered policy creates a placeholder; on a
+	// registered one it returns the same object Register handed out.
+	if s.Class(0) != s.Register(0, "") {
+		t.Error("Class(0) is not the registered object")
+	}
+	if got := s.Class(7).Name; got != "policy-7" {
+		t.Errorf("placeholder name = %q", got)
+	}
+	// Re-registering renames in place without discarding recorded data.
+	s.Class(7).CPU(0).Picks = 5
+	s.Register(7, "gamma")
+	if s.Class(7).Name != "gamma" || s.Class(7).CPU(0).Picks != 5 {
+		t.Error("Register dropped data or name on rename")
+	}
+
+	cls := s.Classes()
+	for i := 1; i < len(cls); i++ {
+		if cls[i-1].Policy >= cls[i].Policy {
+			t.Fatalf("Classes() not sorted by policy: %d before %d", cls[i-1].Policy, cls[i].Policy)
+		}
+	}
+	sums := s.Summaries()
+	if len(sums) != 3 || sums[0].Name != "alpha" || sums[2].Name != "gamma" {
+		t.Errorf("Summaries() = %+v", sums)
+	}
+	table := s.Table()
+	for _, want := range []string{"class", "alpha", "beta", "gamma", "dispatch p50"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("Table() missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestRecordPathZeroAlloc pins the metrics half of the hot-path invariant:
+// once a class is registered, recording into any of its histograms or
+// counters never allocates.
+func TestRecordPathZeroAlloc(t *testing.T) {
+	s := NewSet(8)
+	s.Register(1, "enoki")
+	avg := testing.AllocsPerRun(1000, func() {
+		m := s.Class(1).CPU(3)
+		m.Crossings++
+		m.DispatchLat.Record(130 * time.Nanosecond)
+		m.PickWait.RecordValue(2500)
+		m.WakeToRun.RecordValue(8000)
+		m.QueueDepth.RecordValue(3)
+	})
+	if avg != 0 {
+		t.Errorf("record path: %v allocs/op, want 0", avg)
+	}
+}

@@ -1,0 +1,86 @@
+package record
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"enoki/internal/core"
+)
+
+// validLog builds a well-formed record log in memory: a few message entries
+// and a lock entry, gob-encoded exactly as the live Recorder writes them.
+func validLog(t testing.TB) []byte {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for i := 0; i < 3; i++ {
+		m := &core.Message{
+			Kind:    core.MsgTaskWakeup,
+			Seq:     uint64(i + 1),
+			PID:     100 + i,
+			WakeCPU: i % 4,
+		}
+		if err := enc.Encode(&Entry{Msg: m}); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+	}
+	lk := core.LockEvent{Op: core.LockAcquire, Seq: 4}
+	if err := enc.Encode(&Entry{Lock: &lk}); err != nil {
+		t.Fatalf("encode lock: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoad feeds arbitrary bytes to Load. A record log is untrusted input —
+// a crashed run, a partial copy, a hostile file — so whatever the bytes,
+// Load must return (entries, error) and never panic. The harness itself will
+// report any panic as a crash; the assertions below pin the contract for the
+// non-panicking paths.
+func FuzzLoad(f *testing.F) {
+	whole := validLog(f)
+	f.Add(whole)
+	f.Add(whole[:len(whole)/2]) // truncated mid-stream
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	corrupt := append([]byte(nil), whole...)
+	corrupt[len(corrupt)/3] ^= 0x5a
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := Load(bytes.NewReader(data))
+		for i, e := range entries {
+			// Decoded prefix entries must be structurally sound enough to
+			// hand to downstream consumers (replay, enoki-trace).
+			if e.Msg == nil && e.Lock == nil {
+				t.Fatalf("entry %d has neither Msg nor Lock (err=%v)", i, err)
+			}
+		}
+	})
+}
+
+// TestLoadCorruptInputs pins the fuzz findings that matter as plain tests,
+// so the contract is enforced even in runs without the fuzz engine.
+func TestLoadCorruptInputs(t *testing.T) {
+	whole := validLog(t)
+
+	entries, err := Load(bytes.NewReader(whole))
+	if err != nil || len(entries) != 4 {
+		t.Fatalf("intact log: %d entries, err=%v; want 4, nil", len(entries), err)
+	}
+
+	entries, err = Load(bytes.NewReader(whole[:len(whole)-3]))
+	if err == nil {
+		t.Fatal("truncated log decoded without error")
+	}
+	if len(entries) == 0 {
+		t.Error("truncated log should still yield its decoded prefix")
+	}
+
+	if _, err = Load(bytes.NewReader([]byte{0x07, 0xff, 0x82, 0x01})); err == nil {
+		t.Error("garbage bytes decoded without error")
+	}
+
+	entries, err = Load(bytes.NewReader(nil))
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("empty log: %d entries, err=%v; want 0, nil", len(entries), err)
+	}
+}

@@ -11,6 +11,7 @@ package record
 
 import (
 	"encoding/gob"
+	"fmt"
 	"io"
 	"time"
 
@@ -142,18 +143,31 @@ func (r *Recorder) Close() {
 	r.closed = true
 }
 
-// Load reads a record log back from rd.
-func Load(rd io.Reader) ([]Entry, error) {
+// Load reads a record log back from rd. Truncated or corrupted logs return
+// the entries decoded so far plus an error — never a panic: a log file is
+// untrusted input (a crashed run, a partial copy, a fuzzer), and the gob
+// decoder may panic on pathological bytes, so the decode is panic-contained.
+func Load(rd io.Reader) (entries []Entry, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("record: corrupt log: %v", r)
+		}
+	}()
 	dec := gob.NewDecoder(rd)
-	var out []Entry
 	for {
 		var e Entry
-		if err := dec.Decode(&e); err != nil {
-			if err == io.EOF {
-				return out, nil
+		if derr := dec.Decode(&e); derr != nil {
+			if derr == io.EOF {
+				return entries, nil
 			}
-			return out, err
+			return entries, derr
 		}
-		out = append(out, e)
+		// gob decodes an all-defaults value from an empty field delta, but a
+		// live Recorder always sets exactly one of Msg/Lock — an empty entry
+		// can only come from a damaged or forged stream.
+		if e.Msg == nil && e.Lock == nil {
+			return entries, fmt.Errorf("record: corrupt log: entry %d has neither message nor lock", len(entries))
+		}
+		entries = append(entries, e)
 	}
 }

@@ -1,0 +1,75 @@
+package ringbuf
+
+import (
+	"testing"
+)
+
+// FuzzBuffer drives a Buffer through an arbitrary op sequence and checks it
+// against a plain-slice reference model: same values in the same order, same
+// accept/reject decisions, same drop count, and Len/Cap always in range.
+//
+// Each byte of the fuzz input is one operation: even values push (the byte
+// itself is the payload), odd values pop. The first byte picks the capacity.
+func FuzzBuffer(f *testing.F) {
+	f.Add([]byte{4, 0, 2, 4, 1, 6, 8, 10, 3, 5})
+	f.Add([]byte{1, 2, 2, 2, 1, 1, 1})
+	f.Add([]byte{0})
+	f.Add([]byte{16, 1, 3, 5})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) == 0 {
+			return
+		}
+		capacity := int(ops[0]%32) + 1
+		b := New[byte](capacity)
+		if b.Cap() != capacity {
+			t.Fatalf("Cap() = %d, want %d", b.Cap(), capacity)
+		}
+		var model []byte
+		var drops uint64
+		for _, op := range ops[1:] {
+			if op%2 == 0 { // push
+				ok := b.Push(op)
+				wantOK := len(model) < capacity
+				if ok != wantOK {
+					t.Fatalf("Push(%d) with %d/%d queued: ok=%v, want %v",
+						op, len(model), capacity, ok, wantOK)
+				}
+				if wantOK {
+					model = append(model, op)
+				} else {
+					drops++
+				}
+			} else { // pop
+				v, ok := b.Pop()
+				if ok != (len(model) > 0) {
+					t.Fatalf("Pop() with %d queued: ok=%v", len(model), ok)
+				}
+				if ok {
+					if v != model[0] {
+						t.Fatalf("Pop() = %d, want %d (FIFO order broken)", v, model[0])
+					}
+					model = model[1:]
+				}
+			}
+			if b.Len() != len(model) {
+				t.Fatalf("Len() = %d, model has %d", b.Len(), len(model))
+			}
+			if b.Dropped() != drops {
+				t.Fatalf("Dropped() = %d, model counted %d", b.Dropped(), drops)
+			}
+		}
+		// Drain must return the exact remaining FIFO contents.
+		got := b.Drain()
+		if len(got) != len(model) {
+			t.Fatalf("Drain() returned %d entries, want %d", len(got), len(model))
+		}
+		for i := range got {
+			if got[i] != model[i] {
+				t.Fatalf("Drain()[%d] = %d, want %d", i, got[i], model[i])
+			}
+		}
+		if b.Len() != 0 {
+			t.Fatalf("Len() = %d after Drain", b.Len())
+		}
+	})
+}

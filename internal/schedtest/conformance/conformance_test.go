@@ -1,0 +1,170 @@
+package conformance
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/enokic"
+	"enoki/internal/kernel"
+	"enoki/internal/schedtest"
+)
+
+// TestConformanceAllClasses drives every scheduler class through the same
+// seeded randomized workloads (with nice/affinity churn) and asserts the
+// shared invariants: every task completes (no lost wakeups), the task table
+// drains (no leaks), the invariant checker saw no double-runs or state
+// mismatches, and the framework caught zero scheduler mistakes.
+func TestConformanceAllClasses(t *testing.T) {
+	for _, c := range Cases() {
+		for _, seed := range []uint64{1, 0xabcdef} {
+			t.Run(fmt.Sprintf("%s/seed=%#x", c.Name, seed), func(t *testing.T) {
+				r := NewRig(c, enokic.DefaultConfig(), nil)
+				ch := StartChecker(r, 250*time.Microsecond)
+				w := Workload{Seed: seed, Tasks: 40, Churn: true}
+				done := w.Run(r)
+
+				if done != w.Tasks {
+					t.Errorf("%d/%d tasks completed — lost wakeups or starvation", done, w.Tasks)
+				}
+				if n := r.K.NumTasks(); n != 0 {
+					t.Errorf("%d tasks leaked in the kernel table", n)
+				}
+				for _, v := range ch.Violations {
+					t.Errorf("invariant violation: %v", v)
+				}
+				if r.Adapter != nil {
+					if r.Adapter.Killed() {
+						t.Fatalf("healthy module was killed: %+v", r.Adapter.Failure())
+					}
+					if st := r.Adapter.Stats(); st.PntErrs != 0 {
+						t.Errorf("module produced %d pick errors", st.PntErrs)
+					}
+				}
+			})
+		}
+	}
+}
+
+// starveCfg shortens only the watchdog window, for injectors whose symptom
+// is a stuck or vanishing task.
+func starveCfg() enokic.Config {
+	cfg := enokic.DefaultConfig()
+	cfg.StarveWindow = 2 * time.Millisecond
+	return cfg
+}
+
+// pntErrCfg drops the pick-error budget to one, so the first forged pick
+// trips the kill before any secondary starvation develops (the arbiter goes
+// quiet after a single rejected pick).
+func pntErrCfg() enokic.Config {
+	cfg := enokic.DefaultConfig()
+	cfg.PntErrBudget = 1
+	return cfg
+}
+
+// TestConformanceFaultInjection runs every Enoki-module class with each
+// fault injector and asserts rehome-to-CFS completeness: the module is
+// killed with the expected cause, its policy id falls back to CFS, every
+// task still completes, and the kernel invariants hold throughout.
+func TestConformanceFaultInjection(t *testing.T) {
+	injectors := []struct {
+		name string
+		cfg  enokic.Config
+		wrap func(core.Scheduler) core.Scheduler
+		want core.FaultCause
+	}{
+		{"panic", enokic.DefaultConfig(), func(s core.Scheduler) core.Scheduler {
+			return &schedtest.Panicky{Scheduler: s, PanicAfterPicks: 5}
+		}, core.FaultPanic},
+		{"stall", starveCfg(), func(s core.Scheduler) core.Scheduler {
+			return &schedtest.Staller{Scheduler: s, StallAfterPicks: 5}
+		}, core.FaultStarvation},
+		{"forge", pntErrCfg(), func(s core.Scheduler) core.Scheduler {
+			return &schedtest.Forger{Scheduler: s, ForgeAfterPicks: 5}
+		}, core.FaultPickErrors},
+		{"leak", starveCfg(), func(s core.Scheduler) core.Scheduler {
+			return &schedtest.Leaker{Scheduler: s, DropEvery: 1}
+		}, core.FaultStarvation},
+	}
+	for _, c := range Cases() {
+		if c.NewModule == nil {
+			continue // the native baseline has no module to kill
+		}
+		for _, inj := range injectors {
+			t.Run(c.Name+"/"+inj.name, func(t *testing.T) {
+				r := NewRig(c, inj.cfg, inj.wrap)
+				ch := StartChecker(r, 250*time.Microsecond)
+				w := Workload{Seed: 7, Tasks: 24}
+				done := w.Run(r)
+
+				if !r.Adapter.Killed() {
+					t.Fatal("faulty module was not killed")
+				}
+				rep := r.Adapter.Failure()
+				if rep == nil {
+					t.Fatal("no FailureReport after kill")
+				}
+				if rep.Fault.Cause != inj.want {
+					t.Errorf("fault cause = %v, want %v", rep.Fault.Cause, inj.want)
+				}
+				if r.K.ClassByID(PolicyTest) != r.K.ClassByID(PolicyCFS) {
+					t.Error("dead policy id does not resolve to the CFS fallback")
+				}
+				if done != w.Tasks {
+					t.Errorf("%d/%d tasks completed after rehome to CFS", done, w.Tasks)
+				}
+				if n := r.K.NumTasks(); n != 0 {
+					t.Errorf("%d tasks leaked after module kill", n)
+				}
+				for _, v := range ch.Violations {
+					t.Errorf("invariant violation: %v", v)
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceQueueLie covers the hint-queue path for classes that
+// support it: a module that lies about a queue on unregister is killed with
+// FaultQueueLie and its tasks still complete under CFS.
+func TestConformanceQueueLie(t *testing.T) {
+	for _, c := range Cases() {
+		if !c.SupportsHints {
+			continue
+		}
+		t.Run(c.Name, func(t *testing.T) {
+			r := NewRig(c, enokic.DefaultConfig(), func(s core.Scheduler) core.Scheduler {
+				return &schedtest.QueueLiar{Scheduler: s}
+			})
+			ch := StartChecker(r, 250*time.Microsecond)
+			uq := r.Adapter.CreateHintQueue(8)
+			if uq == nil {
+				t.Fatalf("%s advertises hint support but rejected the queue", c.Name)
+			}
+			done := 0
+			for i := 0; i < 16; i++ {
+				r.K.Spawn(fmt.Sprintf("w%d", i), r.Policy,
+					Loop(20, 100*time.Microsecond, kernel.OpSleep, 80*time.Microsecond),
+					kernel.WithExitObserver(func() { done++ }))
+			}
+			r.K.RunFor(2 * time.Millisecond)
+			uq.Close() // the liar hands back a forged queue object
+			r.K.RunFor(500 * time.Millisecond)
+
+			if !r.Adapter.Killed() {
+				t.Fatal("lying module was not killed")
+			}
+			if got := r.Adapter.Failure().Fault.Cause; got != core.FaultQueueLie {
+				t.Errorf("fault cause = %v, want %v", got, core.FaultQueueLie)
+			}
+			if done != 16 {
+				t.Errorf("%d/16 tasks completed after queue-lie kill", done)
+			}
+			for _, v := range ch.Violations {
+				t.Errorf("invariant violation: %v", v)
+			}
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestLogHistEmpty(t *testing.T) {
+	var h LogHist
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("zero-value LogHist should report all zeros")
+	}
+	s := h.Summarize()
+	if s != (Summary{}) {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestLogHistBasics(t *testing.T) {
+	var h LogHist
+	h.Record(100 * time.Nanosecond)
+	h.Record(200 * time.Nanosecond)
+	h.Record(300 * time.Nanosecond)
+	if h.Count() != 3 || h.Min() != 100 || h.Max() != 300 {
+		t.Errorf("count/min/max = %d/%d/%d", h.Count(), h.Min(), h.Max())
+	}
+	if h.Mean() != 200 {
+		t.Errorf("mean = %v, want 200", h.Mean())
+	}
+	// Negative values clamp to zero rather than corrupting the buckets.
+	h.RecordValue(-5)
+	if h.Min() != 0 || h.Count() != 4 {
+		t.Errorf("after negative record: min=%d count=%d", h.Min(), h.Count())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Error("Reset left data behind")
+	}
+}
+
+// TestLogHistQuantileAccuracy pins the documented precision: 8 sub-buckets
+// per octave bounds relative quantile error at ~12.5%.
+func TestLogHistQuantileAccuracy(t *testing.T) {
+	var h LogHist
+	for v := int64(1); v <= 100000; v++ {
+		h.RecordValue(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := float64(q) * 100000
+		got := float64(h.Quantile(q))
+		if relErr := math.Abs(got-exact) / exact; relErr > 0.13 {
+			t.Errorf("q=%v: got %v, exact %v (rel err %.3f > 0.13)", q, got, exact, relErr)
+		}
+	}
+	// Quantiles clamp to observed extremes and handle out-of-range q.
+	if h.Quantile(0) < h.Min() || h.Quantile(1) != h.Max() {
+		t.Error("quantile endpoints exceed observed range")
+	}
+	if h.Quantile(-1) < h.Min() || h.Quantile(2) != h.Max() {
+		t.Error("out-of-range q not clamped")
+	}
+}
+
+func TestLogHistMerge(t *testing.T) {
+	var a, b, whole LogHist
+	for v := int64(1); v <= 1000; v++ {
+		whole.RecordValue(v)
+		if v%2 == 0 {
+			a.RecordValue(v)
+		} else {
+			b.RecordValue(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Errorf("merged count/min/max = %d/%d/%d, want %d/%d/%d",
+			a.Count(), a.Min(), a.Max(), whole.Count(), whole.Min(), whole.Max())
+	}
+	if a.Mean() != whole.Mean() {
+		t.Errorf("merged mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q=%v: merged %d != whole %d", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+	// Merging an empty histogram is a no-op.
+	before := a.Summarize()
+	var empty LogHist
+	a.Merge(&empty)
+	if a.Summarize() != before {
+		t.Error("merging an empty histogram changed the target")
+	}
+}
+
+// TestLogHistRecordZeroAlloc pins the always-on contract: Record never
+// allocates on any value magnitude.
+func TestLogHistRecordZeroAlloc(t *testing.T) {
+	var h LogHist
+	avg := testing.AllocsPerRun(1000, func() {
+		h.RecordValue(1)
+		h.RecordValue(130)
+		h.RecordValue(1 << 20)
+		h.RecordValue(1 << 50)
+	})
+	if avg != 0 {
+		t.Errorf("RecordValue: %v allocs/op, want 0", avg)
+	}
+}

@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteChrome renders events as Chrome trace-event JSON ("JSON Array
+// Format") suitable for Perfetto or chrome://tracing: one lane per CPU,
+// run intervals reconstructed from switch/idle/exit events as complete ("X")
+// slices, wakeup→run handoffs as flow ("s"/"f") arrows, and everything else
+// as thread-scoped instants. The output is fully deterministic: events are
+// rendered in input order with hand-rolled formatting (no maps, no floats
+// beyond fixed-precision timestamps), so a fixed-seed run produces
+// byte-identical JSON no matter how the host schedules the exporter.
+func WriteChrome(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	cw := &chromeWriter{w: bw}
+
+	cw.metadata(events)
+
+	// Per-CPU open run slice, keyed by lane.
+	type openSlice struct {
+		start  int64
+		pid    int32
+		policy int32
+		open   bool
+	}
+	slices := map[int32]*openSlice{}
+	// Pending wake per PID: flow start already emitted, arrow lands at the
+	// next switch-in of that PID.
+	type pendingWake struct {
+		id int64
+	}
+	wakes := map[int32]pendingWake{}
+	var flowID int64
+	var maxTs int64
+
+	laneOf := func(cpu int32) int32 { return cw.lane(cpu) }
+
+	closeSlice := func(lane int32, ts int64) {
+		s := slices[lane]
+		if s == nil || !s.open {
+			return
+		}
+		cw.complete(lane, s.start, ts-s.start, fmt.Sprintf("pid %d", s.pid), s.pid, s.policy)
+		s.open = false
+	}
+
+	for _, ev := range events {
+		if ev.Ts > maxTs {
+			maxTs = ev.Ts
+		}
+		lane := laneOf(ev.CPU)
+		switch ev.Kind {
+		case KindSwitch:
+			closeSlice(lane, ev.Ts)
+			s := slices[lane]
+			if s == nil {
+				s = &openSlice{}
+				slices[lane] = s
+			}
+			*s = openSlice{start: ev.Ts, pid: ev.PID, policy: ev.Policy, open: true}
+			if pw, ok := wakes[ev.PID]; ok {
+				cw.flowEnd(lane, ev.Ts, pw.id)
+				delete(wakes, ev.PID)
+			}
+		case KindIdle:
+			closeSlice(lane, ev.Ts)
+			cw.instant(lane, ev.Ts, "idle")
+		case KindExit:
+			closeSlice(lane, ev.Ts)
+			cw.instant(lane, ev.Ts, fmt.Sprintf("exit pid %d", ev.PID))
+			delete(wakes, ev.PID)
+		case KindWake:
+			flowID++
+			wakes[ev.PID] = pendingWake{id: flowID}
+			cw.instant(lane, ev.Ts, fmt.Sprintf("wake pid %d", ev.PID))
+			cw.flowStart(lane, ev.Ts, flowID)
+		case KindTick:
+			cw.instant(lane, ev.Ts, "tick")
+		case KindBalance:
+			cw.instant(lane, ev.Ts, "balance")
+		case KindHint:
+			cw.instant(lane, ev.Ts, fmt.Sprintf("hint q%d", ev.Arg))
+		case KindWatchdog:
+			cw.instant(lane, ev.Ts, "watchdog arm")
+		case KindFault:
+			cw.instant(lane, ev.Ts, fmt.Sprintf("FAULT cause=%d", ev.Arg))
+		case KindKill:
+			cw.instant(lane, ev.Ts, fmt.Sprintf("module kill rehomed=%d", ev.Arg))
+		case KindDispatch:
+			cw.instant(lane, ev.Ts, fmt.Sprintf("dispatch %d", ev.Arg))
+		default:
+			cw.instant(lane, ev.Ts, ev.Kind.String())
+		}
+	}
+
+	// Close any slice still running at the trace horizon.
+	lanes := make([]int32, 0, len(slices))
+	for lane := range slices {
+		lanes = append(lanes, lane)
+	}
+	sort.Slice(lanes, func(i, j int) bool { return lanes[i] < lanes[j] })
+	for _, lane := range lanes {
+		closeSlice(lane, maxTs)
+	}
+
+	cw.finish()
+	if cw.err != nil {
+		return cw.err
+	}
+	return bw.Flush()
+}
+
+// userLane is the synthetic lane for user-context events (CPU == -1).
+const userLane = int32(1 << 20)
+
+// chromeWriter hand-rolls the JSON so output is deterministic and
+// allocation-light. All events share pid 0 ("enoki"); tid is the CPU lane.
+type chromeWriter struct {
+	w     *bufio.Writer
+	first bool
+	err   error
+}
+
+func (c *chromeWriter) lane(cpu int32) int32 {
+	if cpu < 0 {
+		return userLane
+	}
+	return cpu
+}
+
+// metadata emits the process/thread naming block. Lanes are discovered from
+// the event slice and emitted in ascending order so the block is stable.
+func (c *chromeWriter) metadata(events []Event) {
+	c.first = true
+	c.emitf(`{"traceEvents":[`)
+	c.event(`{"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"enoki"}}`)
+
+	seen := map[int32]bool{}
+	lanes := []int32{}
+	for _, ev := range events {
+		lane := c.lane(ev.CPU)
+		if !seen[lane] {
+			seen[lane] = true
+			lanes = append(lanes, lane)
+		}
+	}
+	sort.Slice(lanes, func(i, j int) bool { return lanes[i] < lanes[j] })
+	for _, lane := range lanes {
+		name := fmt.Sprintf("cpu %d", lane)
+		if lane == userLane {
+			name = "user"
+		}
+		c.event(fmt.Sprintf(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":"%s"}}`, lane, name))
+		c.event(fmt.Sprintf(`{"ph":"M","pid":0,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`, lane, lane))
+	}
+}
+
+// ts renders a nanosecond virtual timestamp as microseconds with three
+// decimal places — Chrome's unit is µs, and fixed-width fractions keep the
+// bytes identical across runs.
+func chromeTs(ns int64) string {
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+func (c *chromeWriter) complete(lane int32, ts, dur int64, name string, pid, policy int32) {
+	c.event(fmt.Sprintf(`{"ph":"X","pid":0,"tid":%d,"ts":%s,"dur":%s,"name":"%s","args":{"pid":%d,"policy":%d}}`,
+		lane, chromeTs(ts), chromeTs(dur), name, pid, policy))
+}
+
+func (c *chromeWriter) instant(lane int32, ts int64, name string) {
+	c.event(fmt.Sprintf(`{"ph":"i","pid":0,"tid":%d,"ts":%s,"s":"t","name":"%s"}`,
+		lane, chromeTs(ts), name))
+}
+
+func (c *chromeWriter) flowStart(lane int32, ts int64, id int64) {
+	c.event(fmt.Sprintf(`{"ph":"s","pid":0,"tid":%d,"ts":%s,"id":%d,"cat":"wake","name":"wake"}`,
+		lane, chromeTs(ts), id))
+}
+
+func (c *chromeWriter) flowEnd(lane int32, ts int64, id int64) {
+	c.event(fmt.Sprintf(`{"ph":"f","bp":"e","pid":0,"tid":%d,"ts":%s,"id":%d,"cat":"wake","name":"wake"}`,
+		lane, chromeTs(ts), id))
+}
+
+func (c *chromeWriter) event(s string) {
+	if c.first {
+		c.first = false
+		c.emitf("\n%s", s)
+		return
+	}
+	c.emitf(",\n%s", s)
+}
+
+func (c *chromeWriter) finish() {
+	c.emitf("\n],\"displayTimeUnit\":\"ns\"}\n")
+}
+
+func (c *chromeWriter) emitf(format string, args ...any) {
+	if c.err != nil {
+		return
+	}
+	_, c.err = fmt.Fprintf(c.w, format, args...)
+}

@@ -1,0 +1,126 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"enoki/internal/experiments"
+	"enoki/internal/kernel"
+	"enoki/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from the current output")
+
+// goldenRun executes the fixed-seed reference workload — the same mix
+// `enoki-trace -demo` uses — on a fresh rig and returns the Chrome JSON it
+// produces. Every input is deterministic (virtual time, fixed spawn order,
+// no sampling), so the bytes are the run's fingerprint.
+func goldenRun(t *testing.T, kind experiments.Kind) []byte {
+	t.Helper()
+	r := experiments.NewRig(kernel.Machine8(), kind)
+	tr, _ := r.Observe(1 << 18)
+
+	mkLoop := func(rounds int, run, sleep time.Duration) kernel.Behavior {
+		n := 0
+		return kernel.BehaviorFunc(func(*kernel.Kernel, *kernel.Task) kernel.Action {
+			n++
+			if n > rounds {
+				return kernel.Action{Op: kernel.OpExit}
+			}
+			return kernel.Action{Run: run, Op: kernel.OpSleep, SleepFor: sleep}
+		})
+	}
+	for i := 0; i < 4; i++ {
+		r.K.Spawn("worker", r.Policy, mkLoop(30, 120*time.Microsecond, 60*time.Microsecond))
+	}
+	for i := 0; i < 2; i++ {
+		r.K.Spawn("batch", experiments.PolicyCFS, mkLoop(15, 300*time.Microsecond, 100*time.Microsecond))
+	}
+	r.K.RunFor(5 * time.Millisecond)
+
+	if d := tr.Dropped(); d != 0 {
+		t.Fatalf("reference run overflowed the ring (%d dropped) — bytes would be lossy", d)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, tr.Events()); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestChromeGolden locks the exporter's exact bytes for a fixed-seed WFQ
+// run. Any change to event emission order, field formatting, or the
+// exporter itself shows up as a golden diff — reviewable, not silent.
+func TestChromeGolden(t *testing.T) {
+	got := goldenRun(t, experiments.KindWFQ)
+	path := filepath.Join("testdata", "wfq_demo.trace.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("Chrome trace differs from golden (%d vs %d bytes); rerun with -update and review the diff",
+			len(got), len(want))
+	}
+
+	// The golden file itself must be valid Chrome trace JSON.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("exporter output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases[ph]++
+	}
+	for _, ph := range []string{"M", "X", "i", "s", "f"} {
+		if phases[ph] == 0 {
+			t.Errorf("trace contains no %q records (got %v)", ph, phases)
+		}
+	}
+}
+
+// TestChromeDeterministicUnderConcurrency is the byte-determinism claim:
+// several rigs running the identical workload concurrently (as the parallel
+// experiment driver does) must each produce output identical to the serial
+// run. Virtual timestamps and allocation-free per-rig state are what make
+// this hold; run under -race in CI this also proves the rigs share nothing.
+func TestChromeDeterministicUnderConcurrency(t *testing.T) {
+	serial := goldenRun(t, experiments.KindWFQ)
+	const n = 4
+	outs := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = goldenRun(t, experiments.KindWFQ)
+		}(i)
+	}
+	wg.Wait()
+	for i, out := range outs {
+		if !bytes.Equal(out, serial) {
+			t.Errorf("concurrent run %d diverged from the serial run (%d vs %d bytes)",
+				i, len(out), len(serial))
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package trace is the observability layer's event tracer: a ring-buffer-
+// backed, zero-alloc-on-hot-path recorder of every framework crossing the
+// simulated kernel and the Enoki adapter perform — context switches, wakeups,
+// ticks, message dispatches, hint pushes, fault trips. Events carry virtual
+// timestamps, so traces are byte-deterministic for a fixed seed regardless of
+// host scheduling, and the Chrome exporter (chrome.go) renders them as
+// per-CPU lanes with task-lifetime flows for Perfetto / chrome://tracing.
+//
+// The design follows the record channel of §3.4 and the always-on tracing
+// argument of the eBPF runtime: the hot path only writes a fixed-size struct
+// into a preallocated ring (dropping, never blocking or growing, on
+// overflow), and everything expensive — snapshotting, sorting, JSON — happens
+// off the hot path on a drained copy.
+package trace
+
+import (
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/ringbuf"
+)
+
+// Kind classifies one traced event.
+type Kind uint8
+
+// Event kinds. KindDispatch, KindTick and KindBalance are "sampled" kinds:
+// they dominate event volume, so SetSampleEvery thins them; switch, wake,
+// idle, exit and fault events are always recorded because the exporter
+// reconstructs run slices and flows from them.
+const (
+	KindInvalid Kind = iota
+	// KindDispatch is one framework crossing through libEnoki's processing
+	// function; Arg carries the core.Kind of the message.
+	KindDispatch
+	// KindSwitch: PID switched in on CPU; Policy is the scheduler class id.
+	KindSwitch
+	// KindIdle: CPU found no runnable task and went idle.
+	KindIdle
+	// KindWake: PID woke toward CPU; Arg is the waker CPU (-1 external).
+	KindWake
+	// KindTick is one scheduler tick on CPU while PID ran.
+	KindTick
+	// KindBalance is one balance crossing on CPU for class Policy.
+	KindBalance
+	// KindHint is a hint-queue push; Arg is the queue id.
+	KindHint
+	// KindWatchdog marks a CPU starting its starvation clock.
+	KindWatchdog
+	// KindFault is a module fault trip; Arg is the core.FaultCause.
+	KindFault
+	// KindKill is a completed module kill; Arg is the task count re-homed.
+	KindKill
+	// KindExit: PID exited on CPU.
+	KindExit
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindDispatch:
+		return "dispatch"
+	case KindSwitch:
+		return "switch"
+	case KindIdle:
+		return "idle"
+	case KindWake:
+		return "wake"
+	case KindTick:
+		return "tick"
+	case KindBalance:
+		return "balance"
+	case KindHint:
+		return "hint"
+	case KindWatchdog:
+		return "watchdog"
+	case KindFault:
+		return "fault"
+	case KindKill:
+		return "kill"
+	case KindExit:
+		return "exit"
+	default:
+		return "invalid"
+	}
+}
+
+// Event is one fixed-size trace record. All fields are plain integers so the
+// ring push copies a flat struct and never allocates.
+type Event struct {
+	// Ts is the virtual timestamp in nanoseconds since simulation start.
+	Ts int64
+	// Dur is the modeled duration charged to the event (0 for instants).
+	Dur  int64
+	Kind Kind
+	// CPU is the kernel thread the event is attributed to (-1 for user
+	// context, e.g. hint pushes).
+	CPU int32
+	// PID is the task involved (0 when none).
+	PID int32
+	// Policy is the scheduler class id involved (-1 when not class-scoped).
+	Policy int32
+	// Arg is kind-specific payload (message kind, fault cause, queue id,
+	// waker CPU, re-homed task count).
+	Arg int64
+}
+
+// Tracer records events into a fixed ring. The zero value is a disabled
+// tracer (Emit is a cheap no-op through a nil receiver check at call sites);
+// create a live one with New. Tracer is not safe for concurrent use — like
+// the simulator itself it is single-threaded over virtual time, and parallel
+// experiment cells each own a private tracer.
+type Tracer struct {
+	ring  *ringbuf.Buffer[Event]
+	every uint64 // sample 1-in-every for high-volume kinds (0/1 = all)
+	seen  uint64
+}
+
+// New returns a tracer with the given ring capacity (minimum 1).
+func New(capacity int) *Tracer {
+	return &Tracer{ring: ringbuf.New[Event](capacity)}
+}
+
+// SetSampleEvery makes the tracer keep only one in n events of the
+// high-volume kinds (dispatch, tick, balance); 0 or 1 keeps everything.
+// Sampling is a deterministic modular counter, never a random draw, so
+// sampled traces replay byte-for-byte.
+func (t *Tracer) SetSampleEvery(n uint64) { t.every = n }
+
+// sampled reports whether the next high-volume event passes the sampler.
+func (t *Tracer) sampled() bool {
+	if t.every <= 1 {
+		return true
+	}
+	t.seen++
+	return t.seen%t.every == 1
+}
+
+// Emit records ev. On a full ring the event is dropped and counted, matching
+// the record channel's overflow semantics; the hot path never blocks and
+// never allocates.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	switch ev.Kind {
+	case KindDispatch, KindTick, KindBalance:
+		if !t.sampled() {
+			return
+		}
+	}
+	t.ring.Push(ev)
+}
+
+// EmitAlways records ev bypassing the sampler — for callers that classify a
+// high-volume kind as too important to thin (e.g. a crossing that faulted).
+// Ring overflow still drops.
+func (t *Tracer) EmitAlways(ev Event) {
+	if t == nil {
+		return
+	}
+	t.ring.Push(ev)
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return t.ring.Len()
+}
+
+// Dropped returns how many events the full ring rejected.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.ring.Dropped()
+}
+
+// Events drains every buffered event into a fresh slice, oldest first. This
+// is the cold path: call it once, after the run.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.ring.Drain()
+}
+
+// TraceCrossing implements core.TraceSink: every message routed through
+// core.SafeDispatchTraced lands here as a KindDispatch event (faulted
+// crossings carry the fault cause marker in Dur-free form — the kill path
+// emits the structured KindFault separately).
+func (t *Tracer) TraceCrossing(m *core.Message, faulted bool) {
+	ev := Event{
+		Ts:     m.Now,
+		Kind:   KindDispatch,
+		CPU:    int32(m.Thread),
+		PID:    int32(m.PID),
+		Policy: -1,
+		Arg:    int64(m.Kind),
+	}
+	if faulted {
+		// A crossing that panicked is never worth sampling away.
+		t.ring.Push(ev)
+		return
+	}
+	t.Emit(ev)
+}
+
+var _ core.TraceSink = (*Tracer)(nil)
+
+// FromMessage converts one recorded scheduler message into its trace event,
+// so a record log (§3.4) becomes a timeline without re-running anything.
+// Messages that carry no timeline information report ok=false.
+func FromMessage(m *core.Message) (ev Event, ok bool) {
+	if m == nil {
+		return Event{}, false
+	}
+	ev = Event{Ts: m.Now, CPU: int32(m.Thread), PID: int32(m.PID), Policy: -1}
+	switch m.Kind {
+	case core.MsgPickNextTask:
+		if m.RetSched != nil {
+			ev.Kind = KindSwitch
+			ev.PID = int32(m.RetSched.PID)
+		} else {
+			ev.Kind = KindIdle
+		}
+	case core.MsgTaskWakeup:
+		ev.Kind = KindWake
+		ev.CPU = int32(m.WakeCPU)
+		ev.Arg = int64(m.LastCPU)
+	case core.MsgTaskTick:
+		ev.Kind = KindTick
+	case core.MsgBalance:
+		ev.Kind = KindBalance
+	case core.MsgTaskDead:
+		ev.Kind = KindExit
+	case core.MsgHintPush, core.MsgEnterQueue:
+		ev.Kind = KindHint
+		ev.Arg = int64(m.QueueID)
+	case core.MsgModuleFault:
+		ev.Kind = KindFault
+		ev.Arg = int64(m.ErrCode)
+	default:
+		ev.Kind = KindDispatch
+		ev.Arg = int64(m.Kind)
+	}
+	return ev, true
+}
+
+// DurationOf is a small helper converting a modeled time.Duration into the
+// Event.Dur field.
+func DurationOf(d time.Duration) int64 { return int64(d) }

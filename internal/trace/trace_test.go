@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"testing"
+
+	"enoki/internal/core"
+)
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindInvalid: "invalid", KindDispatch: "dispatch", KindSwitch: "switch",
+		KindIdle: "idle", KindWake: "wake", KindTick: "tick",
+		KindBalance: "balance", KindHint: "hint", KindWatchdog: "watchdog",
+		KindFault: "fault", KindKill: "kill", KindExit: "exit",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if Kind(200).String() != "invalid" {
+		t.Error("out-of-range Kind should stringify as invalid")
+	}
+}
+
+// TestNilTracerIsDisabled pins the "zero value via nil is off" contract the
+// hot-path call sites rely on.
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: KindSwitch})
+	tr.EmitAlways(Event{Kind: KindSwitch})
+	tr.TraceCrossing(&core.Message{Kind: core.MsgTaskTick}, false)
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Error("nil tracer must be inert")
+	}
+}
+
+// TestSamplerDeterministic pins the sampling contract: a modular counter,
+// not a random draw — the same event stream always keeps the same subset,
+// and only the high-volume kinds are thinned.
+func TestSamplerDeterministic(t *testing.T) {
+	run := func() []Event {
+		tr := New(1 << 10)
+		tr.SetSampleEvery(4)
+		for i := 0; i < 20; i++ {
+			tr.Emit(Event{Ts: int64(i), Kind: KindTick})
+		}
+		tr.Emit(Event{Ts: 100, Kind: KindSwitch}) // never sampled away
+		tr.Emit(Event{Ts: 101, Kind: KindWake})
+		return tr.Events()
+	}
+	a, b := run(), run()
+	if len(a) != 5+2 {
+		t.Fatalf("1-in-4 of 20 ticks + 2 always-on events: got %d events, want 7", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("two identical runs diverged at event %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// EmitAlways bypasses the sampler even for a sampled kind.
+	tr := New(1 << 10)
+	tr.SetSampleEvery(1000)
+	for i := 0; i < 10; i++ {
+		tr.EmitAlways(Event{Ts: int64(i), Kind: KindDispatch})
+	}
+	if tr.Len() != 10 {
+		t.Errorf("EmitAlways recorded %d/10 events", tr.Len())
+	}
+}
+
+// TestRingOverflowDrops pins the overflow semantics: drop and count, never
+// block or grow.
+func TestRingOverflowDrops(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Ts: int64(i), Kind: KindSwitch})
+	}
+	if tr.Len() != 4 {
+		t.Errorf("ring holds %d events, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("Dropped() = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 || evs[0].Ts != 0 {
+		t.Errorf("drain returned %d events starting at ts=%d; want the 4 oldest", len(evs), evs[0].Ts)
+	}
+}
+
+// TestTraceCrossingFaultedBypassesSampler: a crossing that panicked must be
+// recorded even under aggressive sampling.
+func TestTraceCrossingFaultedBypassesSampler(t *testing.T) {
+	tr := New(16)
+	tr.SetSampleEvery(1000)
+	m := &core.Message{Kind: core.MsgPickNextTask, Thread: 3, Now: 42}
+	tr.TraceCrossing(m, false) // seen=1, 1%1000==1 → kept
+	tr.TraceCrossing(m, false) // sampled away
+	tr.TraceCrossing(m, true)  // faulted → always kept
+	if tr.Len() != 2 {
+		t.Fatalf("recorded %d crossings, want 2 (first sampled + faulted)", tr.Len())
+	}
+	evs := tr.Events()
+	last := evs[len(evs)-1]
+	if last.Kind != KindDispatch || last.CPU != 3 || last.Ts != 42 || last.Arg != int64(core.MsgPickNextTask) {
+		t.Errorf("faulted crossing event = %+v", last)
+	}
+}
+
+func TestFromMessage(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *core.Message
+		want Event
+	}{
+		{"pick-hit", &core.Message{Kind: core.MsgPickNextTask, Now: 10, Thread: 2, RetSched: &core.SchedulableRef{PID: 7}},
+			Event{Ts: 10, Kind: KindSwitch, CPU: 2, PID: 7, Policy: -1}},
+		{"pick-idle", &core.Message{Kind: core.MsgPickNextTask, Now: 11, Thread: 3},
+			Event{Ts: 11, Kind: KindIdle, CPU: 3, Policy: -1}},
+		{"wakeup", &core.Message{Kind: core.MsgTaskWakeup, Now: 12, PID: 9, WakeCPU: 5, LastCPU: 1},
+			Event{Ts: 12, Kind: KindWake, CPU: 5, PID: 9, Policy: -1, Arg: 1}},
+		{"tick", &core.Message{Kind: core.MsgTaskTick, Now: 13, Thread: 0, PID: 9},
+			Event{Ts: 13, Kind: KindTick, CPU: 0, PID: 9, Policy: -1}},
+		{"balance", &core.Message{Kind: core.MsgBalance, Now: 14, Thread: 6},
+			Event{Ts: 14, Kind: KindBalance, CPU: 6, Policy: -1}},
+		{"dead", &core.Message{Kind: core.MsgTaskDead, Now: 15, Thread: 1, PID: 9},
+			Event{Ts: 15, Kind: KindExit, CPU: 1, PID: 9, Policy: -1}},
+		{"hint", &core.Message{Kind: core.MsgEnterQueue, Now: 16, Thread: -1, QueueID: 3},
+			Event{Ts: 16, Kind: KindHint, CPU: -1, Policy: -1, Arg: 3}},
+		{"fault", &core.Message{Kind: core.MsgModuleFault, Now: 17, Thread: 2, ErrCode: 4},
+			Event{Ts: 17, Kind: KindFault, CPU: 2, Policy: -1, Arg: 4}},
+		{"other", &core.Message{Kind: core.MsgTaskNew, Now: 18, Thread: 0, PID: 9},
+			Event{Ts: 18, Kind: KindDispatch, CPU: 0, PID: 9, Policy: -1, Arg: int64(core.MsgTaskNew)}},
+	}
+	for _, c := range cases {
+		got, ok := FromMessage(c.m)
+		if !ok {
+			t.Errorf("%s: ok=false", c.name)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: event = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+	if _, ok := FromMessage(nil); ok {
+		t.Error("FromMessage(nil) reported ok")
+	}
+}
+
+// TestEmitZeroAlloc pins the hot-path invariant at the tracer level.
+func TestEmitZeroAlloc(t *testing.T) {
+	tr := New(1 << 16)
+	ev := Event{Ts: 1, Kind: KindSwitch, CPU: 2, PID: 3, Policy: 1}
+	avg := testing.AllocsPerRun(1000, func() { tr.Emit(ev) })
+	if avg != 0 {
+		t.Errorf("Emit: %v allocs/op, want 0", avg)
+	}
+	m := &core.Message{Kind: core.MsgTaskTick, Thread: 1, PID: 2}
+	avg = testing.AllocsPerRun(1000, func() { tr.TraceCrossing(m, false) })
+	if avg != 0 {
+		t.Errorf("TraceCrossing: %v allocs/op, want 0", avg)
+	}
+}
