@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench quick cover fuzz trace
+.PHONY: check build test race vet bench quick cover fuzz trace apicheck
 
-check: vet build race
+check: vet build race apicheck
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +22,12 @@ race:
 
 bench:
 	$(GO) run ./cmd/enokibench -benchjson BENCH_hotpath.json
+
+# Public-API compatibility gate for package enoki: apidiff when installed,
+# textual surface diff against api/enoki.txt otherwise. Refresh the baseline
+# after deliberate API changes with `scripts/apicheck.sh -update`.
+apicheck:
+	./scripts/apicheck.sh
 
 # Fast full-suite pass of every table/figure, fanned out across all cores.
 quick:

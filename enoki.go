@@ -8,11 +8,12 @@
 // simulated kernel and it schedules tasks exactly where a sched_class
 // would:
 //
-//	eng := enoki.NewEngine()
-//	k := enoki.NewKernel(eng, enoki.Machine8(), enoki.DefaultCosts())
-//	ad := enoki.Load(k, myPolicyID, enoki.DefaultConfig(),
+//	sys := enoki.NewSystem(enoki.WithMachine(enoki.Machine8()))
+//	ad, err := sys.Load(myPolicyID,
 //	        func(env enoki.Env) enoki.Scheduler { return mysched.New(env) })
-//	k.RegisterClass(0, enoki.NewCFS(k)) // CFS below it, as in the paper
+//	sys.RegisterCFS(0) // CFS below it, as in the paper
+//	sys.Kernel().Spawn(...)
+//	sys.Run(20 * time.Millisecond)
 //
 // The framework provides the paper's headline features:
 //
@@ -33,6 +34,7 @@
 package enoki
 
 import (
+	"io"
 	"time"
 
 	"enoki/internal/core"
@@ -40,6 +42,7 @@ import (
 	"enoki/internal/kernel"
 	"enoki/internal/ktime"
 	"enoki/internal/sim"
+	"enoki/internal/trace"
 )
 
 // --- scheduler-facing API (libEnoki) ----------------------------------------
@@ -65,7 +68,9 @@ type Env = core.Env
 // Locker is the lock handle Env.NewMutex returns.
 type Locker = core.Locker
 
-// PickError explains a rejected pick_next_task result.
+// PickError explains a rejected pick_next_task result. Each cause constant
+// is an errors.Is-able sentinel (PickError implements error), so code that
+// wraps a pick failure can be tested with errors.Is(err, enoki.PickStale).
 type PickError = core.PickError
 
 // Pick rejection causes (see PickError).
@@ -74,6 +79,17 @@ const (
 	PickStale     = core.PickStale
 	PickNotQueued = core.PickNotQueued
 	PickConsumed  = core.PickConsumed
+)
+
+// Topology is the machine's scheduling-domain structure (sockets → LLC
+// domains → cores), available to modules via Env.Topology.
+type Topology = core.Topology
+
+// Topology distances returned by Topology.Distance.
+const (
+	DistSameLLC   = core.DistSameLLC
+	DistSameNode  = core.DistSameNode
+	DistCrossNode = core.DistCrossNode
 )
 
 // TransferOut and TransferIn are the live-upgrade state capsules (§3.2).
@@ -153,11 +169,27 @@ func NewRand(seed uint64) *Rand { return ktime.NewRand(seed) }
 // Engine is the discrete-event executor everything runs on.
 type Engine = sim.Engine
 
+// Class is a native scheduler class slot in the kernel's pick order; CFS
+// and RT implement it, and System.RegisterClass accepts it.
+type Class = kernel.Class
+
 // NewEngine creates a fresh event engine.
+//
+// Deprecated: use NewSystem, which owns the engine; reach it with
+// System.Engine when an experiment needs direct event access.
 func NewEngine() *Engine { return sim.New() }
 
 // NewKernel builds a simulated kernel on eng.
+//
+// Deprecated: use NewSystem(WithMachine(m), WithCosts(c)) and
+// System.Kernel. NewSystem wires the kernel, engine, and any recorder or
+// tracer together in the order their registration contracts require.
 func NewKernel(eng *Engine, m Machine, c Costs) *Kernel { return kernel.New(eng, m, c) }
+
+// MachineNUMA builds a custom sockets×llcPerSocket×coresPerLLC machine.
+func MachineNUMA(name string, sockets, llcPerSocket, coresPerLLC int) Machine {
+	return kernel.MachineNUMA(name, sockets, llcPerSocket, coresPerLLC)
+}
 
 // Machine8 is the paper's 8-core one-socket machine.
 func Machine8() Machine { return kernel.Machine8() }
@@ -171,8 +203,13 @@ func DefaultCosts() Costs { return kernel.DefaultCosts() }
 // CostsFor calibrates costs for a machine.
 func CostsFor(m Machine) Costs { return kernel.CostsFor(m) }
 
-// NewCFS builds the native CFS baseline class.
+// NewCFS builds the native CFS baseline class, sharded over the kernel's
+// scheduling domains.
 func NewCFS(k *Kernel) *kernel.CFS { return kernel.NewCFS(k) }
+
+// NewCFSFlat builds a CFS that ignores topology — one flat domain — as the
+// baseline the NUMA experiments compare domain-aware CFS against.
+func NewCFSFlat(k *Kernel) *kernel.CFS { return kernel.NewCFSFlat(k) }
 
 // NewRT builds the native SCHED_FIFO/SCHED_RR real-time class (rrSlice 0
 // uses Linux's 100ms default).
@@ -211,11 +248,42 @@ type UpgradeReport = enokic.UpgradeReport
 // UserQueue is the userspace handle to a registered hint queue.
 type UserQueue = enokic.UserQueue
 
+// Tracer is the observability ring recording kernel and framework events;
+// install one with NewSystem(WithTraceSink(...)). TraceEvent is one record.
+type (
+	Tracer     = trace.Tracer
+	TraceEvent = trace.Event
+)
+
+// NewTracer creates a tracer with the given ring capacity.
+func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// WriteChromeTrace renders drained trace events as a Chrome/Perfetto JSON
+// timeline.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return trace.WriteChrome(w, events)
+}
+
 // DefaultConfig returns the calibrated framework costs.
 func DefaultConfig() Config { return enokic.DefaultConfig() }
 
+// Typed load/upgrade failures, testable with errors.Is.
+var (
+	// ErrPolicyMismatch: the module's GetPolicy disagrees with the policy
+	// it was loaded under.
+	ErrPolicyMismatch = enokic.ErrPolicyMismatch
+	// ErrDuplicatePolicy: the policy id already has a registered class.
+	ErrDuplicatePolicy = enokic.ErrDuplicatePolicy
+	// ErrModuleKilled: the module was killed by fault isolation.
+	ErrModuleKilled = enokic.ErrModuleKilled
+)
+
 // Load constructs a scheduler module via factory and registers it with the
-// kernel under the given policy number.
+// kernel under the given policy number, panicking on failure.
+//
+// Deprecated: use System.Load, which returns typed errors
+// (ErrDuplicatePolicy, ErrPolicyMismatch) and installs the System's
+// recorder and tracer on the new module.
 func Load(k *Kernel, policy int, cfg Config, factory func(Env) Scheduler) *Adapter {
 	return enokic.Load(k, policy, cfg, factory)
 }

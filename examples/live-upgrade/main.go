@@ -23,11 +23,14 @@ const (
 )
 
 func main() {
-	eng := enoki.NewEngine()
-	k := enoki.NewKernel(eng, enoki.Machine8(), enoki.DefaultCosts())
-	ad := enoki.Load(k, policyWFQ, enoki.DefaultConfig(),
+	sys := enoki.NewSystem(enoki.WithMachine(enoki.Machine8()))
+	ad, err := sys.Load(policyWFQ,
 		func(env enoki.Env) enoki.Scheduler { return enoki.NewWFQScheduler(env, policyWFQ) })
-	k.RegisterClass(policyCFS, enoki.NewCFS(k))
+	if err != nil {
+		panic(err)
+	}
+	sys.RegisterCFS(policyCFS)
+	k := sys.Kernel()
 
 	// Latency-sensitive tasks: sleep 90µs, run 10µs, repeat; we watch
 	// their wakeup latency across the upgrade.
@@ -61,7 +64,7 @@ func main() {
 
 	oldSched := ad.Scheduler()
 	var rep enoki.UpgradeReport
-	eng.After(0, func() {
+	sys.Engine().After(0, func() {
 		ad.Upgrade(func(env enoki.Env) enoki.Scheduler {
 			// "Version 2" — same policy here; real upgrades change
 			// the algorithm and adopt the exported state capsule.

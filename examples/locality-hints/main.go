@@ -31,11 +31,14 @@ type group struct {
 }
 
 func runBench(useHints bool) (p50, p99 time.Duration) {
-	eng := enoki.NewEngine()
-	k := enoki.NewKernel(eng, enoki.Machine8(), enoki.DefaultCosts())
-	ad := enoki.Load(k, policyLocality, enoki.DefaultConfig(),
+	sys := enoki.NewSystem(enoki.WithMachine(enoki.Machine8()))
+	ad, err := sys.Load(policyLocality,
 		func(env enoki.Env) enoki.Scheduler { return enoki.NewLocalityScheduler(env, policyLocality) })
-	k.RegisterClass(policyCFS, enoki.NewCFS(k))
+	if err != nil {
+		panic(err)
+	}
+	sys.RegisterCFS(policyCFS)
+	k := sys.Kernel()
 
 	var queue *enoki.UserQueue
 	if useHints {

@@ -96,11 +96,14 @@ func main() {
 	// Boot a simulated 8-core machine and load the scheduler, with CFS
 	// underneath it for everything else — exactly the deployment story
 	// of the paper.
-	eng := enoki.NewEngine()
-	k := enoki.NewKernel(eng, enoki.Machine8(), enoki.DefaultCosts())
-	ad := enoki.Load(k, policyMine, enoki.DefaultConfig(),
+	sys := enoki.NewSystem(enoki.WithMachine(enoki.Machine8()))
+	ad, err := sys.Load(policyMine,
 		func(env enoki.Env) enoki.Scheduler { return newMyScheduler(env) })
-	k.RegisterClass(policyCFS, enoki.NewCFS(k))
+	if err != nil {
+		panic(err)
+	}
+	sys.RegisterCFS(policyCFS)
+	k := sys.Kernel()
 
 	// Workload 1: eight CPU-bound tasks.
 	done := 0

@@ -29,16 +29,20 @@ const (
 )
 
 func main() {
-	// Phase 1: record.
-	eng := enoki.NewEngine()
-	k := enoki.NewKernel(eng, enoki.Machine8(), enoki.DefaultCosts())
-	ad := enoki.Load(k, policyWFQ, enoki.DefaultConfig(),
-		func(env enoki.Env) enoki.Scheduler { return enoki.NewWFQScheduler(env, policyWFQ) })
-	k.RegisterClass(policyCFS, enoki.NewCFS(k))
-
+	// Phase 1: record. WithRecorder installs record mode on every module
+	// the System loads; the recorder comes alive once its drain class
+	// (CFS here) is registered.
 	var log bytes.Buffer
-	rec := enoki.NewRecorder(k, &log, policyCFS)
-	ad.SetRecorder(rec)
+	sys := enoki.NewSystem(
+		enoki.WithMachine(enoki.Machine8()),
+		enoki.WithRecorder(&log, policyCFS))
+	if _, err := sys.Load(policyWFQ,
+		func(env enoki.Env) enoki.Scheduler { return enoki.NewWFQScheduler(env, policyWFQ) }); err != nil {
+		panic(err)
+	}
+	sys.RegisterCFS(policyCFS)
+	k := sys.Kernel()
+	rec := sys.Recorder()
 
 	var a, b *enoki.Task
 	const rounds = 400

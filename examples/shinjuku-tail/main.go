@@ -29,17 +29,17 @@ type request struct {
 }
 
 func serve(useShinjuku bool) (p50, p99 time.Duration) {
-	eng := enoki.NewEngine()
-	k := enoki.NewKernel(eng, enoki.Machine8(), enoki.DefaultCosts())
+	sys := enoki.NewSystem(enoki.WithMachine(enoki.Machine8()))
+	k := sys.Kernel()
 	workerPolicy := policyCFS
 	if useShinjuku {
-		enoki.Load(k, policyShin, enoki.DefaultConfig(),
+		sys.MustLoad(policyShin,
 			func(env enoki.Env) enoki.Scheduler {
 				return enoki.NewShinjukuScheduler(env, policyShin, 10*time.Microsecond)
 			})
 		workerPolicy = policyShin
 	}
-	k.RegisterClass(policyCFS, enoki.NewCFS(k))
+	sys.RegisterCFS(policyCFS)
 
 	var cores enoki.CPUMask
 	for _, c := range []int{3, 4, 5, 6, 7} {
@@ -93,9 +93,9 @@ func serve(useShinjuku bool) (p50, p99 time.Duration) {
 				break
 			}
 		}
-		eng.After(rng.ExpDuration(time.Second/55000), arrive)
+		sys.Engine().After(rng.ExpDuration(time.Second/55000), arrive)
 	}
-	eng.After(0, arrive)
+	sys.Engine().After(0, arrive)
 	k.RunFor(1200 * time.Millisecond)
 
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })

@@ -114,6 +114,63 @@ func scheduleOp(b *testing.B, traced bool) {
 	}
 }
 
+// WakeBurst measures the batched cross-CPU wake path on the two-socket
+// Machine80: a producer on CPU 0 wakes 16 consumers — pinned in pairs on
+// one core of each LLC group across both sockets — in a single Action.Wake
+// burst, so the 16 wakes coalesce into at most 8 IPIs (one per distinct
+// target), half of them crossing the socket boundary. Each consumer runs a
+// short segment and blocks again; the producer sleeps long enough for the
+// whole burst to drain, then fires the next one. One iteration is one full
+// burst cycle. The batched wake/IPI path must stay at 0 allocs/op (pinned
+// by TestWakeBurstZeroAlloc).
+func WakeBurst(b *testing.B) {
+	eng := sim.New()
+	m := kernel.Machine80()
+	k := kernel.New(eng, m, kernel.CostsFor(m))
+	k.RegisterClass(0, kernel.NewCFS(k))
+
+	// One core per LLC group: 4 in socket 0, 4 in socket 1; two consumers
+	// pinned per core so per-target coalescing has work to do.
+	targets := []int{5, 15, 25, 35, 45, 55, 65, 75}
+	var consumers []*kernel.Task
+	for _, cpu := range targets {
+		for j := 0; j < 2; j++ {
+			consumers = append(consumers, k.Spawn("consumer", 0, kernel.BehaviorFunc(
+				func(*kernel.Kernel, *kernel.Task) kernel.Action {
+					return kernel.Action{Run: 200 * time.Nanosecond, Op: kernel.OpBlock}
+				}), kernel.WithAffinity(kernel.SingleCPU(cpu))))
+		}
+	}
+	bursts := 0
+	k.Spawn("producer", 0, kernel.BehaviorFunc(
+		func(*kernel.Kernel, *kernel.Task) kernel.Action {
+			bursts++
+			return kernel.Action{Run: 100 * time.Nanosecond, Wake: consumers,
+				Op: kernel.OpSleep, SleepFor: 30 * time.Microsecond}
+		}), kernel.WithAffinity(kernel.SingleCPU(0)))
+
+	// Warm up: one full cycle fills the event free list and first-wake state.
+	for bursts < 2 {
+		if !eng.Step() {
+			b.Fatal("engine drained")
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	target := bursts
+	for i := 0; i < b.N; i++ {
+		target++
+		for bursts < target {
+			if !eng.Step() {
+				b.Fatal("engine drained")
+			}
+		}
+	}
+	if k.IPIsCoalesced == 0 {
+		b.Fatal("burst coalesced no IPIs")
+	}
+}
+
 // SpawnExit measures task creation and teardown.
 func SpawnExit(b *testing.B) {
 	eng := sim.New()
@@ -269,6 +326,7 @@ func All() []Entry {
 		{"BenchmarkSimReschedule", SimReschedule},
 		{"BenchmarkScheduleOp", ScheduleOp},
 		{"BenchmarkScheduleOpTraced", ScheduleOpTraced},
+		{"BenchmarkWakeBurst", WakeBurst},
 		{"BenchmarkSpawnExit", SpawnExit},
 		{"BenchmarkTickPath", TickPath},
 		{"BenchmarkDispatch", Dispatch},

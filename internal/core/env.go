@@ -30,8 +30,16 @@ type Env interface {
 	// NumCPUs returns the machine's CPU count.
 	NumCPUs() int
 
-	// SameNode reports whether two CPUs share a NUMA node.
+	// SameNode reports whether two CPUs share a NUMA node. It is
+	// shorthand for Topology().SameNode and kept for module convenience.
 	SameNode(a, b int) bool
+
+	// Topology returns the machine's scheduling-domain structure: the
+	// LLC domain of each CPU, its siblings, and pairwise distances.
+	// The returned value is immutable and shared; environments that have
+	// no real topology (replay without a recorded one, unit-test fakes)
+	// return a flat single-domain topology.
+	Topology() *Topology
 
 	// ArmTimer arms cpu's reschedule timer d from now, replacing any
 	// previous timer (Shinjuku's µs-scale preemption uses this).

@@ -48,6 +48,12 @@ func (e PickError) String() string {
 	}
 }
 
+// Error makes each cause constant an errors.Is-able sentinel: code holding a
+// wrapped pick failure can test it with errors.Is(err, core.PickWrongCPU)
+// instead of unwrapping to the concrete type. PickError is a comparable
+// value type, so errors.Is needs no Is method.
+func (e PickError) Error() string { return "enoki: pick rejected: " + e.String() }
+
 // TransferOut is the state capsule an outgoing module exports from
 // reregister_prepare during live upgrade (§3.2). State is completely custom;
 // the only contract is that the incoming module understands it.

@@ -1,0 +1,98 @@
+package core
+
+import "testing"
+
+// two sockets, two LLC domains per socket, two CPUs per domain.
+func twoSocket8() *Topology {
+	return NewTopology(
+		[]int{0, 0, 0, 0, 1, 1, 1, 1},
+		[]int{0, 0, 1, 1, 2, 2, 3, 3},
+	)
+}
+
+func TestTopologyShape(t *testing.T) {
+	topo := twoSocket8()
+	if topo.NumCPUs() != 8 || topo.NumNodes() != 2 || topo.NumDomains() != 4 {
+		t.Fatalf("shape = %d cpus / %d nodes / %d domains, want 8/2/4",
+			topo.NumCPUs(), topo.NumNodes(), topo.NumDomains())
+	}
+	if topo.NodeOf(3) != 0 || topo.NodeOf(4) != 1 {
+		t.Errorf("NodeOf boundary wrong: cpu3→%d cpu4→%d", topo.NodeOf(3), topo.NodeOf(4))
+	}
+	if topo.DomainOf(1) != 0 || topo.DomainOf(2) != 1 {
+		t.Errorf("DomainOf boundary wrong: cpu1→%d cpu2→%d", topo.DomainOf(1), topo.DomainOf(2))
+	}
+}
+
+func TestTopologyDistance(t *testing.T) {
+	topo := twoSocket8()
+	cases := []struct{ a, b, want int }{
+		{0, 0, DistSameLLC},
+		{0, 1, DistSameLLC},
+		{0, 2, DistSameNode}, // same socket, different LLC
+		{1, 3, DistSameNode},
+		{0, 4, DistCrossNode},
+		{3, 7, DistCrossNode},
+	}
+	for _, c := range cases {
+		if got := topo.Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := topo.Distance(c.b, c.a); got != c.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d (asymmetric)", c.b, c.a, got, c.want)
+		}
+	}
+	if !topo.SameLLC(0, 1) || topo.SameLLC(0, 2) {
+		t.Error("SameLLC disagrees with Distance")
+	}
+	if !topo.SameNode(0, 2) || topo.SameNode(0, 4) {
+		t.Error("SameNode disagrees with Distance")
+	}
+}
+
+func TestTopologyGroups(t *testing.T) {
+	topo := twoSocket8()
+	wantSib := map[int][]int{0: {0, 1}, 5: {4, 5}, 7: {6, 7}}
+	for cpu, want := range wantSib {
+		got := topo.Siblings(cpu)
+		if len(got) != len(want) {
+			t.Fatalf("Siblings(%d) = %v, want %v", cpu, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Siblings(%d) = %v, want %v (ascending, self included)", cpu, got, want)
+			}
+		}
+	}
+	if n := topo.NodeCPUs(1); len(n) != 4 || n[0] != 4 || n[3] != 7 {
+		t.Errorf("NodeCPUs(1) = %v, want [4 5 6 7]", n)
+	}
+	if d := topo.DomainCPUs(2); len(d) != 2 || d[0] != 4 || d[1] != 5 {
+		t.Errorf("DomainCPUs(2) = %v, want [4 5]", d)
+	}
+}
+
+func TestFlatTopology(t *testing.T) {
+	topo := FlatTopology(16)
+	if topo.NumNodes() != 1 || topo.NumDomains() != 1 {
+		t.Fatalf("flat topology has %d nodes / %d domains, want 1/1",
+			topo.NumNodes(), topo.NumDomains())
+	}
+	if topo.Distance(0, 15) != DistSameLLC {
+		t.Error("flat topology reports nonzero distance")
+	}
+	if len(topo.Siblings(7)) != 16 {
+		t.Errorf("flat Siblings = %d CPUs, want 16", len(topo.Siblings(7)))
+	}
+}
+
+// TestTopologyImmutableInputs: NewTopology copies its input maps, so callers
+// mutating them afterwards cannot corrupt the shared topology.
+func TestTopologyImmutableInputs(t *testing.T) {
+	nodeOf := []int{0, 0, 1, 1}
+	topo := NewTopology(nodeOf, nil)
+	nodeOf[0] = 1
+	if topo.NodeOf(0) != 0 {
+		t.Error("NewTopology aliased its nodeOf argument")
+	}
+}

@@ -14,6 +14,7 @@
 package enokic
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -23,6 +24,20 @@ import (
 	"enoki/internal/metrics"
 	"enoki/internal/sim"
 	"enoki/internal/trace"
+)
+
+// Sentinel errors for load and upgrade failures, testable with errors.Is.
+var (
+	// ErrPolicyMismatch: the module's GetPolicy disagrees with the policy
+	// it was loaded under — the module would receive messages addressed to
+	// a class it does not believe it is.
+	ErrPolicyMismatch = errors.New("enokic: module policy does not match load policy")
+	// ErrDuplicatePolicy: the kernel already has a class registered under
+	// the requested policy id.
+	ErrDuplicatePolicy = errors.New("enokic: policy id already registered")
+	// ErrModuleKilled: the operation targets a module the fault layer has
+	// killed; there is nothing left to upgrade or call.
+	ErrModuleKilled = errors.New("enokic: module was killed by fault isolation")
 )
 
 // Config tunes the framework's modelled costs.
@@ -77,6 +92,12 @@ type Stats struct {
 	Migrations  uint64
 	Upgrades    uint64
 	Deferred    uint64
+	// XLLCMoves counts runnable migrations that left the source LLC
+	// domain; XNodeMoves is the subset that also crossed sockets. Together
+	// with Migrations they show how much of a module's balancing is
+	// cache-hostile.
+	XLLCMoves  uint64
+	XNodeMoves uint64
 	// Faults counts module kills (0 or 1 per adapter lifetime).
 	Faults uint64
 }
@@ -165,8 +186,26 @@ type Adapter struct {
 var _ kernel.Class = (*Adapter)(nil)
 
 // Load builds an adapter, constructs the module via factory (handing it the
-// kernel environment), and registers it with the kernel under policy.
+// kernel environment), and registers it with the kernel under policy. It
+// panics on a policy mismatch or duplicate registration; use TryLoad to get
+// those as errors instead.
 func Load(k *kernel.Kernel, policy int, cfg Config, factory func(core.Env) core.Scheduler) *Adapter {
+	a, err := TryLoad(k, policy, cfg, factory)
+	if err != nil {
+		panic(fmt.Sprintf("enokic: %v", err))
+	}
+	return a
+}
+
+// TryLoad is Load with typed failure values: ErrDuplicatePolicy when the
+// kernel already has a class under policy, and ErrPolicyMismatch (wrapped
+// with both ids) when the constructed module's GetPolicy disagrees with the
+// policy it is being loaded under. On error no class is registered and the
+// partially built module is discarded.
+func TryLoad(k *kernel.Kernel, policy int, cfg Config, factory func(core.Env) core.Scheduler) (*Adapter, error) {
+	if k.ClassByID(policy) != nil {
+		return nil, fmt.Errorf("%w: %d", ErrDuplicatePolicy, policy)
+	}
 	a := &Adapter{
 		k:           k,
 		policy:      policy,
@@ -197,11 +236,12 @@ func Load(k *kernel.Kernel, policy int, cfg Config, factory func(core.Env) core.
 	a.env = &kernelEnv{a: a, rand: ktime.NewRand(cfg.RandSeed)}
 	s := factory(a.env)
 	if s.GetPolicy() != policy {
-		panic(fmt.Sprintf("enokic: module policy %d registered under %d", s.GetPolicy(), policy))
+		return nil, fmt.Errorf("%w: module says %d, loaded under %d",
+			ErrPolicyMismatch, s.GetPolicy(), policy)
 	}
 	a.sched = s
 	k.RegisterClass(policy, a)
-	return a
+	return a, nil
 }
 
 // Scheduler returns the currently loaded module (changes across upgrades).
@@ -453,6 +493,13 @@ func (a *Adapter) Migrate(t *kernel.Task, src, dst int) {
 	ti.moveInFlight = false
 	ti.migrated = true
 	a.stats.Migrations++
+	switch a.k.Topo().Distance(src, dst) {
+	case core.DistCrossNode:
+		a.stats.XNodeMoves++
+		a.stats.XLLCMoves++
+	case core.DistSameNode:
+		a.stats.XLLCMoves++
+	}
 	tok := a.issue(ti, dst)
 	a.markQueued(ti, dst)
 	m := a.getMsg()

@@ -24,6 +24,8 @@ func (e *kernelEnv) NumCPUs() int { return e.a.k.NumCPUs() }
 
 func (e *kernelEnv) SameNode(a, b int) bool { return e.a.k.Topology().SameNode(a, b) }
 
+func (e *kernelEnv) Topology() *core.Topology { return e.a.k.Topo() }
+
 func (e *kernelEnv) ArmTimer(cpu int, d time.Duration) { e.a.k.ArmResched(cpu, d) }
 
 func (e *kernelEnv) Resched(cpu int) { e.a.k.Resched(cpu) }

@@ -1,0 +1,107 @@
+package enokic
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/kernel"
+	"enoki/internal/sched/fifo"
+	"enoki/internal/sched/wfq"
+	"enoki/internal/schedtest"
+	"enoki/internal/sim"
+)
+
+// TestTryLoadDuplicatePolicy pins the typed-failure contract: loading under
+// a policy id the kernel already has a class for fails with a wrapped
+// ErrDuplicatePolicy, and the failure registers nothing.
+func TestTryLoadDuplicatePolicy(t *testing.T) {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	if _, err := TryLoad(k, policyEnoki, DefaultConfig(), fifoFactory); err != nil {
+		t.Fatalf("first load failed: %v", err)
+	}
+	_, err := TryLoad(k, policyEnoki, DefaultConfig(), wfqFactory)
+	if !errors.Is(err, ErrDuplicatePolicy) {
+		t.Fatalf("err = %v, want errors.Is(…, ErrDuplicatePolicy)", err)
+	}
+	if errors.Is(err, ErrPolicyMismatch) {
+		t.Error("duplicate-policy error must not also match ErrPolicyMismatch")
+	}
+}
+
+// TestTryLoadPolicyMismatch: the module's GetPolicy disagrees with the load
+// policy — a wrapped ErrPolicyMismatch naming both ids, nothing registered.
+func TestTryLoadPolicyMismatch(t *testing.T) {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	_, err := TryLoad(k, policyEnoki, DefaultConfig(), func(env core.Env) core.Scheduler {
+		return wfq.New(env, policyEnoki+5) // wrong policy on purpose
+	})
+	if !errors.Is(err, ErrPolicyMismatch) {
+		t.Fatalf("err = %v, want errors.Is(…, ErrPolicyMismatch)", err)
+	}
+	if k.ClassByID(policyEnoki) != nil {
+		t.Error("failed load left a class registered")
+	}
+}
+
+// TestUpgradeAfterKillReturnsErrModuleKilled: upgrading a module the fault
+// layer killed is refused with the sentinel, and the done callback never
+// fires.
+func TestUpgradeAfterKillReturnsErrModuleKilled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PntErrBudget = 1
+	k, a := newRig(t, func(env core.Env) core.Scheduler {
+		return &schedtest.Forger{Scheduler: fifo.New(env, policyEnoki), ForgeAfterPicks: 2}
+	})
+	a.cfg = cfg
+	a.pntBudget = 1
+	for i := 0; i < 4; i++ {
+		k.Spawn("w", policyEnoki, spin(2*time.Millisecond, 500*time.Microsecond))
+	}
+	k.RunFor(50 * time.Millisecond)
+	if !a.Killed() {
+		t.Fatal("forger was not killed; cannot test upgrade-after-kill")
+	}
+
+	fired := false
+	err := a.Upgrade(fifoFactory, func(UpgradeReport) { fired = true })
+	if !errors.Is(err, ErrModuleKilled) {
+		t.Fatalf("err = %v, want errors.Is(…, ErrModuleKilled)", err)
+	}
+	k.RunFor(10 * time.Millisecond)
+	if fired {
+		t.Error("done callback fired for a refused upgrade")
+	}
+}
+
+// TestPickErrorIsComparableSentinel: each PickError cause doubles as an
+// errors.Is target, so callers can branch on why a pick was rejected
+// without string matching.
+func TestPickErrorIsComparableSentinel(t *testing.T) {
+	var err error = core.PickStale
+	if !errors.Is(err, core.PickStale) {
+		t.Error("PickStale does not match itself via errors.Is")
+	}
+	if errors.Is(err, core.PickNotQueued) {
+		t.Error("PickStale matches PickNotQueued")
+	}
+	wrapped := wrapPick(core.PickWrongCPU)
+	if !errors.Is(wrapped, core.PickWrongCPU) {
+		t.Errorf("wrapped PickWrongCPU not matched: %v", wrapped)
+	}
+	if got := core.PickStale.Error(); got == "" {
+		t.Error("PickError.Error returned an empty string")
+	}
+}
+
+func wrapPick(e core.PickError) error {
+	return &wrappedErr{e}
+}
+
+type wrappedErr struct{ inner error }
+
+func (w *wrappedErr) Error() string { return "pick failed: " + w.inner.Error() }
+func (w *wrappedErr) Unwrap() error { return w.inner }

@@ -60,7 +60,17 @@ func (u *UserQueue) SendSync(h core.Hint) {
 // waits for the swap and unregisters from the new module. The framework
 // drops its own table entry when the dispatch completes and kills the
 // module if it hands back the wrong queue (FaultQueueLie).
+//
+// Close is idempotent: calling it again after the queue is unregistered is
+// a no-op. The guard is ownership, not a boolean — Close dispatches only
+// while the adapter's table still maps this handle's id to this handle's
+// queue — so a stale handle can never tear down a newer queue that was
+// registered under a reused id. (Modules are free to recycle ids; the
+// kernel-side table is the source of truth for who owns one.)
 func (u *UserQueue) Close() {
+	if u.a.queues[u.id] != u.q {
+		return
+	}
 	m := u.a.getMsg()
 	m.Kind, m.Thread, m.QueueID = core.MsgUnregisterQueue, -1, u.id
 	u.a.notify(m)
@@ -100,7 +110,10 @@ func (a *Adapter) CreateHintQueue(capacity int) *UserQueue {
 
 // CloseRevQueue unregisters a reverse queue previously returned by
 // CreateRevQueue, with the same quiesce and lie-detection semantics as
-// UserQueue.Close. Closing a queue this adapter does not own is a no-op.
+// UserQueue.Close. Closing a queue this adapter does not own is a no-op,
+// which makes double-close safe by construction: the lookup is by queue
+// pointer, the first close removes the table entry, and a repeat close
+// finds nothing to unregister.
 func (a *Adapter) CloseRevQueue(q *core.RevQueue) {
 	for id, have := range a.revQueues {
 		if have == q {

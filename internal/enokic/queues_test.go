@@ -1,0 +1,115 @@
+package enokic
+
+import (
+	"testing"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/sched/fifo"
+)
+
+// TestUserQueueDoubleCloseSafe pins the Close idempotence contract: a
+// second Close on the same handle is a no-op — no dispatch, no queue-lie
+// kill, no table churn.
+func TestUserQueueDoubleCloseSafe(t *testing.T) {
+	var hs *hintScheduler
+	k, a := newRig(t, func(env core.Env) core.Scheduler {
+		hs = &hintScheduler{fifo: fifo.New(env, policyEnoki)}
+		return hs
+	})
+	uq := a.CreateHintQueue(8)
+	if uq == nil {
+		t.Fatal("queue registration failed")
+	}
+	uq.Close()
+	k.RunFor(time.Millisecond)
+	before := a.Stats().Messages
+
+	uq.Close()
+	uq.Close()
+	k.RunFor(time.Millisecond)
+
+	if got := a.Stats().Messages; got != before {
+		t.Errorf("double Close dispatched %d extra messages", got-before)
+	}
+	if a.Killed() {
+		t.Fatalf("double Close killed an honest module: %+v", a.Failure())
+	}
+	if len(a.queues) != 0 {
+		t.Errorf("queue table has %d entries, want 0", len(a.queues))
+	}
+}
+
+// TestUserQueueStaleCloseAfterIDReuse is the reason the Close guard checks
+// ownership rather than a closed flag: the test module hands out id 1 for
+// every registration, so after close + re-create the stale handle's id
+// names a different live queue. Its Close must not tear that queue down.
+func TestUserQueueStaleCloseAfterIDReuse(t *testing.T) {
+	var hs *hintScheduler
+	k, a := newRig(t, func(env core.Env) core.Scheduler {
+		hs = &hintScheduler{fifo: fifo.New(env, policyEnoki)}
+		return hs
+	})
+	stale := a.CreateHintQueue(8)
+	if stale == nil {
+		t.Fatal("queue registration failed")
+	}
+	stale.Close()
+	k.RunFor(time.Millisecond)
+
+	fresh := a.CreateHintQueue(8)
+	if fresh == nil {
+		t.Fatal("re-registration failed")
+	}
+	if fresh.ID() != stale.ID() {
+		t.Skipf("module did not reuse the id (%d vs %d); hazard not reproducible", fresh.ID(), stale.ID())
+	}
+
+	stale.Close() // must be a no-op: the id now belongs to fresh
+	k.RunFor(time.Millisecond)
+	if len(a.queues) != 1 {
+		t.Fatalf("stale Close tore down the fresh queue: table has %d entries, want 1", len(a.queues))
+	}
+	if !fresh.Send("hello") {
+		t.Error("fresh queue unusable after stale Close")
+	}
+	k.RunFor(time.Millisecond)
+	if len(hs.hints) != 1 {
+		t.Errorf("module drained %d hints, want 1", len(hs.hints))
+	}
+	if a.Killed() {
+		t.Fatalf("module killed: %+v", a.Failure())
+	}
+}
+
+// TestRevQueueDoubleCloseSafe pins the same contract for reverse queues:
+// CloseRevQueue looks the queue up by pointer, so a repeat close finds no
+// table entry and does nothing.
+func TestRevQueueDoubleCloseSafe(t *testing.T) {
+	var hs *hintScheduler
+	k, a := newRig(t, func(env core.Env) core.Scheduler {
+		hs = &hintScheduler{fifo: fifo.New(env, policyEnoki)}
+		return hs
+	})
+	rev := a.CreateRevQueue(8)
+	if rev == nil {
+		t.Fatal("rev queue registration failed")
+	}
+	a.CloseRevQueue(rev)
+	k.RunFor(time.Millisecond)
+	before := a.Stats().Messages
+
+	a.CloseRevQueue(rev)
+	a.CloseRevQueue(rev)
+	k.RunFor(time.Millisecond)
+
+	if got := a.Stats().Messages; got != before {
+		t.Errorf("double CloseRevQueue dispatched %d extra messages", got-before)
+	}
+	if a.Killed() {
+		t.Fatalf("double CloseRevQueue killed an honest module: %+v", a.Failure())
+	}
+	if len(a.revQueues) != 0 {
+		t.Errorf("rev queue table has %d entries, want 0", len(a.revQueues))
+	}
+}

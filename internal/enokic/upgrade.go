@@ -41,16 +41,19 @@ type pendingUpgrade struct {
 // killed is a no-op: there is nothing left to swap, and done never fires.
 //
 // Upgrade must be called from simulation context (inside an event or before
-// Run); done fires when the upgrade completes.
-func (a *Adapter) Upgrade(factory func(core.Env) core.Scheduler, done func(UpgradeReport)) {
+// Run); done fires when the upgrade completes. It returns ErrModuleKilled
+// when the fault layer has already killed the module (done never fires);
+// a queued or started upgrade returns nil.
+func (a *Adapter) Upgrade(factory func(core.Env) core.Scheduler, done func(UpgradeReport)) error {
 	if a.killed {
-		return
+		return ErrModuleKilled
 	}
 	if a.upgrading {
 		a.pendingUpgrades = append(a.pendingUpgrades, pendingUpgrade{factory, done})
-		return
+		return nil
 	}
 	a.startUpgrade(factory, done)
+	return nil
 }
 
 func (a *Adapter) startUpgrade(factory func(core.Env) core.Scheduler, done func(UpgradeReport)) {

@@ -289,8 +289,42 @@ func TestExtNestShape(t *testing.T) {
 	}
 }
 
+func TestNUMAShape(t *testing.T) {
+	r := NUMA(Options{Quick: true})
+	t.Log("\n" + r.String())
+	if len(r.Cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(r.Cells))
+	}
+	flat, numa, unbatched := r.Cells[0], r.Cells[1], r.Cells[2]
+	// The tentpole claim: topology-aware balancing slashes cross-socket
+	// migrations under the same workload.
+	if numa.XNodeMoves*10 >= flat.XNodeMoves {
+		t.Errorf("NUMA-sharded made %d cross-socket moves vs flat's %d; want <10%%",
+			numa.XNodeMoves, flat.XNodeMoves)
+	}
+	if numa.P99 >= flat.P99 {
+		t.Errorf("NUMA-sharded p99 %v not below flat %v", numa.P99, flat.P99)
+	}
+	// Batching is behaviour-neutral (same decisions, same latency)…
+	if numa.P50 != unbatched.P50 || numa.P99 != unbatched.P99 ||
+		numa.XNodeMoves != unbatched.XNodeMoves {
+		t.Errorf("batched/unbatched runs diverged: %+v vs %+v", numa, unbatched)
+	}
+	// …but saves real IPIs.
+	if numa.IPIsCoalesced == 0 {
+		t.Error("batched run coalesced nothing")
+	}
+	if unbatched.IPIsCoalesced != 0 {
+		t.Errorf("unbatched run reports %d coalesced IPIs", unbatched.IPIsCoalesced)
+	}
+	if numa.IPIsSent+numa.IPIsCoalesced != unbatched.IPIsSent {
+		t.Errorf("IPI accounting: batched sent %d + coalesced %d != unbatched sent %d",
+			numa.IPIsSent, numa.IPIsCoalesced, unbatched.IPIsSent)
+	}
+}
+
 func TestRegistry(t *testing.T) {
-	if len(All()) != 13 {
+	if len(All()) != 14 {
 		t.Fatalf("registry has %d experiments", len(All()))
 	}
 	if _, ok := Find("table3"); !ok {

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"enoki"
+	"enoki/internal/kernel"
+	"enoki/internal/stats"
+	"enoki/internal/workload"
+)
+
+// NUMACell is one balancing configuration's schbench + crossing counters on
+// the two-socket machine.
+type NUMACell struct {
+	Name          string
+	P50, P99      time.Duration
+	XLLCMoves     uint64
+	XNodeMoves    uint64
+	IPIsSent      uint64
+	IPIsCoalesced uint64
+}
+
+// NUMAResult compares flat load balancing against the NUMA-sharded domains
+// (tentpole experiment): same schbench workload, same machine, the only
+// difference is whether CFS sees the real topology. A third row turns off
+// IPI batching on the NUMA-aware kernel to isolate the message-path win.
+type NUMAResult struct {
+	Cells    []NUMACell
+	Duration time.Duration
+}
+
+// Name implements the experiment naming convention.
+func (r *NUMAResult) Name() string { return "numa" }
+
+func (r *NUMAResult) String() string {
+	t := stats.NewTable("Balancing", "p50 (µs)", "p99 (µs)", "xLLC moves", "xSocket moves", "IPIs sent", "IPIs coalesced")
+	for _, c := range r.Cells {
+		t.Row(c.Name,
+			fmt.Sprintf("%d", c.P50/time.Microsecond),
+			fmt.Sprintf("%d", c.P99/time.Microsecond),
+			fmt.Sprintf("%d", c.XLLCMoves),
+			fmt.Sprintf("%d", c.XNodeMoves),
+			fmt.Sprintf("%d", c.IPIsSent),
+			fmt.Sprintf("%d", c.IPIsCoalesced))
+	}
+	return "NUMA-sharded scheduling domains: schbench + batch load, 80-core two-socket machine\n" +
+		fmt.Sprintf("measurement window: %v\n", r.Duration) + t.String()
+}
+
+// numaVariant names one kernel configuration of the comparison.
+type numaVariant struct {
+	name    string
+	flat    bool
+	batched bool
+}
+
+// NUMA runs the domain-sharding comparison: flat CFS treats all 80 CPUs as
+// one pool and migrates freely across sockets; NUMA-aware CFS steals inside
+// an LLC domain first and crosses the socket boundary only past the
+// imbalance threshold. Both kernels charge the same topology-dependent
+// migration costs, so the flat balancer's cross-socket moves cost it real
+// latency.
+func NUMA(o Options) *NUMAResult {
+	warmup := scaleDur(o, 2*time.Second, 50*time.Millisecond)
+	duration := scaleDur(o, 5*time.Second, 300*time.Millisecond)
+	res := &NUMAResult{Duration: duration}
+
+	variants := []numaVariant{
+		{name: "Flat (one pool)", flat: true, batched: true},
+		{name: "NUMA-sharded", flat: false, batched: true},
+		{name: "NUMA-sharded, per-wake IPIs", flat: false, batched: false},
+	}
+	cells := make([]NUMACell, len(variants))
+	parDo(o, len(cells), func(ci int) {
+		v := variants[ci]
+		m := kernel.Machine80()
+		sys := enoki.NewSystem(enoki.WithMachine(m))
+		k := sys.Kernel()
+		k.SetIPIBatching(v.batched)
+		if v.flat {
+			sys.RegisterClass(PolicyCFS, kernel.NewCFSFlat(k))
+		} else {
+			sys.RegisterCFS(PolicyCFS)
+		}
+
+		// Background batch load piled onto socket 0's first LLC domain:
+		// 60 spinners stacked six-deep on ten cores, then released. The
+		// standing queue depth is what the balancers resolve — the flat
+		// kernel drags tasks straight across the socket; the sharded one
+		// spreads within socket 0's LLC domains first and crosses only
+		// past the NUMA threshold.
+		const nbatch = 60
+		for i := 0; i < nbatch; i++ {
+			cpu := i % 10 // socket 0, LLC domain 0
+			k.Spawn("batch", PolicyCFS, kernel.BehaviorFunc(
+				func(*kernel.Kernel, *kernel.Task) kernel.Action {
+					return kernel.Action{Run: 3 * time.Millisecond, Op: kernel.OpContinue}
+				}), kernel.WithAffinity(kernel.SingleCPU(cpu)), kernel.WithNice(5))
+		}
+		for pid := 1; pid <= nbatch; pid++ {
+			// Released after spawn placement: the pile is now migratable
+			// load the balancers see from every domain.
+			k.SetAffinity(k.TaskByPID(pid), kernel.AllCPUs(80))
+		}
+
+		// Slightly oversubscribed (90 workers + 60 batch on 80 CPUs):
+		// wake bursts hit busy CPUs often enough for the batched path's
+		// per-target IPI coalescing to show, while the latency-sensitive
+		// workers still win from staying cache- and socket-local.
+		sr := workload.RunSchbench(k, workload.SchbenchConfig{
+			Policy:         PolicyCFS,
+			MessageThreads: 6,
+			WorkersPerMsg:  15,
+			Warmup:         warmup,
+			Duration:       duration,
+		})
+		cells[ci] = NUMACell{
+			Name: v.name, P50: sr.P50, P99: sr.P99,
+			XLLCMoves: k.XLLCMoves, XNodeMoves: k.XNodeMoves,
+			IPIsSent: k.IPIsSent, IPIsCoalesced: k.IPIsCoalesced,
+		}
+	})
+	res.Cells = cells
+	return res
+}

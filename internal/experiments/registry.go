@@ -42,6 +42,8 @@ func All() []Spec {
 			Run: func(o Options) Result { return RecordReplay(o) }},
 		{Name: "equivalence", What: "Appendix A.1: WFQ functional equivalence",
 			Run: func(o Options) Result { return Equivalence(o) }},
+		{Name: "numa", What: "Extension (not in paper): NUMA-sharded domains vs flat balancing, batched IPIs",
+			Run: func(o Options) Result { return NUMA(o) }},
 		{Name: "ext-nest", What: "Extension (not in paper): Nest-style warm-core scheduler",
 			Run: func(o Options) Result { return ExtNest(o) }},
 		{Name: "faults", What: "Extension (not in paper): module fault isolation, kill + CFS fallback",

@@ -8,6 +8,7 @@ package experiments
 import (
 	"time"
 
+	"enoki"
 	"enoki/internal/arachne"
 	"enoki/internal/core"
 	"enoki/internal/enokic"
@@ -19,7 +20,6 @@ import (
 	"enoki/internal/sched/locality"
 	"enoki/internal/sched/shinjuku"
 	"enoki/internal/sched/wfq"
-	"enoki/internal/sim"
 	"enoki/internal/trace"
 )
 
@@ -73,6 +73,7 @@ func (k Kind) String() string {
 
 // Rig is one simulated machine with schedulers registered.
 type Rig struct {
+	Sys     *enoki.System
 	K       *kernel.Kernel
 	Kind    Kind
 	Adapter *enokic.Adapter
@@ -83,20 +84,35 @@ type Rig struct {
 	AgentCPU int
 }
 
-// NewRig builds a machine running the given scheduler kind. Enoki and ghOSt
-// classes register above CFS, matching the experiments' priority setup; CFS
-// is always present for background/batch work.
-func NewRig(m kernel.Machine, kind Kind) *Rig {
-	eng := sim.New()
-	k := kernel.New(eng, m, kernel.CostsFor(m))
-	r := &Rig{K: k, Kind: kind, Policy: PolicyCFS, AgentCPU: -1}
+// callOverhead is the per-invocation framework cost of each Enoki module;
+// it varies slightly with policy complexity, within the paper's 100-150 ns
+// band.
+func callOverhead(kind Kind) time.Duration {
+	switch kind {
+	case KindFIFO:
+		return 105 * time.Nanosecond
+	case KindWFQ, KindShinjuku:
+		return 130 * time.Nanosecond
+	case KindArbiter:
+		return 115 * time.Nanosecond
+	default:
+		return 110 * time.Nanosecond
+	}
+}
 
-	factory := func(overhead time.Duration, f func(core.Env) core.Scheduler) {
-		cfg := enokic.DefaultConfig()
-		// Per-invocation framework cost varies slightly with policy
-		// complexity, within the paper's 100-150 ns band.
-		cfg.CallOverhead = overhead
-		r.Adapter = enokic.Load(k, PolicyEnoki, cfg, f)
+// NewRig builds a machine running the given scheduler kind, assembled
+// through the public enoki.System constructor. Enoki and ghOSt classes
+// register above CFS, matching the experiments' priority setup; CFS is
+// always present for background/batch work.
+func NewRig(m kernel.Machine, kind Kind) *Rig {
+	cfg := enokic.DefaultConfig()
+	cfg.CallOverhead = callOverhead(kind)
+	sys := enoki.NewSystem(enoki.WithMachine(m), enoki.WithConfig(cfg))
+	k := sys.Kernel()
+	r := &Rig{Sys: sys, K: k, Kind: kind, Policy: PolicyCFS, AgentCPU: -1}
+
+	load := func(f func(core.Env) core.Scheduler) {
+		r.Adapter = sys.MustLoad(PolicyEnoki, f)
 		r.Policy = PolicyEnoki
 	}
 
@@ -104,40 +120,40 @@ func NewRig(m kernel.Machine, kind Kind) *Rig {
 	case KindCFS:
 		// CFS only.
 	case KindFIFO:
-		factory(105*time.Nanosecond, func(env core.Env) core.Scheduler { return fifo.New(env, PolicyEnoki) })
+		load(func(env core.Env) core.Scheduler { return fifo.New(env, PolicyEnoki) })
 	case KindWFQ:
-		factory(130*time.Nanosecond, func(env core.Env) core.Scheduler { return wfq.New(env, PolicyEnoki) })
+		load(func(env core.Env) core.Scheduler { return wfq.New(env, PolicyEnoki) })
 	case KindShinjuku:
-		factory(130*time.Nanosecond, func(env core.Env) core.Scheduler {
+		load(func(env core.Env) core.Scheduler {
 			return shinjuku.New(env, PolicyEnoki, shinjuku.DefaultSlice)
 		})
 	case KindLocality:
-		factory(110*time.Nanosecond, func(env core.Env) core.Scheduler { return locality.New(env, PolicyEnoki) })
+		load(func(env core.Env) core.Scheduler { return locality.New(env, PolicyEnoki) })
 	case KindArbiter:
 		managed := make([]int, 0, m.NumCPUs-1)
 		for c := 1; c < m.NumCPUs; c++ {
 			managed = append(managed, c)
 		}
-		factory(115*time.Nanosecond, func(env core.Env) core.Scheduler {
+		load(func(env core.Env) core.Scheduler {
 			return arbiter.New(env, PolicyEnoki, managed)
 		})
 	case KindGhostFIFO:
 		r.Ghost = ghost.New(k, ghost.ModePerCPU, ghost.NewFIFOPolicy(), -1, ghost.DefaultCosts())
-		k.RegisterClass(PolicyGhost, r.Ghost)
+		sys.RegisterClass(PolicyGhost, r.Ghost)
 		r.Policy = PolicyGhost
 	case KindGhostSOL:
 		r.AgentCPU = 2
 		r.Ghost = ghost.New(k, ghost.ModeSOL, ghost.NewSOLPolicy(), r.AgentCPU, ghost.DefaultCosts())
-		k.RegisterClass(PolicyGhost, r.Ghost)
+		sys.RegisterClass(PolicyGhost, r.Ghost)
 		r.Policy = PolicyGhost
 	case KindGhostShinjuku:
 		r.AgentCPU = 2
 		r.Ghost = ghost.New(k, ghost.ModeSOL, ghost.NewShinjukuPolicy(10*time.Microsecond),
 			r.AgentCPU, ghost.DefaultCosts())
-		k.RegisterClass(PolicyGhost, r.Ghost)
+		sys.RegisterClass(PolicyGhost, r.Ghost)
 		r.Policy = PolicyGhost
 	}
-	k.RegisterClass(PolicyCFS, kernel.NewCFS(k))
+	sys.RegisterCFS(PolicyCFS)
 	if r.Ghost != nil {
 		r.Ghost.Start(PolicyGhost)
 	}

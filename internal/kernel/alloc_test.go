@@ -21,3 +21,17 @@ func TestScheduleOpTracedZeroAlloc(t *testing.T) {
 		t.Errorf("traced ScheduleOp: %d allocs/op, want 0", allocs)
 	}
 }
+
+// TestWakeBurstZeroAlloc is the allocation ratchet for the batched
+// cross-CPU message path: a 16-wake burst on the two-socket Machine80 —
+// per-target IPI coalescing, cross-socket delivery, idle exits — must
+// allocate nothing in steady state.
+func TestWakeBurstZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed; skipped in -short")
+	}
+	r := testing.Benchmark(bench.WakeBurst)
+	if allocs := r.AllocsPerOp(); allocs != 0 {
+		t.Errorf("batched WakeBurst: %d allocs/op, want 0", allocs)
+	}
+}

@@ -3,6 +3,7 @@ package kernel
 import (
 	"time"
 
+	"enoki/internal/core"
 	"enoki/internal/rbtree"
 )
 
@@ -41,8 +42,12 @@ const (
 	cfsSleeperCreditNS = int64(3 * time.Millisecond) // GENTLE_FAIR_SLEEPERS: latency/2
 	cfsNrLatency       = 8
 	cfsBalancePeriod   = 4 * time.Millisecond
-	// cfsNUMAImbalance is how many extra queued tasks the busiest remote
-	// node must have before tasks balance across nodes.
+	// cfsLLCImbalance is the extra queue depth a same-socket CPU outside
+	// the puller's LLC domain must show before a cache-cold pull is worth
+	// it; cfsNUMAImbalance is the (larger) threshold for crossing sockets.
+	// Balancing is sharded by domain: newidle steals inside the LLC first
+	// and escalates outward only past these thresholds.
+	cfsLLCImbalance  = 1
 	cfsNUMAImbalance = 2
 )
 
@@ -95,25 +100,61 @@ func (rq *cfsRq) updateMinV() {
 }
 
 // CFS is the simulated Completely Fair Scheduler: the native weighted
-// fair queuing baseline every Enoki experiment compares against.
+// fair queuing baseline every Enoki experiment compares against. Its
+// balancing is sharded by scheduling domain: each CPU holds precomputed
+// scan lists — LLC siblings, same-socket CPUs outside the LLC, and remote-
+// socket CPUs — and every idle search or pull walks them inside-out.
 type CFS struct {
 	k           *Kernel
+	topo        *core.Topology
 	rqs         []*cfsRq
 	lastBalance []time.Duration // per-CPU busy stamp of last periodic balance
 	nextBal     []int64
 	tickCount   []int64
+
+	// llcPeers[cpu] lists cpu's LLC domain (self included, ascending);
+	// nodePeers[cpu] the rest of its socket; remotePeers[cpu] everything
+	// across sockets. Built once so the balance hot path never rescans
+	// the whole machine testing domain membership.
+	llcPeers    [][]int
+	nodePeers   [][]int
+	remotePeers [][]int
 }
 
 var _ Class = (*CFS)(nil)
 
-// NewCFS builds a CFS class for kernel k (one run queue per CPU).
-func NewCFS(k *Kernel) *CFS {
-	c := &CFS{k: k}
-	for i := 0; i < k.NumCPUs(); i++ {
+// NewCFS builds a CFS class for kernel k (one run queue per CPU), sharded
+// over the kernel's scheduling domains.
+func NewCFS(k *Kernel) *CFS { return newCFS(k, k.Topo()) }
+
+// NewCFSFlat builds a CFS that sees the whole machine as one domain —
+// load balancing and wake placement ignore sockets and caches (the kernel
+// still charges the machine's real cross-node costs). This is the "flat"
+// baseline the NUMA experiments compare topology-aware CFS against.
+func NewCFSFlat(k *Kernel) *CFS { return newCFS(k, core.FlatTopology(k.NumCPUs())) }
+
+func newCFS(k *Kernel, topo *core.Topology) *CFS {
+	c := &CFS{k: k, topo: topo}
+	n := k.NumCPUs()
+	for i := 0; i < n; i++ {
 		c.rqs = append(c.rqs, newCfsRq())
 		c.lastBalance = append(c.lastBalance, 0)
 		c.nextBal = append(c.nextBal, 0)
 		c.tickCount = append(c.tickCount, 0)
+	}
+	c.llcPeers = make([][]int, n)
+	c.nodePeers = make([][]int, n)
+	c.remotePeers = make([][]int, n)
+	for cpu := 0; cpu < n; cpu++ {
+		c.llcPeers[cpu] = topo.Siblings(cpu)
+		for i := 0; i < n; i++ {
+			switch topo.Distance(cpu, i) {
+			case core.DistSameNode:
+				c.nodePeers[cpu] = append(c.nodePeers[cpu], i)
+			case core.DistCrossNode:
+				c.remotePeers[cpu] = append(c.remotePeers[cpu], i)
+			}
+		}
 	}
 	return c
 }
@@ -300,42 +341,55 @@ func (c *CFS) CheckPreempt(cpu int, woken *Task) {
 }
 
 // SelectRQ implements Class: prefer the previous CPU if idle, then an idle
-// CPU on the same node, then the least-loaded allowed CPU.
+// sibling inside-out — LLC domain first, then the rest of the socket — and
+// only then fall back to the least-loaded allowed CPU (proximity breaking
+// ties), so wake placement stays cache- and socket-local when it can.
 func (c *CFS) SelectRQ(t *Task, prevCPU int, wakeup bool) int {
-	m := c.k.Topology()
-	if prevCPU < 0 || prevCPU >= m.NumCPUs {
+	n := len(c.rqs)
+	if prevCPU < 0 || prevCPU >= n {
 		prevCPU = 0
 	}
 	if wakeup && t.Allowed().Has(prevCPU) && c.idleCPU(prevCPU) {
 		return prevCPU
 	}
-	// Idle sibling on the previous CPU's node.
-	node := m.NodeOf[prevCPU]
-	for i := 0; i < m.NumCPUs; i++ {
-		if m.NodeOf[i] == node && t.Allowed().Has(i) && c.idleCPU(i) {
+	// Idle sibling in the LLC domain, then the rest of the socket.
+	for _, i := range c.llcPeers[prevCPU] {
+		if t.Allowed().Has(i) && c.idleCPU(i) {
+			return i
+		}
+	}
+	for _, i := range c.nodePeers[prevCPU] {
+		if t.Allowed().Has(i) && c.idleCPU(i) {
 			return i
 		}
 	}
 	if wakeup {
-		// No idle sibling: stay put (wake_affine keeps cache warmth).
+		// No idle sibling on the socket: stay put (wake_affine keeps
+		// cache warmth and avoids a cross-node placement).
 		if t.Allowed().Has(prevCPU) {
 			return prevCPU
 		}
 	}
-	// Fork/exec (or forbidden prev): least-loaded allowed CPU anywhere.
+	// Fork/exec (or forbidden prev): least-loaded allowed CPU, scanned
+	// inside-out so proximity to prev breaks load ties.
 	best, bestLoad := -1, int64(0)
-	for i := 0; i < m.NumCPUs; i++ {
-		if !t.Allowed().Has(i) {
-			continue
-		}
-		load := c.rqs[i].totalWeight
-		if c.k.CurrentOn(i) == nil && c.rqs[i].tree.Len() == 0 {
-			load = 0
-		}
-		if best == -1 || load < bestLoad {
-			best, bestLoad = i, load
+	scan := func(peers []int) {
+		for _, i := range peers {
+			if !t.Allowed().Has(i) {
+				continue
+			}
+			load := c.rqs[i].totalWeight
+			if c.k.CurrentOn(i) == nil && c.rqs[i].tree.Len() == 0 {
+				load = 0
+			}
+			if best == -1 || load < bestLoad {
+				best, bestLoad = i, load
+			}
 		}
 	}
+	scan(c.llcPeers[prevCPU])
+	scan(c.nodePeers[prevCPU])
+	scan(c.remotePeers[prevCPU])
 	if best == -1 {
 		return prevCPU
 	}
@@ -347,7 +401,8 @@ func (c *CFS) idleCPU(cpu int) bool {
 }
 
 // Balance implements Class: newidle balancing — when this CPU has no CFS
-// work, pull one task from the busiest queue, same node first.
+// work, pull one task, stealing inside the LLC domain first and escalating
+// outward only past the per-level imbalance thresholds.
 func (c *CFS) Balance(cpu int) {
 	rq := c.rqs[cpu]
 	if rq.tree.Len() > 0 || rq.curr != nil {
@@ -362,26 +417,36 @@ func (c *CFS) periodicBalance(cpu int) {
 	c.pullFrom(cpu, rq.nrTotal()+2, rq.nrTotal()+cfsNUMAImbalance+2)
 }
 
-// pullFrom moves one task to cpu from the busiest other queue whose runnable
-// count is at least minLocal (same node) or minRemote (cross node).
+// pullFrom walks cpu's scan lists inside-out — LLC siblings, then the rest
+// of the socket at +cfsLLCImbalance, then remote sockets at minRemote — and
+// stops at the innermost level that yields a pull. A cache-hot steal inside
+// the LLC always beats a colder one further out, so socket crossings happen
+// only when every nearer queue is balanced.
 func (c *CFS) pullFrom(cpu, minLocal, minRemote int) {
-	m := c.k.Topology()
+	if c.pullWithin(cpu, c.llcPeers[cpu], minLocal) {
+		return
+	}
+	if c.pullWithin(cpu, c.nodePeers[cpu], minLocal+cfsLLCImbalance) {
+		return
+	}
+	c.pullWithin(cpu, c.remotePeers[cpu], minRemote)
+}
+
+// pullWithin moves one task to cpu from the busiest queue among peers whose
+// runnable count exceeds min, and reports whether a pull happened.
+func (c *CFS) pullWithin(cpu int, peers []int, min int) bool {
 	busiest, busiestNr := -1, 0
-	for i := 0; i < m.NumCPUs; i++ {
+	for _, i := range peers {
 		if i == cpu {
 			continue
 		}
 		nr := c.rqs[i].nrTotal()
-		min := minRemote
-		if m.SameNode(i, cpu) {
-			min = minLocal
-		}
 		if nr > min && nr > busiestNr {
 			busiest, busiestNr = i, nr
 		}
 	}
 	if busiest == -1 {
-		return
+		return false
 	}
 	// Steal the entity with the highest vruntime (least urgent): walk to
 	// the tree's last element.
@@ -394,9 +459,10 @@ func (c *CFS) pullFrom(cpu, minLocal, minRemote int) {
 		return true
 	})
 	if victim == nil {
-		return
+		return false
 	}
 	c.k.MoveTask(victim.t, cpu)
+	return true
 }
 
 // Migrate implements Class: renormalise vruntime between queues so a task

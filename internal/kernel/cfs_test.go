@@ -201,3 +201,33 @@ func TestCFSCrossNodeBalanceThreshold(t *testing.T) {
 		t.Fatal("cross-node balance refused a large imbalance")
 	}
 }
+
+func TestCFSCrossNodeBalanceRefusesSmallImbalance(t *testing.T) {
+	// The sharded balancer's whole point: one waiter on a remote socket is
+	// below the NUMA threshold, so a newidle CPU on the other socket leaves
+	// it alone — but a CPU in the same LLC domain takes it immediately.
+	eng := sim.New()
+	k := New(eng, Machine80(), CostsFor(Machine80()))
+	c := NewCFS(k)
+	k.RegisterClass(0, c)
+	for i := 0; i < 2; i++ {
+		k.Spawn("s", 0, BehaviorFunc(func(*Kernel, *Task) Action {
+			return Action{Run: 100 * time.Millisecond, Op: OpContinue}
+		}), WithAffinity(SingleCPU(0)))
+	}
+	k.RunFor(time.Millisecond)
+	for pid := 1; pid <= 2; pid++ {
+		k.SetAffinity(k.TaskByPID(pid), AllCPUs(80))
+	}
+	if got := c.NRunnable(0); got != 1 {
+		t.Fatalf("queued on cpu0 = %d, want 1", got)
+	}
+	c.Balance(79) // remote socket: must refuse
+	if c.NRunnable(0) != 1 {
+		t.Fatal("cross-node balance stole a single waiter below the NUMA threshold")
+	}
+	c.Balance(5) // same LLC domain as cpu0: must pull
+	if c.NRunnable(0) != 0 {
+		t.Fatal("intra-LLC newidle balance left the waiter queued")
+	}
+}

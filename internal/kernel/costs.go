@@ -1,6 +1,10 @@
 package kernel
 
-import "time"
+import (
+	"time"
+
+	"enoki/internal/core"
+)
 
 // Costs is the calibration table mapping simulated kernel operations to
 // virtual time. The values below are the single place absolute numbers enter
@@ -83,7 +87,11 @@ func CostsFor(m Machine) Costs {
 	return c
 }
 
-// Machine describes a simulated host topology.
+// Machine describes a simulated host topology as a three-level hierarchy:
+// sockets (NUMA nodes) contain LLC domains, LLC domains contain cores. The
+// kernel builds its scheduling domains (core.Topology) from this description
+// at construction; balancers steal inside an LLC first and escalate to
+// socket-crossing pulls only past the calibrated imbalance thresholds.
 type Machine struct {
 	// Name labels the machine in experiment output.
 	Name string
@@ -93,22 +101,56 @@ type Machine struct {
 	NodeOf []int
 	// NumNodes is the number of NUMA nodes.
 	NumNodes int
+	// LLCOf maps each CPU to its last-level-cache domain (globally
+	// numbered). Nil means one monolithic LLC per node.
+	LLCOf []int
+	// NumLLCs is the number of LLC domains (0 when LLCOf is nil).
+	NumLLCs int
 }
 
 // SameNode reports whether two CPUs share a NUMA node.
 func (m Machine) SameNode(a, b int) bool { return m.NodeOf[a] == m.NodeOf[b] }
 
-// Machine8 models the paper's 8-core one-socket Intel i7-9700.
+// SameLLC reports whether two CPUs share a last-level cache domain. With no
+// LLC map the node is the cache domain.
+func (m Machine) SameLLC(a, b int) bool {
+	if m.LLCOf == nil {
+		return m.NodeOf[a] == m.NodeOf[b]
+	}
+	return m.LLCOf[a] == m.LLCOf[b]
+}
+
+// Topo builds the immutable scheduling-domain view of the machine.
+func (m Machine) Topo() *core.Topology { return core.NewTopology(m.NodeOf, m.LLCOf) }
+
+// MachineNUMA builds a machine of sockets×llcPerSocket×coresPerLLC CPUs:
+// the general constructor behind Machine80 and the conformance topologies.
+func MachineNUMA(name string, sockets, llcPerSocket, coresPerLLC int) Machine {
+	n := sockets * llcPerSocket * coresPerLLC
+	node := make([]int, n)
+	llc := make([]int, n)
+	for i := 0; i < n; i++ {
+		node[i] = i / (llcPerSocket * coresPerLLC)
+		llc[i] = i / coresPerLLC
+	}
+	return Machine{
+		Name: name, NumCPUs: n,
+		NodeOf: node, NumNodes: sockets,
+		LLCOf: llc, NumLLCs: sockets * llcPerSocket,
+	}
+}
+
+// Machine8 models the paper's 8-core one-socket Intel i7-9700: one socket,
+// one shared LLC.
 func Machine8() Machine {
-	return Machine{Name: "i7-9700 (8 cores, 1 socket)", NumCPUs: 8, NodeOf: make([]int, 8), NumNodes: 1}
+	return MachineNUMA("i7-9700 (8 cores, 1 socket)", 1, 1, 8)
 }
 
 // Machine80 models the paper's 80-core two-socket Xeon Gold 6138: CPUs
-// 0-39 on node 0, 40-79 on node 1.
+// 0-39 on node 0, 40-79 on node 1, each socket split into four 10-core
+// LLC groups (sub-NUMA clustering), so per-domain balancing has real
+// structure to work with.
 func Machine80() Machine {
-	node := make([]int, 80)
-	for i := 40; i < 80; i++ {
-		node[i] = 1
-	}
-	return Machine{Name: "Xeon 6138 (80 cores, 2 sockets)", NumCPUs: 80, NodeOf: node, NumNodes: 2}
+	m := MachineNUMA("Xeon 6138 (80 cores, 2 sockets)", 2, 4, 10)
+	return m
 }

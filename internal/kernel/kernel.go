@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"enoki/internal/core"
 	"enoki/internal/ktime"
 	"enoki/internal/metrics"
 	"enoki/internal/sim"
@@ -56,6 +57,7 @@ func (c *CPU) ID() int { return c.id }
 type Kernel struct {
 	eng     *sim.Engine
 	machine Machine
+	topo    *core.Topology
 	costs   Costs
 	cpus    []*CPU
 	classes []classSlot
@@ -71,23 +73,52 @@ type Kernel struct {
 	tracer *trace.Tracer
 	met    *metrics.Set
 
+	// Batched cross-CPU signal path: while a batch window is open (multi-
+	// task wake bursts), kicks destined for other CPUs are coalesced per
+	// target — pending flag, minimum delay, arrival order — and drained in
+	// one flush at the event boundary, so an N-task futex wake posts one
+	// IPI per distinct target instead of one per wake. All slices are
+	// preallocated; the path allocates nothing.
+	ipiEnabled bool
+	ipiOpen    bool
+	// ipiWindow mirrors the burst window even when batching is off, so
+	// unbatched wake kicks are still counted as sent IPIs.
+	ipiWindow bool
+	ipiPend   []bool
+	ipiDelay   []time.Duration
+	ipiOrder   []int
+
 	// CtxSwitches counts context switches machine-wide.
 	CtxSwitches uint64
 	// Wakeups counts successful task wakeups.
 	Wakeups uint64
+	// XLLCMoves counts task placements (wake re-targets and migrations)
+	// that crossed an LLC domain; XNodeMoves counts the subset that also
+	// crossed a socket — the cost the NUMA experiments measure.
+	XLLCMoves  uint64
+	XNodeMoves uint64
+	// IPIsSent counts flushed cross-CPU kicks; IPIsCoalesced counts kicks
+	// absorbed into an already-pending one by the batcher.
+	IPIsSent      uint64
+	IPIsCoalesced uint64
 }
 
 // New creates a kernel for the given machine and cost table on engine eng.
 func New(eng *sim.Engine, m Machine, costs Costs) *Kernel {
 	k := &Kernel{
-		eng:     eng,
-		machine: m,
-		costs:   costs,
-		byID:    make(map[int]Class),
-		idOf:    make(map[Class]int),
-		tasks:   make(map[int]*Task),
-		nextPID: 1,
-		rand:    ktime.NewRand(0x1d1e),
+		eng:        eng,
+		machine:    m,
+		topo:       m.Topo(),
+		costs:      costs,
+		byID:       make(map[int]Class),
+		idOf:       make(map[Class]int),
+		tasks:      make(map[int]*Task),
+		nextPID:    1,
+		rand:       ktime.NewRand(0x1d1e),
+		ipiEnabled: true,
+		ipiPend:    make([]bool, m.NumCPUs),
+		ipiDelay:   make([]time.Duration, m.NumCPUs),
+		ipiOrder:   make([]int, 0, m.NumCPUs),
 	}
 	for i := 0; i < m.NumCPUs; i++ {
 		c := &CPU{id: i}
@@ -114,6 +145,15 @@ func (k *Kernel) NumCPUs() int { return k.machine.NumCPUs }
 
 // Topology returns the machine description.
 func (k *Kernel) Topology() Machine { return k.machine }
+
+// Topo returns the machine's scheduling-domain structure, built once at
+// kernel construction and shared with every class and module environment.
+func (k *Kernel) Topo() *core.Topology { return k.topo }
+
+// SetIPIBatching enables or disables the batched cross-CPU signal path
+// (enabled by default). The unbatched mode posts one kick event per wake and
+// exists for the batched-vs-unbatched equivalence tests and ablations.
+func (k *Kernel) SetIPIBatching(on bool) { k.ipiEnabled = on }
 
 // Costs returns the calibrated cost table.
 func (k *Kernel) Costs() Costs { return k.costs }
@@ -281,7 +321,9 @@ func (k *Kernel) Wake(t *Task) {
 	if t.state != StateBlocked {
 		return
 	}
+	k.beginBatch()
 	k.doWake(t, -1, 0)
+	k.flushBatch()
 }
 
 // doWake performs the wake. wakerCPU is the CPU doing the waking, or -1 for
@@ -307,6 +349,7 @@ func (k *Kernel) doWake(t *Task, wakerCPU int, offset time.Duration) time.Durati
 	}
 	if target != prev {
 		t.class.Migrate(t, prev, target)
+		k.noteCrossing(prev, target, t)
 	}
 	t.cpu = target
 	oh += t.class.OverheadPerCall()
@@ -359,13 +402,72 @@ func (k *Kernel) ArmResched(cpu int, d time.Duration) {
 	k.eng.RescheduleAfter(c.reschedTimer, d)
 }
 
-// kick schedules a __schedule pass on cpu after delay. Kicking an idle CPU
-// pays its C-state exit latency: at least the shallow (C1) exit, plus the
-// jittered deep exit when cpuidle has had time to descend — this is the
-// cold-core wakeup cost that dominates Tables 4 and 6. The exit gates the
-// CPU itself: kicks arriving while an exit is already in flight wait for
-// it rather than bypassing it. Zero-delay kicks coalesce.
+// beginBatch opens the cross-CPU signal batch window: until flushBatch,
+// kicks are coalesced per target instead of posted immediately. With
+// batching disabled the window still opens for accounting — kicks post
+// immediately but are counted as sent IPIs, so batched and unbatched runs
+// report comparable IPIsSent numbers. Windows do not nest — the kernel
+// opens one per wake burst (segmentDone's wake loop, external Wake) only.
+func (k *Kernel) beginBatch() {
+	k.ipiWindow = true
+	if k.ipiEnabled {
+		k.ipiOpen = true
+	}
+}
+
+// flushBatch closes the batch window and drains the flush queue: one kick
+// per distinct target, at the minimum delay requested for it, in first-
+// request order (which keeps runs deterministic).
+func (k *Kernel) flushBatch() {
+	k.ipiWindow = false
+	if !k.ipiOpen {
+		return
+	}
+	k.ipiOpen = false
+	for _, cpu := range k.ipiOrder {
+		k.ipiPend[cpu] = false
+		k.IPIsSent++
+		k.kick(cpu, k.ipiDelay[cpu])
+	}
+	k.ipiOrder = k.ipiOrder[:0]
+}
+
+// batchKick records a kick in the flush queue, coalescing into an already-
+// pending kick for the same target (keeping the earliest delay) — the
+// simulation analogue of not re-sending a resched IPI to a CPU whose
+// TIF_NEED_RESCHED is already set.
+func (k *Kernel) batchKick(cpu int, delay time.Duration) {
+	if k.ipiPend[cpu] {
+		k.IPIsCoalesced++
+		if delay < k.ipiDelay[cpu] {
+			k.ipiDelay[cpu] = delay
+		}
+		return
+	}
+	k.ipiPend[cpu] = true
+	k.ipiDelay[cpu] = delay
+	k.ipiOrder = append(k.ipiOrder, cpu)
+}
+
+// kick schedules a __schedule pass on cpu after delay. Inside a batch
+// window the kick is deferred to the flush queue (see batchKick); this is
+// transparent to callers because the whole window runs at one virtual
+// instant. Kicking an idle CPU pays its C-state exit latency: at least the
+// shallow (C1) exit, plus the jittered deep exit when cpuidle has had time
+// to descend — this is the cold-core wakeup cost that dominates Tables 4
+// and 6. The exit gates the CPU itself: kicks arriving while an exit is
+// already in flight wait for it rather than bypassing it. Zero-delay kicks
+// coalesce.
 func (k *Kernel) kick(cpu int, delay time.Duration) {
+	if k.ipiOpen {
+		k.batchKick(cpu, delay)
+		return
+	}
+	if k.ipiWindow {
+		// Unbatched wake-burst kick: counted here so the batching ablation
+		// compares like with like (flushBatch counts the batched ones).
+		k.IPIsSent++
+	}
 	c := k.cpus[cpu]
 	now := k.eng.Now()
 	if c.curr == nil {
@@ -392,6 +494,24 @@ func (k *Kernel) kick(cpu int, delay time.Duration) {
 		return
 	}
 	k.eng.Post(delay, c.kickFn)
+}
+
+// noteCrossing counts (and traces) a task placement that crossed a
+// scheduling domain: wake re-targets and balancer migrations alike. The
+// distance travels in the trace event's Arg so the Chrome export can tell a
+// cache-cold pull from a socket crossing.
+func (k *Kernel) noteCrossing(src, dst int, t *Task) {
+	d := k.topo.Distance(src, dst)
+	if d == core.DistSameLLC {
+		return
+	}
+	k.XLLCMoves++
+	if d == core.DistCrossNode {
+		k.XNodeMoves++
+	}
+	if k.tracer != nil {
+		k.traceEvent(trace.KindXDomain, dst, t.pid, k.classID(t.class), int64(d))
+	}
 }
 
 // account charges cpu's current task for the time it has run since the last
@@ -526,12 +646,17 @@ func (k *Kernel) segmentDone(c *CPU, t *Task) {
 	// t.pending for the next segment.
 	act := t.pending
 
+	// The wake burst runs inside one batch window: module messages flow
+	// per-wake as always, but remote kicks coalesce per target and drain
+	// in one flush at the end of the burst (the event boundary).
 	extra := time.Duration(0)
+	k.beginBatch()
 	for _, w := range act.Wake {
 		if w.state == StateBlocked {
 			extra += k.doWake(w, c.id, extra)
 		}
 	}
+	k.flushBatch()
 	c.busy += extra
 
 	switch act.Op {
@@ -622,8 +747,9 @@ func (k *Kernel) tickFire(c *CPU) {
 }
 
 // nohzKick is the NOHZ idle-balance analogue: a busy CPU with queued work
-// kicks one idle CPU (same node preferred) so that CPU runs a schedule pass
-// and its classes get a Balance opportunity to pull the backlog.
+// kicks the nearest idle CPU — LLC sibling first, then same socket, then
+// anywhere — so that CPU runs a schedule pass and its classes get a Balance
+// opportunity to pull the backlog with the least cache damage.
 func (k *Kernel) nohzKick(c *CPU) {
 	queued := 0
 	for _, s := range k.classes {
@@ -633,18 +759,19 @@ func (k *Kernel) nohzKick(c *CPU) {
 		return
 	}
 	n := k.machine.NumCPUs
-	best := -1
+	best, bestDist := -1, 0
 	for i := 1; i < n; i++ {
 		cpu := (c.id + i) % n
 		if k.cpus[cpu].curr != nil {
 			continue
 		}
-		if k.machine.SameNode(cpu, c.id) {
+		d := k.topo.Distance(cpu, c.id)
+		if d == core.DistSameLLC {
 			best = cpu
 			break
 		}
-		if best == -1 {
-			best = cpu
+		if best == -1 || d < bestDist {
+			best, bestDist = cpu, d
 		}
 	}
 	if best >= 0 {
@@ -665,6 +792,7 @@ func (k *Kernel) MoveTask(t *Task, dst int) bool {
 	src := t.cpu
 	t.class.Dequeue(src, t, false)
 	t.class.Migrate(t, src, dst)
+	k.noteCrossing(src, dst, t)
 	t.cpu = dst
 	t.class.Enqueue(dst, t, false)
 	c := k.cpus[dst]

@@ -14,6 +14,8 @@ func BenchmarkScheduleOp(b *testing.B) { bench.ScheduleOp(b) }
 
 func BenchmarkScheduleOpTraced(b *testing.B) { bench.ScheduleOpTraced(b) }
 
+func BenchmarkWakeBurst(b *testing.B) { bench.WakeBurst(b) }
+
 func BenchmarkSpawnExit(b *testing.B) { bench.SpawnExit(b) }
 
 func BenchmarkTickPath(b *testing.B) { bench.TickPath(b) }

@@ -77,6 +77,7 @@ func (l *replayLock) Unlock() {
 // locks gate on the recorded order.
 type env struct {
 	numCPUs int
+	topo    *core.Topology
 	locks   []*replayLock
 	nlocks  int
 	now     int64
@@ -100,8 +101,15 @@ func (e *env) setNow(t int64) {
 	e.nowMu.Unlock()
 }
 
-func (e *env) NumCPUs() int                      { return e.numCPUs }
-func (e *env) SameNode(a, b int) bool            { return true }
+func (e *env) NumCPUs() int           { return e.numCPUs }
+func (e *env) SameNode(a, b int) bool { return e.topo.SameNode(a, b) }
+
+// Topology implements core.Env: the topology the replay was configured with,
+// or a flat single-domain view when the caller supplied none. Modules whose
+// decisions depend on domain structure must be replayed with the recorded
+// machine's topology to reproduce bit-identically.
+func (e *env) Topology() *core.Topology          { return e.topo }
+
 func (e *env) ArmTimer(cpu int, d time.Duration) {}
 func (e *env) Resched(cpu int)                   {}
 func (e *env) Rand() *ktime.Rand                 { return e.rand }
@@ -125,6 +133,10 @@ func (e *env) NewMutex(name string) core.Locker {
 type Config struct {
 	// NumCPUs must match the recorded machine.
 	NumCPUs int
+	// Topology optionally supplies the recorded machine's scheduling
+	// domains. Nil replays against a flat single-domain topology, which is
+	// exact for modules that never consult domain structure.
+	Topology *core.Topology
 	// RandSeed must match the recorded module's stream.
 	RandSeed uint64
 	// MaxDivergences caps the report.
@@ -174,7 +186,11 @@ func ReplayEntries(entries []record.Entry, cfg Config, factory func(core.Env) co
 	res.ParseTime = time.Since(parseStart)
 
 	replayStart := time.Now()
-	renv := &env{numCPUs: cfg.NumCPUs, locks: locks, rand: ktime.NewRand(cfg.RandSeed)}
+	topo := cfg.Topology
+	if topo == nil {
+		topo = core.FlatTopology(cfg.NumCPUs)
+	}
+	renv := &env{numCPUs: cfg.NumCPUs, topo: topo, locks: locks, rand: ktime.NewRand(cfg.RandSeed)}
 	sched := factory(renv)
 
 	queues := make(map[int]*core.HintQueue)

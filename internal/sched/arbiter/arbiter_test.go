@@ -21,6 +21,7 @@ func (nopLock) Unlock() {}
 func (e *fakeEnv) Now() ktime.Time                   { return 0 }
 func (e *fakeEnv) NumCPUs() int                      { return e.cpus }
 func (e *fakeEnv) SameNode(a, b int) bool            { return true }
+func (e *fakeEnv) Topology() *core.Topology          { return core.FlatTopology(e.cpus) }
 func (e *fakeEnv) ArmTimer(cpu int, d time.Duration) {}
 func (e *fakeEnv) Resched(cpu int)                   { e.rescheds = append(e.rescheds, cpu) }
 func (e *fakeEnv) Rand() *ktime.Rand                 { return ktime.NewRand(1) }

@@ -62,9 +62,13 @@ type Sched struct {
 	mu     core.Locker
 	st     *state
 
-	// HintsApplied and HintsIgnored count hint outcomes.
-	HintsApplied uint64
-	HintsIgnored uint64
+	// HintsApplied and HintsIgnored count hint outcomes;
+	// HintsRedirected counts hints honoured approximately — the group's
+	// home core was overloaded, so placement spilled to an LLC sibling,
+	// keeping the group cache-adjacent instead of falling back to random.
+	HintsApplied    uint64
+	HintsIgnored    uint64
+	HintsRedirected uint64
 }
 
 var _ core.Scheduler = (*Sched)(nil)
@@ -103,7 +107,11 @@ func (s *Sched) remove(t *task) {
 }
 
 // placeFor picks the CPU for a task: its locality group's core when one is
-// hinted and not overloaded, otherwise a random core.
+// hinted and not overloaded. An overloaded home core spills to the least-
+// loaded sibling in its LLC domain — co-location's value is the shared
+// cache, so the nearest core that still shares it is the best approximation
+// of the hint — and only when the whole domain is saturated does placement
+// fall back to random.
 func (s *Sched) placeFor(pid, fallback int) int {
 	if group, ok := s.st.taskGroup[pid]; ok {
 		coreID, ok := s.st.groupCore[group]
@@ -117,6 +125,19 @@ func (s *Sched) placeFor(pid, fallback int) int {
 		if len(s.st.queues[coreID]) < maxGroupQueue {
 			s.HintsApplied++
 			return coreID
+		}
+		best, bestLen := -1, 0
+		for _, sib := range s.env.Topology().Siblings(coreID) {
+			if sib == coreID {
+				continue
+			}
+			if n := len(s.st.queues[sib]); best == -1 || n < bestLen {
+				best, bestLen = sib, n
+			}
+		}
+		if best >= 0 && bestLen < maxGroupQueue {
+			s.HintsRedirected++
+			return best
 		}
 		s.HintsIgnored++
 	}

@@ -109,8 +109,56 @@ func TestOverloadedHintIgnored(t *testing.T) {
 		q.Send(locality.HintMsg{PID: task.PID(), Locality: 5})
 	}
 	k.RunFor(100 * time.Millisecond)
-	if sched.HintsIgnored == 0 {
-		t.Fatal("overloaded group never triggered hint ignoring")
+	// Overload must stop exact placement: either the hint spilled to an
+	// LLC sibling (redirect) or, with the whole domain full, was ignored.
+	if sched.HintsIgnored == 0 && sched.HintsRedirected == 0 {
+		t.Fatal("overloaded group never triggered hint spillover or ignoring")
+	}
+}
+
+func TestOverloadSpillsWithinLLCOnNUMA(t *testing.T) {
+	// On the two-socket machine the spillover target must honour cache
+	// structure: when the hinted core's queue is full, redirected tasks go
+	// to a sibling inside the same LLC domain, never across it.
+	eng := sim.New()
+	m := kernel.Machine80()
+	k := kernel.New(eng, m, kernel.CostsFor(m))
+	var sched *locality.Sched
+	a := enokic.Load(k, policyLoc, enokic.DefaultConfig(), func(env core.Env) core.Scheduler {
+		sched = locality.New(env, policyLoc)
+		return sched
+	})
+	k.RegisterClass(policyCFS, kernel.NewCFS(k))
+	topo := k.Topo()
+
+	q := a.CreateHintQueue(256)
+	var tasks []*kernel.Task
+	for i := 0; i < 30; i++ {
+		tasks = append(tasks, k.Spawn("g", policyLoc,
+			sleeper(500*time.Microsecond, 100*time.Microsecond, 2000)))
+	}
+	for _, task := range tasks {
+		q.Send(locality.HintMsg{PID: task.PID(), Locality: 7})
+	}
+	k.RunFor(100 * time.Millisecond)
+
+	if sched.HintsRedirected == 0 {
+		t.Fatal("30 tasks on one hint never spilled past the hinted core")
+	}
+	if sched.HintsIgnored != 0 {
+		t.Fatalf("%d hints ignored — a 10-core LLC domain should absorb the group", sched.HintsIgnored)
+	}
+	core7, ok := sched.GroupCore(7)
+	if !ok {
+		t.Fatal("group never placed")
+	}
+	for _, task := range tasks {
+		if task.State() == kernel.StateDead {
+			continue
+		}
+		if !topo.SameLLC(task.CPU(), core7) {
+			t.Fatalf("task on cpu %d, outside group core %d's LLC domain", task.CPU(), core7)
+		}
 	}
 }
 

@@ -36,6 +36,7 @@ func (l *fakeLock) Unlock() {
 func (e *fakeEnv) Now() ktime.Time                   { return e.now }
 func (e *fakeEnv) NumCPUs() int                      { return e.cpus }
 func (e *fakeEnv) SameNode(a, b int) bool            { return true }
+func (e *fakeEnv) Topology() *core.Topology          { return core.FlatTopology(e.cpus) }
 func (e *fakeEnv) ArmTimer(cpu int, d time.Duration) { e.timers = append(e.timers, cpu) }
 func (e *fakeEnv) Resched(cpu int)                   { e.rescheds = append(e.rescheds, cpu) }
 func (e *fakeEnv) Rand() *ktime.Rand                 { return e.rand }

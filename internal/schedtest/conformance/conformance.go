@@ -89,12 +89,19 @@ type Rig struct {
 	Policy int
 }
 
-// NewRig builds the machine for c. cfg tunes the adapter (fault budgets,
-// watchdog window); wrap, when non-nil, interposes a fault injector between
-// the adapter and the module. Both are ignored for the CFS baseline.
+// NewRig builds the machine for c on the paper's 8-core box. cfg tunes the
+// adapter (fault budgets, watchdog window); wrap, when non-nil, interposes a
+// fault injector between the adapter and the module. Both are ignored for
+// the CFS baseline.
 func NewRig(c Case, cfg enokic.Config, wrap func(core.Scheduler) core.Scheduler) *Rig {
+	return NewRigOn(c, kernel.Machine8(), cfg, wrap)
+}
+
+// NewRigOn is NewRig on an explicit machine, for conformance runs that need
+// real topology (the NUMA suite uses Machine80's two sockets).
+func NewRigOn(c Case, m kernel.Machine, cfg enokic.Config, wrap func(core.Scheduler) core.Scheduler) *Rig {
 	eng := sim.New()
-	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	k := kernel.New(eng, m, kernel.CostsFor(m))
 	r := &Rig{K: k, Policy: PolicyCFS}
 	if c.NewModule != nil {
 		r.Adapter = enokic.Load(k, PolicyTest, cfg, func(env core.Env) core.Scheduler {

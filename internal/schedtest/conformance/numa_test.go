@@ -1,0 +1,115 @@
+package conformance
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/enokic"
+	"enoki/internal/kernel"
+	"enoki/internal/record"
+	"enoki/internal/sched/wfq"
+	"enoki/internal/sim"
+)
+
+// TestConformanceNUMAMachine80 runs every scheduler class on the two-socket
+// Xeon with affinity churn that drags tasks across sockets, and asserts the
+// same invariants as the 8-core suite: every task completes (a wake lost on
+// a cross-socket IPI would strand its sleeper), the task table drains, and
+// the checker saw no double-runs or affinity breaches.
+func TestConformanceNUMAMachine80(t *testing.T) {
+	for _, c := range Cases() {
+		t.Run(c.Name, func(t *testing.T) {
+			r := NewRigOn(c, kernel.Machine80(), enokic.DefaultConfig(), nil)
+			ch := StartChecker(r, 500*time.Microsecond)
+			w := Workload{Seed: 0x80, Tasks: 120, Churn: true}
+			done := w.Run(r)
+
+			if done != w.Tasks {
+				t.Errorf("%d/%d tasks completed — lost wakeups across sockets", done, w.Tasks)
+			}
+			if n := r.K.NumTasks(); n != 0 {
+				t.Errorf("%d tasks leaked in the kernel table", n)
+			}
+			for _, v := range ch.Violations {
+				t.Errorf("invariant violation: %v", v)
+			}
+			if r.Adapter != nil {
+				if r.Adapter.Killed() {
+					t.Fatalf("healthy module was killed: %+v", r.Adapter.Failure())
+				}
+				if st := r.Adapter.Stats(); st.PntErrs != 0 {
+					t.Errorf("module produced %d pick errors", st.PntErrs)
+				}
+			}
+		})
+	}
+}
+
+// recordedRun drives one seeded WFQ workload on Machine80 with the batched
+// IPI path on or off and returns the raw record-log bytes plus the kernel
+// for counter inspection.
+func recordedRun(t *testing.T, batched bool) ([]byte, *kernel.Kernel) {
+	t.Helper()
+	eng := sim.New()
+	m := kernel.Machine80()
+	k := kernel.New(eng, m, kernel.CostsFor(m))
+	k.SetIPIBatching(batched)
+	ad := enokic.Load(k, PolicyTest, enokic.DefaultConfig(), func(env core.Env) core.Scheduler {
+		return wfq.New(env, PolicyTest)
+	})
+	k.RegisterClass(PolicyCFS, kernel.NewCFS(k))
+	var buf bytes.Buffer
+	rec := record.New(k, &buf, PolicyCFS, record.DefaultCosts())
+	ad.SetRecorder(rec)
+
+	r := &Rig{K: k, Adapter: ad, Policy: PolicyTest}
+	w := Workload{Seed: 42, Tasks: 80, Churn: true, Budget: 300 * time.Millisecond}
+	if done := w.Run(r); done != w.Tasks {
+		t.Fatalf("batched=%v: %d/%d tasks completed", batched, done, w.Tasks)
+	}
+	rec.Close()
+	return buf.Bytes(), k
+}
+
+// TestBatchedIPIRecordIdentity asserts the batched cross-CPU message path is
+// behaviourally invisible to modules: the record log of a run with per-wake
+// kicks and the log of the same run with per-target coalesced kicks must be
+// byte-identical. Batching may drop and merge reschedule IPIs (that is its
+// point — Linux's TIF_NEED_RESCHED dedup does the same) but must never
+// reorder, drop, or retime a message crossing into the module.
+func TestBatchedIPIRecordIdentity(t *testing.T) {
+	unbatched, _ := recordedRun(t, false)
+	batched, bk := recordedRun(t, true)
+
+	if bk.IPIsCoalesced == 0 {
+		t.Error("batched run coalesced no IPIs — the workload exercises nothing")
+	}
+	if !bytes.Equal(unbatched, batched) {
+		i := 0
+		for i < len(unbatched) && i < len(batched) && unbatched[i] == batched[i] {
+			i++
+		}
+		t.Fatalf("record logs diverge: %d vs %d bytes, first difference at byte %d",
+			len(unbatched), len(batched), i)
+	}
+}
+
+// TestCrossingCountersNUMA sanity-checks the kernel's domain-crossing
+// accounting on the two-socket machine: a churned workload must migrate
+// across LLC domains, and every cross-node move is also a cross-LLC move.
+func TestCrossingCountersNUMA(t *testing.T) {
+	r := NewRigOn(Case{Name: "cfs"}, kernel.Machine80(), enokic.DefaultConfig(), nil)
+	w := Workload{Seed: 9, Tasks: 100, Churn: true}
+	if done := w.Run(r); done != w.Tasks {
+		t.Fatalf("%d/%d tasks completed", done, w.Tasks)
+	}
+	if r.K.XLLCMoves == 0 {
+		t.Error("churned NUMA workload recorded no cross-LLC moves")
+	}
+	if r.K.XNodeMoves > r.K.XLLCMoves {
+		t.Errorf("XNodeMoves (%d) exceeds XLLCMoves (%d): cross-node moves must be counted as cross-LLC too",
+			r.K.XNodeMoves, r.K.XLLCMoves)
+	}
+}

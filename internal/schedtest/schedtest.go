@@ -20,7 +20,10 @@ type Env struct {
 		D   time.Duration
 	}
 	Clock ktime.Time
-	rand  *ktime.Rand
+	// Topo is the scheduling-domain structure the fake reports; nil means
+	// flat (one domain). Set it to exercise topology-aware module paths.
+	Topo *core.Topology
+	rand *ktime.Rand
 }
 
 var _ core.Env = (*Env)(nil)
@@ -35,7 +38,15 @@ func (e *Env) Now() ktime.Time { return e.Clock }
 func (e *Env) NumCPUs() int { return e.CPUs }
 
 // SameNode implements core.Env.
-func (e *Env) SameNode(a, b int) bool { return true }
+func (e *Env) SameNode(a, b int) bool { return e.Topology().SameNode(a, b) }
+
+// Topology implements core.Env: Topo if set, else a flat single domain.
+func (e *Env) Topology() *core.Topology {
+	if e.Topo == nil {
+		e.Topo = core.FlatTopology(e.CPUs)
+	}
+	return e.Topo
+}
 
 // ArmTimer implements core.Env, recording the request.
 func (e *Env) ArmTimer(cpu int, d time.Duration) {

@@ -52,6 +52,9 @@ const (
 	KindKill
 	// KindExit: PID exited on CPU.
 	KindExit
+	// KindXDomain: PID's placement crossed a scheduling domain onto CPU;
+	// Arg is the core.Topology distance (1 = cross-LLC, 2 = cross-node).
+	KindXDomain
 )
 
 func (k Kind) String() string {
@@ -78,6 +81,8 @@ func (k Kind) String() string {
 		return "kill"
 	case KindExit:
 		return "exit"
+	case KindXDomain:
+		return "xdomain"
 	default:
 		return "invalid"
 	}

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# API compatibility gate for package enoki.
+#
+# Two layers, best available wins:
+#
+#  1. Semantic (optional): when golang.org/x/exp/cmd/apidiff is on PATH and
+#     the baseline git ref is reachable, compare the baseline's export data
+#     against the working tree and fail on incompatible changes.
+#  2. Textual (always): regenerate the exported-surface listing with
+#     scripts/apisurface and diff it against the committed api/enoki.txt.
+#     Removed or changed lines fail; additions fail softly until the
+#     baseline is refreshed.
+#
+# Deliberate breaks are shipped by adding a pattern to api/allowlist.txt
+# (see its header) and regenerating the baseline with `-update`.
+#
+# Usage:
+#   scripts/apicheck.sh            # run the gate
+#   scripts/apicheck.sh -update    # refresh api/enoki.txt from the tree
+#   APICHECK_BASE=origin/main scripts/apicheck.sh   # semantic-gate base ref
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=api/enoki.txt
+allowlist=api/allowlist.txt
+
+if [ "${1:-}" = "-update" ]; then
+    go run ./scripts/apisurface . > "$baseline"
+    echo "apicheck: wrote $(wc -l < "$baseline") symbols to $baseline"
+    exit 0
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# allowed() filters stdin, dropping lines matched by an allowlist pattern.
+allowed_patterns=$(grep -Ev '^[[:space:]]*(#|$)' "$allowlist" || true)
+allowed() {
+    if [ -n "$allowed_patterns" ]; then
+        grep -Evf <(printf '%s\n' "$allowed_patterns") || true
+    else
+        cat
+    fi
+}
+
+fail=0
+
+# --- layer 1: semantic gate via apidiff, when available ----------------------
+if command -v apidiff >/dev/null 2>&1; then
+    base_ref=${APICHECK_BASE:-HEAD}
+    if git worktree add --quiet --detach "$tmp/base" "$base_ref" 2>/dev/null; then
+        if (cd "$tmp/base" && apidiff -w "$tmp/enoki.export" . >/dev/null 2>&1); then
+            report=$(apidiff -incompatible "$tmp/enoki.export" . 2>/dev/null | allowed)
+            if [ -n "$report" ]; then
+                echo "apicheck: apidiff found incompatible changes vs $base_ref:" >&2
+                printf '%s\n' "$report" >&2
+                fail=1
+            else
+                echo "apicheck: apidiff: no unallowlisted incompatible changes vs $base_ref"
+            fi
+        else
+            echo "apicheck: apidiff could not export the base API; relying on the textual gate" >&2
+        fi
+        git worktree remove --force "$tmp/base" >/dev/null 2>&1 || true
+    else
+        echo "apicheck: base ref '$base_ref' unavailable; relying on the textual gate" >&2
+    fi
+else
+    echo "apicheck: apidiff not installed (go install golang.org/x/exp/cmd/apidiff@latest); using the textual surface gate"
+fi
+
+# --- layer 2: textual surface gate, always on --------------------------------
+go run ./scripts/apisurface . > "$tmp/surface"
+
+removed=$(comm -23 <(sort "$baseline") <(sort "$tmp/surface") | allowed)
+added=$(comm -13 <(sort "$baseline") <(sort "$tmp/surface"))
+
+if [ -n "$removed" ]; then
+    echo "apicheck: exported API removed or changed (incompatible):" >&2
+    printf '%s\n' "$removed" | sed 's/^/  - /' >&2
+    echo "apicheck: if deliberate, add a pattern to $allowlist and run scripts/apicheck.sh -update" >&2
+    fail=1
+fi
+if [ -n "$added" ]; then
+    echo "apicheck: new exported API (compatible, but the baseline is stale):" >&2
+    printf '%s\n' "$added" | sed 's/^/  + /' >&2
+    echo "apicheck: run scripts/apicheck.sh -update and commit $baseline" >&2
+    fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+    echo "apicheck: package enoki surface matches $baseline ($(wc -l < "$baseline") symbols)"
+fi
+exit "$fail"

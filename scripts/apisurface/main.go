@@ -1,0 +1,183 @@
+// Command apisurface prints the exported API surface of one Go package as a
+// sorted, one-line-per-symbol listing. scripts/apicheck.sh diffs its output
+// against the committed baseline (api/enoki.txt) so incompatible changes to
+// package enoki fail CI unless deliberately allowlisted.
+//
+// It is intentionally syntactic (go/parser, no type checking) and
+// dependency-free: the richer golang.org/x/exp/apidiff gate is optional and
+// this tool is the fallback that always works with a bare toolchain.
+//
+//	go run ./scripts/apisurface [dir]
+//
+// Output lines:
+//
+//	const Name
+//	var Name type
+//	type Name = alias-target
+//	type Name struct { ExportedField T; ... }
+//	func Name(args) results
+//	method (Recv) Name(args) results
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := "."
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	lines, err := surface(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apisurface: %v\n", err)
+		os.Exit(1)
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+func surface(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, name := range names {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, decl := range f.Decls {
+			lines = append(lines, declLines(fset, decl)...)
+		}
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+// declLines renders the exported symbols of one top-level declaration.
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	var out []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil {
+			recv := render(fset, d.Recv.List[0].Type)
+			if !ast.IsExported(strings.TrimLeft(recv, "*")) {
+				return nil
+			}
+			out = append(out, fmt.Sprintf("method (%s) %s%s",
+				recv, d.Name.Name, sigString(fset, d.Type)))
+		} else {
+			out = append(out, fmt.Sprintf("func %s%s", d.Name.Name, sigString(fset, d.Type)))
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.ValueSpec:
+				kw := "const"
+				if d.Tok == token.VAR {
+					kw = "var"
+				}
+				for _, n := range s.Names {
+					if !n.IsExported() {
+						continue
+					}
+					line := kw + " " + n.Name
+					if s.Type != nil {
+						line += " " + render(fset, s.Type)
+					}
+					out = append(out, line)
+				}
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				eq := " "
+				if s.Assign.IsValid() {
+					eq = " = "
+				}
+				out = append(out, "type "+s.Name.Name+eq+render(fset, exportedOnly(s.Type)))
+			}
+		}
+	}
+	return out
+}
+
+// sigString renders a function signature without the leading "func".
+func sigString(fset *token.FileSet, t *ast.FuncType) string {
+	return strings.TrimPrefix(render(fset, t), "func")
+}
+
+// exportedOnly strips unexported members from struct and interface bodies so
+// internal layout changes don't churn the baseline.
+func exportedOnly(t ast.Expr) ast.Expr {
+	switch tt := t.(type) {
+	case *ast.StructType:
+		return &ast.StructType{Fields: exportedFields(tt.Fields, false)}
+	case *ast.InterfaceType:
+		return &ast.InterfaceType{Methods: exportedFields(tt.Methods, true)}
+	}
+	return t
+}
+
+func exportedFields(fl *ast.FieldList, iface bool) *ast.FieldList {
+	if fl == nil {
+		return nil
+	}
+	kept := &ast.FieldList{}
+	for _, f := range fl.List {
+		if len(f.Names) == 0 {
+			// Embedded field or interface embedding: keep when the terminal
+			// identifier is exported.
+			name := strings.TrimLeft(renderNoPos(f.Type), "*")
+			if i := strings.LastIndex(name, "."); i >= 0 {
+				name = name[i+1:]
+			}
+			if ast.IsExported(name) {
+				kept.List = append(kept.List, f)
+			}
+			continue
+		}
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(names) > 0 {
+			kept.List = append(kept.List, &ast.Field{Names: names, Type: f.Type})
+		}
+	}
+	return kept
+}
+
+// render pretty-prints a node and collapses it onto one line.
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<%v>", err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+func renderNoPos(node any) string {
+	return render(token.NewFileSet(), node)
+}

@@ -1,0 +1,213 @@
+package enoki
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/enokic"
+	"enoki/internal/kernel"
+	"enoki/internal/record"
+	"enoki/internal/sim"
+	"enoki/internal/trace"
+)
+
+// System is the assembled simulation: one event engine, one simulated
+// kernel, and the scheduler classes loaded into it. It is the front door of
+// the public API — construct one with NewSystem, load modules, register the
+// native baseline, spawn work, run:
+//
+//	sys := enoki.NewSystem(enoki.WithMachine(enoki.Machine80()))
+//	ad, err := sys.Load(policyMine, func(env enoki.Env) enoki.Scheduler {
+//	        return mysched.New(env, policyMine)
+//	})
+//	sys.RegisterCFS(policyCFS) // CFS below the module, as in the paper
+//	sys.Kernel().Spawn(...)
+//	sys.Run(20 * time.Millisecond)
+//
+// Registration order is priority order: classes loaded or registered
+// earlier preempt later ones, which is why Enoki modules load before CFS.
+type System struct {
+	eng *sim.Engine
+	k   *kernel.Kernel
+
+	cfg      Config
+	adapters []*enokic.Adapter
+
+	tracer *trace.Tracer
+
+	// Recorder plumbing: WithRecorder defers creation until the drain
+	// class exists (the recorder spawns its userspace drain task into it).
+	recW      io.Writer
+	recPolicy int
+	recCosts  RecordCosts
+	recWanted bool
+	recorder  *record.Recorder
+}
+
+// options collects the functional-option state for NewSystem.
+type options struct {
+	machine  Machine
+	costs    Costs
+	hasCosts bool
+	cfg      Config
+
+	recW      io.Writer
+	recPolicy int
+	recCosts  RecordCosts
+	recWanted bool
+
+	tracer *trace.Tracer
+}
+
+// Option configures NewSystem.
+type Option func(*options)
+
+// WithMachine selects the simulated host topology (default Machine8). Costs
+// are calibrated for the machine via CostsFor unless WithCosts overrides
+// them.
+func WithMachine(m Machine) Option {
+	return func(o *options) { o.machine = m }
+}
+
+// WithCosts overrides the kernel cost table (default CostsFor(machine)).
+func WithCosts(c Costs) Option {
+	return func(o *options) { o.costs, o.hasCosts = c, true }
+}
+
+// WithConfig sets the framework Config handed to every Load (default
+// DefaultConfig).
+func WithConfig(cfg Config) Option {
+	return func(o *options) { o.cfg = cfg }
+}
+
+// WithRecorder arranges record mode: a Recorder writing the message/lock
+// log to w, its userspace drain task spawned into drainPolicy (normally the
+// CFS policy id), installed on every module the System loads. The recorder
+// is created as soon as drainPolicy's class is registered — register it
+// before spawning tasks or the earliest task_new messages are lost.
+func WithRecorder(w io.Writer, drainPolicy int) Option {
+	return func(o *options) {
+		o.recW, o.recPolicy, o.recWanted = w, drainPolicy, true
+		o.recCosts = record.DefaultCosts()
+	}
+}
+
+// WithTraceSink installs t as the event tracer on the kernel and on every
+// module the System loads, producing one interleaved timeline of scheduling
+// decisions and framework crossings.
+func WithTraceSink(t *Tracer) Option {
+	return func(o *options) { o.tracer = t }
+}
+
+// NewSystem builds an engine and a kernel behind one handle. With no
+// options it models the paper's 8-core machine with calibrated costs and no
+// observability taps.
+func NewSystem(opts ...Option) *System {
+	o := options{machine: kernel.Machine8(), cfg: enokic.DefaultConfig()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if !o.hasCosts {
+		o.costs = kernel.CostsFor(o.machine)
+	}
+	eng := sim.New()
+	k := kernel.New(eng, o.machine, o.costs)
+	s := &System{
+		eng: eng, k: k, cfg: o.cfg,
+		recW: o.recW, recPolicy: o.recPolicy,
+		recCosts: o.recCosts, recWanted: o.recWanted,
+		tracer: o.tracer,
+	}
+	if o.tracer != nil {
+		k.SetTracer(o.tracer)
+	}
+	return s
+}
+
+// Kernel returns the simulated kernel (spawning tasks, querying state).
+func (s *System) Kernel() *Kernel { return s.k }
+
+// Engine returns the discrete-event engine driving the simulation.
+func (s *System) Engine() *Engine { return s.eng }
+
+// Config returns the framework Config used for Load.
+func (s *System) Config() Config { return s.cfg }
+
+// Load constructs a scheduler module via factory and registers it under
+// policy. Failures are typed: errors.Is(err, ErrDuplicatePolicy) when the
+// policy id is taken, errors.Is(err, ErrPolicyMismatch) when the module's
+// GetPolicy disagrees. The System's recorder and tracer, when configured,
+// are installed on the new adapter.
+func (s *System) Load(policy int, factory func(Env) Scheduler) (*Adapter, error) {
+	ad, err := enokic.TryLoad(s.k, policy, s.cfg, func(env core.Env) core.Scheduler {
+		return factory(env)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.adapters = append(s.adapters, ad)
+	if s.tracer != nil {
+		ad.SetTracer(s.tracer)
+	}
+	s.afterRegister()
+	if s.recorder != nil {
+		ad.SetRecorder(s.recorder)
+	}
+	return ad, nil
+}
+
+// MustLoad is Load panicking on error, for mains and tests.
+func (s *System) MustLoad(policy int, factory func(Env) Scheduler) *Adapter {
+	ad, err := s.Load(policy, factory)
+	if err != nil {
+		panic(fmt.Sprintf("enoki: %v", err))
+	}
+	return ad
+}
+
+// RegisterClass registers a native (non-module) scheduler class under
+// policy. Like Load, order of registration is priority order.
+func (s *System) RegisterClass(policy int, c Class) {
+	s.k.RegisterClass(policy, c)
+	s.afterRegister()
+}
+
+// RegisterCFS builds the native CFS baseline, registers it under policy,
+// and returns it. Register it after every Enoki module so the modules sit
+// above it in the pick order, mirroring the paper's setups.
+func (s *System) RegisterCFS(policy int) *kernel.CFS {
+	c := kernel.NewCFS(s.k)
+	s.RegisterClass(policy, c)
+	return c
+}
+
+// afterRegister creates the deferred recorder once its drain class exists
+// and installs it on every adapter loaded so far.
+func (s *System) afterRegister() {
+	if !s.recWanted || s.recorder != nil || s.k.ClassByID(s.recPolicy) == nil {
+		return
+	}
+	s.recorder = record.New(s.k, s.recW, s.recPolicy, s.recCosts)
+	for _, ad := range s.adapters {
+		ad.SetRecorder(s.recorder)
+	}
+}
+
+// Recorder returns the live recorder, or nil when WithRecorder was not used
+// or its drain class is not registered yet.
+func (s *System) Recorder() *Recorder { return s.recorder }
+
+// Adapters returns the modules loaded through this System, in load order.
+func (s *System) Adapters() []*Adapter { return s.adapters }
+
+// Run advances the simulation by d of virtual time.
+func (s *System) Run(d time.Duration) { s.k.RunFor(d) }
+
+// RunUntilIdle runs until the event queue drains (all tasks exited or
+// blocked with no timers pending).
+func (s *System) RunUntilIdle() { s.k.RunUntilIdle() }
+
+// Now returns the current virtual time.
+func (s *System) Now() Time { return s.k.Now() }

@@ -1,0 +1,99 @@
+package enoki_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"enoki"
+)
+
+// TestNewSystemDefaults: the zero-option System is a runnable 8-core box.
+func TestNewSystemDefaults(t *testing.T) {
+	sys := enoki.NewSystem()
+	sys.RegisterCFS(0)
+	if n := sys.Kernel().NumCPUs(); n != 8 {
+		t.Fatalf("default machine has %d CPUs, want 8", n)
+	}
+	done := 0
+	sys.Kernel().Spawn("w", 0, enoki.BehaviorFunc(func(*enoki.Kernel, *enoki.Task) enoki.Action {
+		done++
+		return enoki.Action{Op: enoki.OpExit}
+	}))
+	sys.Run(time.Millisecond)
+	if done != 1 {
+		t.Fatal("task did not run on the default system")
+	}
+}
+
+// TestNewSystemNUMA: WithMachine installs the real topology, and modules
+// see it through Env.
+func TestNewSystemNUMA(t *testing.T) {
+	sys := enoki.NewSystem(enoki.WithMachine(enoki.Machine80()))
+	var topo *enoki.Topology
+	ad, err := sys.Load(1, func(env enoki.Env) enoki.Scheduler {
+		topo = env.Topology()
+		return enoki.NewFIFOScheduler(env, 1)
+	})
+	if err != nil || ad == nil {
+		t.Fatalf("Load failed: %v", err)
+	}
+	sys.RegisterCFS(0)
+	if topo == nil || topo.NumNodes() != 2 || topo.NumCPUs() != 80 {
+		t.Fatalf("module-visible topology wrong: %+v", topo)
+	}
+	if topo.Distance(0, 79) != enoki.DistCrossNode {
+		t.Error("cpu0 and cpu79 should be on different sockets")
+	}
+}
+
+// TestSystemLoadErrors: Load surfaces the enokic sentinels unchanged.
+func TestSystemLoadErrors(t *testing.T) {
+	sys := enoki.NewSystem()
+	if _, err := sys.Load(1, func(env enoki.Env) enoki.Scheduler {
+		return enoki.NewFIFOScheduler(env, 1)
+	}); err != nil {
+		t.Fatalf("first load failed: %v", err)
+	}
+	_, err := sys.Load(1, func(env enoki.Env) enoki.Scheduler {
+		return enoki.NewFIFOScheduler(env, 1)
+	})
+	if !errors.Is(err, enoki.ErrDuplicatePolicy) {
+		t.Fatalf("err = %v, want ErrDuplicatePolicy", err)
+	}
+	_, err = sys.Load(2, func(env enoki.Env) enoki.Scheduler {
+		return enoki.NewFIFOScheduler(env, 3) // mismatched policy
+	})
+	if !errors.Is(err, enoki.ErrPolicyMismatch) {
+		t.Fatalf("err = %v, want ErrPolicyMismatch", err)
+	}
+}
+
+// TestSystemRecorderDeferred: WithRecorder before any class exists must
+// still produce a usable recorder once the drain class registers, with the
+// module's earliest messages captured.
+func TestSystemRecorderDeferred(t *testing.T) {
+	var log bytes.Buffer
+	sys := enoki.NewSystem(enoki.WithRecorder(&log, 0))
+	if sys.Recorder() != nil {
+		t.Fatal("recorder exists before its drain class is registered")
+	}
+	sys.MustLoad(1, func(env enoki.Env) enoki.Scheduler {
+		return enoki.NewFIFOScheduler(env, 1)
+	})
+	sys.RegisterCFS(0)
+	rec := sys.Recorder()
+	if rec == nil {
+		t.Fatal("recorder missing after drain class registration")
+	}
+	k := sys.Kernel()
+	k.Spawn("w", 1, enoki.BehaviorFunc(func(*enoki.Kernel, *enoki.Task) enoki.Action {
+		return enoki.Action{Op: enoki.OpExit}
+	}))
+	sys.Run(5 * time.Millisecond)
+	rec.Close()
+	if rec.Entries == 0 || log.Len() == 0 {
+		t.Fatalf("recorder captured nothing: %d entries, %d bytes", rec.Entries, log.Len())
+	}
+}
