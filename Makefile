@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench quick cover fuzz trace apicheck
+.PHONY: check build test race vet bench quick cover fuzz trace apicheck chaos
 
 check: vet build race apicheck
 
@@ -44,6 +44,17 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) ./internal/record
 	$(GO) test -fuzz=FuzzBuffer -fuzztime=$(FUZZTIME) ./internal/ringbuf
+
+# Seeded chaos campaign under the race detector: fault schedules round-robin
+# across every scheduler class, judged by the invariant oracle; any failure
+# is minimized and printed as a one-line `enoki-chaos -replay` reproducer
+# (the exit code fails the build). The second step is the allocation ratchet
+# proving the disarmed fault hooks add nothing to the schedule hot path.
+CHAOS_RUNS ?= 70
+CHAOS_SEED ?= 0xe120c1
+chaos:
+	$(GO) run -race ./cmd/enoki-chaos -runs $(CHAOS_RUNS) -seed $(CHAOS_SEED)
+	$(GO) test -race -run TestScheduleOpChaosIdleZeroAlloc -count=1 ./internal/kernel
 
 # Render the fixed-seed demo timeline to trace.json for Perfetto.
 trace:

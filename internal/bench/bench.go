@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"enoki/internal/chaos"
 	"enoki/internal/core"
 	"enoki/internal/enokic"
 	"enoki/internal/kernel"
@@ -69,20 +70,30 @@ func SimReschedule(b *testing.B) {
 
 // ScheduleOp measures one full block→wake→schedule round trip per
 // iteration: two pinned tasks ping-pong on one CPU.
-func ScheduleOp(b *testing.B) { scheduleOp(b, false) }
+func ScheduleOp(b *testing.B) { scheduleOp(b, false, false) }
 
 // ScheduleOpTraced is ScheduleOp with the full observability layer live —
 // tracer ring plus per-class/per-CPU histograms — guarding the PR 1
 // invariant: enabling tracing must keep the hot path at 0 allocs/op.
-func ScheduleOpTraced(b *testing.B) { scheduleOp(b, true) }
+func ScheduleOpTraced(b *testing.B) { scheduleOp(b, true, false) }
 
-func scheduleOp(b *testing.B, traced bool) {
+// ScheduleOpChaosIdle is ScheduleOp with the chaos engine's kernel fault
+// injector installed but every fault window disarmed — the steady state of a
+// chaos run between events. The injector's window checks ride the kick and
+// resched-timer paths of every schedule operation; they must add zero
+// allocations (pinned by TestScheduleOpChaosIdleZeroAlloc).
+func ScheduleOpChaosIdle(b *testing.B) { scheduleOp(b, false, true) }
+
+func scheduleOp(b *testing.B, traced, chaosIdle bool) {
 	eng := sim.New()
 	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
 	k.RegisterClass(0, kernel.NewCFS(k))
 	if traced {
 		k.SetTracer(trace.New(1 << 16))
 		k.SetMetrics(metrics.NewSet(k.NumCPUs()))
+	}
+	if chaosIdle {
+		k.SetFaultInjector(chaos.DisarmedInjector(func() int64 { return int64(k.Now()) }, 1))
 	}
 	var a, c *kernel.Task
 	count := 0
@@ -217,12 +228,13 @@ func (nopSched) PickNextTask(cpu int, curr *core.Schedulable, rt time.Duration) 
 	return nil
 }
 func (nopSched) TaskNew(pid int, rt time.Duration, r bool, allowed []int, s *core.Schedulable) {}
-func (nopSched) TaskWakeup(pid int, rt time.Duration, d bool, l, w int, s *core.Schedulable)  {}
-func (nopSched) TaskPreempt(pid int, rt time.Duration, cpu int, preempted bool, s *core.Schedulable)          {}
-func (nopSched) TaskYield(pid int, rt time.Duration, cpu int, s *core.Schedulable)            {}
-func (nopSched) TaskDeparted(pid, cpu int) *core.Schedulable                                  { return nil }
-func (nopSched) SelectTaskRQ(pid, prev int, wakeup bool) int                                  { return prev }
-func (nopSched) MigrateTaskRQ(pid, newCPU int, s *core.Schedulable) *core.Schedulable         { return s }
+func (nopSched) TaskWakeup(pid int, rt time.Duration, d bool, l, w int, s *core.Schedulable)   {}
+func (nopSched) TaskPreempt(pid int, rt time.Duration, cpu int, preempted bool, s *core.Schedulable) {
+}
+func (nopSched) TaskYield(pid int, rt time.Duration, cpu int, s *core.Schedulable)    {}
+func (nopSched) TaskDeparted(pid, cpu int) *core.Schedulable                          { return nil }
+func (nopSched) SelectTaskRQ(pid, prev int, wakeup bool) int                          { return prev }
+func (nopSched) MigrateTaskRQ(pid, newCPU int, s *core.Schedulable) *core.Schedulable { return s }
 
 // Dispatch measures libEnoki's processing function: the per-message parse +
 // call + reply write that happens on every framework crossing.
@@ -326,6 +338,7 @@ func All() []Entry {
 		{"BenchmarkSimReschedule", SimReschedule},
 		{"BenchmarkScheduleOp", ScheduleOp},
 		{"BenchmarkScheduleOpTraced", ScheduleOpTraced},
+		{"BenchmarkScheduleOpChaosIdle", ScheduleOpChaosIdle},
 		{"BenchmarkWakeBurst", WakeBurst},
 		{"BenchmarkSpawnExit", SpawnExit},
 		{"BenchmarkTickPath", TickPath},

@@ -1,0 +1,283 @@
+// Package chaos is the deterministic chaos engine: it composes the repo's
+// fault planes — module panics at any trait-call site, hint-ring overflow
+// storms, IPI drop/delay/duplication, timer skew, live-upgrade faults and
+// kills — into seeded campaigns over every scheduler class, judges each run
+// with an always-on invariant oracle, and shrinks a failing run's fault
+// schedule to a minimal reproducer replayable from a one-line spec string.
+//
+// The design follows the FoundationDB/Jepsen school of simulation testing,
+// adapted to the repo's discrete-event kernel: because the simulator is
+// single-threaded over virtual time and every fault trigger is a seeded
+// draw, a call count, or a virtual timestamp, a failing seed is not a flaky
+// artifact but a permanent, bit-for-bit reproducible program input. The
+// campaign explores; the spec string (`v1:<class>:<seed>:<mask>`) replays;
+// the minimizer (ddmin over the event mask) keeps only the fault events the
+// failure actually needs.
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/ktime"
+)
+
+// Plane identifies one fault family a chaos event belongs to. Planes are
+// split by *who* they sabotage: module planes corrupt the scheduler module
+// behind the trait boundary (the fault layer may legitimately kill for
+// these), upgrade planes break the live-upgrade transaction (which must
+// roll back, never kill), and kernel planes degrade the machine itself
+// (IPIs, timers — a correct stack must survive them outright).
+type Plane uint8
+
+// Fault planes.
+const (
+	// PlanePanic arms a panic inside one trait call after a fixed number
+	// of calls of that kind (Site, Count).
+	PlanePanic Plane = iota
+	// PlaneStall makes every pick return nil during [At, At+Dur) — Dur 0
+	// is a permanent stall, the starvation the watchdog must catch.
+	PlaneStall
+	// PlaneForge corrupts Count returned Schedulables starting at pick
+	// number Mag, exercising proof-of-runnability validation.
+	PlaneForge
+	// PlaneHintStorm pushes Count hints at time At into a deliberately
+	// tiny hint ring, forcing overflow drops the accounting must surface.
+	PlaneHintStorm
+	// PlaneIPIDrop delays every kick in [At, At+Dur) by the recovery bound
+	// Mag — a lost resched IPI noticed at the next tick.
+	PlaneIPIDrop
+	// PlaneIPIDelay adds a seeded random delay in [0, Mag) to every kick
+	// in the window.
+	PlaneIPIDelay
+	// PlaneIPIDup delivers a duplicate kick Mag after every kick in the
+	// window — the spurious IPI a correct scheduler treats as a no-op.
+	PlaneIPIDup
+	// PlaneTimerSkew lengthens every reschedule-timer arm in the window by
+	// a seeded random skew in [0, Mag) — a coarse, drifting clock.
+	PlaneTimerSkew
+	// PlaneUpgrade performs a clean live upgrade to a fresh module of the
+	// same class at time At; it must complete without rollback or kill.
+	PlaneUpgrade
+	// PlaneUpgradeKill performs a live upgrade whose new version panics in
+	// reregister_init at time At: the transactional upgrade path must roll
+	// back to the old module — killing the class here is the bug the
+	// rollback layer exists to prevent.
+	PlaneUpgradeKill
+
+	numPlanes
+)
+
+func (p Plane) String() string {
+	switch p {
+	case PlanePanic:
+		return "panic"
+	case PlaneStall:
+		return "stall"
+	case PlaneForge:
+		return "forge"
+	case PlaneHintStorm:
+		return "hint-storm"
+	case PlaneIPIDrop:
+		return "ipi-drop"
+	case PlaneIPIDelay:
+		return "ipi-delay"
+	case PlaneIPIDup:
+		return "ipi-dup"
+	case PlaneTimerSkew:
+		return "timer-skew"
+	case PlaneUpgrade:
+		return "upgrade"
+	case PlaneUpgradeKill:
+		return "upgrade-kill"
+	default:
+		return "invalid"
+	}
+}
+
+// Event is one fault in a schedule. Field meaning is plane-specific (see the
+// Plane constants): At/Dur bound a virtual-time window (ns), Site names a
+// trait call for PlanePanic, Count is a call index or volume, and Mag is a
+// magnitude in ns (delays, skews) or a pick index (forge start).
+type Event struct {
+	Plane Plane
+	At    int64
+	Dur   int64
+	Site  core.Kind
+	Count int
+	Mag   int64
+}
+
+func (e Event) String() string {
+	switch e.Plane {
+	case PlanePanic:
+		return fmt.Sprintf("panic[%v@call%d]", e.Site, e.Count)
+	case PlaneStall:
+		if e.Dur == 0 {
+			return fmt.Sprintf("stall[%v..∞]", time.Duration(e.At))
+		}
+		return fmt.Sprintf("stall[%v+%v]", time.Duration(e.At), time.Duration(e.Dur))
+	case PlaneForge:
+		return fmt.Sprintf("forge[%d@pick%d]", e.Count, e.Mag)
+	case PlaneHintStorm:
+		return fmt.Sprintf("hint-storm[%d@%v]", e.Count, time.Duration(e.At))
+	case PlaneUpgrade, PlaneUpgradeKill:
+		return fmt.Sprintf("%v[@%v]", e.Plane, time.Duration(e.At))
+	default:
+		return fmt.Sprintf("%v[%v+%v mag=%v]", e.Plane,
+			time.Duration(e.At), time.Duration(e.Dur), time.Duration(e.Mag))
+	}
+}
+
+// Schedule is one run's fault plan: a class, the seed every draw in the run
+// derives from, the generated events, and an enable mask the minimizer
+// clears bits in. Generate caps events at 64 so the mask fits a uint64 and
+// the whole failing run round-trips through the spec string.
+type Schedule struct {
+	Seed   uint64
+	Class  string
+	Events []Event
+	Mask   uint64
+}
+
+// EnabledAt reports whether event i survives the mask.
+func (s Schedule) EnabledAt(i int) bool { return s.Mask>>uint(i)&1 == 1 }
+
+// EnabledCount counts surviving events.
+func (s Schedule) EnabledCount() int {
+	n := 0
+	for i := range s.Events {
+		if s.EnabledAt(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Enabled returns the surviving events, for reporting.
+func (s Schedule) Enabled() []Event {
+	out := make([]Event, 0, len(s.Events))
+	for i, ev := range s.Events {
+		if s.EnabledAt(i) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Spec renders the schedule as its replay string. Because Generate is a pure
+// function of (seed, class), seed + mask reconstructs the exact fault plan:
+// the spec is the whole reproducer.
+func (s Schedule) Spec() string {
+	return fmt.Sprintf("v1:%s:%x:%x", s.Class, s.Seed, s.Mask)
+}
+
+// ParseSpec reconstructs a schedule from a replay spec (v1:<class>:<seed
+// hex>:<mask hex>), regenerating the events from the seed and applying the
+// mask.
+func ParseSpec(spec string) (Schedule, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 4 || parts[0] != "v1" {
+		return Schedule{}, fmt.Errorf("chaos: bad spec %q (want v1:<class>:<seed>:<mask>)", spec)
+	}
+	if _, ok := caseByName(parts[1]); !ok {
+		return Schedule{}, fmt.Errorf("chaos: unknown class %q in spec", parts[1])
+	}
+	seed, err := strconv.ParseUint(parts[2], 16, 64)
+	if err != nil {
+		return Schedule{}, fmt.Errorf("chaos: bad seed in spec: %v", err)
+	}
+	mask, err := strconv.ParseUint(parts[3], 16, 64)
+	if err != nil {
+		return Schedule{}, fmt.Errorf("chaos: bad mask in spec: %v", err)
+	}
+	s := Generate(seed, parts[1])
+	s.Mask &= mask
+	return s, nil
+}
+
+// panicSites are the trait calls PlanePanic may land in: every dispatch
+// kind a normal workload exercises, so a campaign eventually panics each
+// callback site the adapter crosses.
+var panicSites = []core.Kind{
+	core.MsgPickNextTask,
+	core.MsgTaskWakeup,
+	core.MsgTaskNew,
+	core.MsgTaskPreempt,
+	core.MsgTaskYield,
+	core.MsgTaskTick,
+	core.MsgTaskBlocked,
+	core.MsgTaskDead,
+	core.MsgSelectTaskRQ,
+	core.MsgBalance,
+	core.MsgTaskPrioChanged,
+	core.MsgTaskAffinityChanged,
+}
+
+// Generate derives a fault schedule from a seed for one scheduler class —
+// a pure function, so the seed alone reproduces the plan. Classes without a
+// module (the CFS baseline) draw only kernel planes; classes without hint
+// support skip storms.
+func Generate(seed uint64, class string) Schedule {
+	rng := ktime.NewRand(seed)
+	c, _ := caseByName(class)
+	pool := []Plane{PlaneIPIDrop, PlaneIPIDelay, PlaneIPIDup, PlaneTimerSkew}
+	if c.NewModule != nil {
+		pool = append(pool, PlanePanic, PlaneStall, PlaneForge, PlaneUpgrade, PlaneUpgradeKill)
+		if c.SupportsHints {
+			pool = append(pool, PlaneHintStorm)
+		}
+	}
+	n := 2 + int(rng.Intn(4))
+	evs := make([]Event, 0, n)
+	for j := 0; j < n; j++ {
+		evs = append(evs, eventFor(pool[rng.Intn(len(pool))], rng))
+	}
+	return Schedule{Seed: seed, Class: class, Events: evs, Mask: 1<<uint(n) - 1}
+}
+
+// eventFor draws one event's parameters. All times are virtual ns well
+// inside the run budget, so every armed fault gets a chance to fire.
+func eventFor(p Plane, rng *ktime.Rand) Event {
+	ms := func(lo, hi int) int64 {
+		return (int64(lo) + int64(rng.Intn(hi-lo+1))) * int64(time.Millisecond)
+	}
+	us := func(lo, hi int) int64 {
+		return (int64(lo) + int64(rng.Intn(hi-lo+1))) * int64(time.Microsecond)
+	}
+	ev := Event{Plane: p}
+	switch p {
+	case PlanePanic:
+		ev.Site = panicSites[rng.Intn(len(panicSites))]
+		ev.Count = rng.Intn(400)
+	case PlaneStall:
+		ev.At = ms(1, 30)
+		if rng.Intn(2) == 1 {
+			ev.Dur = ms(1, 8) // transient: module must survive it
+		}
+	case PlaneForge:
+		ev.Count = 1 + rng.Intn(24)
+		ev.Mag = int64(1 + rng.Intn(200)) // starting pick number
+	case PlaneHintStorm:
+		ev.At = ms(1, 30)
+		ev.Count = 8 + rng.Intn(57) // vs. a capacity-8 ring: guaranteed drops
+	case PlaneIPIDrop:
+		ev.At, ev.Dur = ms(1, 30), ms(1, 10)
+		ev.Mag = us(250, 1000) // recovery bound: "noticed at next tick"
+	case PlaneIPIDelay:
+		ev.At, ev.Dur = ms(1, 30), ms(1, 10)
+		ev.Mag = us(1, 100)
+	case PlaneIPIDup:
+		ev.At, ev.Dur = ms(1, 30), ms(1, 10)
+		ev.Mag = us(0, 10)
+	case PlaneTimerSkew:
+		ev.At, ev.Dur = ms(1, 30), ms(1, 10)
+		ev.Mag = us(10, 500)
+	case PlaneUpgrade, PlaneUpgradeKill:
+		ev.At = ms(1, 40)
+	}
+	return ev
+}

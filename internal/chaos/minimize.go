@@ -1,0 +1,134 @@
+package chaos
+
+import (
+	"fmt"
+
+	"enoki/internal/ktime"
+)
+
+// Minimize shrinks a failing schedule to a minimal reproducer: a greedy
+// ddmin over the event mask that repeatedly re-runs the schedule with one
+// more event disabled and keeps any subset that still fails the oracle,
+// until no single event can be removed. Because a run is a pure function of
+// (schedule, config), the result is deterministic and the surviving mask —
+// not a transcript — is the whole reproducer.
+//
+// Minimize accepts any failure as "the" failure (classic ddmin); a shrink
+// that trades one violation for another still shrinks the search space a
+// human has to read.
+func Minimize(s Schedule, rc RunConfig) (Schedule, Result) {
+	res := Run(s, rc)
+	if !res.Failed() {
+		return s, res
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range s.Events {
+			if !s.EnabledAt(i) || s.EnabledCount() == 1 {
+				continue
+			}
+			trial := s
+			trial.Mask &^= 1 << uint(i)
+			if tr := Run(trial, rc); tr.Failed() {
+				s, res = trial, tr
+				changed = true
+			}
+		}
+	}
+	return s, res
+}
+
+// ReplayCommand renders the one-liner that reproduces a failing schedule
+// with the enoki-chaos CLI.
+func ReplayCommand(s Schedule, rc RunConfig) string {
+	cmd := fmt.Sprintf("enoki-chaos -replay %s", s.Spec())
+	if rc.NoRollback {
+		cmd += " -norollback"
+	}
+	return cmd
+}
+
+// CampaignConfig drives a multi-run chaos campaign.
+type CampaignConfig struct {
+	// Runs is how many seeded schedules to execute (default 100).
+	Runs int
+	// Seed roots the campaign; every run's schedule seed derives from it.
+	Seed uint64
+	// Classes restricts the classes exercised (default: all of them,
+	// round-robin).
+	Classes []string
+	// MaxFailures stops the campaign after minimizing this many distinct
+	// failing runs (default 3): minimization re-runs schedules, so an
+	// everything-is-broken configuration should fail fast, not grind.
+	MaxFailures int
+	// Run tunes the individual runs (rollback, budgets, record mode).
+	Run RunConfig
+	// Progress, when set, receives one line per completed run.
+	Progress func(string)
+}
+
+// Failure is one failing campaign run, minimized.
+type Failure struct {
+	// Result is the original failing run.
+	Result Result
+	// Minimized is the shrunk schedule and its (still failing) run.
+	Minimized Schedule
+	MinResult Result
+	// Replay is the one-line reproducer command.
+	Replay string
+}
+
+// CampaignResult summarises a campaign.
+type CampaignResult struct {
+	Runs     int
+	Failures []Failure
+}
+
+// OK reports a clean campaign.
+func (c *CampaignResult) OK() bool { return len(c.Failures) == 0 }
+
+// Campaign runs cfg.Runs seeded fault schedules round-robin across the
+// target classes, minimizing every failure it finds. The campaign itself is
+// deterministic: the master seed fixes each run's class and schedule, so a
+// campaign that found a bug is as replayable as any single run.
+func Campaign(cfg CampaignConfig) CampaignResult {
+	if cfg.Runs == 0 {
+		cfg.Runs = 100
+	}
+	if cfg.MaxFailures == 0 {
+		cfg.MaxFailures = 3
+	}
+	classes := cfg.Classes
+	if len(classes) == 0 {
+		classes = ClassNames()
+	}
+	master := ktime.NewRand(cfg.Seed)
+	out := CampaignResult{}
+	for i := 0; i < cfg.Runs; i++ {
+		class := classes[i%len(classes)]
+		sch := Generate(master.Uint64(), class)
+		res := Run(sch, cfg.Run)
+		out.Runs++
+		if cfg.Progress != nil {
+			status := "ok"
+			if res.Failed() {
+				status = fmt.Sprintf("FAIL (%d violations)", len(res.Violations))
+			}
+			cfg.Progress(fmt.Sprintf("run %3d %-10s %-22s %s", i, class, sch.Spec(), status))
+		}
+		if !res.Failed() {
+			continue
+		}
+		min, minRes := Minimize(sch, cfg.Run)
+		out.Failures = append(out.Failures, Failure{
+			Result:    res,
+			Minimized: min,
+			MinResult: minRes,
+			Replay:    ReplayCommand(min, cfg.Run),
+		})
+		if len(out.Failures) >= cfg.MaxFailures {
+			break
+		}
+	}
+	return out
+}

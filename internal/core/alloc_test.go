@@ -17,12 +17,13 @@ func (nopSched) PickNextTask(cpu int, curr *core.Schedulable, rt time.Duration) 
 	return nil
 }
 func (nopSched) TaskNew(pid int, rt time.Duration, r bool, allowed []int, s *core.Schedulable) {}
-func (nopSched) TaskWakeup(pid int, rt time.Duration, d bool, l, w int, s *core.Schedulable)  {}
-func (nopSched) TaskPreempt(pid int, rt time.Duration, cpu int, preempted bool, s *core.Schedulable)          {}
-func (nopSched) TaskYield(pid int, rt time.Duration, cpu int, s *core.Schedulable)            {}
-func (nopSched) TaskDeparted(pid, cpu int) *core.Schedulable                                  { return nil }
-func (nopSched) SelectTaskRQ(pid, prev int, wakeup bool) int                                  { return prev }
-func (nopSched) MigrateTaskRQ(pid, newCPU int, s *core.Schedulable) *core.Schedulable         { return s }
+func (nopSched) TaskWakeup(pid int, rt time.Duration, d bool, l, w int, s *core.Schedulable)   {}
+func (nopSched) TaskPreempt(pid int, rt time.Duration, cpu int, preempted bool, s *core.Schedulable) {
+}
+func (nopSched) TaskYield(pid int, rt time.Duration, cpu int, s *core.Schedulable)    {}
+func (nopSched) TaskDeparted(pid, cpu int) *core.Schedulable                          { return nil }
+func (nopSched) SelectTaskRQ(pid, prev int, wakeup bool) int                          { return prev }
+func (nopSched) MigrateTaskRQ(pid, newCPU int, s *core.Schedulable) *core.Schedulable { return s }
 
 // TestDispatchAllKindsZeroAlloc pins the zero-allocation invariant of the
 // framework crossing: every dispatchable message Kind — including the

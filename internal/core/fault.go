@@ -98,6 +98,28 @@ func SafeDispatch(s Scheduler, m *Message) *ModuleFault {
 	return SafeDispatchTraced(s, m, nil)
 }
 
+// SafeCall runs fn with the same panic containment as SafeDispatch, for
+// module entry points that are not message dispatches — the upgrade
+// protocol's reregister_prepare / factory / reregister_init crossings. A
+// panic is returned as a FaultPanic ModuleFault (MsgKind MsgInvalid, CPU -1:
+// upgrade crossings run from user context, not a kernel thread) instead of
+// unwinding into the kernel.
+func SafeCall(fn func()) (fault *ModuleFault) {
+	defer func() {
+		if r := recover(); r != nil {
+			fault = &ModuleFault{
+				Cause:      FaultPanic,
+				MsgKind:    MsgInvalid,
+				CPU:        -1,
+				PanicValue: r,
+				Stack:      string(debug.Stack()),
+			}
+		}
+	}()
+	fn()
+	return nil
+}
+
 // SafeDispatchTraced is SafeDispatch with an observability tap: when sink is
 // non-nil it sees every crossing — including ones that panicked, which a
 // sink placed after a plain SafeDispatch call would miss because the fault

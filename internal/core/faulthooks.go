@@ -1,0 +1,46 @@
+package core
+
+import "time"
+
+// KernelFaultInjector is the kernel-plane fault hook: an implementation
+// installed via kernel.SetFaultInjector intercepts cross-CPU kicks (the
+// simulation's resched/wake IPIs) and high-resolution timer arms, letting a
+// chaos engine model IPI loss, delay, and duplication and timer skew without
+// the kernel knowing anything about fault schedules.
+//
+// The contract is zero-cost-when-disabled: the kernel holds a nil interface
+// by default and every hook site is a single pointer test, so the scheduling
+// hot path stays allocation-free and branch-cheap (pinned by the
+// ScheduleOpFaultHooks alloc ratchet). Implementations must also not
+// allocate per call, and must be deterministic — the simulation is
+// single-threaded, so an injector drawing from a seeded PRNG at each
+// interception replays bit-for-bit.
+type KernelFaultInjector interface {
+	// InterceptKick is consulted once per scheduled kick toward target
+	// (delay is what the kernel intends to apply). The returned fate is
+	// applied on top: Delay postpones delivery — an "IPI drop" is modelled
+	// as a recovery-bounded postponement, the analogue of a lost resched
+	// IPI being noticed at the next tick's TIF_NEED_RESCHED check, so
+	// liveness is degraded but never destroyed. Duplicate posts a second,
+	// spurious kick DupDelay after the first — the redundant-IPI case a
+	// correct scheduler must tolerate (the kernel's schedule() treats a
+	// kick with nothing to do as a no-op).
+	InterceptKick(target int, delay time.Duration) KickFate
+
+	// SkewTimer is consulted when a reschedule timer is armed on cpu for
+	// duration d; the return value replaces d (the kernel clamps negative
+	// results to zero). Skewing timers late models a coarse or drifting
+	// clock source; modules must not starve under it.
+	SkewTimer(cpu int, d time.Duration) time.Duration
+}
+
+// KickFate is a KernelFaultInjector's verdict on one kick.
+type KickFate struct {
+	// Delay is added to the kick's delivery delay (0 = deliver on time).
+	Delay time.Duration
+	// Duplicate requests a second kick DupDelay after the (possibly
+	// delayed) original.
+	Duplicate bool
+	// DupDelay positions the duplicate relative to the original delivery.
+	DupDelay time.Duration
+}

@@ -179,6 +179,12 @@ func (m *Message) AttachSched(s *Schedulable) {
 // TakeRetSched returns the token object the module handed back.
 func (m *Message) TakeRetSched() *Schedulable { return m.retSchedObj }
 
+// AttachedSched returns the live token attached with AttachSched (nil when
+// the message carries none). The framework uses it to audit queued messages
+// — e.g. dropping a deferred notification whose proof was superseded while
+// it waited out an upgrade blackout.
+func (m *Message) AttachedSched() *Schedulable { return m.schedObj }
+
 // TakeRetQueue returns the queue object an unregister call handed back
 // (*HintQueue or *RevQueue, possibly nil if the module lost it).
 func (m *Message) TakeRetQueue() any { return m.retQueue }

@@ -69,17 +69,27 @@ type Config struct {
 	// accumulate before being killed. Zero selects the 5000 default;
 	// negative disables the budget.
 	PntErrBudget int
+	// UpgradeRollback makes live upgrades transactional: the old module's
+	// state is snapshotted before transfer, and when the new module faults
+	// during the blackout window (factory or init panic, policy lie, or a
+	// panic while the deferred backlog flushes) the old module is restored
+	// from the snapshot and keeps serving — the upgrade aborts like a
+	// failed transaction instead of killing the whole class to the
+	// fallback. DefaultConfig enables it; a zero Config leaves upgrade
+	// faults fatal, matching the pre-transactional behaviour.
+	UpgradeRollback bool
 }
 
 // DefaultConfig returns the calibrated framework costs.
 func DefaultConfig() Config {
 	return Config{
-		CallOverhead:  110 * time.Nanosecond,
-		UpgradeBase:   600 * time.Nanosecond,
-		UpgradePerCPU: 115 * time.Nanosecond,
-		RandSeed:      0x5eed,
-		StarveWindow:  50 * time.Millisecond,
-		PntErrBudget:  5000,
+		CallOverhead:    110 * time.Nanosecond,
+		UpgradeBase:     600 * time.Nanosecond,
+		UpgradePerCPU:   115 * time.Nanosecond,
+		RandSeed:        0x5eed,
+		StarveWindow:    50 * time.Millisecond,
+		PntErrBudget:    5000,
+		UpgradeRollback: true,
 	}
 }
 
@@ -98,6 +108,12 @@ type Stats struct {
 	// cache-hostile.
 	XLLCMoves  uint64
 	XNodeMoves uint64
+	// HintsDelivered counts hint pushes that landed (ring accepted, or the
+	// synchronous parse_hint path); HintsDropped counts pushes lost to ring
+	// overflow. Delivered + dropped = attempts, so a workload can tell
+	// "module ignored my hints" from "my hints never arrived".
+	HintsDelivered uint64
+	HintsDropped   uint64
 	// Faults counts module kills (0 or 1 per adapter lifetime).
 	Faults uint64
 }
@@ -305,6 +321,19 @@ func (a *Adapter) dispatch(m *core.Message) {
 	if a.killed {
 		return
 	}
+	if fault := a.deliver(m); fault != nil {
+		a.trip(*fault, 0)
+	}
+}
+
+// deliver is dispatch's bookkeeping core: it performs the crossing (seq
+// stamp, panic containment, unregister completion, record) but hands a
+// contained fault back to the caller instead of tripping the kill path. The
+// upgrade commit flush uses this to roll the swap back when the new module
+// faults; everything else goes through dispatch, where a fault is fatal.
+// (finishUnregister can still trip internally on a queue lie — callers that
+// must not kill check a.killed after each delivery.)
+func (a *Adapter) deliver(m *core.Message) *core.ModuleFault {
 	m.Seq = a.seq
 	a.seq++
 	m.Now = int64(a.k.Now())
@@ -314,8 +343,7 @@ func (a *Adapter) dispatch(m *core.Message) {
 	fault := core.SafeDispatchTraced(a.sched, m, a.sink)
 	a.thread = prev
 	if fault != nil {
-		a.trip(*fault, 0)
-		return
+		return fault
 	}
 	switch m.Kind {
 	case core.MsgUnregisterQueue, core.MsgUnregisterRevQueue:
@@ -324,6 +352,7 @@ func (a *Adapter) dispatch(m *core.Message) {
 	if a.recorder != nil {
 		a.recorder.RecordMessage(m)
 	}
+	return nil
 }
 
 // defer1 queues a notification for delivery after an in-flight upgrade.

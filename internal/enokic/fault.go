@@ -77,8 +77,25 @@ func (a *Adapter) killModule() {
 	m.CPU, m.ErrCode, m.Count = a.fault.CPU, int(a.fault.Cause), n
 	a.record(m)
 	a.traceFaultEvent(trace.KindKill, a.fault.CPU, int64(n))
+	a.failPendingUpgrades()
 	if a.onFault != nil {
 		a.onFault(a.report)
+	}
+}
+
+// failPendingUpgrades drains the queued-upgrade list, firing each done
+// callback once with an ErrModuleKilled report. A caller that queued an
+// upgrade behind an in-flight one must learn the module died, not wait on a
+// callback that can never fire — the upgrade analogue of a cancelled
+// request. Idempotent: the drain empties the list, so a second kill-path
+// visitor finds nothing.
+func (a *Adapter) failPendingUpgrades() {
+	pend := a.pendingUpgrades
+	a.pendingUpgrades = nil
+	for _, p := range pend {
+		if p.done != nil {
+			p.done(UpgradeReport{Err: ErrModuleKilled})
+		}
 	}
 }
 

@@ -1,0 +1,74 @@
+package enokic
+
+import (
+	"testing"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/metrics"
+	"enoki/internal/sched/fifo"
+)
+
+// cloggedScheduler registers a hint queue but never drains it, so a
+// capacity-C ring overflows deterministically on push C+1 — the unit-level
+// stand-in for a module too busy (or too dead) to service its ring.
+type cloggedScheduler struct {
+	*fifo.Sched
+	queue *core.HintQueue
+}
+
+func (c *cloggedScheduler) RegisterQueue(q *core.HintQueue) int { c.queue = q; return 1 }
+func (c *cloggedScheduler) UnregisterQueue(id int) *core.HintQueue {
+	q := c.queue
+	c.queue = nil
+	return q
+}
+func (c *cloggedScheduler) EnterQueue(id, count int) {}
+
+// TestHintOverflowAccounting pins the per-class drop/deliver counters: ten
+// pushes into an undrained capacity-4 ring must report exactly 4 delivered
+// and 6 dropped, with Send's return value, Stats, and the metrics tap all
+// telling the same story.
+func TestHintOverflowAccounting(t *testing.T) {
+	k, a := newRig(t, func(env core.Env) core.Scheduler {
+		return &cloggedScheduler{Sched: fifo.New(env, policyEnoki)}
+	})
+	set := metrics.NewSet(k.NumCPUs())
+	a.SetMetrics(set)
+
+	uq := a.CreateHintQueue(4)
+	if uq == nil {
+		t.Fatal("queue registration failed")
+	}
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if uq.Send(i) {
+			accepted++
+		}
+	}
+	k.RunFor(time.Millisecond)
+
+	if accepted != 4 {
+		t.Errorf("Send accepted %d of 10 pushes into a capacity-4 ring, want 4", accepted)
+	}
+	st := a.Stats()
+	if st.HintsDelivered != 4 || st.HintsDropped != 6 {
+		t.Errorf("stats: delivered %d dropped %d, want 4/6", st.HintsDelivered, st.HintsDropped)
+	}
+	delivered, dropped := set.Class(policyEnoki).HintTotals()
+	if delivered != 4 || dropped != 6 {
+		t.Errorf("metrics: delivered %d dropped %d, want 4/6", delivered, dropped)
+	}
+	sum := set.Class(policyEnoki).Summarize()
+	if sum.HintsDelivered != 4 || sum.HintsDropped != 6 {
+		t.Errorf("summary: delivered %d dropped %d, want 4/6", sum.HintsDelivered, sum.HintsDropped)
+	}
+
+	// The synchronous parse_hint path has no ring: it can never drop, and it
+	// counts as delivered.
+	uq.SendSync("sync")
+	k.RunFor(time.Millisecond)
+	if st := a.Stats(); st.HintsDelivered != 5 || st.HintsDropped != 6 {
+		t.Errorf("after SendSync: delivered %d dropped %d, want 5/6", st.HintsDelivered, st.HintsDropped)
+	}
+}

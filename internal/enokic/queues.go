@@ -28,7 +28,27 @@ func (u *UserQueue) Send(h core.Hint) bool {
 		u.a.putMsg(m)
 	}
 	if !u.q.Push(h) {
+		// Overflow sheds the hint exactly as a full shared-memory ring
+		// would — but never silently: the drop is counted per class, tapped
+		// into metrics, and traced unsampled (drops are the overload signal).
+		u.a.stats.HintsDropped++
+		if u.a.met != nil {
+			u.a.met.CPU(-1).HintsDropped++
+		}
+		if u.a.tracer != nil {
+			u.a.tracer.EmitAlways(trace.Event{
+				Ts:     int64(u.a.k.Now()),
+				Kind:   trace.KindHintDrop,
+				CPU:    -1,
+				Policy: int32(u.a.policy),
+				Arg:    int64(u.id),
+			})
+		}
 		return false
+	}
+	u.a.stats.HintsDelivered++
+	if u.a.met != nil {
+		u.a.met.CPU(-1).HintsDelivered++
 	}
 	if u.a.tracer != nil {
 		u.a.tracer.Emit(trace.Event{
@@ -48,8 +68,13 @@ func (u *UserQueue) Send(h core.Hint) bool {
 }
 
 // SendSync delivers a hint through the synchronous parse_hint path (it too
-// waits out an in-flight upgrade).
+// waits out an in-flight upgrade). The path has no ring, so it counts as
+// delivered and can never drop.
 func (u *UserQueue) SendSync(h core.Hint) {
+	u.a.stats.HintsDelivered++
+	if u.a.met != nil {
+		u.a.met.CPU(-1).HintsDelivered++
+	}
 	m := u.a.getMsg()
 	m.Kind, m.Thread, m.Hint = core.MsgParseHint, -1, h
 	u.a.notify(m)

@@ -1,6 +1,7 @@
 package enokic
 
 import (
+	"fmt"
 	"time"
 
 	"enoki/internal/core"
@@ -16,8 +17,23 @@ type UpgradeReport struct {
 	// swap, the actual Go work of the upgrade.
 	WallSwap time.Duration
 	// DeferredDelivered is how many notifications queued up behind the
-	// write lock and were delivered to the new module afterwards.
+	// write lock and were delivered to the module that ended up running —
+	// the new one on success, the restored old one after a rollback.
 	DeferredDelivered int
+	// RolledBack reports that the new module faulted during the swap and
+	// the framework restored the old module from its pre-transfer snapshot
+	// (Config.UpgradeRollback) — the class kept running the old version
+	// and no task was lost.
+	RolledBack bool
+	// Fault is the contained module failure that aborted the swap: set on
+	// rollback and on fatal aborts, nil on a clean upgrade.
+	Fault *core.ModuleFault
+	// Err is the terminal outcome: nil while the module is still serving
+	// (clean upgrade or rollback), ErrModuleKilled when the upgrade died
+	// with the module — killed mid-blackout, an unrecoverable fault in the
+	// old module's prepare, a swap fault with rollback disabled, or a
+	// queued upgrade orphaned by a kill.
+	Err error
 }
 
 // pendingUpgrade is an upgrade requested while another was in flight; it
@@ -34,16 +50,24 @@ type pendingUpgrade struct {
 // UpgradePerCPU×cores of blackout), state transfers, the dispatch pointer
 // swaps, and deferred calls proceed against the new module.
 //
+// With Config.UpgradeRollback (the default) the swap is transactional: the
+// pre-transfer snapshot doubles as an undo log, and a new module that
+// panics while being built, initialised, or fed the deferred backlog is
+// discarded — the old module is restored from the snapshot, the backlog is
+// redelivered to it, and done reports RolledBack with the contained fault.
+// Only a fault in the old module's own prepare (nothing healthy left to
+// restore) or a mid-swap kill remains fatal.
+//
 // An Upgrade requested while another is in flight queues behind it — the
 // write lock serialises upgraders the same way it serialises them against
 // schedule operations — and runs (with its own blackout and done callback)
-// once the earlier swap completes. Upgrading a module the fault layer has
-// killed is a no-op: there is nothing left to swap, and done never fires.
+// once the earlier swap completes. If the module is killed while upgrades
+// are queued, each queued done fires once with Err = ErrModuleKilled.
 //
 // Upgrade must be called from simulation context (inside an event or before
-// Run); done fires when the upgrade completes. It returns ErrModuleKilled
-// when the fault layer has already killed the module (done never fires);
-// a queued or started upgrade returns nil.
+// Run); done fires when the upgrade completes or dies. It returns
+// ErrModuleKilled when the fault layer has already killed the module (done
+// never fires); a queued or started upgrade returns nil.
 func (a *Adapter) Upgrade(factory func(core.Env) core.Scheduler, done func(UpgradeReport)) error {
 	if a.killed {
 		return ErrModuleKilled
@@ -60,54 +84,228 @@ func (a *Adapter) startUpgrade(factory func(core.Env) core.Scheduler, done func(
 	a.upgrading = true
 	a.stats.Upgrades++
 	blackout := a.cfg.UpgradeBase + time.Duration(a.k.NumCPUs())*a.cfg.UpgradePerCPU
-	a.k.Engine().After(blackout, func() {
-		if a.killed {
-			// The module died during the blackout; the swap is moot and
-			// any queued upgraders die with it.
-			a.upgrading = false
-			a.pendingUpgrades = nil
-			return
-		}
-		wallStart := time.Now()
-		out := a.sched.ReregisterPrepare()
-		next := factory(a.env)
-		if next.GetPolicy() != a.policy {
-			panic("enokic: upgraded module changed policy id")
-		}
-		var in *core.TransferIn
-		if out != nil {
-			in = &core.TransferIn{State: out.State}
-		}
-		next.ReregisterInit(in)
-		a.sched = next
-		wall := time.Since(wallStart)
+	a.k.Engine().After(blackout, func() { a.finishUpgrade(factory, done, blackout) })
+}
 
+// transferIn converts a prepare snapshot into the init argument.
+func transferIn(out *core.TransferOut) *core.TransferIn {
+	if out == nil {
+		return nil
+	}
+	return &core.TransferIn{State: out.State}
+}
+
+// finishUpgrade runs at the end of the blackout: snapshot, build, commit.
+// Every module crossing is panic-contained; which phase faulted decides
+// whether the transaction can roll back.
+func (a *Adapter) finishUpgrade(factory func(core.Env) core.Scheduler, done func(UpgradeReport), blackout time.Duration) {
+	if a.killed {
+		// The module died during the blackout: the swap is moot. killModule
+		// already failed any queued upgraders; the in-flight one learns the
+		// same way instead of silently never completing.
 		a.upgrading = false
-		queued := a.deferred
-		a.deferred = nil
-		for _, m := range queued {
-			a.dispatch(m)
-			a.putMsg(m)
+		if done != nil {
+			done(UpgradeReport{Blackout: blackout, Err: ErrModuleKilled})
 		}
-		for i := range a.kickPending {
-			a.kickPending[i] = false
+		return
+	}
+	wallStart := time.Now()
+	old := a.sched
+
+	// Phase 1 — snapshot. The old module exports its state; the snapshot is
+	// both the transfer payload and the rollback undo log. A panic here
+	// means the OLD version is already broken — there is no healthy module
+	// to restore — so the fault layer takes over.
+	var out *core.TransferOut
+	if fault := core.SafeCall(func() { out = old.ReregisterPrepare() }); fault != nil {
+		a.failUpgrade(done, UpgradeReport{
+			Blackout: blackout, WallSwap: time.Since(wallStart), Fault: fault,
+		}, fault)
+		return
+	}
+
+	// Phase 2 — build and initialise the NEW module. Faults here (factory
+	// or init panic, policy lie) are the new version's bugs: with rollback
+	// enabled the old module is restored from the snapshot and keeps
+	// serving, so a bad upgrade is an aborted transaction, not an outage.
+	var next core.Scheduler
+	fault := core.SafeCall(func() {
+		next = factory(a.env)
+		if got := next.GetPolicy(); got != a.policy {
+			panic(fmt.Sprintf("enokic: upgraded module changed policy id (%d, loaded under %d)", got, a.policy))
 		}
-		for i := 0; i < a.k.NumCPUs(); i++ {
-			a.k.Resched(i)
-		}
+		next.ReregisterInit(transferIn(out))
+	})
+	if fault != nil {
+		a.abortSwap(old, out, nil, done, blackout, fault, wallStart)
+		return
+	}
+
+	// Phase 3 — commit: swap the dispatch pointer and flush the deferred
+	// backlog into the new module. A fault mid-flush also rolls back; the
+	// snapshot predates every deferred message, so the restored old module
+	// must see the WHOLE backlog again — nothing is lost, nothing applied
+	// to a module that survives.
+	a.sched = next
+	a.upgrading = false
+	queued := a.deferred
+	a.deferred = nil
+	flushed, flushFault := a.flushDeferred(queued)
+	if a.killed {
+		// A queue lie inside the flush tripped the kill path: the module is
+		// gone regardless of which version lied, nothing to roll back.
+		a.recycleDeferred(queued)
 		if done != nil {
 			done(UpgradeReport{
-				Blackout:          blackout,
-				WallSwap:          wall,
-				DeferredDelivered: len(queued),
+				Blackout: blackout, WallSwap: time.Since(wallStart),
+				DeferredDelivered: flushed, Fault: flushFault, Err: ErrModuleKilled,
 			})
 		}
-		if len(a.pendingUpgrades) > 0 && !a.killed {
-			nextUp := a.pendingUpgrades[0]
-			a.pendingUpgrades = a.pendingUpgrades[1:]
-			a.startUpgrade(nextUp.factory, nextUp.done)
-		}
+		return
+	}
+	if flushFault != nil {
+		a.abortSwap(old, out, queued, done, blackout, flushFault, wallStart)
+		return
+	}
+	a.recycleDeferred(queued)
+	a.settleUpgrade(done, UpgradeReport{
+		Blackout: blackout, WallSwap: time.Since(wallStart),
+		DeferredDelivered: flushed,
 	})
+}
+
+// abortSwap rolls a faulted swap back to the old module — or, with rollback
+// disabled or impossible, escalates to the kill path. redeliver is the
+// deferred backlog to replay against the restored module (nil when the fault
+// predates the commit flush, in which case a.deferred still holds it).
+func (a *Adapter) abortSwap(old core.Scheduler, out *core.TransferOut, redeliver []*core.Message, done func(UpgradeReport), blackout time.Duration, fault *core.ModuleFault, wallStart time.Time) {
+	report := UpgradeReport{Blackout: blackout, Fault: fault}
+	if !a.cfg.UpgradeRollback {
+		a.recycleDeferred(redeliver)
+		report.WallSwap = time.Since(wallStart)
+		a.failUpgrade(done, report, fault)
+		return
+	}
+	// Restore the old module from the snapshot. Its own init panicking on
+	// state it exported moments ago means the old version is broken too —
+	// then the kill is unavoidable.
+	if rf := core.SafeCall(func() { old.ReregisterInit(transferIn(out)) }); rf != nil {
+		a.recycleDeferred(redeliver)
+		report.WallSwap = time.Since(wallStart)
+		a.failUpgrade(done, report, rf)
+		return
+	}
+	a.sched = old
+	a.upgrading = false
+	if redeliver == nil {
+		redeliver = a.deferred
+		a.deferred = nil
+	}
+	flushed, rf := a.flushDeferred(redeliver)
+	a.recycleDeferred(redeliver)
+	if rf != nil {
+		// The restored old module faulted on messages it was always going
+		// to receive: not an upgrade problem, a dead module.
+		report.WallSwap = time.Since(wallStart)
+		report.DeferredDelivered = flushed
+		a.failUpgrade(done, report, rf)
+		return
+	}
+	if a.killed { // queue lie during redelivery
+		report.WallSwap = time.Since(wallStart)
+		report.DeferredDelivered = flushed
+		report.Err = ErrModuleKilled
+		if done != nil {
+			done(report)
+		}
+		return
+	}
+	report.WallSwap = time.Since(wallStart)
+	report.DeferredDelivered = flushed
+	report.RolledBack = true
+	a.settleUpgrade(done, report)
+}
+
+// failUpgrade is the fatal exit: trip the fault layer (idempotent) and tell
+// the requester the upgrade died with the module.
+func (a *Adapter) failUpgrade(done func(UpgradeReport), report UpgradeReport, fault *core.ModuleFault) {
+	a.upgrading = false
+	a.trip(*fault, 0)
+	report.Err = ErrModuleKilled
+	if done != nil {
+		done(report)
+	}
+}
+
+// flushDeferred delivers the queued backlog to the current module, stopping
+// at the first contained fault or mid-flush kill. Messages are NOT recycled
+// here: the caller owns them until the transaction resolves, because a
+// rollback redelivers the very same backlog (live Schedulable tokens still
+// attached) to the restored module.
+//
+// Messages whose proof token was superseded while they waited out the
+// blackout are dropped, not delivered: a task can be preempted, migrated,
+// and woken again all inside one blackout, and each crossing issues a fresh
+// generation. Only the last message per task carries the live proof —
+// delivering the earlier ones would plant queue entries the module can never
+// redeem (every pick of one costs a pick error and modules legitimately
+// re-push errored tokens, so a single zombie entry loops until the budget
+// kills an otherwise healthy module).
+func (a *Adapter) flushDeferred(queued []*core.Message) (int, *core.ModuleFault) {
+	delivered := 0
+	for _, m := range queued {
+		if a.killed {
+			return delivered, nil
+		}
+		if a.superseded(m) {
+			continue
+		}
+		if f := a.deliver(m); f != nil {
+			return delivered, f
+		}
+		delivered++
+	}
+	return delivered, nil
+}
+
+// superseded reports whether a deferred message's attached token was
+// invalidated (task gone, or generation reissued) while it sat behind the
+// upgrade blackout. Token-less notifications are never superseded: their
+// ordering carries the state.
+func (a *Adapter) superseded(m *core.Message) bool {
+	tok := m.AttachedSched()
+	if tok == nil {
+		return false
+	}
+	ti := a.info[tok.PID()]
+	return ti == nil || tok.Gen() != ti.gen
+}
+
+// recycleDeferred returns a resolved backlog to the message pool.
+func (a *Adapter) recycleDeferred(queued []*core.Message) {
+	for _, m := range queued {
+		a.putMsg(m)
+	}
+}
+
+// settleUpgrade completes a transaction that left a live module serving
+// (clean swap or rollback): wake every CPU out of the blackout, report, and
+// start the next queued upgrade.
+func (a *Adapter) settleUpgrade(done func(UpgradeReport), report UpgradeReport) {
+	for i := range a.kickPending {
+		a.kickPending[i] = false
+	}
+	for i := 0; i < a.k.NumCPUs(); i++ {
+		a.k.Resched(i)
+	}
+	if done != nil {
+		done(report)
+	}
+	if len(a.pendingUpgrades) > 0 && !a.killed {
+		nextUp := a.pendingUpgrades[0]
+		a.pendingUpgrades = a.pendingUpgrades[1:]
+		a.startUpgrade(nextUp.factory, nextUp.done)
+	}
 }
 
 // kickAfterUpgrade notes that cpu asked for work during the blackout; the

@@ -22,6 +22,21 @@ func TestScheduleOpTracedZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestScheduleOpChaosIdleZeroAlloc is the allocation ratchet for the chaos
+// engine's kernel fault hooks: with the injector installed but every fault
+// window disarmed — how a chaos run spends almost all of its virtual time —
+// the window checks on the kick and resched-timer paths must add nothing to
+// the schedule round trip.
+func TestScheduleOpChaosIdleZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed; skipped in -short")
+	}
+	r := testing.Benchmark(bench.ScheduleOpChaosIdle)
+	if allocs := r.AllocsPerOp(); allocs != 0 {
+		t.Errorf("ScheduleOp with disarmed fault hooks: %d allocs/op, want 0", allocs)
+	}
+}
+
 // TestWakeBurstZeroAlloc is the allocation ratchet for the batched
 // cross-CPU message path: a 16-wake burst on the two-socket Machine80 —
 // per-target IPI coalescing, cross-socket delivery, idle exits — must

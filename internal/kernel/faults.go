@@ -1,0 +1,21 @@
+package kernel
+
+import "enoki/internal/core"
+
+// Kernel-plane fault injection. The kernel itself knows nothing about fault
+// schedules: it exposes two interception points — kick delivery (the
+// simulation's resched/wake IPI) and reschedule-timer arming — behind a nil
+// interface. internal/chaos installs an implementation to model IPI
+// drop/delay/duplication and timer skew; everything else runs with the field
+// nil and pays one pointer test per site (see the ScheduleOpFaultHooks alloc
+// ratchet, which pins both the nil and the installed-but-quiet case at
+// 0 allocs/op).
+
+// SetFaultInjector installs (or removes, with nil) the kernel-plane fault
+// hook. The injector sees every delivered kick — batched flushes included,
+// each exactly once — and every ArmResched. It must be deterministic and
+// allocation-free; see core.KernelFaultInjector for the full contract.
+func (k *Kernel) SetFaultInjector(f core.KernelFaultInjector) { k.finj = f }
+
+// FaultInjector returns the installed kernel-plane fault hook, or nil.
+func (k *Kernel) FaultInjector() core.KernelFaultInjector { return k.finj }

@@ -48,6 +48,14 @@ type CPU struct {
 	busy        time.Duration
 	pendingCost time.Duration
 	switches    uint64
+
+	// inPick marks that this CPU is inside its own schedule pass; a slice
+	// timer armed for it during the pass (a class arming its quantum from
+	// PickNext) is deferred into pickTimer and armed relative to when the
+	// picked task actually starts running, so schedule-pass overhead never
+	// eats the quantum. pickTimer -1 means no deferred arm.
+	inPick    bool
+	pickTimer time.Duration
 }
 
 // ID returns the CPU index.
@@ -73,6 +81,10 @@ type Kernel struct {
 	tracer *trace.Tracer
 	met    *metrics.Set
 
+	// finj is the optional kernel-plane fault hook (faults.go): nil in
+	// normal operation, so the kick and timer paths pay one pointer test.
+	finj core.KernelFaultInjector
+
 	// Batched cross-CPU signal path: while a batch window is open (multi-
 	// task wake bursts), kicks destined for other CPUs are coalesced per
 	// target — pending flag, minimum delay, arrival order — and drained in
@@ -85,8 +97,8 @@ type Kernel struct {
 	// unbatched wake kicks are still counted as sent IPIs.
 	ipiWindow bool
 	ipiPend   []bool
-	ipiDelay   []time.Duration
-	ipiOrder   []int
+	ipiDelay  []time.Duration
+	ipiOrder  []int
 
 	// CtxSwitches counts context switches machine-wide.
 	CtxSwitches uint64
@@ -394,9 +406,28 @@ func (k *Kernel) Resched(cpu int) {
 // ArmResched arms (or re-arms) cpu's high-resolution reschedule timer d from
 // now, cancelling any previously armed timer. The arming cost is charged to
 // the CPU.
+//
+// When the arm comes from inside cpu's own schedule pass (a class arming its
+// preemption quantum during PickNext), d is measured from when the picked
+// task starts executing, not from mid-pass: the pass's accumulated overhead
+// is added before the timer is armed. Without that offset a quantum shorter
+// than the pass overhead (e.g. Shinjuku's 10 µs slice under record-mode
+// per-call costs) fires before the task has run at all, and every pick
+// preempts into the next — a round-robin livelock with zero progress.
 func (k *Kernel) ArmResched(cpu int, d time.Duration) {
 	c := k.cpus[cpu]
 	c.pendingCost += k.costs.TimerArm
+	if k.finj != nil {
+		if d = k.finj.SkewTimer(cpu, d); d < 0 {
+			d = 0
+		}
+	}
+	if c.inPick {
+		// Deferred: schedule() arms it once the pass overhead is known.
+		// Re-arms supersede, matching RescheduleAfter semantics.
+		c.pickTimer = d
+		return
+	}
 	// Reschedule moves an already-armed timer in place (the old arm is
 	// superseded, matching the previous cancel + re-create semantics).
 	k.eng.RescheduleAfter(c.reschedTimer, d)
@@ -467,6 +498,17 @@ func (k *Kernel) kick(cpu int, delay time.Duration) {
 		// Unbatched wake-burst kick: counted here so the batching ablation
 		// compares like with like (flushBatch counts the batched ones).
 		k.IPIsSent++
+	}
+	if k.finj != nil {
+		// Fault hook: every delivered kick (batched flushes arrive here with
+		// the window closed, so each is intercepted exactly once). Drops are
+		// modelled as recovery-bounded delays; duplicates bypass the idle-
+		// exit gate below — a spurious schedule pass is a no-op by design.
+		fate := k.finj.InterceptKick(cpu, delay)
+		delay += fate.Delay
+		if fate.Duplicate {
+			k.eng.Post(delay+fate.DupDelay, k.cpus[cpu].kickFn)
+		}
 	}
 	c := k.cpus[cpu]
 	now := k.eng.Now()
@@ -544,6 +586,7 @@ func (k *Kernel) schedule(cpu int) {
 		return
 	}
 	c.needResched = false
+	c.inPick, c.pickTimer = true, -1
 
 	oh := k.costs.SchedBase + c.pendingCost
 	c.pendingCost = 0
@@ -577,8 +620,12 @@ func (k *Kernel) schedule(cpu int) {
 	// migration) delay this schedule pass.
 	oh += c.pendingCost
 	c.pendingCost = 0
+	c.inPick = false
 	if next == nil {
 		c.busy += oh
+		if c.pickTimer >= 0 {
+			k.eng.RescheduleAfter(c.reschedTimer, oh+c.pickTimer)
+		}
 		if !c.wasIdle {
 			c.wasIdle = true
 			c.idleSince = k.eng.Now()
@@ -593,6 +640,10 @@ func (k *Kernel) schedule(cpu int) {
 		k.CtxSwitches++
 	}
 	c.busy += oh
+	if c.pickTimer >= 0 {
+		// The quantum starts when the task does (execStart = now + oh).
+		k.eng.RescheduleAfter(c.reschedTimer, oh+c.pickTimer)
+	}
 	c.curr = next
 	next.state = StateRunning
 	next.cpu = cpu

@@ -14,6 +14,8 @@ func BenchmarkScheduleOp(b *testing.B) { bench.ScheduleOp(b) }
 
 func BenchmarkScheduleOpTraced(b *testing.B) { bench.ScheduleOpTraced(b) }
 
+func BenchmarkScheduleOpChaosIdle(b *testing.B) { bench.ScheduleOpChaosIdle(b) }
+
 func BenchmarkWakeBurst(b *testing.B) { bench.WakeBurst(b) }
 
 func BenchmarkSpawnExit(b *testing.B) { bench.SpawnExit(b) }

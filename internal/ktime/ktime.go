@@ -59,6 +59,16 @@ func NewRand(seed uint64) *Rand {
 	return &Rand{state: seed}
 }
 
+// Split derives an independent child generator from r's stream, advancing r
+// by one draw. SplitMix64 is splittable by construction: seeding a fresh
+// generator from one output (re-mixed with the golden-gamma increment) yields
+// a stream statistically independent of the parent's. Chaos campaigns use
+// this to hand every fault plane, workload, and run its own deterministic
+// stream, so enabling one plane never perturbs the draws of another.
+func (r *Rand) Split() *Rand {
+	return NewRand(r.Uint64() ^ 0x9e3779b97f4a7c15)
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -35,6 +35,13 @@ type CPUMetrics struct {
 	Picks uint64
 	// Faults counts crossings that tripped the fault layer.
 	Faults uint64
+	// HintsDelivered counts hint pushes that landed in the class's hint
+	// rings; HintsDropped counts pushes lost to ring overflow. Hint pushes
+	// come from user context, so in practice both accumulate in the
+	// unattributed slot — but keeping them per-slot preserves the
+	// no-bounds-branch recording path.
+	HintsDelivered uint64
+	HintsDropped   uint64
 }
 
 // ClassMetrics is one scheduler class's per-CPU metric set. The perCPU slice
@@ -88,37 +95,55 @@ func (c *ClassMetrics) Totals() (crossings, picks, faults uint64) {
 	return
 }
 
+// HintTotals sums the hint-accounting counters across CPUs: how many hint
+// pushes the class's rings accepted and how many overflowed. Delivered plus
+// dropped equals the number of Send attempts, so overload is observable
+// instead of silently shedding.
+func (c *ClassMetrics) HintTotals() (delivered, dropped uint64) {
+	for i := range c.perCPU {
+		m := &c.perCPU[i]
+		delivered += m.HintsDelivered
+		dropped += m.HintsDropped
+	}
+	return
+}
+
 // ClassSummary is the JSON-facing digest of one class's metrics, histograms
 // merged across CPUs.
 type ClassSummary struct {
-	Policy      int           `json:"policy"`
-	Name        string        `json:"name"`
-	Crossings   uint64        `json:"crossings"`
-	Picks       uint64        `json:"picks"`
-	Faults      uint64        `json:"faults"`
-	DispatchLat stats.Summary `json:"dispatch_lat_ns"`
-	PickWait    stats.Summary `json:"pick_wait_ns"`
-	WakeToRun   stats.Summary `json:"wake_to_run_ns"`
-	QueueDepth  stats.Summary `json:"queue_depth"`
+	Policy         int           `json:"policy"`
+	Name           string        `json:"name"`
+	Crossings      uint64        `json:"crossings"`
+	Picks          uint64        `json:"picks"`
+	Faults         uint64        `json:"faults"`
+	HintsDelivered uint64        `json:"hints_delivered"`
+	HintsDropped   uint64        `json:"hints_dropped"`
+	DispatchLat    stats.Summary `json:"dispatch_lat_ns"`
+	PickWait       stats.Summary `json:"pick_wait_ns"`
+	WakeToRun      stats.Summary `json:"wake_to_run_ns"`
+	QueueDepth     stats.Summary `json:"queue_depth"`
 }
 
 // Summarize reduces the class to its digest.
 func (c *ClassMetrics) Summarize() ClassSummary {
 	crossings, picks, faults := c.Totals()
+	delivered, dropped := c.HintTotals()
 	dl := c.merged(func(m *CPUMetrics) *stats.LogHist { return &m.DispatchLat })
 	pw := c.merged(func(m *CPUMetrics) *stats.LogHist { return &m.PickWait })
 	wr := c.merged(func(m *CPUMetrics) *stats.LogHist { return &m.WakeToRun })
 	qd := c.merged(func(m *CPUMetrics) *stats.LogHist { return &m.QueueDepth })
 	return ClassSummary{
-		Policy:      c.Policy,
-		Name:        c.Name,
-		Crossings:   crossings,
-		Picks:       picks,
-		Faults:      faults,
-		DispatchLat: dl.Summarize(),
-		PickWait:    pw.Summarize(),
-		WakeToRun:   wr.Summarize(),
-		QueueDepth:  qd.Summarize(),
+		Policy:         c.Policy,
+		Name:           c.Name,
+		Crossings:      crossings,
+		Picks:          picks,
+		Faults:         faults,
+		HintsDelivered: delivered,
+		HintsDropped:   dropped,
+		DispatchLat:    dl.Summarize(),
+		PickWait:       pw.Summarize(),
+		WakeToRun:      wr.Summarize(),
+		QueueDepth:     qd.Summarize(),
 	}
 }
 
@@ -191,12 +216,13 @@ func (s *Set) Summaries() []ClassSummary {
 // Table renders the digests as an aligned text table for CLI output.
 func (s *Set) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %10s %10s %8s %14s %14s %14s %10s\n",
-		"class", "crossings", "picks", "faults",
+	fmt.Fprintf(&b, "%-12s %10s %10s %8s %10s %9s %14s %14s %14s %10s\n",
+		"class", "crossings", "picks", "faults", "hints", "hintdrop",
 		"dispatch p50", "pickwait p50", "wake2run p50", "depth p90")
 	for _, cs := range s.Summaries() {
-		fmt.Fprintf(&b, "%-12s %10d %10d %8d %12dns %12dns %12dns %10d\n",
+		fmt.Fprintf(&b, "%-12s %10d %10d %8d %10d %9d %12dns %12dns %12dns %10d\n",
 			cs.Name, cs.Crossings, cs.Picks, cs.Faults,
+			cs.HintsDelivered, cs.HintsDropped,
 			cs.DispatchLat.P50, cs.PickWait.P50, cs.WakeToRun.P50,
 			cs.QueueDepth.P90)
 	}

@@ -1,0 +1,124 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/enokic"
+	"enoki/internal/kernel"
+	"enoki/internal/record"
+	"enoki/internal/schedtest"
+)
+
+// rehomeRun executes one kill-under-maximum-load scenario and returns its
+// observables: a module is upgraded with a deliberately wide blackout while
+// every CPU is running one pinned task and holding more queued behind it,
+// then killed mid-blackout by a task departing through an injected
+// task_departed panic. The fault layer must rehome every task to CFS with
+// none lost and none double-enqueued, the in-flight upgrade must resolve
+// with ErrModuleKilled, and the whole run must be deterministic — the
+// returned record log is compared byte for byte across repeats.
+func rehomeRun(t *testing.T) (completed int, report enokic.UpgradeReport, resolved bool, violations []Violation, log []byte) {
+	t.Helper()
+	var wfqCase Case
+	for _, c := range Cases() {
+		if c.Name == "wfq" {
+			wfqCase = c
+		}
+	}
+	cfg := enokic.DefaultConfig()
+	// Stretch the blackout from ~1.5µs to >5ms so the kill lands squarely
+	// inside it, with queued work piling up behind the write lock.
+	cfg.UpgradeBase = 5 * time.Millisecond
+
+	inj := &schedtest.Injector{PanicSite: core.MsgTaskDeparted}
+	r := NewRig(wfqCase, cfg, func(m core.Scheduler) core.Scheduler {
+		inj.Scheduler = m
+		return inj
+	})
+	k := r.K
+
+	var buf bytes.Buffer
+	rec := record.New(k, &buf, PolicyCFS, record.DefaultCosts())
+	r.Adapter.SetRecorder(rec)
+
+	ch := StartChecker(r, 250*time.Microsecond)
+
+	// Three pinned tasks per CPU: one running, two queued — every CPU has
+	// work in flight when the kill hits.
+	ncpu := k.NumCPUs()
+	var victim *kernel.Task
+	for cpu := 0; cpu < ncpu; cpu++ {
+		for j := 0; j < 3; j++ {
+			task := k.Spawn(fmt.Sprintf("p%d.%d", cpu, j), PolicyTest,
+				Loop(8, time.Millisecond, kernel.OpContinue, 0),
+				kernel.WithAffinity(kernel.SingleCPU(cpu)),
+				kernel.WithExitObserver(func() { completed++ }))
+			if victim == nil {
+				victim = task
+			}
+		}
+	}
+
+	k.Engine().After(2*time.Millisecond, func() {
+		r.Adapter.Upgrade(func(env core.Env) core.Scheduler {
+			return wfqCase.NewModule(env, ncpu)
+		}, func(rep enokic.UpgradeReport) { report = rep; resolved = true })
+	})
+	// 1ms into the 5ms blackout: move the victim to CFS. Detach needs a
+	// synchronous task_departed reply, the injector panics inside it, and
+	// the module dies mid-upgrade with every CPU loaded.
+	k.Engine().After(3*time.Millisecond, func() {
+		k.SetScheduler(victim, PolicyCFS)
+	})
+
+	k.RunFor(500 * time.Millisecond)
+	ch.Stop()
+
+	if !r.Adapter.Killed() {
+		t.Fatal("module survived the injected task_departed panic")
+	}
+	// Closing the recorder lets its drain task exit on the next poll; after
+	// that the kernel table must be fully drained.
+	rec.Close()
+	k.RunFor(5 * time.Millisecond)
+	if k.NumTasks() != 0 {
+		t.Fatalf("task table leaked %d entries", k.NumTasks())
+	}
+	return completed, report, resolved, append([]Violation(nil), ch.Violations...), buf.Bytes()
+}
+
+func TestRehomeUnderLoadDuringUpgrade(t *testing.T) {
+	completed, report, resolved, violations, log := rehomeRun(t)
+
+	if completed != 24 {
+		t.Errorf("lost tasks: %d/24 completed under CFS after the kill", completed)
+	}
+	for _, v := range violations {
+		t.Errorf("invariant violation (double-run/state breach): %v", v)
+	}
+	if !resolved {
+		t.Fatal("in-flight upgrade never resolved after the kill")
+	}
+	if report.Err != enokic.ErrModuleKilled {
+		t.Errorf("upgrade resolved with %v, want ErrModuleKilled", report.Err)
+	}
+	if report.RolledBack {
+		t.Error("a mid-blackout kill has nothing to roll back to")
+	}
+	if _, err := record.Load(bytes.NewReader(log)); err != nil {
+		t.Errorf("record log not decodable after kill: %v", err)
+	}
+
+	// Same scenario, bit-for-bit: the record log is the determinism witness.
+	completed2, _, _, _, log2 := rehomeRun(t)
+	if completed2 != completed {
+		t.Errorf("repeat run completed %d tasks, first run %d", completed2, completed)
+	}
+	if !bytes.Equal(log, log2) {
+		t.Errorf("record logs differ across identical runs: %d vs %d bytes", len(log), len(log2))
+	}
+}

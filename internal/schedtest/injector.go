@@ -1,0 +1,214 @@
+package schedtest
+
+import (
+	"fmt"
+	"time"
+
+	"enoki/internal/core"
+)
+
+// Injector is the generic fault wrapper the chaos engine drives: where the
+// single-fault wrappers above each sabotage one hard-coded site, an Injector
+// composes panic, stall, and forge faults from a schedule — any trait
+// function, any call count, any virtual-time window. Like the single-fault
+// wrappers it is strictly deterministic: every trigger is a call count or a
+// virtual timestamp, never a host clock or random draw, so a failing fault
+// schedule replays bit-for-bit from its seed.
+//
+// The zero value (plus an inner Scheduler) injects nothing and forwards
+// every call, which is what lets a chaos campaign wrap every module
+// unconditionally and arm only the faults the schedule names.
+type Injector struct {
+	core.Scheduler
+
+	// Clock supplies virtual time for window-triggered faults (the stall
+	// plane). The chaos rig wires it to the engine's clock; leaving it nil
+	// disables time-windowed faults.
+	Clock func() int64
+
+	// PanicSite arms a panic inside the named trait call (a core.Msg* kind)
+	// once PanicAt earlier calls of that kind have completed — PanicAt 0
+	// panics on the first call. MsgInvalid (the zero value) disarms.
+	PanicSite core.Kind
+	PanicAt   int
+	// PanicInInit makes ReregisterInit panic: the transfer-time fault of a
+	// broken new module version, which the transactional upgrade path must
+	// roll back from rather than kill through.
+	PanicInInit bool
+
+	// StallFrom/StallUntil bound a virtual-time window (ns) during which
+	// every pick returns nil while the module still holds tasks — the
+	// quiet starvation the watchdog must catch. StallUntil 0 makes the
+	// stall permanent; both 0 disarms.
+	StallFrom  int64
+	StallUntil int64
+
+	// ForgeFrom/ForgeCount corrupt up to ForgeCount returned Schedulables
+	// starting at pick number ForgeFrom (1-based), fabricating generations
+	// the proof validation must reject. ForgeCount 0 disarms.
+	ForgeFrom  int
+	ForgeCount int
+
+	calls  [core.MsgModuleFault + 1]int
+	picks  int
+	forged int
+}
+
+// enter counts one call of kind and fires the armed panic when its turn
+// comes. The panic value is a fixed, schedule-derived string so the fault
+// report is as deterministic as the trigger.
+func (i *Injector) enter(kind core.Kind) {
+	n := i.calls[kind]
+	i.calls[kind] = n + 1
+	if i.PanicSite == kind && i.PanicSite != core.MsgInvalid && n >= i.PanicAt {
+		panic(fmt.Sprintf("schedtest: injected panic in %v (call %d)", kind, n))
+	}
+}
+
+// stalled reports whether virtual time is inside the stall window.
+func (i *Injector) stalled() bool {
+	if i.Clock == nil || (i.StallFrom == 0 && i.StallUntil == 0) {
+		return false
+	}
+	now := i.Clock()
+	return now >= i.StallFrom && (i.StallUntil == 0 || now < i.StallUntil)
+}
+
+// PickNextTask implements core.Scheduler: the site where panic, stall, and
+// forge planes all act.
+func (i *Injector) PickNextTask(cpu int, curr *core.Schedulable, rt time.Duration) *core.Schedulable {
+	i.enter(core.MsgPickNextTask)
+	if i.stalled() {
+		return nil
+	}
+	tok := i.Scheduler.PickNextTask(cpu, curr, rt)
+	i.picks++
+	if tok != nil && i.ForgeCount > 0 && i.picks >= i.ForgeFrom && i.forged < i.ForgeCount {
+		i.forged++
+		return core.NewSchedulable(tok.PID(), tok.CPU(), tok.Gen()+1000)
+	}
+	return tok
+}
+
+// PntErr implements core.Scheduler.
+func (i *Injector) PntErr(cpu int, pid int, err core.PickError, sched *core.Schedulable) {
+	i.enter(core.MsgPntErr)
+	i.Scheduler.PntErr(cpu, pid, err, sched)
+}
+
+// TaskDead implements core.Scheduler.
+func (i *Injector) TaskDead(pid int) {
+	i.enter(core.MsgTaskDead)
+	i.Scheduler.TaskDead(pid)
+}
+
+// TaskBlocked implements core.Scheduler.
+func (i *Injector) TaskBlocked(pid int, rt time.Duration, cpu int) {
+	i.enter(core.MsgTaskBlocked)
+	i.Scheduler.TaskBlocked(pid, rt, cpu)
+}
+
+// TaskWakeup implements core.Scheduler.
+func (i *Injector) TaskWakeup(pid int, rt time.Duration, deferrable bool, lastCPU, wakeCPU int, sched *core.Schedulable) {
+	i.enter(core.MsgTaskWakeup)
+	i.Scheduler.TaskWakeup(pid, rt, deferrable, lastCPU, wakeCPU, sched)
+}
+
+// TaskNew implements core.Scheduler.
+func (i *Injector) TaskNew(pid int, rt time.Duration, runnable bool, allowed []int, sched *core.Schedulable) {
+	i.enter(core.MsgTaskNew)
+	i.Scheduler.TaskNew(pid, rt, runnable, allowed, sched)
+}
+
+// TaskPreempt implements core.Scheduler.
+func (i *Injector) TaskPreempt(pid int, rt time.Duration, cpu int, preempted bool, sched *core.Schedulable) {
+	i.enter(core.MsgTaskPreempt)
+	i.Scheduler.TaskPreempt(pid, rt, cpu, preempted, sched)
+}
+
+// TaskYield implements core.Scheduler.
+func (i *Injector) TaskYield(pid int, rt time.Duration, cpu int, sched *core.Schedulable) {
+	i.enter(core.MsgTaskYield)
+	i.Scheduler.TaskYield(pid, rt, cpu, sched)
+}
+
+// TaskDeparted implements core.Scheduler.
+func (i *Injector) TaskDeparted(pid, cpu int) *core.Schedulable {
+	i.enter(core.MsgTaskDeparted)
+	return i.Scheduler.TaskDeparted(pid, cpu)
+}
+
+// TaskAffinityChanged implements core.Scheduler.
+func (i *Injector) TaskAffinityChanged(pid int, allowed []int) {
+	i.enter(core.MsgTaskAffinityChanged)
+	i.Scheduler.TaskAffinityChanged(pid, allowed)
+}
+
+// TaskPrioChanged implements core.Scheduler.
+func (i *Injector) TaskPrioChanged(pid, prio int) {
+	i.enter(core.MsgTaskPrioChanged)
+	i.Scheduler.TaskPrioChanged(pid, prio)
+}
+
+// TaskTick implements core.Scheduler.
+func (i *Injector) TaskTick(cpu int, queued bool, currPID int, currRuntime time.Duration) {
+	i.enter(core.MsgTaskTick)
+	i.Scheduler.TaskTick(cpu, queued, currPID, currRuntime)
+}
+
+// SelectTaskRQ implements core.Scheduler.
+func (i *Injector) SelectTaskRQ(pid, prevCPU int, wakeup bool) int {
+	i.enter(core.MsgSelectTaskRQ)
+	return i.Scheduler.SelectTaskRQ(pid, prevCPU, wakeup)
+}
+
+// MigrateTaskRQ implements core.Scheduler.
+func (i *Injector) MigrateTaskRQ(pid, newCPU int, sched *core.Schedulable) *core.Schedulable {
+	i.enter(core.MsgMigrateTaskRQ)
+	return i.Scheduler.MigrateTaskRQ(pid, newCPU, sched)
+}
+
+// Balance implements core.Scheduler.
+func (i *Injector) Balance(cpu int) (uint64, bool) {
+	i.enter(core.MsgBalance)
+	return i.Scheduler.Balance(cpu)
+}
+
+// BalanceErr implements core.Scheduler.
+func (i *Injector) BalanceErr(cpu int, pid uint64, sched *core.Schedulable) {
+	i.enter(core.MsgBalanceErr)
+	i.Scheduler.BalanceErr(cpu, pid, sched)
+}
+
+// EnterQueue implements core.Scheduler.
+func (i *Injector) EnterQueue(id, count int) {
+	i.enter(core.MsgEnterQueue)
+	i.Scheduler.EnterQueue(id, count)
+}
+
+// ParseHint implements core.Scheduler.
+func (i *Injector) ParseHint(hint core.Hint) {
+	i.enter(core.MsgParseHint)
+	i.Scheduler.ParseHint(hint)
+}
+
+// UnregisterQueue implements core.Scheduler.
+func (i *Injector) UnregisterQueue(id int) *core.HintQueue {
+	i.enter(core.MsgUnregisterQueue)
+	return i.Scheduler.UnregisterQueue(id)
+}
+
+// UnregisterRevQueue implements core.Scheduler.
+func (i *Injector) UnregisterRevQueue(id int) *core.RevQueue {
+	i.enter(core.MsgUnregisterRevQueue)
+	return i.Scheduler.UnregisterRevQueue(id)
+}
+
+// ReregisterInit implements core.Scheduler: PanicInInit is the broken-new-
+// version fault of the upgrade rollback tests.
+func (i *Injector) ReregisterInit(in *core.TransferIn) {
+	if i.PanicInInit {
+		panic("schedtest: injected panic in reregister_init")
+	}
+	i.Scheduler.ReregisterInit(in)
+}

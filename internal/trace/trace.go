@@ -55,6 +55,10 @@ const (
 	// KindXDomain: PID's placement crossed a scheduling domain onto CPU;
 	// Arg is the core.Topology distance (1 = cross-LLC, 2 = cross-node).
 	KindXDomain
+	// KindHintDrop is a hint-queue push that overflowed the ring and was
+	// dropped; Arg is the queue id. Always recorded (never sampled): drops
+	// are the overload signal the hint-accounting counters exist to surface.
+	KindHintDrop
 )
 
 func (k Kind) String() string {
@@ -83,6 +87,8 @@ func (k Kind) String() string {
 		return "exit"
 	case KindXDomain:
 		return "xdomain"
+	case KindHintDrop:
+		return "hint-drop"
 	default:
 		return "invalid"
 	}
