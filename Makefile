@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench quick cover fuzz trace apicheck chaos
+.PHONY: check build test race vet bench bench-cluster sharded quick cover fuzz trace apicheck chaos
 
 check: vet build race apicheck
 
@@ -22,6 +22,18 @@ race:
 
 bench:
 	$(GO) run ./cmd/enokibench -benchjson BENCH_hotpath.json
+
+# Cluster-scale throughput snapshot: single-kernel vs sharded simulation at
+# 80 and 1,000 CPUs, committed as BENCH_cluster.json.
+bench-cluster:
+	$(GO) run ./cmd/enokibench -cluster BENCH_cluster.json
+
+# Sharded-executor gate mirroring the CI job: serial-vs-parallel record-log
+# identity and conformance for every scheduler class under the race detector,
+# plus the sharded allocation ratchet.
+sharded:
+	$(GO) test -race -run 'TestSharded' -count=1 ./internal/sim ./internal/schedtest/conformance ./internal/chaos
+	$(GO) test -race -run 'TestRemoteWake|TestScheduleOpShardedZeroAlloc' -count=1 ./internal/kernel
 
 # Public-API compatibility gate for package enoki: apidiff when installed,
 # textual surface diff against api/enoki.txt otherwise. Refresh the baseline

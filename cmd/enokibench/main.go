@@ -7,6 +7,7 @@
 //
 //	enokibench [-quick] [-parallel N] [-list] [experiment ...]
 //	enokibench -benchjson [file]
+//	enokibench -cluster [file]
 //
 // With no experiment names, everything runs in paper order. -quick shrinks
 // message counts and durations so the full suite finishes in well under a
@@ -14,7 +15,9 @@
 // to N independent experiment cells concurrently, each on its own simulated
 // machine — results are byte-identical to a serial run. -benchjson runs the
 // hot-path micro-benchmarks instead and writes ns/op + allocs/op to
-// BENCH_hotpath.json (or the given file).
+// BENCH_hotpath.json (or the given file). -cluster measures single-kernel vs
+// sharded simulation throughput at 80 and 1,000 CPUs and writes
+// BENCH_cluster.json (or the given file).
 package main
 
 import (
@@ -31,10 +34,12 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink durations/message counts for a fast pass")
 	parallel := flag.Int("parallel", 1, "run up to N experiment cells concurrently (same output as serial)")
 	benchjson := flag.Bool("benchjson", false, "run hot-path micro-benchmarks, write BENCH_hotpath.json, and exit")
+	cluster := flag.Bool("cluster", false, "run cluster-scale sharded-vs-single throughput sweep, write BENCH_cluster.json, and exit")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: enokibench [-quick] [-parallel N] [-list] [experiment ...]\n"+
-			"       enokibench -benchjson [file]\n\nexperiments:\n")
+			"       enokibench -benchjson [file]\n"+
+			"       enokibench -cluster [file]\n\nexperiments:\n")
 		for _, s := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %-13s %s\n", s.Name, s.What)
 		}
@@ -64,6 +69,26 @@ func main() {
 				cs.WakeToRun.P50, cs.WakeToRun.P99,
 				cs.QueueDepth.P90)
 		}
+		fmt.Printf("wrote %s\n", path)
+		return
+	}
+
+	if *cluster {
+		path := "BENCH_cluster.json"
+		if flag.NArg() > 0 {
+			path = flag.Arg(0)
+		}
+		out, err := bench.WriteClusterJSON(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "enokibench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range out.Results {
+			fmt.Printf("%5d CPUs  %-17s %2d shards  %10.1f wall ms  %12.0f events/s\n",
+				r.CPUs, r.Mode, r.Shards, r.WallMS, r.EventsPerSec)
+		}
+		fmt.Printf("\nsharded-serial vs single: %.2fx at 80 CPUs, %.2fx at 1000 CPUs (GOMAXPROCS=%d)\n",
+			out.SpeedupAt80, out.SpeedupAt1000, out.GOMAXPROCS)
 		fmt.Printf("wrote %s\n", path)
 		return
 	}

@@ -115,6 +115,10 @@ type (
 // Kernel is the simulated Linux scheduling core.
 type Kernel = kernel.Kernel
 
+// ShardedKernel is the NUMA-partitioned machine: one sub-kernel per node
+// under the deterministic epoch-merge executor (see WithShards).
+type ShardedKernel = kernel.ShardedKernel
+
 // Task is the simulated task_struct.
 type Task = kernel.Task
 

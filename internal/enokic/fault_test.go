@@ -322,7 +322,10 @@ func recordedFaultLog() ([]byte, *FailureReport) {
 	cfg := DefaultConfig()
 	cfg.StarveWindow = 2 * time.Millisecond
 	a := Load(k, policyEnoki, cfg, func(env core.Env) core.Scheduler {
-		return &schedtest.Staller{Scheduler: fifo.New(env, policyEnoki), StallAfterPicks: 2}
+		// Lock creation order matters to replay: fifo's lock first, then
+		// the gate — the replay factory below must match.
+		inner := fifo.New(env, policyEnoki)
+		return &schedtest.Staller{Scheduler: inner, Gate: env.NewMutex("staller-gate"), StallAfterPicks: 2}
 	})
 	k.RegisterClass(policyCFS, kernel.NewCFS(k))
 	var buf bytes.Buffer
@@ -367,7 +370,8 @@ func TestFailureReportInRecordLog(t *testing.T) {
 
 	rres, err := replay.Replay(bytes.NewReader(log), replay.Config{NumCPUs: 8},
 		func(env core.Env) core.Scheduler {
-			return &schedtest.Staller{Scheduler: fifo.New(env, policyEnoki), StallAfterPicks: 2}
+			inner := fifo.New(env, policyEnoki)
+			return &schedtest.Staller{Scheduler: inner, Gate: env.NewMutex("staller-gate"), StallAfterPicks: 2}
 		})
 	if err != nil {
 		t.Fatalf("replay: %v", err)

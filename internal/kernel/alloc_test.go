@@ -37,6 +37,22 @@ func TestScheduleOpChaosIdleZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestScheduleOpShardedZeroAlloc is the allocation ratchet for the sharded
+// executor: the ScheduleOp ping-pong on every shard of a two-node machine,
+// driven through the epoch-merge protocol, must stay at 0 allocs/op once the
+// free lists and timer-wheel slots are warm. This pins the whole sharded
+// stack — epoch loop, message outboxes, per-shard wheels — not just one
+// kernel's hot path.
+func TestScheduleOpShardedZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed; skipped in -short")
+	}
+	r := testing.Benchmark(bench.ScheduleOpSharded)
+	if allocs := r.AllocsPerOp(); allocs != 0 {
+		t.Errorf("sharded ScheduleOp: %d allocs/op, want 0", allocs)
+	}
+}
+
 // TestWakeBurstZeroAlloc is the allocation ratchet for the batched
 // cross-CPU message path: a 16-wake burst on the two-socket Machine80 —
 // per-target IPI coalescing, cross-socket delivery, idle exits — must

@@ -349,24 +349,24 @@ func (c *CFS) SelectRQ(t *Task, prevCPU int, wakeup bool) int {
 	if prevCPU < 0 || prevCPU >= n {
 		prevCPU = 0
 	}
-	if wakeup && t.Allowed().Has(prevCPU) && c.idleCPU(prevCPU) {
+	if wakeup && t.allowed.has(prevCPU) && c.idleCPU(prevCPU) {
 		return prevCPU
 	}
 	// Idle sibling in the LLC domain, then the rest of the socket.
 	for _, i := range c.llcPeers[prevCPU] {
-		if t.Allowed().Has(i) && c.idleCPU(i) {
+		if t.allowed.has(i) && c.idleCPU(i) {
 			return i
 		}
 	}
 	for _, i := range c.nodePeers[prevCPU] {
-		if t.Allowed().Has(i) && c.idleCPU(i) {
+		if t.allowed.has(i) && c.idleCPU(i) {
 			return i
 		}
 	}
 	if wakeup {
 		// No idle sibling on the socket: stay put (wake_affine keeps
 		// cache warmth and avoids a cross-node placement).
-		if t.Allowed().Has(prevCPU) {
+		if t.allowed.has(prevCPU) {
 			return prevCPU
 		}
 	}
@@ -375,7 +375,7 @@ func (c *CFS) SelectRQ(t *Task, prevCPU int, wakeup bool) int {
 	best, bestLoad := -1, int64(0)
 	scan := func(peers []int) {
 		for _, i := range peers {
-			if !t.Allowed().Has(i) {
+			if !t.allowed.has(i) {
 				continue
 			}
 			load := c.rqs[i].totalWeight
@@ -453,7 +453,7 @@ func (c *CFS) pullWithin(cpu int, peers []int, min int) bool {
 	src := c.rqs[busiest]
 	var victim *cfsEntity
 	src.tree.Ascend(func(n *rbtree.Node[int64, *cfsEntity]) bool {
-		if n.Value().t.Allowed().Has(cpu) {
+		if n.Value().t.allowed.has(cpu) {
 			victim = n.Value()
 		}
 		return true

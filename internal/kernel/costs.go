@@ -154,3 +154,12 @@ func Machine80() Machine {
 	m := MachineNUMA("Xeon 6138 (80 cores, 2 sockets)", 2, 4, 10)
 	return m
 }
+
+// Machine1000 is the cluster-scale stress topology: ten 100-CPU sockets,
+// each split into four 25-core LLC groups. It exists for the sharded-executor
+// benchmarks — big enough that every O(machine) scan in the single-kernel
+// model dominates the run, so the per-node partition has something real to
+// win.
+func Machine1000() Machine {
+	return MachineNUMA("cluster-sim (1000 cores, 10 sockets)", 10, 4, 25)
+}

@@ -96,9 +96,14 @@ type Kernel struct {
 	// ipiWindow mirrors the burst window even when batching is off, so
 	// unbatched wake kicks are still counted as sent IPIs.
 	ipiWindow bool
-	ipiPend   []bool
-	ipiDelay  []time.Duration
-	ipiOrder  []int
+	// ipiDepth counts nested window opens: the sharded executor brackets a
+	// whole cross-shard delivery batch in one window, and each Wake inside
+	// it opens its own. Only the outermost close flushes, so a burst of
+	// remote wakes coalesces exactly like a local futex burst.
+	ipiDepth int
+	ipiPend  []bool
+	ipiDelay []time.Duration
+	ipiOrder []int
 
 	// CtxSwitches counts context switches machine-wide.
 	CtxSwitches uint64
@@ -315,11 +320,11 @@ func (k *Kernel) Spawn(name string, classID int, b Behavior, opts ...SpawnOption
 }
 
 func (k *Kernel) clampToAffinity(t *Task, cpu int) int {
-	if cpu >= 0 && cpu < k.machine.NumCPUs && t.allowed.Has(cpu) {
+	if cpu >= 0 && cpu < k.machine.NumCPUs && t.allowed.has(cpu) {
 		return cpu
 	}
 	for i := 0; i < k.machine.NumCPUs; i++ {
-		if t.allowed.Has(i) {
+		if t.allowed.has(i) {
 			return i
 		}
 	}
@@ -437,9 +442,12 @@ func (k *Kernel) ArmResched(cpu int, d time.Duration) {
 // kicks are coalesced per target instead of posted immediately. With
 // batching disabled the window still opens for accounting — kicks post
 // immediately but are counted as sent IPIs, so batched and unbatched runs
-// report comparable IPIsSent numbers. Windows do not nest — the kernel
-// opens one per wake burst (segmentDone's wake loop, external Wake) only.
+// report comparable IPIsSent numbers. Windows nest: the kernel opens one
+// per wake burst (segmentDone's wake loop, external Wake), and the sharded
+// executor opens an outer one around a whole cross-shard delivery batch;
+// only the outermost close flushes.
 func (k *Kernel) beginBatch() {
+	k.ipiDepth++
 	k.ipiWindow = true
 	if k.ipiEnabled {
 		k.ipiOpen = true
@@ -450,6 +458,12 @@ func (k *Kernel) beginBatch() {
 // per distinct target, at the minimum delay requested for it, in first-
 // request order (which keeps runs deterministic).
 func (k *Kernel) flushBatch() {
+	if k.ipiDepth > 0 {
+		k.ipiDepth--
+	}
+	if k.ipiDepth > 0 {
+		return
+	}
 	k.ipiWindow = false
 	if !k.ipiOpen {
 		return
@@ -834,7 +848,7 @@ func (k *Kernel) nohzKick(c *CPU) {
 // affinity. It reports whether the move happened. Balancers call this; the
 // migration cost is charged to dst's next schedule pass.
 func (k *Kernel) MoveTask(t *Task, dst int) bool {
-	if t.state != StateRunnable || !t.allowed.Has(dst) || dst == t.cpu {
+	if t.state != StateRunnable || !t.allowed.has(dst) || dst == t.cpu {
 		return false
 	}
 	if k.cpus[t.cpu].curr == t {

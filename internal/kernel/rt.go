@@ -165,7 +165,7 @@ func (r *RT) Tick(cpu int, t *Task) {
 // SelectRQ implements Class: previous CPU unless forbidden, else the first
 // allowed (RT placement in Linux is mostly push/pull; keep it simple).
 func (r *RT) SelectRQ(t *Task, prevCPU int, wakeup bool) int {
-	if t.Allowed().Has(prevCPU) {
+	if t.allowed.has(prevCPU) {
 		return prevCPU
 	}
 	for _, c := range t.Allowed().List() {

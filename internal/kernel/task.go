@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"enoki/internal/ktime"
@@ -86,16 +87,24 @@ type BehaviorFunc func(k *Kernel, t *Task) Action
 // Next calls f.
 func (f BehaviorFunc) Next(k *Kernel, t *Task) Action { return f(k, t) }
 
-// CPUMask is a set of allowed CPUs, wide enough for the 80-core machine.
+// maskWords sizes CPUMask for the largest supported machine: the 1,000-CPU
+// cluster-sim topology (16 × 64 = 1024 bits).
+const maskWords = 16
+
+// CPUMask is a set of allowed CPUs, wide enough for the 1,000-CPU
+// cluster-sim machine.
 type CPUMask struct {
-	bits [2]uint64
+	bits [maskWords]uint64
 }
 
 // AllCPUs returns a mask allowing CPUs [0, n).
 func AllCPUs(n int) CPUMask {
 	var m CPUMask
-	for i := 0; i < n; i++ {
-		m.Set(i)
+	for w := 0; w < n>>6; w++ {
+		m.bits[w] = ^uint64(0)
+	}
+	if r := n & 63; r != 0 {
+		m.bits[n>>6] = 1<<uint(r) - 1
 	}
 	return m
 }
@@ -114,8 +123,13 @@ func (m *CPUMask) Set(cpu int) { m.bits[cpu>>6] |= 1 << uint(cpu&63) }
 func (m *CPUMask) Clear(cpu int) { m.bits[cpu>>6] &^= 1 << uint(cpu&63) }
 
 // Has reports whether cpu is allowed.
-func (m CPUMask) Has(cpu int) bool {
-	if cpu < 0 || cpu >= 128 {
+func (m CPUMask) Has(cpu int) bool { return m.has(cpu) }
+
+// has is the pointer-receiver twin of Has for the kernel's own hot loops:
+// calling the value-receiver method copies the whole 128-byte mask per call,
+// which the placement scans would pay once per candidate CPU.
+func (m *CPUMask) has(cpu int) bool {
+	if cpu < 0 || cpu >= maskWords*64 {
 		return false
 	}
 	return m.bits[cpu>>6]&(1<<uint(cpu&63)) != 0
@@ -128,11 +142,13 @@ func (m CPUMask) List() []int {
 
 // AppendTo appends the allowed CPUs in ascending order to dst and returns
 // the extended slice. It allocates only when dst lacks capacity, which lets
-// hot paths reuse one backing array across calls.
+// hot paths reuse one backing array across calls. Cost scales with the set
+// bits, not the mask width: empty words are skipped whole.
 func (m CPUMask) AppendTo(dst []int) []int {
-	for i := 0; i < 128; i++ {
-		if m.Has(i) {
-			dst = append(dst, i)
+	for i, w := range m.bits {
+		base := i << 6
+		for ; w != 0; w &= w - 1 {
+			dst = append(dst, base+bits.TrailingZeros64(w))
 		}
 	}
 	return dst
@@ -142,9 +158,7 @@ func (m CPUMask) AppendTo(dst []int) []int {
 func (m CPUMask) Count() int {
 	n := 0
 	for _, w := range m.bits {
-		for ; w != 0; w &= w - 1 {
-			n++
-		}
+		n += bits.OnesCount64(w)
 	}
 	return n
 }

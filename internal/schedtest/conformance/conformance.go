@@ -204,6 +204,16 @@ func (w Workload) Run(r *Rig) int {
 	if w.Budget == 0 {
 		w.Budget = 2 * time.Second
 	}
+	done := w.Spawn(r)
+	r.K.RunFor(w.Budget)
+	return done()
+}
+
+// Spawn creates the workload's tasks and churn events on r without running
+// the simulation; the returned function reports how many tasks have
+// completed so far. Sharded rigs use it to populate every shard before the
+// executor — not the individual engines — drives the run.
+func (w Workload) Spawn(r *Rig) func() int {
 	k := r.K
 	rand := ktime.NewRand(w.Seed)
 	completed := 0
@@ -255,8 +265,7 @@ func (w Workload) Run(r *Rig) int {
 			})
 		}
 	}
-	k.RunFor(w.Budget)
-	return completed
+	return func() int { return completed }
 }
 
 // Loop builds an iters-cycle behavior: run a segment, then apply op

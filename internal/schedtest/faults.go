@@ -41,11 +41,21 @@ type Staller struct {
 	core.Scheduler
 	// StallAfterPicks is how many picks succeed before the stall.
 	StallAfterPicks int
-	picks           int
+	// Gate, when set, serializes the pick counter under a framework lock.
+	// The record/replay contract requires all cross-thread module state to
+	// be guarded by Env locks (lock order is what replay gates on); a
+	// Staller whose log will be replayed must be given one, or the stall
+	// decision races against replay's concurrent dispatch.
+	Gate  core.Locker
+	picks int
 }
 
 // PickNextTask implements core.Scheduler.
 func (s *Staller) PickNextTask(cpu int, curr *core.Schedulable, rt time.Duration) *core.Schedulable {
+	if s.Gate != nil {
+		s.Gate.Lock()
+		defer s.Gate.Unlock()
+	}
 	s.picks++
 	if s.picks > s.StallAfterPicks {
 		return nil

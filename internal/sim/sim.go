@@ -1,13 +1,18 @@
 // Package sim implements the discrete-event simulation engine underneath the
-// simulated kernel. The engine owns a binary-heap event queue ordered by
-// (virtual time, insertion sequence); ties in time execute in insertion
-// order, which makes every run fully deterministic.
+// simulated kernel. The engine owns a hierarchical timer queue — a near
+// wheel covering the next ~2 ms of virtual time plus an overflow level for
+// far-future events (wheel.go) — ordered by (virtual time, insertion
+// sequence); ties in time execute in insertion order, which makes every run
+// fully deterministic.
 //
 // The engine is deliberately tiny: the kernel package layers CPUs, run
 // queues, and timers on top of it. Events are plain closures. An event can be
 // cancelled by its handle; cancellation is O(1) (the event is tombstoned and
 // skipped when popped), which matters because the kernel cancels and re-arms
-// per-CPU completion events on every preemption.
+// per-CPU completion events on every preemption. Arming is O(1) too: the
+// near wheel files the event straight into its time slot, and re-arming a
+// queued event just files a fresh slot entry and lets the stale one be
+// skipped.
 //
 // The hot paths are allocation-free in steady state:
 //
@@ -19,13 +24,12 @@
 //     that is re-armed in place instead of allocating a closure + Event per
 //     arm.
 //
-// Tombstones do not accumulate: the engine tracks the live count, and when
-// more than half the heap is cancelled events it compacts the heap in one
-// O(n) pass.
+// Tombstones and stale re-arm entries do not accumulate: the engine tracks
+// the live count, and when dead entries dominate the queue it compacts every
+// slot and the overflow in one O(n) pass.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"enoki/internal/ktime"
@@ -35,15 +39,15 @@ import (
 // through Engine.At / Engine.After / Engine.NewEvent.
 type Event struct {
 	at        ktime.Time
-	seq       uint64
+	seq       uint64 // sequence of the current arming; older queue entries are stale
 	fn        func()
 	cancelled bool
 	// recycle marks a fire-and-forget event (Post/PostAt): no handle
-	// escaped, so the engine returns it to the free list once it leaves
-	// the heap.
+	// escaped, so the engine returns it to the free list once it fires.
 	recycle bool
-	index   int // heap index, -1 when not queued
-	eng     *Engine
+	// armed means a queue entry with matching seq exists.
+	armed bool
+	eng   *Engine
 }
 
 // Cancel tombstones the event. Cancelling an already-fired or
@@ -54,7 +58,7 @@ func (e *Event) Cancel() {
 		return
 	}
 	e.cancelled = true
-	if e.index >= 0 && e.eng != nil {
+	if e.armed && e.eng != nil {
 		e.eng.live--
 		e.eng.maybeCompact()
 	}
@@ -67,53 +71,32 @@ func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
 // Time returns the virtual instant the event is (or was) scheduled for.
 func (e *Event) Time() ktime.Time { return e.at }
 
-// Queued reports whether the event is currently armed (in the heap and not
+// Queued reports whether the event is currently armed (in the queue and not
 // tombstoned).
-func (e *Event) Queued() bool { return e != nil && e.index >= 0 && !e.cancelled }
+func (e *Event) Queued() bool { return e != nil && e.armed && !e.cancelled }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
-
-// compactFloor is the minimum heap size before tombstone compaction is
+// compactFloor is the minimum queue size before dead-entry compaction is
 // considered; below it the garbage is too small to matter.
 const compactFloor = 64
 
+// compactSlack is the dead-entry allowance on top of 2×live before a
+// compaction pass is worth its O(n): persistent timers re-armed in place
+// legitimately keep one stale entry each, so steady state sits near 2×live
+// and must not trigger a sweep per cancel.
+const compactSlack = 128
+
 // Engine is a deterministic discrete-event executor. It is not safe for
 // concurrent use; all simulation state mutates from event closures running on
-// the caller's goroutine.
+// the caller's goroutine. For multi-goroutine simulations, see Sharded,
+// which runs one Engine per shard and merges at epoch boundaries.
 type Engine struct {
 	now     ktime.Time
 	seq     uint64
-	pq      eventHeap
-	live    int // queued events that are not tombstoned
+	wq      wheelQueue
+	live    int // queued events that are neither tombstoned nor stale
 	free    []*Event
 	stopped bool
+
 	fired    uint64
 	recycled uint64
 }
@@ -133,13 +116,30 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of live (non-cancelled) queued events.
 func (e *Engine) Pending() int { return e.live }
 
-// QueueLen returns the raw heap length, tombstones included (tests and
-// diagnostics; Pending is the meaningful count).
-func (e *Engine) QueueLen() int { return len(e.pq) }
+// QueueLen returns the raw queue length — live entries plus tombstones plus
+// stale re-arm entries (tests and diagnostics; QueueLive is the meaningful
+// count).
+func (e *Engine) QueueLen() int { return e.wq.nentries }
+
+// QueueLive returns the number of queued entries that will actually fire:
+// tombstoned and stale entries are excluded. It equals Pending and exists so
+// queue-size diagnostics don't mistake compaction garbage for load.
+func (e *Engine) QueueLive() int { return e.live }
 
 // Recycled returns how many fire-and-forget events have been returned to the
 // free list, an allocation-behaviour probe for tests.
 func (e *Engine) Recycled() uint64 { return e.recycled }
+
+// NextEventTime returns the virtual time of the earliest live event, or
+// false when the queue holds none. The sharded executor uses it to plan
+// epochs; dead entries encountered on the way are discarded.
+func (e *Engine) NextEventTime() (ktime.Time, bool) {
+	en, ok := e.peekLive()
+	if !ok {
+		return 0, false
+	}
+	return en.at, true
+}
 
 // alloc produces an Event, reusing a recycled one when available.
 func (e *Engine) alloc() *Event {
@@ -149,14 +149,14 @@ func (e *Engine) alloc() *Event {
 		e.free = e.free[:n-1]
 		return ev
 	}
-	return &Event{eng: e, index: -1}
+	return &Event{eng: e}
 }
 
-// release returns a fire-and-forget event to the free list once it is out of
-// the heap. Handle-returning events are never recycled: a retained handle
+// release returns a fire-and-forget event to the free list once it has left
+// the queue. Handle-returning events are never recycled: a retained handle
 // could otherwise cancel an unrelated future event.
 func (e *Engine) release(ev *Event) {
-	if !ev.recycle || ev.index >= 0 {
+	if !ev.recycle || ev.armed {
 		return
 	}
 	ev.fn = nil
@@ -171,12 +171,19 @@ func (e *Engine) checkFuture(t ktime.Time) {
 	}
 }
 
-// push arms ev at t with a fresh sequence number.
-func (e *Engine) push(ev *Event, t ktime.Time) {
+// arm files a queue entry for ev at t with a fresh sequence number. The
+// caller accounts for live.
+func (e *Engine) arm(ev *Event, t ktime.Time) {
 	ev.at = t
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.pq, ev)
+	ev.armed = true
+	e.wq.push(entry{at: t, seq: ev.seq, ev: ev})
+}
+
+// push arms ev at t as a new live event.
+func (e *Engine) push(ev *Event, t ktime.Time) {
+	e.arm(ev, t)
 	e.live++
 }
 
@@ -221,11 +228,11 @@ func (e *Engine) NewEvent(fn func()) *Event {
 	if fn == nil {
 		panic("sim: NewEvent with nil function")
 	}
-	return &Event{eng: e, index: -1, fn: fn}
+	return &Event{eng: e, fn: fn}
 }
 
 // Reschedule (re-)arms ev at absolute time t, keeping its function. It
-// accepts an event in any state: queued (moved in place), tombstoned
+// accepts an event in any state: queued (the old entry goes stale), tombstoned
 // (revived), or fired/unarmed (pushed again) — including the event currently
 // executing, which is how recurring timers re-arm themselves. A fresh
 // sequence number is assigned, so ordering is exactly as if a new event had
@@ -241,15 +248,15 @@ func (e *Engine) Reschedule(ev *Event, t ktime.Time) {
 	if ev.eng == nil {
 		ev.eng = e
 	}
-	if ev.index >= 0 {
+	if ev.armed {
 		if ev.cancelled {
 			ev.cancelled = false
 			e.live++
 		}
-		ev.at = t
-		ev.seq = e.seq
-		e.seq++
-		heap.Fix(&e.pq, ev.index)
+		// The entry carrying the old seq goes stale and is skipped on pop;
+		// dead-entry growth is bounded by compaction.
+		e.arm(ev, t)
+		e.maybeCompact()
 		return
 	}
 	ev.cancelled = false
@@ -261,29 +268,69 @@ func (e *Engine) RescheduleAfter(ev *Event, d ktime.Duration) {
 	e.Reschedule(ev, e.now.Add(d))
 }
 
-// maybeCompact rebuilds the heap without tombstones once they outnumber live
-// events and the heap is big enough for the O(n) pass to pay off.
+// entryDead reports whether a queue entry will never fire: it is stale (the
+// event was re-armed since) or its event is tombstoned. A dropped tombstone
+// entry un-arms its event so a later Reschedule pushes cleanly.
+func entryDead(en entry) bool {
+	if en.ev.seq != en.seq {
+		return true
+	}
+	if en.ev.cancelled {
+		en.ev.armed = false
+		return true
+	}
+	return false
+}
+
+// maybeCompact rebuilds the queue without dead entries once they outgrow the
+// live set by more than the steady-state slack and the queue is big enough
+// for the O(n) pass to pay off.
 func (e *Engine) maybeCompact() {
-	if len(e.pq) < compactFloor || 2*e.live > len(e.pq) {
+	if e.wq.nentries < compactFloor || 2*e.live+compactSlack > e.wq.nentries {
 		return
 	}
-	kept := e.pq[:0]
-	for _, ev := range e.pq {
-		if ev.cancelled {
-			ev.index = -1
-			e.release(ev)
-			continue
+	e.wq.compact(func(en entry) bool { return !entryDead(en) })
+}
+
+// peekLive returns the earliest live entry without consuming it, discarding
+// dead entries along the way.
+func (e *Engine) peekLive() (entry, bool) {
+	for {
+		en, ok := e.wq.next(false)
+		if !ok {
+			return entry{}, false
 		}
-		kept = append(kept, ev)
+		if !entryDead(en) {
+			return en, true
+		}
+		e.wq.next(true) // discard the dead minimum
+		e.release(en.ev)
 	}
-	for i := len(kept); i < len(e.pq); i++ {
-		e.pq[i] = nil
+}
+
+// fire executes the event behind a live entry just extracted from the queue.
+func (e *Engine) fire(en entry) {
+	ev := en.ev
+	ev.armed = false
+	e.live--
+	e.now = en.at
+	e.fired++
+	ev.fn()
+	// The closure may have re-armed ev (recurring timers); only a
+	// still-unqueued fire-and-forget event is recyclable.
+	e.release(ev)
+}
+
+// stepBounded fires the earliest live event if its time is at or before
+// bound, reporting whether an event ran.
+func (e *Engine) stepBounded(bound ktime.Time) bool {
+	en, ok := e.peekLive()
+	if !ok || en.at > bound {
+		return false
 	}
-	e.pq = kept
-	for i, ev := range e.pq {
-		ev.index = i
-	}
-	heap.Init(&e.pq)
+	e.wq.next(true)
+	e.fire(en)
+	return true
 }
 
 // Stop makes the currently executing Run return after the current event
@@ -293,22 +340,7 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step executes the single earliest pending event (skipping tombstones) and
 // reports whether an event ran.
 func (e *Engine) Step() bool {
-	for len(e.pq) > 0 {
-		ev := heap.Pop(&e.pq).(*Event)
-		if ev.cancelled {
-			e.release(ev)
-			continue
-		}
-		e.live--
-		e.now = ev.at
-		e.fired++
-		ev.fn()
-		// The closure may have re-armed ev (recurring timers); only a
-		// still-unqueued fire-and-forget event is recyclable.
-		e.release(ev)
-		return true
-	}
-	return false
+	return e.stepBounded(ktime.Time(int64(^uint64(0) >> 1)))
 }
 
 // RunUntil executes events in order until the queue drains or the next event
@@ -316,16 +348,7 @@ func (e *Engine) Step() bool {
 // drained earlier), so back-to-back RunUntil calls compose.
 func (e *Engine) RunUntil(t ktime.Time) {
 	e.stopped = false
-	for !e.stopped && len(e.pq) > 0 {
-		// Peek without popping: heap root is pq[0].
-		for len(e.pq) > 0 && e.pq[0].cancelled {
-			ev := heap.Pop(&e.pq).(*Event)
-			e.release(ev)
-		}
-		if len(e.pq) == 0 || e.pq[0].at > t {
-			break
-		}
-		e.Step()
+	for !e.stopped && e.stepBounded(t) {
 	}
 	if e.now < t {
 		e.now = t

@@ -32,6 +32,11 @@ type System struct {
 	eng *sim.Engine
 	k   *kernel.Kernel
 
+	// sk is non-nil in sharded mode (WithShards): one sub-kernel per NUMA
+	// node under the epoch-merge executor, and eng/k are nil — per-shard
+	// access goes through ShardKernel.
+	sk *kernel.ShardedKernel
+
 	cfg      Config
 	adapters []*enokic.Adapter
 
@@ -59,6 +64,10 @@ type options struct {
 	recWanted bool
 
 	tracer *trace.Tracer
+
+	sharded  bool
+	shards   int
+	parallel bool
 }
 
 // Option configures NewSystem.
@@ -101,6 +110,29 @@ func WithTraceSink(t *Tracer) Option {
 	return func(o *options) { o.tracer = t }
 }
 
+// WithShards partitions the machine into one sub-kernel per NUMA node, all
+// driven by the deterministic epoch-merge executor: shard i owns node i's
+// CPUs, run queues, and timers, and the only cross-shard interaction is the
+// remote wake (see ShardedKernel.RemoteWake). n must equal the machine's
+// node count, or be 0 to accept whatever the machine has. Sharding changes
+// the execution strategy, not the model: Load and RegisterCFS apply per
+// shard, and the simulation stays deterministic in both drive modes.
+//
+// In sharded mode Kernel and Engine return nil — use NumShards and
+// ShardKernel — and WithRecorder/WithTraceSink are rejected: recorders and
+// tracers are single-kernel taps, so attach one per shard by hand instead.
+func WithShards(n int) Option {
+	return func(o *options) { o.sharded, o.shards = true, n }
+}
+
+// WithParallelSim selects the sharded executor's drive mode: worker
+// goroutines (true) or serial shard order (false, the default). Both
+// produce bit-identical simulations; parallel only changes wall-clock
+// speed. Requires WithShards.
+func WithParallelSim(on bool) Option {
+	return func(o *options) { o.parallel = on }
+}
+
 // NewSystem builds an engine and a kernel behind one handle. With no
 // options it models the paper's 8-core machine with calibrated costs and no
 // observability taps.
@@ -111,6 +143,24 @@ func NewSystem(opts ...Option) *System {
 	}
 	if !o.hasCosts {
 		o.costs = kernel.CostsFor(o.machine)
+	}
+	if o.sharded {
+		if o.shards != 0 && o.shards != o.machine.NumNodes {
+			panic(fmt.Sprintf("enoki: WithShards(%d) on a %d-node machine (shards are NUMA nodes)",
+				o.shards, o.machine.NumNodes))
+		}
+		if o.recWanted {
+			panic("enoki: WithRecorder is a single-kernel tap; in sharded mode attach one recorder per ShardKernel")
+		}
+		if o.tracer != nil {
+			panic("enoki: WithTraceSink is a single-kernel tap; in sharded mode attach one tracer per ShardKernel")
+		}
+		sk := kernel.NewShardedKernel(o.machine, o.costs, 0)
+		sk.SetParallel(o.parallel)
+		return &System{sk: sk, cfg: o.cfg}
+	}
+	if o.parallel {
+		panic("enoki: WithParallelSim requires WithShards")
 	}
 	eng := sim.New()
 	k := kernel.New(eng, o.machine, o.costs)
@@ -126,11 +176,55 @@ func NewSystem(opts ...Option) *System {
 	return s
 }
 
-// Kernel returns the simulated kernel (spawning tasks, querying state).
+// Kernel returns the simulated kernel (spawning tasks, querying state). In
+// sharded mode there is no single kernel and Kernel returns nil — use
+// ShardKernel.
 func (s *System) Kernel() *Kernel { return s.k }
 
-// Engine returns the discrete-event engine driving the simulation.
+// Engine returns the discrete-event engine driving the simulation, or nil
+// in sharded mode (each shard has its own; ShardKernel(i).Engine()).
 func (s *System) Engine() *Engine { return s.eng }
+
+// NumShards returns the shard count: 1 for a single-kernel System, the
+// machine's NUMA node count under WithShards.
+func (s *System) NumShards() int {
+	if s.sk != nil {
+		return s.sk.NumShards()
+	}
+	return 1
+}
+
+// ShardKernel returns shard i's sub-kernel. On a single-kernel System only
+// shard 0 exists and it is the kernel itself.
+func (s *System) ShardKernel(i int) *Kernel {
+	if s.sk != nil {
+		return s.sk.ShardKernel(i)
+	}
+	if i != 0 {
+		panic(fmt.Sprintf("enoki: ShardKernel(%d) on an unsharded System", i))
+	}
+	return s.k
+}
+
+// Sharded returns the sharded executor wrapper, or nil when the System was
+// built without WithShards.
+func (s *System) Sharded() *ShardedKernel { return s.sk }
+
+// SetParallel flips the sharded executor's drive mode at a run boundary.
+// No-op on an unsharded System.
+func (s *System) SetParallel(on bool) {
+	if s.sk != nil {
+		s.sk.SetParallel(on)
+	}
+}
+
+// Close stops the sharded executor's worker goroutines (parallel drive
+// only). No-op on an unsharded System.
+func (s *System) Close() {
+	if s.sk != nil {
+		s.sk.Close()
+	}
+}
 
 // Config returns the framework Config used for Load.
 func (s *System) Config() Config { return s.cfg }
@@ -140,7 +234,27 @@ func (s *System) Config() Config { return s.cfg }
 // policy id is taken, errors.Is(err, ErrPolicyMismatch) when the module's
 // GetPolicy disagrees. The System's recorder and tracer, when configured,
 // are installed on the new adapter.
+//
+// In sharded mode the factory runs once per shard — each shard gets its own
+// module instance above its own sub-kernel — and Load returns shard 0's
+// adapter (the rest are in Adapters, shard order).
 func (s *System) Load(policy int, factory func(Env) Scheduler) (*Adapter, error) {
+	if s.sk != nil {
+		var first *Adapter
+		for i := 0; i < s.sk.NumShards(); i++ {
+			ad, err := enokic.TryLoad(s.sk.ShardKernel(i), policy, s.cfg, func(env core.Env) core.Scheduler {
+				return factory(env)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+			s.adapters = append(s.adapters, ad)
+			if first == nil {
+				first = ad
+			}
+		}
+		return first, nil
+	}
 	ad, err := enokic.TryLoad(s.k, policy, s.cfg, func(env core.Env) core.Scheduler {
 		return factory(env)
 	})
@@ -168,16 +282,35 @@ func (s *System) MustLoad(policy int, factory func(Env) Scheduler) *Adapter {
 }
 
 // RegisterClass registers a native (non-module) scheduler class under
-// policy. Like Load, order of registration is priority order.
+// policy. Like Load, order of registration is priority order. A Class
+// instance is bound to one kernel, so on a sharded System this panics —
+// register per shard with ShardKernel(i).RegisterClass, or use RegisterCFS
+// which constructs per shard.
 func (s *System) RegisterClass(policy int, c Class) {
+	if s.sk != nil {
+		panic("enoki: RegisterClass binds one Class to one kernel; in sharded mode register per ShardKernel (or use RegisterCFS)")
+	}
 	s.k.RegisterClass(policy, c)
 	s.afterRegister()
 }
 
 // RegisterCFS builds the native CFS baseline, registers it under policy,
 // and returns it. Register it after every Enoki module so the modules sit
-// above it in the pick order, mirroring the paper's setups.
+// above it in the pick order, mirroring the paper's setups. In sharded mode
+// one CFS is built per shard and shard 0's is returned.
 func (s *System) RegisterCFS(policy int) *kernel.CFS {
+	if s.sk != nil {
+		var first *kernel.CFS
+		for i := 0; i < s.sk.NumShards(); i++ {
+			k := s.sk.ShardKernel(i)
+			c := kernel.NewCFS(k)
+			k.RegisterClass(policy, c)
+			if first == nil {
+				first = c
+			}
+		}
+		return first
+	}
 	c := kernel.NewCFS(s.k)
 	s.RegisterClass(policy, c)
 	return c
@@ -203,11 +336,29 @@ func (s *System) Recorder() *Recorder { return s.recorder }
 func (s *System) Adapters() []*Adapter { return s.adapters }
 
 // Run advances the simulation by d of virtual time.
-func (s *System) Run(d time.Duration) { s.k.RunFor(d) }
+func (s *System) Run(d time.Duration) {
+	if s.sk != nil {
+		s.sk.RunFor(d)
+		return
+	}
+	s.k.RunFor(d)
+}
 
 // RunUntilIdle runs until the event queue drains (all tasks exited or
-// blocked with no timers pending).
-func (s *System) RunUntilIdle() { s.k.RunUntilIdle() }
+// blocked with no timers pending; in sharded mode, every shard drained and
+// no cross-shard message in flight).
+func (s *System) RunUntilIdle() {
+	if s.sk != nil {
+		s.sk.RunUntilIdle()
+		return
+	}
+	s.k.RunUntilIdle()
+}
 
 // Now returns the current virtual time.
-func (s *System) Now() Time { return s.k.Now() }
+func (s *System) Now() Time {
+	if s.sk != nil {
+		return s.sk.Now()
+	}
+	return s.k.Now()
+}

@@ -97,3 +97,76 @@ func TestSystemRecorderDeferred(t *testing.T) {
 		t.Fatalf("recorder captured nothing: %d entries, %d bytes", rec.Entries, log.Len())
 	}
 }
+
+// TestSystemSharded: WithShards partitions the two-socket machine, Load and
+// RegisterCFS apply per shard, tasks run on both shards, and the serial and
+// parallel drives complete the same work.
+func TestSystemSharded(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		sys := enoki.NewSystem(
+			enoki.WithMachine(enoki.Machine80()),
+			enoki.WithShards(2),
+			enoki.WithParallelSim(parallel),
+		)
+		if sys.NumShards() != 2 {
+			t.Fatalf("NumShards = %d, want 2", sys.NumShards())
+		}
+		if sys.Kernel() != nil || sys.Engine() != nil {
+			t.Fatal("sharded System must not expose a single kernel/engine")
+		}
+		if _, err := sys.Load(1, func(env enoki.Env) enoki.Scheduler {
+			return enoki.NewFIFOScheduler(env, 1)
+		}); err != nil {
+			t.Fatalf("sharded Load failed: %v", err)
+		}
+		if got := len(sys.Adapters()); got != 2 {
+			t.Fatalf("sharded Load made %d adapters, want one per shard", got)
+		}
+		sys.RegisterCFS(0)
+		done := make([]int, sys.NumShards())
+		for i := 0; i < sys.NumShards(); i++ {
+			i := i
+			if n := sys.ShardKernel(i).NumCPUs(); n != 40 {
+				t.Fatalf("shard %d has %d CPUs, want 40", i, n)
+			}
+			sys.ShardKernel(i).Spawn("w", 1, enoki.BehaviorFunc(func(*enoki.Kernel, *enoki.Task) enoki.Action {
+				done[i]++
+				return enoki.Action{Op: enoki.OpExit}
+			}))
+		}
+		sys.Run(time.Millisecond)
+		sys.Close()
+		for i, n := range done {
+			if n != 1 {
+				t.Errorf("parallel=%v: shard %d task ran %d times, want 1", parallel, i, n)
+			}
+		}
+	}
+}
+
+// TestSystemShardedRejects: the sharded constructor rejects shard counts
+// that disagree with the topology and single-kernel taps.
+func TestSystemShardedRejects(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("WithShards mismatch", func() {
+		enoki.NewSystem(enoki.WithMachine(enoki.Machine80()), enoki.WithShards(3))
+	})
+	mustPanic("WithParallelSim alone", func() {
+		enoki.NewSystem(enoki.WithParallelSim(true))
+	})
+	mustPanic("WithRecorder sharded", func() {
+		enoki.NewSystem(enoki.WithMachine(enoki.Machine80()), enoki.WithShards(0),
+			enoki.WithRecorder(&bytes.Buffer{}, 0))
+	})
+	mustPanic("RegisterClass sharded", func() {
+		sys := enoki.NewSystem(enoki.WithMachine(enoki.Machine80()), enoki.WithShards(0))
+		sys.RegisterClass(0, enoki.NewCFS(sys.ShardKernel(0)))
+	})
+}
