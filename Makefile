@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench bench-cluster sharded quick cover fuzz trace apicheck chaos
+.PHONY: check build test race vet bench bench-cluster bench-fleet fleet sharded quick cover fuzz trace apicheck chaos
 
 check: vet build race apicheck
 
@@ -27,6 +27,21 @@ bench:
 # 80 and 1,000 CPUs, committed as BENCH_cluster.json.
 bench-cluster:
 	$(GO) run ./cmd/enokibench -cluster BENCH_cluster.json
+
+# Full fleet artifact: the cluster sweep plus the 1,000-machine ×
+# 120,000-job fleet benchmark (serial and parallel drives, machine failure
+# mid-run), with its SLO verdicts appended to BENCH_cluster.json. Budget a
+# few minutes of wall time.
+bench-fleet:
+	$(GO) run ./cmd/enokibench -fleet BENCH_cluster.json
+
+# Fleet gate mirroring the CI job: the whole cluster control plane under the
+# race detector — placement, migration, failover, Close lifecycle — plus the
+# fleet executor's serial-vs-parallel identity, the machine-kill chaos
+# replay, and the scaled-down fleet benchmark's fingerprint check.
+fleet:
+	$(GO) test -race -count=1 ./internal/cluster
+	$(GO) test -race -run 'TestFleet' -count=1 ./internal/sim ./internal/chaos ./internal/bench
 
 # Sharded-executor gate mirroring the CI job: serial-vs-parallel record-log
 # identity and conformance for every scheduler class under the race detector,

@@ -8,6 +8,7 @@
 //	enokibench [-quick] [-parallel N] [-list] [experiment ...]
 //	enokibench -benchjson [file]
 //	enokibench -cluster [file]
+//	enokibench -fleet [-machine 8|80|1000] [-shards N] [file]
 //
 // With no experiment names, everything runs in paper order. -quick shrinks
 // message counts and durations so the full suite finishes in well under a
@@ -17,7 +18,10 @@
 // hot-path micro-benchmarks instead and writes ns/op + allocs/op to
 // BENCH_hotpath.json (or the given file). -cluster measures single-kernel vs
 // sharded simulation throughput at 80 and 1,000 CPUs and writes
-// BENCH_cluster.json (or the given file).
+// BENCH_cluster.json (or the given file). -fleet additionally runs the
+// cluster-of-machines benchmark — 1,000 simulated machines under the fleet
+// executor with a machine failure mid-run, serial and parallel — and writes
+// its SLO verdicts into the same document.
 package main
 
 import (
@@ -34,17 +38,40 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink durations/message counts for a fast pass")
 	parallel := flag.Int("parallel", 1, "run up to N experiment cells concurrently (same output as serial)")
 	benchjson := flag.Bool("benchjson", false, "run hot-path micro-benchmarks, write BENCH_hotpath.json, and exit")
-	cluster := flag.Bool("cluster", false, "run cluster-scale sharded-vs-single throughput sweep, write BENCH_cluster.json, and exit")
+	clusterMode := flag.Bool("cluster", false, "run cluster-scale sharded-vs-single throughput sweep, write BENCH_cluster.json, and exit")
+	fleet := flag.Bool("fleet", false, "run the cluster sweep plus the 1,000-machine fleet benchmark, write BENCH_cluster.json, and exit")
+	machine := flag.Int("machine", 8, "per-machine CPUs for -fleet: 8, 80, or 1000")
+	shards := flag.Int("shards", 0, "shards per machine for -fleet (0 = one per NUMA node; must match the machine)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: enokibench [-quick] [-parallel N] [-list] [experiment ...]\n"+
 			"       enokibench -benchjson [file]\n"+
-			"       enokibench -cluster [file]\n\nexperiments:\n")
+			"       enokibench -cluster [file]\n"+
+			"       enokibench -fleet [-machine 8|80|1000] [-shards N] [file]\n\nexperiments:\n")
 		for _, s := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %-13s %s\n", s.Name, s.What)
 		}
 	}
 	flag.Parse()
+
+	f := benchFlags{
+		Quick: *quick, Parallel: *parallel, BenchJSON: *benchjson,
+		Cluster: *clusterMode, Fleet: *fleet, List: *list,
+		MachineCPUs: *machine, Shards: *shards, Args: flag.Args(),
+	}
+	flag.Visit(func(fl *flag.Flag) {
+		switch fl.Name {
+		case "machine":
+			f.MachineSet = true
+		case "shards":
+			f.ShardsSet = true
+		}
+	})
+	if err := validate(f); err != nil {
+		fmt.Fprintf(os.Stderr, "enokibench: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *benchjson {
 		path := "BENCH_hotpath.json"
@@ -73,12 +100,19 @@ func main() {
 		return
 	}
 
-	if *cluster {
+	if *clusterMode || *fleet {
 		path := "BENCH_cluster.json"
 		if flag.NArg() > 0 {
 			path = flag.Arg(0)
 		}
-		out, err := bench.WriteClusterJSON(path)
+		var out *bench.ClusterOutput
+		var err error
+		if *fleet {
+			m, _ := machineFor(f.MachineCPUs)
+			out, err = bench.WriteFleetJSON(path, m)
+		} else {
+			out, err = bench.WriteClusterJSON(path)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "enokibench: %v\n", err)
 			os.Exit(1)
@@ -89,6 +123,22 @@ func main() {
 		}
 		fmt.Printf("\nsharded-serial vs single: %.2fx at 80 CPUs, %.2fx at 1000 CPUs (GOMAXPROCS=%d)\n",
 			out.SpeedupAt80, out.SpeedupAt1000, out.GOMAXPROCS)
+		if fl := out.Fleet; fl != nil {
+			fmt.Printf("\nfleet: %d machines × %d CPUs, %d jobs, %.1f virtual ms — serial %.0f ms, parallel %.0f ms wall\n",
+				fl.Machines, fl.MachineCPUs, fl.Jobs, fl.VirtualMS, fl.WallSerialMS, fl.WallParallelMS)
+			for _, s := range fl.SLOs {
+				verdict := "PASS"
+				if !s.Pass {
+					verdict = "FAIL"
+				}
+				fmt.Printf("  [%s] %-14s %s (target: %s)\n", verdict, s.Name, s.Measured, s.Target)
+			}
+			if !fl.Pass {
+				fmt.Fprintf(os.Stderr, "enokibench: fleet SLO verdicts failed\n")
+				fmt.Printf("wrote %s\n", path)
+				os.Exit(1)
+			}
+		}
 		fmt.Printf("wrote %s\n", path)
 		return
 	}

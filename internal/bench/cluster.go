@@ -115,6 +115,9 @@ type ClusterOutput struct {
 	SpeedupAt80   float64         `json:"speedup_at_80"`
 	SpeedupAt1000 float64         `json:"speedup_at_1000"`
 	Results       []ClusterResult `json:"results"`
+	// Fleet is the cluster-of-machines benchmark section, present when the
+	// artifact was produced by `enokibench -fleet` (WriteFleetJSON).
+	Fleet *FleetResult `json:"fleet,omitempty"`
 }
 
 // RunCluster measures every (machine, mode) cell. Virtual durations are
@@ -148,7 +151,11 @@ func RunCluster() *ClusterOutput {
 
 // WriteClusterJSON runs the cluster sweep and writes the document to path.
 func WriteClusterJSON(path string) (*ClusterOutput, error) {
-	out := RunCluster()
+	return writeClusterDoc(path, RunCluster())
+}
+
+// writeClusterDoc marshals one BENCH_cluster.json document to path.
+func writeClusterDoc(path string, out *ClusterOutput) (*ClusterOutput, error) {
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return nil, err

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"enoki/internal/kernel"
+)
+
+// TestFleetDriveDeterministic runs a scaled-down fleet drive both ways: the
+// per-machine fingerprints must match and every job must complete despite
+// the mid-run machine kill — the same verdicts the full artifact gates on,
+// cheap enough for the test suite.
+func TestFleetDriveDeterministic(t *testing.T) {
+	const machines, jobs = 6, 120
+	serial, fpSerial, virt, _ := fleetDrive(machines, kernel.Machine8(), jobs, time.Millisecond, false)
+	par, fpPar, _, _ := fleetDrive(machines, kernel.Machine8(), jobs, time.Millisecond, true)
+	if fpSerial != fpPar {
+		t.Fatalf("fingerprints diverge: %016x vs %016x", fpSerial, fpPar)
+	}
+	if serial != par {
+		t.Fatalf("stats diverge:\nserial   %+v\nparallel %+v", serial, par)
+	}
+	if serial.Done != jobs {
+		t.Fatalf("done = %d, want %d", serial.Done, jobs)
+	}
+	if serial.Lost == 0 {
+		t.Fatal("the kill lost no placements — failover not exercised")
+	}
+	if virt <= 0 || serial.Epochs == 0 {
+		t.Fatalf("drive did not advance: virt %v, %d epochs", virt, serial.Epochs)
+	}
+}

@@ -67,6 +67,12 @@ const (
 	// back to the old module — killing the class here is the bug the
 	// rollback layer exists to prevent.
 	PlaneUpgradeKill
+	// PlaneMachineKill fail-stops a whole simulated machine in a fleet
+	// campaign (see fleet.go): the cluster control plane must detect the
+	// death and restart every placement the machine held elsewhere. Fleet
+	// schedules (`f1:` specs) use this plane exclusively; it never appears
+	// in a single-machine schedule.
+	PlaneMachineKill
 
 	numPlanes
 )
@@ -93,6 +99,8 @@ func (p Plane) String() string {
 		return "upgrade"
 	case PlaneUpgradeKill:
 		return "upgrade-kill"
+	case PlaneMachineKill:
+		return "machine-kill"
 	default:
 		return "invalid"
 	}

@@ -1,0 +1,308 @@
+// Fleet chaos: the machine-kill plane. Where the single-kernel campaigns
+// sabotage one machine from the inside (module panics, IPI loss, timer
+// skew), the fleet campaign sabotages the cluster from the outside: whole
+// machines fail-stop mid-run and the control plane must detect each death,
+// requeue the lost placements, and finish every job on the survivors. The
+// same discipline applies as everywhere else in this package — every kill
+// is a seeded draw over virtual time, so a failing fleet run replays
+// bit-for-bit from its one-line spec string (`f1:<class>:<seed>:<mask>`),
+// and the serial and worker-goroutine fleet drives of one spec must agree
+// byte for byte.
+
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"enoki/internal/cluster"
+	"enoki/internal/core"
+	"enoki/internal/enokic"
+	"enoki/internal/kernel"
+	"enoki/internal/ktime"
+	"enoki/internal/record"
+	"enoki/internal/schedtest/conformance"
+)
+
+// Fleet campaign shape: small enough to replay in a test, big enough that
+// kills land while jobs are in flight and the survivors still have the
+// capacity to finish everything.
+const (
+	fleetMachines = 10
+	fleetJobs     = 60
+	fleetBudget   = 60 * time.Millisecond
+	// Fixed in the campaign's cluster config (not left to defaults) because
+	// the oracle reasons about them: a done report sent just before a kill
+	// is still in flight for fleetNetLatency, and the control plane keeps
+	// accepting reports for a dead machine until detection fires.
+	fleetNetLatency  = 50 * time.Microsecond
+	fleetDetectDelay = 500 * time.Microsecond
+)
+
+// killSalt separates the kill-schedule stream from the workload stream that
+// shares the campaign seed.
+const killSalt uint64 = 0xd6e8feb86659fd93
+
+// FleetEvent is one machine-kill fault: machine Machine fail-stops at
+// virtual time At (ns). The fleet drops its in-flight messages, the control
+// plane notices after its detection delay, and every placement it held is
+// requeued.
+type FleetEvent struct {
+	Machine int
+	At      int64
+}
+
+func (e FleetEvent) String() string {
+	return fmt.Sprintf("%v[m%d@%v]", PlaneMachineKill, e.Machine, time.Duration(e.At))
+}
+
+// FleetSchedule is one fleet run's fault plan, the cluster-level analogue of
+// Schedule: a class, the seed every draw derives from, the generated kill
+// events, and the enable mask a minimizer clears bits in.
+type FleetSchedule struct {
+	Seed   uint64
+	Class  string
+	Events []FleetEvent
+	Mask   uint64
+}
+
+// EnabledAt reports whether kill i survives the mask.
+func (s FleetSchedule) EnabledAt(i int) bool { return s.Mask>>uint(i)&1 == 1 }
+
+// Enabled returns the surviving kills, for reporting.
+func (s FleetSchedule) Enabled() []FleetEvent {
+	out := make([]FleetEvent, 0, len(s.Events))
+	for i, ev := range s.Events {
+		if s.EnabledAt(i) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Spec renders the schedule as its replay string. GenerateFleet is a pure
+// function of (seed, class), so seed + mask reconstructs the exact kill
+// plan: the spec is the whole reproducer.
+func (s FleetSchedule) Spec() string {
+	return fmt.Sprintf("f1:%s:%x:%x", s.Class, s.Seed, s.Mask)
+}
+
+// ParseFleetSpec reconstructs a fleet schedule from a replay spec
+// (f1:<class>:<seed hex>:<mask hex>), regenerating the kills from the seed
+// and applying the mask.
+func ParseFleetSpec(spec string) (FleetSchedule, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 4 || parts[0] != "f1" {
+		return FleetSchedule{}, fmt.Errorf("chaos: bad fleet spec %q (want f1:<class>:<seed>:<mask>)", spec)
+	}
+	if _, ok := caseByName(parts[1]); !ok {
+		return FleetSchedule{}, fmt.Errorf("chaos: unknown class %q in fleet spec", parts[1])
+	}
+	seed, err := strconv.ParseUint(parts[2], 16, 64)
+	if err != nil {
+		return FleetSchedule{}, fmt.Errorf("chaos: bad seed in fleet spec: %v", err)
+	}
+	mask, err := strconv.ParseUint(parts[3], 16, 64)
+	if err != nil {
+		return FleetSchedule{}, fmt.Errorf("chaos: bad mask in fleet spec: %v", err)
+	}
+	s := GenerateFleet(seed, parts[1])
+	s.Mask &= mask
+	return s, nil
+}
+
+// GenerateFleet derives a kill schedule from a seed for one scheduler class
+// — a pure function, so the seed alone reproduces the plan. It draws one to
+// three distinct victims (never a majority, so the survivors always have
+// the capacity to finish the workload) with kill times early enough that
+// placements are still in flight.
+func GenerateFleet(seed uint64, class string) FleetSchedule {
+	rng := ktime.NewRand(seed ^ killSalt)
+	n := 1 + rng.Intn(3)
+	used := make(map[int]bool, n)
+	evs := make([]FleetEvent, 0, n)
+	for len(evs) < n {
+		m := rng.Intn(fleetMachines)
+		if used[m] {
+			continue
+		}
+		used[m] = true
+		evs = append(evs, FleetEvent{
+			Machine: m,
+			At:      (int64(1) + int64(rng.Intn(4))) * int64(time.Millisecond),
+		})
+	}
+	return FleetSchedule{Seed: seed, Class: class, Events: evs, Mask: 1<<uint(n) - 1}
+}
+
+// FleetOutcome is one fleet campaign's observable result plus the oracle's
+// verdict. Logs holds the raw per-(machine, shard) record bytes; a serial
+// and a parallel drive of the same spec must match field for field, Logs
+// byte for byte.
+type FleetOutcome struct {
+	Schedule FleetSchedule
+	Stats    cluster.Stats
+	Jobs     []cluster.Job
+	Logs     [][][]byte
+	// Violations is the oracle's verdict: empty means the cluster upheld
+	// every invariant under the kill plan.
+	Violations []string
+}
+
+// Failed reports whether the oracle found any invariant breach.
+func (r *FleetOutcome) Failed() bool { return len(r.Violations) > 0 }
+
+// FleetCampaign runs one kill schedule against a ten-machine cluster of the
+// schedule's class and judges the outcome. Every machine loads the class's
+// module above CFS on each shard with a record channel; a seeded job mix is
+// submitted up front; each enabled kill fail-stops its machine mid-run.
+// Deterministic end to end: same schedule + same parallel flag → same
+// FleetOutcome, and the serial/parallel pair must agree byte for byte.
+func FleetCampaign(s FleetSchedule, parallel bool) FleetOutcome {
+	c, ok := caseByName(s.Class)
+	if !ok {
+		return FleetOutcome{Schedule: s, Violations: []string{fmt.Sprintf("unknown class %q", s.Class)}}
+	}
+
+	bufs := make([][]*bytes.Buffer, fleetMachines)
+	recs := make([][]*record.Recorder, fleetMachines)
+	policy := conformance.PolicyCFS
+	if c.NewModule != nil {
+		policy = conformance.PolicyTest
+	}
+	cl := cluster.New(cluster.Config{
+		Machines:        fleetMachines,
+		Machine:         kernel.Machine8(),
+		Parallel:        parallel,
+		Policy:          policy,
+		Placer:          &cluster.Pack{PerCPU: 2},
+		RebalanceSpread: 3,
+		NetLatency:      fleetNetLatency,
+		DetectDelay:     fleetDetectDelay,
+		Setup: func(mi int, sk *kernel.ShardedKernel) {
+			bufs[mi] = make([]*bytes.Buffer, sk.NumShards())
+			recs[mi] = make([]*record.Recorder, sk.NumShards())
+			for sh := 0; sh < sk.NumShards(); sh++ {
+				k := sk.ShardKernel(sh)
+				var ad *enokic.Adapter
+				if c.NewModule != nil {
+					ad = enokic.Load(k, conformance.PolicyTest, enokic.Config{},
+						func(env core.Env) core.Scheduler { return c.NewModule(env, k.NumCPUs()) })
+				}
+				k.RegisterClass(conformance.PolicyCFS, kernel.NewCFS(k))
+				if ad != nil {
+					bufs[mi][sh] = &bytes.Buffer{}
+					recs[mi][sh] = record.New(k, bufs[mi][sh], conformance.PolicyCFS, record.DefaultCosts())
+					ad.SetRecorder(recs[mi][sh])
+				}
+			}
+		},
+	})
+	defer cl.Close()
+
+	rng := ktime.NewRand(s.Seed ^ workloadSalt)
+	for i := 0; i < fleetJobs; i++ {
+		cl.Submit(cluster.JobSpec{
+			Cycles: 2 + rng.Intn(5),
+			Run:    time.Duration(80+rng.Intn(250)) * time.Microsecond,
+			Sleep:  time.Duration(rng.Intn(2)) * 150 * time.Microsecond,
+		})
+	}
+	for i, ev := range s.Events {
+		if s.EnabledAt(i) {
+			cl.FailMachine(ev.Machine, time.Duration(ev.At))
+		}
+	}
+	// A fixed virtual budget, not RunUntilIdle: the record drain tasks tick
+	// forever, so a recorded cluster never goes idle. The budget is part of
+	// the campaign definition — identical in both drives.
+	cl.Run(fleetBudget)
+
+	res := FleetOutcome{Schedule: s, Stats: cl.Stats(), Logs: make([][][]byte, fleetMachines)}
+	for mi := 0; mi < fleetMachines; mi++ {
+		res.Logs[mi] = make([][]byte, len(bufs[mi]))
+		for sh := range bufs[mi] {
+			if recs[mi][sh] != nil {
+				recs[mi][sh].Close()
+				res.Logs[mi][sh] = bufs[mi][sh].Bytes()
+			}
+		}
+	}
+	for i := 0; i < cl.NumJobs(); i++ {
+		res.Jobs = append(res.Jobs, cl.Job(i))
+	}
+	res.Violations = fleetOracle(&res, cl)
+	return res
+}
+
+// fleetOracle evaluates the campaign's invariants. As with the single-
+// machine oracle, every rule is a property any correct cluster must uphold
+// under any kill plan, so the verdict never needs to know what the kills
+// "should" have done.
+func fleetOracle(r *FleetOutcome, cl *cluster.Cluster) []string {
+	var v []string
+	add := func(format string, args ...any) { v = append(v, fmt.Sprintf(format, args...)) }
+
+	kills := r.Schedule.Enabled()
+
+	// Survivor accounting: exactly the killed machines are dead at the end.
+	if want := fleetMachines - len(kills); r.Stats.MachinesAlive != want {
+		add("machines alive: %d, want %d (%d kills)", r.Stats.MachinesAlive, want, len(kills))
+	}
+	// No lost jobs: the survivors always have the capacity (kills are a
+	// minority by construction), so every submitted job must finish.
+	if r.Stats.Done != r.Stats.Submitted {
+		add("lost jobs: %d of %d completed within budget", r.Stats.Done, r.Stats.Submitted)
+	}
+	// No job may finish on a dead machine. A done report sent just before
+	// the kill legitimately lands up to NetLatency later, and the control
+	// plane keeps accepting a dead machine's reports until detection fires
+	// — anything past that horizon is a stale-report guard failure.
+	dead := make(map[int]bool, len(kills))
+	for _, ev := range kills {
+		dead[ev.Machine] = true
+	}
+	horizon := int64(fleetDetectDelay + fleetNetLatency)
+	for _, j := range r.Jobs {
+		if j.State == cluster.JobDone && dead[j.Machine] &&
+			int64(j.DoneAt) > killAtFor(kills, j.Machine)+horizon {
+			add("job %d reported done on machine %d at %v, past its kill horizon %v",
+				j.ID, j.Machine, time.Duration(j.DoneAt),
+				time.Duration(killAtFor(kills, j.Machine)+horizon))
+		}
+	}
+	// A dead machine's clock freezes: it can never advance past the fleet's
+	// lookahead horizon beyond its kill time.
+	for _, ev := range kills {
+		if now := int64(cl.Machine(ev.Machine).Sharded().Now()); now >= int64(fleetBudget) {
+			add("killed machine %d ran to the end of the budget (now %v, killed at %v)",
+				ev.Machine, time.Duration(now), time.Duration(ev.At))
+		}
+	}
+	// The record logs survive whatever the kills did to the fleet.
+	for mi, perShard := range r.Logs {
+		for sh, l := range perShard {
+			if l == nil {
+				continue
+			}
+			if _, err := record.Load(bytes.NewReader(l)); err != nil {
+				add("machine %d shard %d record log not decodable: %v", mi, sh, err)
+			}
+		}
+	}
+	return v
+}
+
+// killAtFor returns machine m's kill time, or a sentinel far past the
+// budget when m was never killed.
+func killAtFor(kills []FleetEvent, m int) int64 {
+	for _, ev := range kills {
+		if ev.Machine == m {
+			return ev.At
+		}
+	}
+	return int64(fleetBudget) * 2
+}

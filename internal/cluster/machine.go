@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"enoki/internal/kernel"
+	"enoki/internal/ktime"
+)
+
+// Machine is the agent side of the control loop: one simulated machine — a
+// full sharded kernel under its own epoch-merge executor — executing start
+// and stop operations the control plane injects, and reporting lifecycle
+// transitions back over the simulated network. Operations and reports both
+// ride the fleet's deterministic message order, so the agent is a state
+// machine with no hidden concurrency: applyStart/applyStop run inside the
+// target shard's execution context, exit observers run on the owning shard,
+// and every cross-machine send goes through a per-shard fleet source.
+//
+// A machine's executor is always driven serially (the fleet's parallel mode
+// already gives each machine its own worker goroutine; nesting another
+// parallel drive inside it would oversubscribe without adding determinism).
+type Machine struct {
+	c  *Cluster
+	id int
+	sk *kernel.ShardedKernel
+	// node is this machine's fleet index; src[s] is the fleet send context
+	// owned by shard s, so reports from concurrently-driven machines never
+	// race.
+	node int
+	src  []int
+	// jobs is the agent's running-set, keyed by job id. Only shard contexts
+	// of this machine touch it, and the machine drive is serial, so no
+	// locking.
+	jobs    map[int]*jobRun
+	spawned uint64
+}
+
+// jobRun is the on-machine state of one placed job.
+type jobRun struct {
+	id         int
+	shard      int
+	cyclesLeft int
+	stop       bool // cooperative stop flag, checked at cycle boundaries
+	spec       JobSpec
+}
+
+func newMachine(c *Cluster, id int) *Machine {
+	sk := kernel.NewShardedKernel(c.cfg.Machine, kernel.CostsFor(c.cfg.Machine), 0)
+	m := &Machine{c: c, id: id, sk: sk, jobs: make(map[int]*jobRun)}
+	m.node = c.fl.AddNode(sk)
+	for s := 0; s < sk.NumShards(); s++ {
+		m.src = append(m.src, c.fl.AddSource(m.node))
+	}
+	if c.cfg.Setup != nil {
+		c.cfg.Setup(id, sk)
+	} else {
+		for s := 0; s < sk.NumShards(); s++ {
+			k := sk.ShardKernel(s)
+			k.RegisterClass(0, kernel.NewCFS(k))
+		}
+	}
+	return m
+}
+
+// ID returns the machine's cluster-wide id.
+func (m *Machine) ID() int { return m.id }
+
+// Sharded returns the machine's kernel stack, for per-shard instrumentation
+// (recorders, tracers, extra workload) between runs.
+func (m *Machine) Sharded() *kernel.ShardedKernel { return m.sk }
+
+// TasksSpawned returns how many job tasks this machine has spawned. Read it
+// between runs.
+func (m *Machine) TasksSpawned() uint64 { return m.spawned }
+
+// report sends a lifecycle report from shard context back to the control
+// plane, one network latency away.
+func (m *Machine) report(shard int, fn func(s *jobScheduler)) {
+	c := m.c
+	at := m.sk.ShardKernel(shard).Now().Add(ktime.Duration(c.cfg.NetLatency))
+	c.fl.Send(m.src[shard], c.ctrlNode, at, func() {
+		c.ctrl.PostAt(at, func() { fn(c.sched) })
+	})
+}
+
+// applyStart executes a start operation inside shard context: spawn the
+// job's task into the configured policy class and ack the placement. The
+// task runs cyclesLeft compute segments, parking between them per the spec,
+// and honors the cooperative stop flag at every cycle boundary.
+func (m *Machine) applyStart(id, shard, cycles int, spec JobSpec) {
+	k := m.sk.ShardKernel(shard)
+	jr := &jobRun{id: id, shard: shard, cyclesLeft: cycles, spec: spec}
+	m.jobs[id] = jr
+	m.spawned++
+	k.Spawn(spec.Name, m.c.cfg.Policy, kernel.BehaviorFunc(
+		func(*kernel.Kernel, *kernel.Task) kernel.Action {
+			if jr.stop || jr.cyclesLeft <= 0 {
+				return kernel.Action{Op: kernel.OpExit}
+			}
+			jr.cyclesLeft--
+			if spec.Sleep > 0 {
+				return kernel.Action{Run: spec.Run, Op: kernel.OpSleep, SleepFor: spec.Sleep}
+			}
+			return kernel.Action{Run: spec.Run, Op: kernel.OpYield}
+		}), kernel.WithExitObserver(func() { m.onExit(jr) }))
+	m.report(shard, func(s *jobScheduler) { s.onStarted(id, m.id) })
+}
+
+// applyStop executes a stop operation: raise the cooperative flag so the
+// task exits at its next cycle boundary with its progress checkpointed. A
+// job that already finished (its done report is in flight) is a no-op — the
+// control plane resolves the race from the reports.
+func (m *Machine) applyStop(id int) {
+	if jr, ok := m.jobs[id]; ok {
+		jr.stop = true
+	}
+}
+
+// onExit runs on the owning shard when a job task dies: report either the
+// completion or the migration checkpoint.
+func (m *Machine) onExit(jr *jobRun) {
+	delete(m.jobs, jr.id)
+	id := jr.id
+	if jr.stop && jr.cyclesLeft > 0 {
+		left := jr.cyclesLeft
+		m.report(jr.shard, func(s *jobScheduler) { s.onStopped(id, m.id, left) })
+		return
+	}
+	m.report(jr.shard, func(s *jobScheduler) { s.onDone(id, m.id) })
+}

@@ -1,0 +1,96 @@
+package cluster
+
+// Placer is the placement policy of the cluster job scheduler: given a job
+// and the control plane's view of the fleet, pick the machine the job should
+// run on, or -1 when no machine can take it. Pick runs on the control-plane
+// engine, so implementations may keep state without locking — but they must
+// be deterministic functions of the job and the view, because placement
+// decisions feed the record logs the determinism suite compares byte for
+// byte.
+type Placer interface {
+	Name() string
+	Pick(j *Job, view []MachineView) int
+}
+
+// RoundRobin rotates over alive machines in id order.
+type RoundRobin struct{ next int }
+
+// Name implements Placer.
+func (p *RoundRobin) Name() string { return "roundrobin" }
+
+// Pick returns the next alive machine after the previous pick.
+func (p *RoundRobin) Pick(_ *Job, view []MachineView) int {
+	n := len(view)
+	for i := 0; i < n; i++ {
+		m := (p.next + i) % n
+		if view[m].Alive {
+			p.next = (m + 1) % n
+			return m
+		}
+	}
+	return -1
+}
+
+// LeastLoaded picks the alive machine with the fewest assigned jobs per CPU
+// (cross-multiplied, so heterogeneous fleets compare without floats); ties
+// break toward the lowest machine id.
+type LeastLoaded struct{}
+
+// Name implements Placer.
+func (LeastLoaded) Name() string { return "leastloaded" }
+
+// Pick returns the least-loaded alive machine.
+func (LeastLoaded) Pick(_ *Job, view []MachineView) int {
+	best := -1
+	for m := range view {
+		v := &view[m]
+		if !v.Alive {
+			continue
+		}
+		if best == -1 || v.Assigned*view[best].CPUs < view[best].Assigned*v.CPUs {
+			best = m
+		}
+	}
+	return best
+}
+
+// Pack fills machines first-fit in id order up to PerCPU assigned jobs per
+// CPU, spilling to the least-loaded machine when every machine is at
+// capacity. It concentrates load on a prefix of the fleet — the placement
+// policy that makes rebalancing migrations interesting.
+type Pack struct {
+	// PerCPU is the soft capacity in assigned jobs per CPU; zero means 2.
+	PerCPU int
+}
+
+// Name implements Placer.
+func (p *Pack) Name() string { return "pack" }
+
+// Pick returns the first alive machine under capacity.
+func (p *Pack) Pick(j *Job, view []MachineView) int {
+	per := p.PerCPU
+	if per <= 0 {
+		per = 2
+	}
+	for m := range view {
+		v := &view[m]
+		if v.Alive && v.Assigned < per*v.CPUs {
+			return m
+		}
+	}
+	return LeastLoaded{}.Pick(j, view)
+}
+
+// PlacerByName maps a CLI name to a fresh placer instance; nil for unknown
+// names.
+func PlacerByName(name string) Placer {
+	switch name {
+	case "roundrobin":
+		return &RoundRobin{}
+	case "leastloaded":
+		return LeastLoaded{}
+	case "pack":
+		return &Pack{}
+	}
+	return nil
+}

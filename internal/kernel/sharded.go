@@ -192,6 +192,21 @@ func (sk *ShardedKernel) RunFor(d time.Duration) {
 	sk.ex.RunUntil(sk.ex.Now().Add(ktime.Duration(d)))
 }
 
+// RunUntil advances the whole sharded simulation to absolute virtual time t;
+// every shard clock finishes at exactly t. With Now and NextEventTime it
+// makes a ShardedKernel a sim.FleetNode: one machine of a simulated cluster.
+func (sk *ShardedKernel) RunUntil(t ktime.Time) { sk.ex.RunUntil(t) }
+
+// NextEventTime returns the earliest pending work anywhere in the machine —
+// shard events or in-flight cross-shard messages. Call it between runs.
+func (sk *ShardedKernel) NextEventTime() (ktime.Time, bool) { return sk.ex.NextEventTime() }
+
+// Inject commits fn for execution on shard `to` of this machine at absolute
+// virtual time at, from a fleet-level coordinator between machine epochs
+// (see sim.Sharded.Inject). This is how cluster-level commands — job starts,
+// stops, control messages — enter a machine deterministically.
+func (sk *ShardedKernel) Inject(to int, at ktime.Time, fn func()) { sk.ex.Inject(to, at, fn) }
+
 // RunUntilIdle runs until every shard's event queue drains and no message is
 // in flight.
 func (sk *ShardedKernel) RunUntilIdle() { sk.ex.RunUntilIdle() }

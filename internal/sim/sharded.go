@@ -34,7 +34,14 @@ import (
 const maxTime = ktime.Time(math.MaxInt64)
 
 // smsg is one cross-shard message. The (at, to, from, seq) tuple is the
-// total delivery order.
+// total delivery order: seq is monotonic per source for the life of the
+// executor — never wrapped, never reset between epochs or runs — so two
+// distinct messages can never compare equal. A per-epoch or per-run seq
+// reset would silently break the byte-identity guarantee: two same-instant
+// messages from one source would tie, and the sort (which is not stable
+// across heapsort/insertion regimes) could order them differently between
+// the serial and parallel drives. TestSmsgOrderTotal pins the totality;
+// TestShardedSeqMonotonicAcrossEpochs pins the no-reset property.
 type smsg struct {
 	at       ktime.Time
 	to, from int
@@ -72,6 +79,7 @@ type Sharded struct {
 	pending []smsg   // undelivered messages, sorted by (at, to, from, seq)
 	out     [][]smsg // per-shard outboxes, owned by the shard during an epoch
 	sendSeq []uint64
+	extSeq  uint64 // Inject sequence (source -1) — monotonic, never reset
 	in      []inbox
 	drainFn []func()
 
@@ -179,6 +187,43 @@ func (s *Sharded) Send(from, to int, at ktime.Time, fn func()) {
 	}
 	s.sendSeq[from]++
 	s.out[from] = append(s.out[from], smsg{at: at, to: to, from: from, seq: s.sendSeq[from], fn: fn})
+}
+
+// Inject commits fn for execution on shard `to` at absolute virtual time
+// `at`, from outside every shard's execution context — the fleet-level
+// coordinator between machine epochs, or test setup between runs. Injected
+// messages join the ordinary pending set under the (at, to, from, seq)
+// order with the reserved source -1, so at one instant they deliver before
+// any shard's own traffic, in injection order (extSeq is monotonic for the
+// executor's life, like every other sequence counter — see the smsg audit
+// note). They drain through the same inbox/batch-hook machinery as
+// cross-shard sends, so a burst of injected wakes coalesces IPIs exactly
+// like a remote-wake burst.
+//
+// Unlike Send, Inject has no lookahead floor: the caller is the
+// coordinator, every shard sits at or before `at`, and determinism comes
+// from the caller itself being deterministic. Injecting into the past of
+// the executor floor panics.
+func (s *Sharded) Inject(to int, at ktime.Time, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: Inject at %v before executor floor %v (shard %d)", at, s.now, to))
+	}
+	s.extSeq++
+	s.pending = append(s.pending, smsg{at: at, to: to, from: -1, seq: s.extSeq, fn: fn})
+	sortSmsgs(s.pending)
+}
+
+// NextEventTime returns the earliest pending work across the whole sharded
+// simulation — shard events and undelivered cross-shard messages — which is
+// what a fleet-level coordinator needs to schedule productive epochs. Call
+// it between runs (it merges outboxes).
+func (s *Sharded) NextEventTime() (ktime.Time, bool) {
+	s.collect()
+	best, ok := s.minNextEvent()
+	if len(s.pending) > 0 && (!ok || s.pending[0].at < best) {
+		best, ok = s.pending[0].at, true
+	}
+	return best, ok
 }
 
 // drain is shard i's delivery event: it runs every inbox message due at the

@@ -1,6 +1,7 @@
 package enoki
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -49,7 +50,15 @@ type System struct {
 	recCosts  RecordCosts
 	recWanted bool
 	recorder  *record.Recorder
+
+	// closed latches after Close: a closed System cannot load modules or
+	// run, and closing again reports ErrSystemClosed.
+	closed bool
 }
+
+// ErrSystemClosed is the sentinel wrapped by operations on a closed System:
+// a second Close, or Load after Close.
+var ErrSystemClosed = errors.New("system closed")
 
 // options collects the functional-option state for NewSystem.
 type options struct {
@@ -218,12 +227,22 @@ func (s *System) SetParallel(on bool) {
 	}
 }
 
-// Close stops the sharded executor's worker goroutines (parallel drive
-// only). No-op on an unsharded System.
-func (s *System) Close() {
+// Close retires the System: on a sharded System it stops the executor's
+// worker goroutines; on an unsharded one it only latches the closed state.
+// The first Close returns nil; closing again returns an error wrapping
+// ErrSystemClosed, and a closed System rejects Load (error) and panics on
+// RegisterClass/RegisterCFS/Run — mirroring the UserQueue double-Close
+// hardening, so lifecycle bugs surface as clean failures instead of
+// use-after-close corruption.
+func (s *System) Close() error {
+	if s.closed {
+		return fmt.Errorf("enoki: double Close: %w", ErrSystemClosed)
+	}
+	s.closed = true
 	if s.sk != nil {
 		s.sk.Close()
 	}
+	return nil
 }
 
 // Config returns the framework Config used for Load.
@@ -239,6 +258,9 @@ func (s *System) Config() Config { return s.cfg }
 // module instance above its own sub-kernel — and Load returns shard 0's
 // adapter (the rest are in Adapters, shard order).
 func (s *System) Load(policy int, factory func(Env) Scheduler) (*Adapter, error) {
+	if s.closed {
+		return nil, fmt.Errorf("enoki: Load after Close: %w", ErrSystemClosed)
+	}
 	if s.sk != nil {
 		var first *Adapter
 		for i := 0; i < s.sk.NumShards(); i++ {
@@ -287,6 +309,9 @@ func (s *System) MustLoad(policy int, factory func(Env) Scheduler) *Adapter {
 // register per shard with ShardKernel(i).RegisterClass, or use RegisterCFS
 // which constructs per shard.
 func (s *System) RegisterClass(policy int, c Class) {
+	if s.closed {
+		panic("enoki: RegisterClass on a closed System")
+	}
 	if s.sk != nil {
 		panic("enoki: RegisterClass binds one Class to one kernel; in sharded mode register per ShardKernel (or use RegisterCFS)")
 	}
@@ -299,6 +324,9 @@ func (s *System) RegisterClass(policy int, c Class) {
 // above it in the pick order, mirroring the paper's setups. In sharded mode
 // one CFS is built per shard and shard 0's is returned.
 func (s *System) RegisterCFS(policy int) *kernel.CFS {
+	if s.closed {
+		panic("enoki: RegisterCFS on a closed System")
+	}
 	if s.sk != nil {
 		var first *kernel.CFS
 		for i := 0; i < s.sk.NumShards(); i++ {
@@ -337,6 +365,9 @@ func (s *System) Adapters() []*Adapter { return s.adapters }
 
 // Run advances the simulation by d of virtual time.
 func (s *System) Run(d time.Duration) {
+	if s.closed {
+		panic("enoki: Run on a closed System")
+	}
 	if s.sk != nil {
 		s.sk.RunFor(d)
 		return

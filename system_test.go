@@ -170,3 +170,51 @@ func TestSystemShardedRejects(t *testing.T) {
 		sys.RegisterClass(0, enoki.NewCFS(sys.ShardKernel(0)))
 	})
 }
+
+// TestSystemCloseIdempotence: Close is safe on both system flavors — the
+// first call succeeds, the second reports ErrSystemClosed, and a closed
+// System rejects Load with a typed error instead of corrupting state.
+func TestSystemCloseIdempotence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() *enoki.System
+	}{
+		{"unsharded", func() *enoki.System { return enoki.NewSystem() }},
+		{"sharded", func() *enoki.System {
+			return enoki.NewSystem(enoki.WithMachine(enoki.Machine80()),
+				enoki.WithShards(0), enoki.WithParallelSim(true))
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := tc.mk()
+			sys.RegisterCFS(0)
+			sys.Run(time.Millisecond)
+			if err := sys.Close(); err != nil {
+				t.Fatalf("first Close: %v", err)
+			}
+			if err := sys.Close(); !errors.Is(err, enoki.ErrSystemClosed) {
+				t.Fatalf("second Close = %v, want ErrSystemClosed", err)
+			}
+			_, err := sys.Load(1, func(env enoki.Env) enoki.Scheduler { return nil })
+			if !errors.Is(err, enoki.ErrSystemClosed) {
+				t.Fatalf("Load after Close = %v, want ErrSystemClosed", err)
+			}
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("Run on closed System did not panic")
+					}
+				}()
+				sys.Run(time.Millisecond)
+			}()
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("RegisterCFS on closed System did not panic")
+					}
+				}()
+				sys.RegisterCFS(2)
+			}()
+		})
+	}
+}
