@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench bench-cluster bench-fleet fleet sharded quick cover fuzz trace apicheck chaos
+.PHONY: check build test race vet bench bench-cluster bench-fleet bench-rollout fleet rollout sharded quick cover fuzz trace apicheck chaos
 
 check: vet build race apicheck
 
@@ -29,11 +29,19 @@ bench-cluster:
 	$(GO) run ./cmd/enokibench -cluster BENCH_cluster.json
 
 # Full fleet artifact: the cluster sweep plus the 1,000-machine ×
-# 120,000-job fleet benchmark (serial and parallel drives, machine failure
+# million-job fleet benchmark (serial and parallel drives, machine failure
 # mid-run), with its SLO verdicts appended to BENCH_cluster.json. Budget a
 # few minutes of wall time.
 bench-fleet:
 	$(GO) run ./cmd/enokibench -fleet BENCH_cluster.json
+
+# Full rollout artifact: everything bench-fleet writes plus the canary
+# rollout benchmark — a clean thousand-machine upgrade, a sabotaged one
+# that halts and rolls back, both serial and parallel, and the pinned
+# `r1:` chaos replay — appended to BENCH_cluster.json. This is the
+# superset that regenerates the committed artifact.
+bench-rollout:
+	$(GO) run ./cmd/enokibench -rollout BENCH_cluster.json
 
 # Fleet gate mirroring the CI job: the whole cluster control plane under the
 # race detector — placement, migration, failover, Close lifecycle — plus the
@@ -42,6 +50,14 @@ bench-fleet:
 fleet:
 	$(GO) test -race -count=1 ./internal/cluster
 	$(GO) test -race -run 'TestFleet' -count=1 ./internal/sim ./internal/chaos ./internal/bench
+
+# Rollout gate mirroring the CI job: the canary-upgrade state machine under
+# the race detector — serial-vs-parallel identity of clean and halted
+# campaigns, machine death mid-wave, the r1: chaos-replay conformance suite
+# with ddmin minimization, the rollout-spec fuzz corpus, and the public
+# Cluster.Rollout API.
+rollout:
+	$(GO) test -race -run 'TestRollout|TestClusterRollout|FuzzParseRolloutSpec' -count=1 ./internal/cluster ./internal/chaos ./internal/bench .
 
 # Sharded-executor gate mirroring the CI job: serial-vs-parallel record-log
 # identity and conformance for every scheduler class under the race detector,

@@ -140,6 +140,15 @@ func WithMachineSetup(setup func(machine int, sk *ShardedKernel)) ClusterOption 
 	return func(c *cluster.Config) { c.Setup = setup }
 }
 
+// WithMachineModules is WithMachineSetup's upgradable variant: setup must
+// register a scheduler class under the job policy on every shard through
+// the enokic loader and return the per-shard adapters. Machines built this
+// way are rollout targets — Cluster.Rollout ships them new module
+// generations through enokic's transactional upgrade path.
+func WithMachineModules(setup func(machine int, sk *ShardedKernel) []*Adapter) ClusterOption {
+	return func(c *cluster.Config) { c.SetupModules = setup }
+}
+
 // NewCluster assembles a simulated fleet. With only WithMachines(n) it runs
 // n 8-core machines with per-shard CFS, least-loaded placement, and the
 // default network and control-loop latencies.
@@ -149,4 +158,99 @@ func NewCluster(opts ...ClusterOption) *Cluster {
 		opt(&cfg)
 	}
 	return cluster.New(cfg)
+}
+
+// Rollout is one in-flight (or resolved) fleet rollout: the control plane
+// upgrades a named scheduler-module generation across the cluster in canary
+// waves, gating each widening on per-machine SLO verdicts and rolling every
+// upgraded machine back if a wave fails. Start one with Cluster.Rollout
+// between runs:
+//
+//	ro, err := cl.Rollout("v2", func(machine int, env enoki.Env) enoki.Scheduler {
+//	        return enoki.NewWFQScheduler(env, policy)
+//	}, enoki.WithCanaryFraction(0.05))
+//	cl.Run(20 * time.Millisecond)
+//	report := ro.Report() // replayable; identical serial vs parallel
+type Rollout = cluster.Rollout
+
+// RolloutConfig parameterizes Cluster.StartRollout; Cluster.Rollout builds
+// one from a version, a factory, and RolloutOptions.
+type RolloutConfig = cluster.RolloutConfig
+
+// RolloutOption adjusts one rollout's canary sizing, soak window, or SLO
+// verdict rules.
+type RolloutOption = cluster.RolloutOption
+
+// RolloutReport is the replayable record of one rollout: identical across
+// serial and parallel drives of the same cluster history.
+type RolloutReport = cluster.RolloutReport
+
+// WaveReport records one rollout wave's membership and casualties.
+type WaveReport = cluster.WaveReport
+
+// MachineVerdict is the per-machine SLO verdict gating a rollout wave.
+type MachineVerdict = cluster.MachineVerdict
+
+// SlotState is one machine's stage in the rollout state machine; SlotStatus
+// pairs it with the machine id (Rollout.Slots).
+type SlotState = cluster.SlotState
+
+// SlotStatus is one rollout target's current state.
+type SlotStatus = cluster.SlotStatus
+
+// Rollout slot states.
+const (
+	SlotPending     = cluster.SlotPending
+	SlotUpgrading   = cluster.SlotUpgrading
+	SlotObserving   = cluster.SlotObserving
+	SlotHealthy     = cluster.SlotHealthy
+	SlotFailed      = cluster.SlotFailed
+	SlotRollingBack = cluster.SlotRollingBack
+	SlotRolledBack  = cluster.SlotRolledBack
+	SlotDead        = cluster.SlotDead
+)
+
+// Rollout errors.
+var (
+	// ErrRolloutActive: only one rollout may be in flight per cluster.
+	ErrRolloutActive = cluster.ErrRolloutActive
+	// ErrNoModules: no alive machine exposes upgradable modules — build the
+	// cluster with WithMachineModules to make machines rollout targets.
+	ErrNoModules = cluster.ErrNoModules
+)
+
+// WithCanaryFraction sets the first-wave fraction of target machines
+// (default 0.02, always at least one machine).
+func WithCanaryFraction(f float64) RolloutOption {
+	return func(c *RolloutConfig) { c.Canary = f }
+}
+
+// WithWidenFactor sets the wave-width multiplier applied after each healthy
+// wave (default 4).
+func WithWidenFactor(n int) RolloutOption {
+	return func(c *RolloutConfig) { c.Widen = n }
+}
+
+// WithObserveWindow sets the soak window between a wave's last upgrade ack
+// and its health probes (default 2ms).
+func WithObserveWindow(d time.Duration) RolloutOption {
+	return func(c *RolloutConfig) { c.Observe = d }
+}
+
+// WithMaxFaults sets the per-machine budget of fault-killed modules found
+// at probe time (default 0: any kill fails the verdict).
+func WithMaxFaults(n int) RolloutOption {
+	return func(c *RolloutConfig) { c.MaxFaults = n }
+}
+
+// WithMinCompletion sets the floor on done/assigned over the soak window
+// for machines that had jobs assigned at soak start (default off).
+func WithMinCompletion(f float64) RolloutOption {
+	return func(c *RolloutConfig) { c.MinCompletion = f }
+}
+
+// WithMaxStartP99 sets the ceiling on a machine's start-op ack p99 during
+// the soak (default 5ms).
+func WithMaxStartP99(d time.Duration) RolloutOption {
+	return func(c *RolloutConfig) { c.MaxStartP99 = d }
 }

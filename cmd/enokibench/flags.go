@@ -16,6 +16,7 @@ type benchFlags struct {
 	BenchJSON bool
 	Cluster   bool
 	Fleet     bool
+	Rollout   bool
 	List      bool
 	// MachineCPUs selects the per-machine topology of the fleet benchmark:
 	// 8, 80, or 1000 CPUs.
@@ -43,25 +44,25 @@ func machineFor(cpus int) (kernel.Machine, bool) {
 }
 
 // validate rejects incoherent flag combinations with a usage error before
-// anything runs. The artifact modes (-benchjson, -cluster, -fleet) are
-// mutually exclusive, take at most one argument (the output path), and do
-// not compose with the experiment-runner flags; -machine and -shards only
-// parameterize -fleet, and a shard count can never exceed the machine's
-// NUMA node count.
+// anything runs. The artifact modes (-benchjson, -cluster, -fleet,
+// -rollout) are mutually exclusive, take at most one argument (the output
+// path), and do not compose with the experiment-runner flags; -machine and
+// -shards only parameterize -fleet and -rollout, and a shard count can
+// never exceed the machine's NUMA node count.
 func validate(f benchFlags) error {
 	mode := ""
 	modes := 0
 	for _, m := range []struct {
 		on   bool
 		name string
-	}{{f.BenchJSON, "-benchjson"}, {f.Cluster, "-cluster"}, {f.Fleet, "-fleet"}} {
+	}{{f.BenchJSON, "-benchjson"}, {f.Cluster, "-cluster"}, {f.Fleet, "-fleet"}, {f.Rollout, "-rollout"}} {
 		if m.on {
 			mode = m.name
 			modes++
 		}
 	}
 	if modes > 1 {
-		return errors.New("-benchjson, -cluster, and -fleet are mutually exclusive")
+		return errors.New("-benchjson, -cluster, -fleet, and -rollout are mutually exclusive")
 	}
 	if modes == 1 {
 		if f.Quick {
@@ -77,8 +78,8 @@ func validate(f benchFlags) error {
 			return fmt.Errorf("%s takes at most one argument (the output file), got %d", mode, len(f.Args))
 		}
 	}
-	if (f.MachineSet || f.ShardsSet) && !f.Fleet {
-		return errors.New("-machine and -shards parameterize -fleet only")
+	if (f.MachineSet || f.ShardsSet) && !f.Fleet && !f.Rollout {
+		return errors.New("-machine and -shards parameterize -fleet and -rollout only")
 	}
 	m, ok := machineFor(f.MachineCPUs)
 	if !ok {

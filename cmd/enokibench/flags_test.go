@@ -7,7 +7,8 @@ import (
 
 // TestValidateFlags pins the CLI contract: artifact modes are mutually
 // exclusive and reject experiment-runner flags, -machine/-shards belong to
-// -fleet, and shard counts can never exceed the machine's NUMA nodes.
+// -fleet and -rollout, and shard counts can never exceed the machine's
+// NUMA nodes.
 func TestValidateFlags(t *testing.T) {
 	ok := func(f benchFlags) benchFlags {
 		if f.Parallel == 0 {
@@ -30,15 +31,19 @@ func TestValidateFlags(t *testing.T) {
 		{"fleet", ok(benchFlags{Fleet: true}), ""},
 		{"fleet 80-cpu machines", ok(benchFlags{Fleet: true, MachineCPUs: 80, MachineSet: true}), ""},
 		{"fleet matching shards", ok(benchFlags{Fleet: true, MachineCPUs: 1000, MachineSet: true, Shards: 10, ShardsSet: true}), ""},
+		{"rollout", ok(benchFlags{Rollout: true}), ""},
+		{"rollout 80-cpu machines", ok(benchFlags{Rollout: true, MachineCPUs: 80, MachineSet: true}), ""},
 
 		{"cluster+fleet", ok(benchFlags{Cluster: true, Fleet: true}), "mutually exclusive"},
+		{"fleet+rollout", ok(benchFlags{Fleet: true, Rollout: true}), "mutually exclusive"},
+		{"rollout with quick", ok(benchFlags{Rollout: true, Quick: true}), "-quick applies to experiment runs"},
 		{"benchjson+cluster", ok(benchFlags{BenchJSON: true, Cluster: true}), "mutually exclusive"},
 		{"cluster with parallel", ok(benchFlags{Cluster: true, Parallel: 4}), "-parallel applies to experiment runs"},
 		{"fleet with quick", ok(benchFlags{Fleet: true, Quick: true}), "-quick applies to experiment runs"},
 		{"cluster with list", ok(benchFlags{Cluster: true, List: true}), "-list does not compose"},
 		{"fleet two args", ok(benchFlags{Fleet: true, Args: []string{"a", "b"}}), "at most one argument"},
-		{"machine outside fleet", ok(benchFlags{MachineCPUs: 80, MachineSet: true}), "parameterize -fleet only"},
-		{"shards outside fleet", ok(benchFlags{Shards: 2, ShardsSet: true}), "parameterize -fleet only"},
+		{"machine outside fleet", ok(benchFlags{MachineCPUs: 80, MachineSet: true}), "parameterize -fleet and -rollout only"},
+		{"shards outside fleet", ok(benchFlags{Shards: 2, ShardsSet: true}), "parameterize -fleet and -rollout only"},
 		{"bogus machine", ok(benchFlags{Fleet: true, MachineCPUs: 64, MachineSet: true}), "-machine must be 8, 80, or 1000"},
 		{"shards exceed nodes", ok(benchFlags{Fleet: true, MachineCPUs: 80, MachineSet: true, Shards: 4, ShardsSet: true}), "exceeds"},
 		{"shards mismatch nodes", ok(benchFlags{Fleet: true, MachineCPUs: 1000, MachineSet: true, Shards: 2, ShardsSet: true}), "does not match"},

@@ -9,6 +9,7 @@
 //	enokibench -benchjson [file]
 //	enokibench -cluster [file]
 //	enokibench -fleet [-machine 8|80|1000] [-shards N] [file]
+//	enokibench -rollout [-machine 8|80|1000] [-shards N] [file]
 //
 // With no experiment names, everything runs in paper order. -quick shrinks
 // message counts and durations so the full suite finishes in well under a
@@ -21,13 +22,18 @@
 // BENCH_cluster.json (or the given file). -fleet additionally runs the
 // cluster-of-machines benchmark — 1,000 simulated machines under the fleet
 // executor with a machine failure mid-run, serial and parallel — and writes
-// its SLO verdicts into the same document.
+// its SLO verdicts into the same document. -rollout is a superset of -fleet:
+// it also drives a wave-based canary upgrade across the fleet — clean and
+// with a seeded faulty build that halts the rollout and rolls every upgraded
+// machine back — plus a chaos replay of the halt from its one-line r1: spec,
+// and appends those verdicts to the document.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"enoki/internal/bench"
@@ -40,14 +46,16 @@ func main() {
 	benchjson := flag.Bool("benchjson", false, "run hot-path micro-benchmarks, write BENCH_hotpath.json, and exit")
 	clusterMode := flag.Bool("cluster", false, "run cluster-scale sharded-vs-single throughput sweep, write BENCH_cluster.json, and exit")
 	fleet := flag.Bool("fleet", false, "run the cluster sweep plus the 1,000-machine fleet benchmark, write BENCH_cluster.json, and exit")
-	machine := flag.Int("machine", 8, "per-machine CPUs for -fleet: 8, 80, or 1000")
-	shards := flag.Int("shards", 0, "shards per machine for -fleet (0 = one per NUMA node; must match the machine)")
+	rollout := flag.Bool("rollout", false, "run the cluster sweep, fleet benchmark, and canary-rollout benchmark, write BENCH_cluster.json, and exit")
+	machine := flag.Int("machine", 8, "per-machine CPUs for -fleet/-rollout: 8, 80, or 1000")
+	shards := flag.Int("shards", 0, "shards per machine for -fleet/-rollout (0 = one per NUMA node; must match the machine)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: enokibench [-quick] [-parallel N] [-list] [experiment ...]\n"+
 			"       enokibench -benchjson [file]\n"+
 			"       enokibench -cluster [file]\n"+
-			"       enokibench -fleet [-machine 8|80|1000] [-shards N] [file]\n\nexperiments:\n")
+			"       enokibench -fleet [-machine 8|80|1000] [-shards N] [file]\n"+
+			"       enokibench -rollout [-machine 8|80|1000] [-shards N] [file]\n\nexperiments:\n")
 		for _, s := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %-13s %s\n", s.Name, s.What)
 		}
@@ -56,7 +64,7 @@ func main() {
 
 	f := benchFlags{
 		Quick: *quick, Parallel: *parallel, BenchJSON: *benchjson,
-		Cluster: *clusterMode, Fleet: *fleet, List: *list,
+		Cluster: *clusterMode, Fleet: *fleet, Rollout: *rollout, List: *list,
 		MachineCPUs: *machine, Shards: *shards, Args: flag.Args(),
 	}
 	flag.Visit(func(fl *flag.Flag) {
@@ -100,17 +108,21 @@ func main() {
 		return
 	}
 
-	if *clusterMode || *fleet {
+	if *clusterMode || *fleet || *rollout {
 		path := "BENCH_cluster.json"
 		if flag.NArg() > 0 {
 			path = flag.Arg(0)
 		}
 		var out *bench.ClusterOutput
 		var err error
-		if *fleet {
+		switch {
+		case *rollout:
+			m, _ := machineFor(f.MachineCPUs)
+			out, err = bench.WriteRolloutJSON(path, m)
+		case *fleet:
 			m, _ := machineFor(f.MachineCPUs)
 			out, err = bench.WriteFleetJSON(path, m)
-		} else {
+		default:
 			out, err = bench.WriteClusterJSON(path)
 		}
 		if err != nil {
@@ -123,23 +135,38 @@ func main() {
 		}
 		fmt.Printf("\nsharded-serial vs single: %.2fx at 80 CPUs, %.2fx at 1000 CPUs (GOMAXPROCS=%d)\n",
 			out.SpeedupAt80, out.SpeedupAt1000, out.GOMAXPROCS)
-		if fl := out.Fleet; fl != nil {
-			fmt.Printf("\nfleet: %d machines × %d CPUs, %d jobs, %.1f virtual ms — serial %.0f ms, parallel %.0f ms wall\n",
-				fl.Machines, fl.MachineCPUs, fl.Jobs, fl.VirtualMS, fl.WallSerialMS, fl.WallParallelMS)
-			for _, s := range fl.SLOs {
+		printSLOs := func(slos []bench.FleetSLO) {
+			for _, s := range slos {
 				verdict := "PASS"
 				if !s.Pass {
 					verdict = "FAIL"
 				}
 				fmt.Printf("  [%s] %-14s %s (target: %s)\n", verdict, s.Name, s.Measured, s.Target)
 			}
+		}
+		var failed []string
+		if fl := out.Fleet; fl != nil {
+			fmt.Printf("\nfleet: %d machines × %d CPUs, %d jobs, %.1f virtual ms — serial %.0f ms, parallel %.0f ms wall\n",
+				fl.Machines, fl.MachineCPUs, fl.Jobs, fl.VirtualMS, fl.WallSerialMS, fl.WallParallelMS)
+			printSLOs(fl.SLOs)
 			if !fl.Pass {
-				fmt.Fprintf(os.Stderr, "enokibench: fleet SLO verdicts failed\n")
-				fmt.Printf("wrote %s\n", path)
-				os.Exit(1)
+				failed = append(failed, "fleet")
+			}
+		}
+		if ro := out.Rollout; ro != nil {
+			fmt.Printf("\nrollout: %s %s over %d machines (canary %d, %d clean waves; faulty from machine %d halts wave %d, %d rolled back)\n",
+				ro.Class, ro.Version, ro.Machines, ro.Canary, ro.CleanWaves,
+				ro.FaultyFrom, ro.FaultyHaltedWave, ro.FaultyRolledBack)
+			printSLOs(ro.SLOs)
+			if !ro.Pass {
+				failed = append(failed, "rollout")
 			}
 		}
 		fmt.Printf("wrote %s\n", path)
+		if len(failed) > 0 {
+			fmt.Fprintf(os.Stderr, "enokibench: %s SLO verdicts failed\n", strings.Join(failed, " and "))
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -116,8 +116,12 @@ type ClusterOutput struct {
 	SpeedupAt1000 float64         `json:"speedup_at_1000"`
 	Results       []ClusterResult `json:"results"`
 	// Fleet is the cluster-of-machines benchmark section, present when the
-	// artifact was produced by `enokibench -fleet` (WriteFleetJSON).
+	// artifact was produced by `enokibench -fleet` (WriteFleetJSON) or
+	// `enokibench -rollout` (WriteRolloutJSON).
 	Fleet *FleetResult `json:"fleet,omitempty"`
+	// Rollout is the canary-upgrade benchmark section, present when the
+	// artifact was produced by `enokibench -rollout` (WriteRolloutJSON).
+	Rollout *RolloutBenchResult `json:"rollout,omitempty"`
 }
 
 // RunCluster measures every (machine, mode) cell. Virtual durations are

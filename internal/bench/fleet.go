@@ -1,6 +1,6 @@
 // Fleet-scale benchmark: the headline cluster-simulation artifact. One
 // thousand simulated machines — each a full sharded kernel stack — run a
-// six-figure job count under the cluster control plane, twice: once with the
+// million jobs under the cluster control plane, twice: once with the
 // fleet driven serially, once on worker goroutines. The run includes a
 // machine failure mid-flight, so the artifact's verdicts cover the whole
 // story: jobs complete, placement stays fast, failover loses nothing, and
@@ -114,8 +114,10 @@ func fleetDrive(machines int, m kernel.Machine, jobs int, killAt time.Duration, 
 }
 
 // fleetScale sizes the fleet for a per-machine template: the 8-CPU headline
-// is 1,000 machines and 120k jobs; bigger machines trade fleet width for
-// per-machine depth so every variant stays tractable.
+// is 1,000 machines and one million jobs (the handoff fast path in the
+// fleet executor is what makes that tractable — see sim.Fleet.SendHandoff);
+// bigger machines trade fleet width for per-machine depth so every variant
+// stays tractable.
 func fleetScale(m kernel.Machine) (machines, jobs int) {
 	switch {
 	case m.NumCPUs >= 1000:
@@ -123,7 +125,7 @@ func fleetScale(m kernel.Machine) (machines, jobs int) {
 	case m.NumCPUs >= 80:
 		return 120, 30000
 	default:
-		return 1000, 120000
+		return 1000, 1000000
 	}
 }
 

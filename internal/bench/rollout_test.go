@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"testing"
+
+	"enoki/internal/kernel"
+)
+
+// TestRolloutDriveSmall pins the bench drive's contract at a 40-machine
+// scale cheap enough for every test run: a clean campaign converges onto
+// the whole fleet, a sabotaged one halts mid-rollout and restores every
+// upgraded machine, and the serial and parallel drives of the same campaign
+// agree on the full-history fingerprint.
+func TestRolloutDriveSmall(t *testing.T) {
+	m := kernel.Machine8()
+	const machines, jobs = 40, 2400
+
+	clean := rolloutDrive(m, machines, jobs, machines, false)
+	if !clean.resolved || !clean.report.Completed || clean.report.Halted {
+		t.Fatalf("clean campaign did not converge: resolved=%v report=%+v",
+			clean.resolved, clean.report)
+	}
+	if clean.report.Upgraded != machines {
+		t.Fatalf("clean campaign upgraded %d of %d machines", clean.report.Upgraded, machines)
+	}
+	if clean.onNew == 0 {
+		t.Fatalf("no live shard serves %s after a completed rollout", rolloutVersion)
+	}
+
+	faulty := rolloutDrive(m, machines, jobs, machines/4, false)
+	if !faulty.resolved || !faulty.report.Halted || faulty.report.Completed {
+		t.Fatalf("faulty campaign did not halt: resolved=%v report=%+v",
+			faulty.resolved, faulty.report)
+	}
+	if faulty.report.Upgraded != 0 || faulty.onNew != 0 {
+		t.Fatalf("halt left machines on %s: upgraded=%d onNew=%d",
+			rolloutVersion, faulty.report.Upgraded, faulty.onNew)
+	}
+	if faulty.report.RolledBack == 0 || faulty.report.RollbackErrs != 0 {
+		t.Fatalf("rollback incomplete: rolledback=%d errs=%d",
+			faulty.report.RolledBack, faulty.report.RollbackErrs)
+	}
+
+	cleanP := rolloutDrive(m, machines, jobs, machines, true)
+	if cleanP.fp != clean.fp {
+		t.Fatalf("clean fingerprints diverge: serial %016x vs parallel %016x", clean.fp, cleanP.fp)
+	}
+	faultyP := rolloutDrive(m, machines, jobs, machines/4, true)
+	if faultyP.fp != faulty.fp {
+		t.Fatalf("faulty fingerprints diverge: serial %016x vs parallel %016x", faulty.fp, faultyP.fp)
+	}
+}

@@ -17,8 +17,6 @@ package chaos
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 	"time"
 
 	"enoki/internal/core"
@@ -73,6 +71,21 @@ const (
 	// schedules (`f1:` specs) use this plane exclusively; it never appears
 	// in a single-machine schedule.
 	PlaneMachineKill
+	// PlaneRolloutKill fail-stops a machine while a fleet rollout is in
+	// flight (see rollout.go): the control plane must resolve the
+	// machine's rollout slot through the death path instead of leaving
+	// the wave barrier waiting forever. Rollout schedules (`r1:` specs)
+	// use the three rollout planes exclusively.
+	PlaneRolloutKill
+	// PlaneRolloutFaulty makes the rollout's new module generation panic
+	// in reregister_init on every machine id >= Threshold: the canary (or
+	// a later wave) must fail its verdict, halting the rollout and
+	// rolling the whole fleet back.
+	PlaneRolloutFaulty
+	// PlaneRolloutDelayDetect stretches the cluster's failure-detection
+	// delay, widening the window in which a dead machine's rollout slot
+	// is unresolved.
+	PlaneRolloutDelayDetect
 
 	numPlanes
 )
@@ -101,6 +114,12 @@ func (p Plane) String() string {
 		return "upgrade-kill"
 	case PlaneMachineKill:
 		return "machine-kill"
+	case PlaneRolloutKill:
+		return "rollout-kill"
+	case PlaneRolloutFaulty:
+		return "rollout-faulty"
+	case PlaneRolloutDelayDetect:
+		return "rollout-delay-detect"
 	default:
 		return "invalid"
 	}
@@ -187,23 +206,18 @@ func (s Schedule) Spec() string {
 // hex>:<mask hex>), regenerating the events from the seed and applying the
 // mask.
 func ParseSpec(spec string) (Schedule, error) {
-	parts := strings.Split(spec, ":")
-	if len(parts) != 4 || parts[0] != "v1" {
-		return Schedule{}, fmt.Errorf("chaos: bad spec %q (want v1:<class>:<seed>:<mask>)", spec)
-	}
-	if _, ok := caseByName(parts[1]); !ok {
-		return Schedule{}, fmt.Errorf("chaos: unknown class %q in spec", parts[1])
-	}
-	seed, err := strconv.ParseUint(parts[2], 16, 64)
+	class, seed, mask, err := splitSpec(spec, "v1", "v1:<class>:<seed>:<mask>")
 	if err != nil {
-		return Schedule{}, fmt.Errorf("chaos: bad seed in spec: %v", err)
+		return Schedule{}, err
 	}
-	mask, err := strconv.ParseUint(parts[3], 16, 64)
-	if err != nil {
-		return Schedule{}, fmt.Errorf("chaos: bad mask in spec: %v", err)
+	if _, ok := caseByName(class); !ok {
+		return Schedule{}, fmt.Errorf("chaos: unknown class %q in spec", class)
 	}
-	s := Generate(seed, parts[1])
-	s.Mask &= mask
+	s := Generate(seed, class)
+	if err := checkMask(mask, s.Mask, len(s.Events)); err != nil {
+		return Schedule{}, err
+	}
+	s.Mask = mask
 	return s, nil
 }
 

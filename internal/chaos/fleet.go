@@ -14,8 +14,6 @@ package chaos
 import (
 	"bytes"
 	"fmt"
-	"strconv"
-	"strings"
 	"time"
 
 	"enoki/internal/cluster"
@@ -94,23 +92,18 @@ func (s FleetSchedule) Spec() string {
 // (f1:<class>:<seed hex>:<mask hex>), regenerating the kills from the seed
 // and applying the mask.
 func ParseFleetSpec(spec string) (FleetSchedule, error) {
-	parts := strings.Split(spec, ":")
-	if len(parts) != 4 || parts[0] != "f1" {
-		return FleetSchedule{}, fmt.Errorf("chaos: bad fleet spec %q (want f1:<class>:<seed>:<mask>)", spec)
-	}
-	if _, ok := caseByName(parts[1]); !ok {
-		return FleetSchedule{}, fmt.Errorf("chaos: unknown class %q in fleet spec", parts[1])
-	}
-	seed, err := strconv.ParseUint(parts[2], 16, 64)
+	class, seed, mask, err := splitSpec(spec, "f1", "f1:<class>:<seed>:<mask>")
 	if err != nil {
-		return FleetSchedule{}, fmt.Errorf("chaos: bad seed in fleet spec: %v", err)
+		return FleetSchedule{}, err
 	}
-	mask, err := strconv.ParseUint(parts[3], 16, 64)
-	if err != nil {
-		return FleetSchedule{}, fmt.Errorf("chaos: bad mask in fleet spec: %v", err)
+	if _, ok := caseByName(class); !ok {
+		return FleetSchedule{}, fmt.Errorf("chaos: unknown class %q in fleet spec", class)
 	}
-	s := GenerateFleet(seed, parts[1])
-	s.Mask &= mask
+	s := GenerateFleet(seed, class)
+	if err := checkMask(mask, s.Mask, len(s.Events)); err != nil {
+		return FleetSchedule{}, err
+	}
+	s.Mask = mask
 	return s, nil
 }
 

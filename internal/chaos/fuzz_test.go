@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The spec parsers are the one place the chaos package consumes untrusted
+// input: a spec string pasted from a CI log, a bug report, or a shell
+// history. The fuzz targets pin two properties for arbitrary input:
+// parsing never panics, and any spec that parses round-trips — rendering
+// the schedule and re-parsing it reproduces the identical fault plan, so
+// a one-line reproducer can never silently drift.
+
+func FuzzParseRolloutSpec(f *testing.F) {
+	f.Add(rolloutSpec)
+	f.Add("r1:fifo:dead:1")
+	f.Add("r1:shinjuku:5eed7:3")
+	f.Add("r1:wfq:ffffffffffffffff:7")
+	f.Add("r1:cfs:9:7")
+	f.Add("f1:wfq:9:7")
+	f.Add("r1:wfq:9:ffff")
+	f.Add("r1:wfq:9")
+	f.Add("r1::9:7")
+	f.Add("r1:wfq:+9:7")
+	f.Add("r1:wfq:9:7:")
+	f.Add("r1:wfq:9:7\n")
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseRolloutSpec(spec)
+		if err != nil {
+			return
+		}
+		if s.Mask&^(1<<uint(len(s.Events))-1) != 0 {
+			t.Fatalf("spec %q: mask %x exceeds %d events", spec, s.Mask, len(s.Events))
+		}
+		for _, ev := range s.Events {
+			switch ev.Plane {
+			case PlaneRolloutKill:
+				if ev.Machine < 0 || ev.Machine >= fleetMachines || ev.At <= 0 {
+					t.Fatalf("spec %q: malformed kill %+v", spec, ev)
+				}
+			case PlaneRolloutFaulty:
+				if ev.Threshold <= 0 || ev.Threshold >= fleetMachines {
+					t.Fatalf("spec %q: malformed faulty threshold %+v", spec, ev)
+				}
+			case PlaneRolloutDelayDetect:
+				if ev.Delay <= 0 || time.Duration(ev.Delay) > 10*time.Millisecond {
+					t.Fatalf("spec %q: malformed detect delay %+v", spec, ev)
+				}
+			default:
+				t.Fatalf("spec %q: non-rollout plane %v in schedule", spec, ev.Plane)
+			}
+		}
+		again, err := ParseRolloutSpec(s.Spec())
+		if err != nil {
+			t.Fatalf("round-trip of %q failed: rendered %q does not parse: %v", spec, s.Spec(), err)
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("round-trip of %q diverged:\nfirst  %+v\nsecond %+v", spec, s, again)
+		}
+	})
+}
+
+func FuzzParseFleetSpec(f *testing.F) {
+	f.Add(fleetSpec)
+	f.Add("f1:fifo:1:1")
+	f.Add("f1:cfs:abc:3")
+	f.Add("f1:wfq:ffffffffffffffff:7")
+	f.Add("v1:wfq:5eed:3")
+	f.Add("f1:wfq:5eed:ffff")
+	f.Add("f1:wfq::3")
+	f.Add("f1:wfq:5eed:0x3")
+	f.Add("f1:wfq:5eed:3 ")
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseFleetSpec(spec)
+		if err != nil {
+			return
+		}
+		if s.Mask&^(1<<uint(len(s.Events))-1) != 0 {
+			t.Fatalf("spec %q: mask %x exceeds %d events", spec, s.Mask, len(s.Events))
+		}
+		seen := map[int]bool{}
+		for _, ev := range s.Events {
+			if ev.Machine < 0 || ev.Machine >= fleetMachines || ev.At <= 0 {
+				t.Fatalf("spec %q: malformed kill %+v", spec, ev)
+			}
+			if seen[ev.Machine] {
+				t.Fatalf("spec %q: machine %d killed twice", spec, ev.Machine)
+			}
+			seen[ev.Machine] = true
+		}
+		again, err := ParseFleetSpec(s.Spec())
+		if err != nil {
+			t.Fatalf("round-trip of %q failed: rendered %q does not parse: %v", spec, s.Spec(), err)
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("round-trip of %q diverged:\nfirst  %+v\nsecond %+v", spec, s, again)
+		}
+	})
+}

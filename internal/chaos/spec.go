@@ -1,0 +1,48 @@
+// Shared replay-spec plumbing. All three campaign planes render their
+// reproducer as <prefix>:<class>:<seed hex>:<mask hex> — one line that
+// regenerates the whole fault plan — so they share one hardened splitter
+// rather than three drifting copies. The splitter rejects truncated or
+// padded specs, empty fields, and unparseable hex up front; the per-plane
+// parsers keep only their own class rules and the mask-bounds check
+// (which needs the generated event count).
+
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// splitSpec validates the common spec shape and returns its fields. shape
+// is the human-readable form for error messages (e.g.
+// "r1:<class>:<seed>:<mask>").
+func splitSpec(spec, prefix, shape string) (class string, seed, mask uint64, err error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 4 || parts[0] != prefix {
+		return "", 0, 0, fmt.Errorf("chaos: bad spec %q (want %s)", spec, shape)
+	}
+	if parts[1] == "" {
+		return "", 0, 0, fmt.Errorf("chaos: empty class in spec %q", spec)
+	}
+	seed, err = strconv.ParseUint(parts[2], 16, 64)
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("chaos: bad seed in spec %q: %v", spec, err)
+	}
+	mask, err = strconv.ParseUint(parts[3], 16, 64)
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("chaos: bad mask in spec %q: %v", spec, err)
+	}
+	return parts[1], seed, mask, nil
+}
+
+// checkMask rejects a spec mask with bits beyond the generated event
+// count. Silently truncating such a mask (the old behaviour) would make a
+// corrupted spec replay a *different*, smaller fault plan and still claim
+// to be the reproducer; better to refuse it outright.
+func checkMask(mask, full uint64, n int) error {
+	if mask&^full != 0 {
+		return fmt.Errorf("chaos: mask %x has bits beyond the %d generated events", mask, n)
+	}
+	return nil
+}

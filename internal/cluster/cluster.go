@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"enoki/internal/enokic"
 	"enoki/internal/kernel"
 	"enoki/internal/ktime"
 	"enoki/internal/sim"
@@ -61,6 +62,13 @@ type Config struct {
 	// under Policy on every shard (recorders and extra instrumentation
 	// attach here too).
 	Setup func(machine int, sk *kernel.ShardedKernel)
+	// SetupModules is Setup's upgradable variant: it must register a class
+	// under Policy on every shard and return the per-shard enokic adapters
+	// (index = shard, nil for shards without an upgradable module). Only
+	// machines built this way are rollout targets — the fleet rollout
+	// machinery drives their adapters' UpgradeTo/Rollback as cluster
+	// actions. Takes precedence over Setup.
+	SetupModules func(machine int, sk *kernel.ShardedKernel) []*enokic.Adapter
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +99,7 @@ type Cluster struct {
 	ctrlSrc  int
 	machines []*Machine
 	sched    *jobScheduler
+	rollout  *Rollout
 	closed   bool
 }
 
@@ -146,6 +155,9 @@ func (c *Cluster) FailMachine(mi int, at time.Duration) {
 	}
 	t := ktime.Time(0).Add(ktime.Duration(at))
 	node := c.machines[mi].node
+	// Kill must observe the fleet floor exactly at the failure instant — the
+	// victim advances to t and no further — so it rides a plain Send, whose
+	// commitments run at the floor (unlike the handoff fast path).
 	c.fl.Send(c.ctrlSrc, node, t, func() { c.fl.Kill(node) })
 	c.ctrl.PostAt(t.Add(ktime.Duration(c.cfg.DetectDelay)), func() { c.sched.machineDead(mi) })
 }

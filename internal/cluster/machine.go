@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"enoki/internal/enokic"
 	"enoki/internal/kernel"
 	"enoki/internal/ktime"
 )
@@ -31,6 +32,11 @@ type Machine struct {
 	// locking.
 	jobs    map[int]*jobRun
 	spawned uint64
+	// ads are the per-shard upgradable modules (index = shard, nil where
+	// Config.SetupModules registered none). Each adapter is mutated only by
+	// its own shard's engine; the rollout agent ops in rollout.go fan
+	// in/out through shard injections, never cross-shard reads.
+	ads []*enokic.Adapter
 }
 
 // jobRun is the on-machine state of one placed job.
@@ -49,7 +55,9 @@ func newMachine(c *Cluster, id int) *Machine {
 	for s := 0; s < sk.NumShards(); s++ {
 		m.src = append(m.src, c.fl.AddSource(m.node))
 	}
-	if c.cfg.Setup != nil {
+	if c.cfg.SetupModules != nil {
+		m.ads = c.cfg.SetupModules(id, sk)
+	} else if c.cfg.Setup != nil {
 		c.cfg.Setup(id, sk)
 	} else {
 		for s := 0; s < sk.NumShards(); s++ {
@@ -71,12 +79,18 @@ func (m *Machine) Sharded() *kernel.ShardedKernel { return m.sk }
 // between runs.
 func (m *Machine) TasksSpawned() uint64 { return m.spawned }
 
+// Adapters returns the per-shard upgradable modules Config.SetupModules
+// registered (nil entries for shards without one; nil slice when the
+// machine was built without SetupModules). Read adapter state between runs
+// only — mid-run the shards own it.
+func (m *Machine) Adapters() []*enokic.Adapter { return m.ads }
+
 // report sends a lifecycle report from shard context back to the control
 // plane, one network latency away.
 func (m *Machine) report(shard int, fn func(s *jobScheduler)) {
 	c := m.c
 	at := m.sk.ShardKernel(shard).Now().Add(ktime.Duration(c.cfg.NetLatency))
-	c.fl.Send(m.src[shard], c.ctrlNode, at, func() {
+	c.fl.SendHandoff(m.src[shard], c.ctrlNode, at, func() {
 		c.ctrl.PostAt(at, func() { fn(c.sched) })
 	})
 }

@@ -96,6 +96,7 @@ type Job struct {
 	StartedAt   ktime.Time // first successful placement ack
 	DoneAt      ktime.Time
 	placed      bool
+	startSent   ktime.Time // when the latest start op left the control plane
 }
 
 // MachineView is the control plane's model of one machine: liveness as
@@ -125,6 +126,10 @@ type jobScheduler struct {
 	placeHist stats.LogHist // submit → first running ack
 	e2eHist   stats.LogHist // submit → done
 
+	// doneByMachine counts completions per machine; the rollout verdicts
+	// difference it across a soak window for per-machine completion rates.
+	doneByMachine []int
+
 	starts, stops, migrations, lost, done int
 }
 
@@ -133,6 +138,7 @@ func newJobScheduler(c *Cluster) *jobScheduler {
 	for i, m := range c.machines {
 		s.view = append(s.view, MachineView{ID: i, Alive: true, CPUs: m.sk.Machine().NumCPUs})
 	}
+	s.doneByMachine = make([]int, len(c.machines))
 	return s
 }
 
@@ -241,8 +247,9 @@ func (s *jobScheduler) start(j *Job, mi int) {
 	s.view[mi].Assigned++
 	s.starts++
 	id, shard, cycles, spec := j.ID, j.Shard, j.CyclesLeft, j.Spec
+	j.startSent = c.ctrl.Now()
 	at := c.ctrl.Now().Add(ktime.Duration(c.cfg.NetLatency))
-	c.fl.Send(c.ctrlSrc, m.node, at, func() {
+	c.fl.SendHandoff(c.ctrlSrc, m.node, at, func() {
 		m.sk.Inject(shard, at, func() { m.applyStart(id, shard, cycles, spec) })
 	})
 }
@@ -257,7 +264,7 @@ func (s *jobScheduler) stop(j *Job) {
 	s.stops++
 	id, shard := j.ID, j.Shard
 	at := c.ctrl.Now().Add(ktime.Duration(c.cfg.NetLatency))
-	c.fl.Send(c.ctrlSrc, m.node, at, func() {
+	c.fl.SendHandoff(c.ctrlSrc, m.node, at, func() {
 		m.sk.Inject(shard, at, func() { m.applyStop(id) })
 	})
 }
@@ -276,6 +283,9 @@ func (s *jobScheduler) onStarted(id, mi int) {
 		j.StartedAt = s.c.ctrl.Now()
 		s.placeHist.Record(time.Duration(j.StartedAt - j.SubmittedAt))
 	}
+	if r := s.c.rollout; r != nil {
+		r.noteStartAck(mi, time.Duration(s.c.ctrl.Now()-j.startSent))
+	}
 }
 
 // onDone handles a completion report. A job may complete while Stopping — a
@@ -287,6 +297,7 @@ func (s *jobScheduler) onDone(id, mi int) {
 		return
 	}
 	s.view[mi].Assigned--
+	s.doneByMachine[mi]++
 	j.State = JobDone
 	j.CyclesLeft = 0
 	j.DoneAt = s.c.ctrl.Now()
@@ -343,4 +354,7 @@ func (s *jobScheduler) machineDead(mi int) {
 		}
 	}
 	s.arm()
+	if r := s.c.rollout; r != nil {
+		r.machineDead(mi)
+	}
 }

@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/enokic"
+	"enoki/internal/kernel"
+	"enoki/internal/sched/fifo"
+	"enoki/internal/sched/wfq"
+	"enoki/internal/schedtest"
+)
+
+// rolloutPolicy is the upgradable class rollout tests run jobs in; class 0
+// stays CFS as the fault-isolation fallback.
+const rolloutPolicy = 1
+
+// moduleSetup builds a SetupModules hook: CFS at class 0 plus an enokic WFQ
+// module at rolloutPolicy on every shard. tweak, when non-nil, adjusts the
+// per-machine framework config (tests use it to stretch one machine's
+// upgrade blackout).
+func moduleSetup(tweak func(machine int, cfg *enokic.Config)) func(int, *kernel.ShardedKernel) []*enokic.Adapter {
+	return func(machine int, sk *kernel.ShardedKernel) []*enokic.Adapter {
+		cfg := enokic.DefaultConfig()
+		if tweak != nil {
+			tweak(machine, &cfg)
+		}
+		ads := make([]*enokic.Adapter, sk.NumShards())
+		for s := 0; s < sk.NumShards(); s++ {
+			k := sk.ShardKernel(s)
+			k.RegisterClass(0, kernel.NewCFS(k))
+			ads[s] = enokic.Load(k, rolloutPolicy, cfg, func(env core.Env) core.Scheduler {
+				return wfq.New(env, rolloutPolicy)
+			})
+		}
+		return ads
+	}
+}
+
+func fifoRolloutFactory(_ int, env core.Env) core.Scheduler {
+	return fifo.New(env, rolloutPolicy)
+}
+
+// assertFleetVersion checks every upgradable shard of every alive machine
+// serves the given generation. Call between runs.
+func assertFleetVersion(t *testing.T, c *Cluster, version string) {
+	t.Helper()
+	for i := 0; i < c.NumMachines(); i++ {
+		if !c.Fleet().Alive(c.Machine(i).node) {
+			continue
+		}
+		for s, ad := range c.Machine(i).Adapters() {
+			if ad == nil || ad.Killed() {
+				continue
+			}
+			if got := ad.Version(); got != version {
+				t.Fatalf("machine %d shard %d serves %q, want %q", i, s, got, version)
+			}
+		}
+	}
+}
+
+// TestRolloutConvergesFleetWide drives a clean canary rollout across eight
+// busy machines: exponentially widening waves, every verdict healthy, every
+// shard on the new generation at the end.
+func TestRolloutConvergesFleetWide(t *testing.T) {
+	c := New(Config{Machines: 8, Policy: rolloutPolicy, SetupModules: moduleSetup(nil)})
+	defer c.Close()
+	for i := 0; i < 32; i++ {
+		c.Submit(JobSpec{Cycles: 30, Run: 100 * time.Microsecond, Sleep: 100 * time.Microsecond})
+	}
+	r, err := c.Rollout("v1", fifoRolloutFactory)
+	if err != nil {
+		t.Fatalf("Rollout: %v", err)
+	}
+	c.RunUntilIdle()
+	if !r.Done() || r.Halted() {
+		t.Fatalf("rollout done=%v halted=%v, want done and not halted", r.Done(), r.Halted())
+	}
+	rep := r.Report()
+	if !rep.Completed || rep.Upgraded != 8 || rep.RolledBack != 0 || rep.Dead != 0 {
+		t.Fatalf("report outcome: %+v", rep)
+	}
+	if rep.Previous != enokic.InitialVersion || rep.Version != "v1" {
+		t.Fatalf("lineage %q -> %q, want v0 -> v1", rep.Previous, rep.Version)
+	}
+	// 8 targets, canary 1, widen 4: waves of 1, 4, 3.
+	if rep.Canary != 1 || len(rep.Waves) != 3 {
+		t.Fatalf("canary %d, %d waves (%v), want 1 and 3", rep.Canary, len(rep.Waves), rep.Waves)
+	}
+	if len(rep.Waves[0].Machines) != 1 || len(rep.Waves[1].Machines) != 4 || len(rep.Waves[2].Machines) != 3 {
+		t.Fatalf("wave widths %v, want 1/4/3", rep.Waves)
+	}
+	if len(rep.Verdicts) != 8 {
+		t.Fatalf("%d verdicts, want 8", len(rep.Verdicts))
+	}
+	for _, v := range rep.Verdicts {
+		if !v.Healthy || v.ShardsOnTarget != v.Shards || v.Faults != 0 {
+			t.Fatalf("unhealthy verdict in a clean rollout: %+v", v)
+		}
+	}
+	assertFleetVersion(t, c, "v1")
+	st := c.Stats()
+	if st.Done != 32 {
+		t.Fatalf("jobs done %d/32 — rollout lost work", st.Done)
+	}
+}
+
+// TestRolloutHaltsAndRollsBackFleetWide seeds a new module that panics in
+// init on machines >= 2: wave 0 (machine 0) and machine 1 commit cleanly,
+// wave 1 trips the transactional rollback on machines 2-4, the rollout
+// halts, and every machine — including the already-healthy ones — ends back
+// on the previous generation.
+func TestRolloutHaltsAndRollsBackFleetWide(t *testing.T) {
+	c := New(Config{Machines: 8, Policy: rolloutPolicy, SetupModules: moduleSetup(nil)})
+	defer c.Close()
+	for i := 0; i < 32; i++ {
+		c.Submit(JobSpec{Cycles: 30, Run: 100 * time.Microsecond, Sleep: 100 * time.Microsecond})
+	}
+	faultyAbove := func(machine int, env core.Env) core.Scheduler {
+		s := fifo.New(env, rolloutPolicy)
+		if machine >= 2 {
+			return &schedtest.Injector{Scheduler: s, PanicInInit: true}
+		}
+		return s
+	}
+	r, err := c.Rollout("v1", faultyAbove)
+	if err != nil {
+		t.Fatalf("Rollout: %v", err)
+	}
+	c.RunUntilIdle()
+	if !r.Done() || !r.Halted() {
+		t.Fatalf("rollout done=%v halted=%v, want done and halted", r.Done(), r.Halted())
+	}
+	rep := r.Report()
+	if rep.Completed || rep.HaltedWave != 1 {
+		t.Fatalf("halt accounting: completed=%v haltedWave=%d, want false/1", rep.Completed, rep.HaltedWave)
+	}
+	// Machines 0 (wave 0) and 1 committed and rolled back; 2-4 aborted
+	// transactionally and still get the conditional rollback op. Machines
+	// 5-7 never left Pending.
+	if rep.Upgraded != 0 || rep.RolledBack != 5 || rep.RollbackErrs != 0 {
+		t.Fatalf("rollback accounting: %+v", rep)
+	}
+	failedWave := rep.Waves[1].Failed
+	if len(failedWave) != 3 {
+		t.Fatalf("wave 1 failures %v, want machines 2-4", failedWave)
+	}
+	sawRolledBack := false
+	for _, v := range rep.Verdicts {
+		if v.Machine >= 2 && v.Wave == 1 {
+			if v.Healthy || v.UpgradeRolledBack == 0 {
+				t.Fatalf("faulty machine verdict not failing on rollback: %+v", v)
+			}
+			sawRolledBack = true
+		}
+	}
+	if !sawRolledBack {
+		t.Fatal("no verdict recorded the transactional rollback")
+	}
+	assertFleetVersion(t, c, enokic.InitialVersion)
+	if st := c.Stats(); st.Done != 32 {
+		t.Fatalf("jobs done %d/32 — halt+rollback lost work", st.Done)
+	}
+}
+
+// TestRolloutCanaryDeathMidUpgradeResolves is the regression for the
+// queued-upgrade death path at fleet scope: the canary machine is killed
+// while its upgrade blackout is still open, so its ack never arrives. The
+// failure detector must resolve the slot (the machine-side death path is
+// done(ErrModuleKilled); the control side accounts it as a failed shard)
+// and the wave must proceed to a halting verdict instead of waiting
+// forever.
+func TestRolloutCanaryDeathMidUpgradeResolves(t *testing.T) {
+	// Stretch the canary's blackout to 5ms so the 1ms kill lands inside it.
+	slowCanary := func(machine int, cfg *enokic.Config) {
+		if machine == 0 {
+			cfg.UpgradeBase = 5 * time.Millisecond
+		}
+	}
+	c := New(Config{Machines: 4, Policy: rolloutPolicy, SetupModules: moduleSetup(slowCanary)})
+	defer c.Close()
+	for i := 0; i < 12; i++ {
+		c.Submit(JobSpec{Cycles: 10, Run: 100 * time.Microsecond, Sleep: 100 * time.Microsecond})
+	}
+	r, err := c.Rollout("v1", fifoRolloutFactory)
+	if err != nil {
+		t.Fatalf("Rollout: %v", err)
+	}
+	c.FailMachine(0, time.Millisecond)
+	c.RunUntilIdle()
+	if !r.Done() {
+		t.Fatal("rollout never resolved after the canary died mid-upgrade")
+	}
+	rep := r.Report()
+	if !rep.Halted || rep.HaltedWave != 0 || rep.Dead != 1 {
+		t.Fatalf("death outcome: %+v", rep)
+	}
+	v := rep.Verdicts[0]
+	if v.Machine != 0 || !v.Died || v.Healthy || v.UpgradeErrs == 0 {
+		t.Fatalf("canary verdict did not record the death: %+v", v)
+	}
+	// The surviving fleet never upgraded and keeps serving the old
+	// generation; the stranded jobs restarted elsewhere and finished.
+	assertFleetVersion(t, c, enokic.InitialVersion)
+	if st := c.Stats(); st.Done != 12 {
+		t.Fatalf("jobs done %d/12 after failover", st.Done)
+	}
+}
+
+// TestRolloutNoDeathResolveHangs pins the seeded-bug mode the chaos suite
+// hunts: with the death resolution disabled, the wave barrier never clears
+// and the rollout is still unresolved long after the detector fired.
+func TestRolloutNoDeathResolveHangs(t *testing.T) {
+	slowCanary := func(machine int, cfg *enokic.Config) {
+		if machine == 0 {
+			cfg.UpgradeBase = 5 * time.Millisecond
+		}
+	}
+	c := New(Config{Machines: 4, Policy: rolloutPolicy, SetupModules: moduleSetup(slowCanary)})
+	defer c.Close()
+	r, err := c.StartRollout(RolloutConfig{
+		Version: "v1", Factory: fifoRolloutFactory, NoDeathResolve: true,
+	})
+	if err != nil {
+		t.Fatalf("StartRollout: %v", err)
+	}
+	c.FailMachine(0, time.Millisecond)
+	c.Run(100 * time.Millisecond)
+	if r.Done() {
+		t.Fatal("NoDeathResolve rollout resolved — the seeded bug is gone and the chaos suite has nothing to catch")
+	}
+}
+
+// TestRolloutErrors pins the typed refusals.
+func TestRolloutErrors(t *testing.T) {
+	plain := New(Config{Machines: 2})
+	defer plain.Close()
+	if _, err := plain.Rollout("v1", fifoRolloutFactory); !errors.Is(err, ErrNoModules) {
+		t.Fatalf("rollout without SetupModules = %v, want ErrNoModules", err)
+	}
+
+	c := New(Config{Machines: 2, Policy: rolloutPolicy, SetupModules: moduleSetup(nil)})
+	defer c.Close()
+	if _, err := c.Rollout("", fifoRolloutFactory); err == nil {
+		t.Fatal("empty version accepted")
+	}
+	if _, err := c.Rollout("v1", nil); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	if _, err := c.Rollout("v1", fifoRolloutFactory); err != nil {
+		t.Fatalf("first rollout refused: %v", err)
+	}
+	if _, err := c.Rollout("v2", fifoRolloutFactory); !errors.Is(err, ErrRolloutActive) {
+		t.Fatalf("second in-flight rollout = %v, want ErrRolloutActive", err)
+	}
+	c.RunUntilIdle()
+	if _, err := c.Rollout("v2", fifoRolloutFactory); err != nil {
+		t.Fatalf("rollout after resolution refused: %v", err)
+	}
+	c.RunUntilIdle()
+}
+
+// TestRolloutOptions checks the functional options reach the config.
+func TestRolloutOptions(t *testing.T) {
+	c := New(Config{Machines: 8, Policy: rolloutPolicy, SetupModules: moduleSetup(nil)})
+	defer c.Close()
+	r, err := c.Rollout("v1", fifoRolloutFactory,
+		func(cfg *RolloutConfig) { cfg.Canary = 0.5 },
+		func(cfg *RolloutConfig) { cfg.Widen = 2 },
+	)
+	if err != nil {
+		t.Fatalf("Rollout: %v", err)
+	}
+	c.RunUntilIdle()
+	rep := r.Report()
+	// 8 targets at 0.5 canary: waves of 4 then 4.
+	if rep.Canary != 4 || len(rep.Waves) != 2 {
+		t.Fatalf("canary %d, waves %v, want 4 and 2 waves", rep.Canary, rep.Waves)
+	}
+}

@@ -38,7 +38,15 @@ var (
 	// ErrModuleKilled: the operation targets a module the fault layer has
 	// killed; there is nothing left to upgrade or call.
 	ErrModuleKilled = errors.New("enokic: module was killed by fault isolation")
+	// ErrNoPreviousVersion: Rollback was asked to restore a module
+	// generation that does not exist — no UpgradeTo has committed on this
+	// adapter, so there is nothing to roll back to.
+	ErrNoPreviousVersion = errors.New("enokic: no previous module version to roll back to")
 )
+
+// InitialVersion names the module generation Load installs, before any
+// UpgradeTo renames it.
+const InitialVersion = "v0"
 
 // Config tunes the framework's modelled costs.
 type Config struct {
@@ -163,6 +171,16 @@ type Adapter struct {
 	kickPending     []bool
 	pendingUpgrades []pendingUpgrade
 
+	// Version lineage (upgrade.go). version names the module generation
+	// currently serving; factory rebuilds it. prevVersion/prevFactory
+	// remember the generation a committed UpgradeTo replaced, which is what
+	// Rollback re-upgrades to — the fleet rollout machinery drives both as
+	// cluster actions.
+	version     string
+	factory     func(core.Env) core.Scheduler
+	prevVersion string
+	prevFactory func(core.Env) core.Scheduler
+
 	// Fault-isolation state. killed flips once, on the first fault; every
 	// crossing into the module checks it so a dead module is never called
 	// again (not even by the rehome migration it triggers).
@@ -250,6 +268,8 @@ func TryLoad(k *kernel.Kernel, policy int, cfg Config, factory func(core.Env) co
 		a.pntBudget = 5000
 	}
 	a.env = &kernelEnv{a: a, rand: ktime.NewRand(cfg.RandSeed)}
+	a.version = InitialVersion
+	a.factory = factory
 	s := factory(a.env)
 	if s.GetPolicy() != policy {
 		return nil, fmt.Errorf("%w: module says %d, loaded under %d",

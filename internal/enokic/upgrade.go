@@ -39,6 +39,7 @@ type UpgradeReport struct {
 // pendingUpgrade is an upgrade requested while another was in flight; it
 // starts once the blackout ahead of it completes.
 type pendingUpgrade struct {
+	version string
 	factory func(core.Env) core.Scheduler
 	done    func(UpgradeReport)
 }
@@ -69,22 +70,54 @@ type pendingUpgrade struct {
 // ErrModuleKilled when the fault layer has already killed the module (done
 // never fires); a queued or started upgrade returns nil.
 func (a *Adapter) Upgrade(factory func(core.Env) core.Scheduler, done func(UpgradeReport)) error {
+	return a.UpgradeTo(a.version, factory, done)
+}
+
+// UpgradeTo is Upgrade with version lineage: when the swap commits, the
+// adapter's module version becomes version and the replaced (version,
+// factory) pair is remembered as the rollback target. A transactional
+// rollback or a fatal abort leaves the lineage untouched — the old module
+// kept serving, so the old version is still the truth. This is the
+// cluster-drivable form of the upgrade action: a fleet rollout upgrades
+// every shard with UpgradeTo and, on a halted wave, restores the previous
+// generation with Rollback.
+func (a *Adapter) UpgradeTo(version string, factory func(core.Env) core.Scheduler, done func(UpgradeReport)) error {
 	if a.killed {
 		return ErrModuleKilled
 	}
 	if a.upgrading {
-		a.pendingUpgrades = append(a.pendingUpgrades, pendingUpgrade{factory, done})
+		a.pendingUpgrades = append(a.pendingUpgrades, pendingUpgrade{version, factory, done})
 		return nil
 	}
-	a.startUpgrade(factory, done)
+	a.startUpgrade(version, factory, done)
 	return nil
 }
 
-func (a *Adapter) startUpgrade(factory func(core.Env) core.Scheduler, done func(UpgradeReport)) {
+// Version returns the name of the module generation currently serving:
+// InitialVersion after Load, the committed UpgradeTo name after an upgrade
+// (unchanged by a rolled-back or aborted swap).
+func (a *Adapter) Version() string { return a.version }
+
+// Rollback re-upgrades to the module generation the last committed
+// UpgradeTo replaced, through the same transactional quiesce/transfer path
+// as any upgrade — a rollback is just an upgrade whose target is the
+// previous version's factory. It returns ErrNoPreviousVersion when no
+// upgrade has committed and ErrModuleKilled when the module is dead.
+func (a *Adapter) Rollback(done func(UpgradeReport)) error {
+	if a.killed {
+		return ErrModuleKilled
+	}
+	if a.prevFactory == nil {
+		return ErrNoPreviousVersion
+	}
+	return a.UpgradeTo(a.prevVersion, a.prevFactory, done)
+}
+
+func (a *Adapter) startUpgrade(version string, factory func(core.Env) core.Scheduler, done func(UpgradeReport)) {
 	a.upgrading = true
 	a.stats.Upgrades++
 	blackout := a.cfg.UpgradeBase + time.Duration(a.k.NumCPUs())*a.cfg.UpgradePerCPU
-	a.k.Engine().After(blackout, func() { a.finishUpgrade(factory, done, blackout) })
+	a.k.Engine().After(blackout, func() { a.finishUpgrade(version, factory, done, blackout) })
 }
 
 // transferIn converts a prepare snapshot into the init argument.
@@ -98,7 +131,7 @@ func transferIn(out *core.TransferOut) *core.TransferIn {
 // finishUpgrade runs at the end of the blackout: snapshot, build, commit.
 // Every module crossing is panic-contained; which phase faulted decides
 // whether the transaction can roll back.
-func (a *Adapter) finishUpgrade(factory func(core.Env) core.Scheduler, done func(UpgradeReport), blackout time.Duration) {
+func (a *Adapter) finishUpgrade(version string, factory func(core.Env) core.Scheduler, done func(UpgradeReport), blackout time.Duration) {
 	if a.killed {
 		// The module died during the blackout: the swap is moot. killModule
 		// already failed any queued upgraders; the in-flight one learns the
@@ -167,6 +200,10 @@ func (a *Adapter) finishUpgrade(factory func(core.Env) core.Scheduler, done func
 		a.abortSwap(old, out, queued, done, blackout, flushFault, wallStart)
 		return
 	}
+	// The transaction is committed: the new module generation is serving.
+	// Record the lineage — the replaced pair is what Rollback restores.
+	a.prevVersion, a.prevFactory = a.version, a.factory
+	a.version, a.factory = version, factory
 	a.recycleDeferred(queued)
 	a.settleUpgrade(done, UpgradeReport{
 		Blackout: blackout, WallSwap: time.Since(wallStart),
@@ -304,7 +341,7 @@ func (a *Adapter) settleUpgrade(done func(UpgradeReport), report UpgradeReport) 
 	if len(a.pendingUpgrades) > 0 && !a.killed {
 		nextUp := a.pendingUpgrades[0]
 		a.pendingUpgrades = a.pendingUpgrades[1:]
-		a.startUpgrade(nextUp.factory, nextUp.done)
+		a.startUpgrade(nextUp.version, nextUp.factory, nextUp.done)
 	}
 }
 

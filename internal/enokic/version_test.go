@@ -1,0 +1,93 @@
+package enokic
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"enoki/internal/kernel"
+)
+
+// TestUpgradeToVersionLineage: a committed UpgradeTo renames the serving
+// generation and remembers the replaced one; Rollback restores it through
+// the same transactional path, and a second Rollback rolls forward again
+// (the lineage always holds the last replaced pair).
+func TestUpgradeToVersionLineage(t *testing.T) {
+	k, a := newRig(t, wfqFactory)
+	if a.Version() != InitialVersion {
+		t.Fatalf("fresh adapter version = %q, want %q", a.Version(), InitialVersion)
+	}
+	done := 0
+	for i := 0; i < 4; i++ {
+		k.Spawn("w", policyEnoki, spin(10*time.Millisecond, 500*time.Microsecond),
+			kernel.WithExitObserver(func() { done++ }))
+	}
+
+	step := func(what string, act func(func(UpgradeReport)) error) UpgradeReport {
+		t.Helper()
+		var rep UpgradeReport
+		resolved := false
+		k.Engine().After(time.Millisecond, func() {
+			if err := act(func(r UpgradeReport) { rep = r; resolved = true }); err != nil {
+				t.Errorf("%s: %v", what, err)
+			}
+		})
+		k.RunFor(20 * time.Millisecond)
+		if !resolved {
+			t.Fatalf("%s never resolved", what)
+		}
+		if rep.Err != nil || rep.RolledBack {
+			t.Fatalf("%s not clean: %+v", what, rep)
+		}
+		return rep
+	}
+
+	step("upgrade to v2", func(d func(UpgradeReport)) error { return a.UpgradeTo("v2", wfqFactory, d) })
+	if a.Version() != "v2" {
+		t.Fatalf("after UpgradeTo: version = %q, want v2", a.Version())
+	}
+	step("rollback to v0", func(d func(UpgradeReport)) error { return a.Rollback(d) })
+	if a.Version() != InitialVersion {
+		t.Fatalf("after Rollback: version = %q, want %q", a.Version(), InitialVersion)
+	}
+	step("roll forward to v2", func(d func(UpgradeReport)) error { return a.Rollback(d) })
+	if a.Version() != "v2" {
+		t.Fatalf("after second Rollback: version = %q, want v2", a.Version())
+	}
+	k.RunFor(100 * time.Millisecond)
+	if done != 4 {
+		t.Fatalf("tasks lost across version flips: %d/4 completed", done)
+	}
+}
+
+// TestUpgradeToRolledBackKeepsVersion: a faulty UpgradeTo whose transaction
+// rolls back leaves both the serving version and the rollback lineage
+// untouched — the old generation never stopped serving, so there is still
+// nothing to roll back to.
+func TestUpgradeToRolledBackKeepsVersion(t *testing.T) {
+	k, a := newRig(t, wfqFactory)
+	k.Spawn("w", policyEnoki, spin(5*time.Millisecond, 500*time.Microsecond))
+	var rep UpgradeReport
+	k.Engine().After(time.Millisecond, func() {
+		a.UpgradeTo("v2", faultyFactory, func(r UpgradeReport) { rep = r })
+	})
+	k.RunFor(100 * time.Millisecond)
+	if !rep.RolledBack {
+		t.Fatalf("faulty upgrade did not roll back: %+v", rep)
+	}
+	if a.Version() != InitialVersion {
+		t.Fatalf("rolled-back upgrade changed version to %q", a.Version())
+	}
+	if err := a.Rollback(nil); !errors.Is(err, ErrNoPreviousVersion) {
+		t.Fatalf("Rollback after an aborted-only history = %v, want ErrNoPreviousVersion", err)
+	}
+}
+
+// TestRollbackWithoutHistory: Rollback on a freshly loaded adapter is a
+// typed refusal, not a no-op or a panic.
+func TestRollbackWithoutHistory(t *testing.T) {
+	_, a := newRig(t, wfqFactory)
+	if err := a.Rollback(nil); !errors.Is(err, ErrNoPreviousVersion) {
+		t.Fatalf("Rollback without history = %v, want ErrNoPreviousVersion", err)
+	}
+}

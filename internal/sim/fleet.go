@@ -58,10 +58,11 @@ type Fleet struct {
 	parallel  bool
 	now       ktime.Time // global floor: every live node clock sits here between epochs
 
-	pending []smsg   // undelivered messages, sorted by (at, to, from, seq)
-	out     [][]smsg // per-source outboxes, owned by the source's node during an epoch
-	sendSeq []uint64 // per-source monotonic counters — never reset (ordering audit)
-	srcNode []int    // source id → owning node
+	pending   []smsg   // undelivered messages, sorted by (at, to, from, seq)
+	floorMsgs int      // pending non-handoff messages (each chops an epoch window)
+	out       [][]smsg // per-source outboxes, owned by the source's node during an epoch
+	sendSeq   []uint64 // per-source monotonic counters — never reset (ordering audit)
+	srcNode   []int    // source id → owning node
 
 	// Worker goroutines for the parallel drive, started lazily.
 	started bool
@@ -155,17 +156,36 @@ func (f *Fleet) SetParallel(on bool) { f.parallel = on }
 // Send submits fn for commitment toward node `to` at absolute virtual time
 // `at`. It must be called from source src's execution context (or between
 // runs), and `at` must be at least the source node's now plus the lookahead.
-// The closure runs on the coordinator at the epoch boundary where the floor
-// reaches `at`; it must confine itself to handing work to the destination
-// node's executor (or to fleet-level bookkeeping such as Kill).
+// The closure runs on the coordinator at the first productive point at or
+// after `at`, with every node quiescent at the global floor — so it may
+// observe fleet and node state as of the delivery instant (Kill rides a
+// plain Send for exactly this reason). Each distinct Send instant ends an
+// epoch window; high-rate traffic whose closures are pure handoffs should
+// use SendHandoff instead, which commits early and keeps the windows wide.
 func (f *Fleet) Send(src, to int, at ktime.Time, fn func()) {
+	f.send(src, to, at, fn, false)
+}
+
+// SendHandoff is Send for pure-handoff commitments: fn must confine itself
+// to scheduling work on the destination node's executor at `at`
+// (Sharded.Inject, Engine.PostAt) without reading any simulation state at
+// commitment time. In exchange, the fleet may commit it up to a whole epoch
+// window early — the destination executor runs the payload at `at` either
+// way, but the epoch loop no longer chops a window (and pays a full fleet
+// scan) per message instant. This is the hot path for cluster-scale
+// traffic; anything whose closure observes the floor stays on Send.
+func (f *Fleet) SendHandoff(src, to int, at ktime.Time, fn func()) {
+	f.send(src, to, at, fn, true)
+}
+
+func (f *Fleet) send(src, to int, at ktime.Time, fn func(), handoff bool) {
 	nd := f.srcNode[src]
 	if min := f.nodes[nd].Now().Add(f.lookahead); at < min {
 		panic(fmt.Sprintf("sim: fleet send at %v under lookahead floor %v (source %d on node %d → %d)",
 			at, min, src, nd, to))
 	}
 	f.sendSeq[src]++
-	f.out[src] = append(f.out[src], smsg{at: at, to: to, from: src, seq: f.sendSeq[src], fn: fn})
+	f.out[src] = append(f.out[src], smsg{at: at, to: to, from: src, seq: f.sendSeq[src], fn: fn, handoff: handoff})
 }
 
 // deliver commits every pending message due at or before upTo, in merge
@@ -180,6 +200,9 @@ func (f *Fleet) deliver(upTo ktime.Time) {
 	for j := 0; j < n; j++ {
 		m := f.pending[j]
 		f.pending[j].fn = nil
+		if !m.handoff {
+			f.floorMsgs--
+		}
 		if f.dead[m.to] {
 			f.dropped++
 			continue
@@ -199,20 +222,39 @@ func (f *Fleet) deliver(upTo ktime.Time) {
 // collect merges every outbox into the pending set and restores the merge
 // order.
 func (f *Fleet) collect() {
-	grew := false
+	sorted := len(f.pending)
 	for i := range f.out {
 		if len(f.out[i]) > 0 {
+			for _, m := range f.out[i] {
+				if !m.handoff {
+					f.floorMsgs++
+				}
+			}
 			f.pending = append(f.pending, f.out[i]...)
 			for j := range f.out[i] {
 				f.out[i][j] = smsg{}
 			}
 			f.out[i] = f.out[i][:0]
-			grew = true
 		}
 	}
-	if grew {
-		sortSmsgs(f.pending)
+	if len(f.pending) > sorted {
+		mergeNewSmsgs(f.pending, sorted)
 	}
+}
+
+// nextFloorMsg returns the due time of the earliest pending non-handoff
+// message, or maxTime when none exists. On the cluster hot path nearly all
+// traffic is handoffs, so the scan is guarded by the count.
+func (f *Fleet) nextFloorMsg() ktime.Time {
+	if f.floorMsgs == 0 {
+		return maxTime
+	}
+	for i := range f.pending {
+		if !f.pending[i].handoff {
+			return f.pending[i].at
+		}
+	}
+	return maxTime
 }
 
 // minNextEvent returns the earliest pending work across live nodes. Dead
@@ -302,8 +344,18 @@ func (f *Fleet) run(t ktime.Time, advance bool) {
 		if end > t {
 			end = t
 		}
-		if nextMsg < end {
-			end = nextMsg
+		// Only floor-observing messages chop the window: their closures may
+		// read state as of their instant, so they must run with the fleet at
+		// exactly that point. Handoff messages due inside the window are
+		// committed before the epoch launches — each one hands its work to
+		// the destination executor stamped with its own due time, so the
+		// outcome is identical to committing at the exact floor, without an
+		// epoch boundary (and a full fleet scan) per message time.
+		if nf := f.nextFloorMsg(); nf < end {
+			end = nf
+		}
+		if len(f.pending) > 0 && f.pending[0].at < end {
+			f.deliver(end - 1)
 		}
 		f.runEpoch(end)
 		f.collect()

@@ -47,6 +47,13 @@ type smsg struct {
 	to, from int
 	seq      uint64
 	fn       func()
+	// handoff marks a fleet-level commitment as a pure handoff
+	// (Fleet.SendHandoff): the closure only schedules work on the
+	// destination executor at the message instant, so the fleet may commit
+	// it a whole epoch window early. Unset, the commitment runs at the
+	// first productive point at or after its instant (Fleet.Send).
+	// Shard-level messages never set it.
+	handoff bool
 }
 
 func (a smsg) less(b smsg) bool {
@@ -210,7 +217,7 @@ func (s *Sharded) Inject(to int, at ktime.Time, fn func()) {
 	}
 	s.extSeq++
 	s.pending = append(s.pending, smsg{at: at, to: to, from: -1, seq: s.extSeq, fn: fn})
-	sortSmsgs(s.pending)
+	mergeNewSmsgs(s.pending, len(s.pending)-1)
 }
 
 // NextEventTime returns the earliest pending work across the whole sharded
@@ -285,7 +292,7 @@ func (s *Sharded) deliver(upTo ktime.Time) {
 // collect merges every outbox into the pending set and restores the merge
 // order.
 func (s *Sharded) collect() {
-	grew := false
+	sorted := len(s.pending)
 	for i := range s.out {
 		if len(s.out[i]) > 0 {
 			s.pending = append(s.pending, s.out[i]...)
@@ -293,11 +300,10 @@ func (s *Sharded) collect() {
 				s.out[i][j] = smsg{}
 			}
 			s.out[i] = s.out[i][:0]
-			grew = true
 		}
 	}
-	if grew {
-		sortSmsgs(s.pending)
+	if len(s.pending) > sorted {
+		mergeNewSmsgs(s.pending, sorted)
 	}
 }
 
@@ -425,7 +431,32 @@ func sortSmsgs(m []smsg) {
 		heapsortSmsgs(m)
 		return
 	}
+	insertionSortSmsgs(m)
+}
+
+func insertionSortSmsgs(m []smsg) {
 	for i := 1; i < len(m); i++ {
+		v := m[i]
+		j := i - 1
+		for j >= 0 && v.less(m[j]) {
+			m[j+1] = m[j]
+			j--
+		}
+		m[j+1] = v
+	}
+}
+
+// mergeNewSmsgs restores full order when m[:mid] is already sorted and
+// [mid:] is a freshly appended tail: sort the tail alone, then fold it into
+// the prefix by insertion. New messages are due at or after now+lookahead
+// while the sorted prefix holds older traffic, so tail elements usually
+// belong near the end and the fold moves almost nothing — the win over
+// re-sorting the whole pending set on every merge (or every Inject), which
+// turned large fleets quadratic. The (at, to, from, seq) order is total, so
+// the result is identical to a full sort.
+func mergeNewSmsgs(m []smsg, mid int) {
+	sortSmsgs(m[mid:])
+	for i := mid; i < len(m); i++ {
 		v := m[i]
 		j := i - 1
 		for j >= 0 && v.less(m[j]) {

@@ -60,6 +60,7 @@ func (e *Event) Cancel() {
 	e.cancelled = true
 	if e.armed && e.eng != nil {
 		e.eng.live--
+		e.eng.nextValid = false // the cancelled event may have been the minimum
 		e.eng.maybeCompact()
 	}
 }
@@ -99,6 +100,16 @@ type Engine struct {
 
 	fired    uint64
 	recycled uint64
+
+	// Next-event cache for NextEventTime: a fleet coordinator peeks every
+	// machine every epoch, and most machines are quiescent between peeks —
+	// without the cache each peek re-walks the timer wheel. The cache is
+	// tightened in place by push (a new event can only lower the minimum)
+	// and invalidated by anything that can raise it (fire, Cancel,
+	// Reschedule of a queued event).
+	nextAt    ktime.Time
+	nextOK    bool
+	nextValid bool
 }
 
 // New returns an engine with the clock at T+0 and an empty queue.
@@ -134,7 +145,11 @@ func (e *Engine) Recycled() uint64 { return e.recycled }
 // false when the queue holds none. The sharded executor uses it to plan
 // epochs; dead entries encountered on the way are discarded.
 func (e *Engine) NextEventTime() (ktime.Time, bool) {
+	if e.nextValid {
+		return e.nextAt, e.nextOK
+	}
 	en, ok := e.peekLive()
+	e.nextAt, e.nextOK, e.nextValid = en.at, ok, true
 	if !ok {
 		return 0, false
 	}
@@ -185,6 +200,10 @@ func (e *Engine) arm(ev *Event, t ktime.Time) {
 func (e *Engine) push(ev *Event, t ktime.Time) {
 	e.arm(ev, t)
 	e.live++
+	// A new live event can only lower the cached minimum — tighten in place.
+	if e.nextValid && (!e.nextOK || t < e.nextAt) {
+		e.nextAt, e.nextOK = t, true
+	}
 }
 
 // At schedules fn at absolute virtual time t and returns a cancellable
@@ -254,7 +273,9 @@ func (e *Engine) Reschedule(ev *Event, t ktime.Time) {
 			e.live++
 		}
 		// The entry carrying the old seq goes stale and is skipped on pop;
-		// dead-entry growth is bounded by compaction.
+		// dead-entry growth is bounded by compaction. Moving a queued event
+		// may raise the minimum, so the cache cannot be tightened in place.
+		e.nextValid = false
 		e.arm(ev, t)
 		e.maybeCompact()
 		return
@@ -313,6 +334,7 @@ func (e *Engine) fire(en entry) {
 	ev := en.ev
 	ev.armed = false
 	e.live--
+	e.nextValid = false // the minimum is being consumed
 	e.now = en.at
 	e.fired++
 	ev.fn()

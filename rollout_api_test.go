@@ -1,0 +1,84 @@
+package enoki_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"enoki"
+)
+
+// modulesSetup builds the WithMachineModules setup every rollout API test
+// uses: each shard loads a WFQ module under policy 1 and registers CFS
+// under policy 0 for the cluster's own plumbing.
+func modulesSetup(t *testing.T, loads *int) func(int, *enoki.ShardedKernel) []*enoki.Adapter {
+	t.Helper()
+	return func(machine int, sk *enoki.ShardedKernel) []*enoki.Adapter {
+		ads := make([]*enoki.Adapter, sk.NumShards())
+		for s := 0; s < sk.NumShards(); s++ {
+			k := sk.ShardKernel(s)
+			ads[s] = enoki.Load(k, 1, enoki.DefaultConfig(),
+				func(env enoki.Env) enoki.Scheduler { return enoki.NewWFQScheduler(env, 1) })
+			k.RegisterClass(0, enoki.NewCFS(k))
+		}
+		*loads += len(ads)
+		return ads
+	}
+}
+
+// TestClusterRolloutQuickstart is the README rollout example: a modular
+// fleet upgrades to a new generation in canary waves and the report records
+// full convergence.
+func TestClusterRolloutQuickstart(t *testing.T) {
+	loads := 0
+	cl := enoki.NewCluster(
+		enoki.WithMachines(6),
+		enoki.WithJobPolicy(1),
+		enoki.WithMachineModules(modulesSetup(t, &loads)),
+	)
+	defer cl.Close()
+	if loads == 0 {
+		t.Fatal("module setup never ran")
+	}
+	for i := 0; i < 60; i++ {
+		cl.Submit(enoki.JobSpec{Cycles: 4, Run: 150 * time.Microsecond})
+	}
+	ro, err := cl.Rollout("v2", func(machine int, env enoki.Env) enoki.Scheduler {
+		return enoki.NewWFQScheduler(env, 1)
+	},
+		enoki.WithCanaryFraction(0.2),
+		enoki.WithWidenFactor(2),
+		enoki.WithObserveWindow(time.Millisecond),
+		enoki.WithMaxStartP99(5*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatalf("Rollout: %v", err)
+	}
+	if _, err := cl.Rollout("v3", func(int, enoki.Env) enoki.Scheduler { return nil }); !errors.Is(err, enoki.ErrRolloutActive) {
+		t.Fatalf("second Rollout = %v, want ErrRolloutActive", err)
+	}
+	cl.Run(30 * time.Millisecond)
+	if !ro.Done() || ro.Halted() {
+		t.Fatalf("rollout unresolved: done=%v halted=%v", ro.Done(), ro.Halted())
+	}
+	rep := ro.Report()
+	if !rep.Completed || rep.Upgraded != 6 || rep.Version != "v2" {
+		t.Fatalf("report %+v, want completed with all 6 machines on v2", rep)
+	}
+	for _, s := range ro.Slots() {
+		if s.State != enoki.SlotHealthy {
+			t.Fatalf("machine %d ended %v, want healthy", s.Machine, s.State)
+		}
+	}
+}
+
+// TestClusterRolloutErrNoModules pins the error for fleets built without
+// upgradable modules.
+func TestClusterRolloutErrNoModules(t *testing.T) {
+	cl := enoki.NewCluster(enoki.WithMachines(2))
+	defer cl.Close()
+	_, err := cl.Rollout("v2", func(int, enoki.Env) enoki.Scheduler { return nil })
+	if !errors.Is(err, enoki.ErrNoModules) {
+		t.Fatalf("Rollout on a module-less fleet = %v, want ErrNoModules", err)
+	}
+}
