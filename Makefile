@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench bench-cluster bench-fleet bench-rollout fleet rollout sharded quick cover fuzz trace apicheck chaos
+.PHONY: check build test race vet bench bench-cluster bench-fleet bench-rollout fleet rollout sharded verified quick cover fuzz trace apicheck chaos
 
 check: vet build race apicheck
 
@@ -66,6 +66,17 @@ sharded:
 	$(GO) test -race -run 'TestSharded' -count=1 ./internal/sim ./internal/schedtest/conformance ./internal/chaos
 	$(GO) test -race -run 'TestRemoteWake|TestScheduleOpShardedZeroAlloc' -count=1 ./internal/kernel
 
+# Verified-tier gate mirroring the CI job: the bytecode verifier, interpreter
+# and fault road under the race detector; the verified class through the
+# 7-class conformance suite on Machine80 (including serial-vs-sharded record
+# identity); the verified chaos smoke; the three-tier Attach API; and the
+# interpreted-pick allocation ratchet.
+verified:
+	$(GO) test -race -count=1 ./internal/vpol
+	$(GO) test -race -run 'TestVerified' -count=1 ./internal/schedtest/conformance ./internal/chaos
+	$(GO) test -race -run 'TestCampaignVerifiedTierSmoke|TestAttach' -count=1 ./internal/chaos .
+	$(GO) test -race -run 'TestScheduleOpVerifiedFIFOZeroAlloc' -count=1 ./internal/kernel
+
 # Public-API compatibility gate for package enoki: apidiff when installed,
 # textual surface diff against api/enoki.txt otherwise. Refresh the baseline
 # after deliberate API changes with `scripts/apicheck.sh -update`.
@@ -87,6 +98,8 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) ./internal/record
 	$(GO) test -fuzz=FuzzBuffer -fuzztime=$(FUZZTIME) ./internal/ringbuf
+	$(GO) test -fuzz=FuzzVerify -fuzztime=$(FUZZTIME) ./internal/vpol
+	$(GO) test -fuzz=FuzzAssemble -fuzztime=$(FUZZTIME) ./internal/vpol
 
 # Seeded chaos campaign under the race detector: fault schedules round-robin
 # across every scheduler class, judged by the invariant oracle; any failure

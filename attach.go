@@ -1,0 +1,216 @@
+package enoki
+
+import (
+	"errors"
+	"fmt"
+
+	"enoki/internal/core"
+	"enoki/internal/enokic"
+	"enoki/internal/kernel"
+	"enoki/internal/vpol"
+)
+
+// PolicySource describes where a scheduling policy's implementation comes
+// from — one of the three tiers of the policy spectrum:
+//
+//   - GoModule: a full Enoki scheduler module behind the message-crossing
+//     framework (~100-150 ns per hook, live upgrade, record/replay).
+//   - VerifiedProgram: a statically verified bytecode program interpreted
+//     directly inside the kernel pick path (~15 ns per hook, no crossing).
+//   - BuiltinClass: a native Go kernel.Class (CFS, RT, or custom), no
+//     framework involvement at all.
+//
+// Every source attaches through the same call, System.Attach, which replaces
+// the historical trio of Load / RegisterClass / vpol wiring. The interface
+// is sealed: the only implementations are the three constructors here.
+type PolicySource interface {
+	// attach installs the source under policy and returns the module
+	// adapter when the source is a module tier (nil for the other tiers).
+	attach(s *System, policy int) (*Adapter, error)
+	// Tier names the crossing tier this source attaches at: "module",
+	// "verified", or "builtin".
+	Tier() string
+}
+
+// Attach installs a policy implementation under the given policy id. It is
+// the single entry point for all three tiers:
+//
+//	sys.MustAttach(2, enoki.GoModule(newMySched))       // module tier
+//	sys.MustAttach(1, enoki.VerifiedProgram(prog))      // verified tier
+//	sys.MustAttach(0, enoki.BuiltinClass(cfs))          // builtin tier
+//
+// Attachment order is priority order, exactly as with the deprecated Load /
+// RegisterClass pair. Failures are typed: errors.Is(err, ErrDuplicatePolicy)
+// when the policy id is taken, errors.Is(err, ErrPolicyMismatch) when a
+// module's GetPolicy disagrees, errors.Is(err, ErrSystemClosed) after Close.
+// The returned Adapter is non-nil only for GoModule sources; reach a
+// verified tier's class with VerifiedClass.
+//
+// In sharded mode GoModule and VerifiedProgram attach one instance per
+// shard; BuiltinClass is rejected because a Class instance binds to one
+// kernel (register per ShardKernel, or use RegisterCFS).
+func (s *System) Attach(policy int, src PolicySource) (*Adapter, error) {
+	if s.closed {
+		return nil, fmt.Errorf("enoki: Attach after Close: %w", ErrSystemClosed)
+	}
+	if src == nil {
+		return nil, errors.New("enoki: Attach with nil PolicySource")
+	}
+	return src.attach(s, policy)
+}
+
+// MustAttach is Attach panicking on error, for mains and tests.
+func (s *System) MustAttach(policy int, src PolicySource) *Adapter {
+	ad, err := s.Attach(policy, src)
+	if err != nil {
+		panic(fmt.Sprintf("enoki: %v", err))
+	}
+	return ad
+}
+
+// VerifiedClass returns the verified-tier class attached under policy via
+// VerifiedProgram, or nil. In sharded mode it returns shard 0's instance.
+func (s *System) VerifiedClass(policy int) *VClass { return s.verified[policy] }
+
+// --- module tier -------------------------------------------------------------
+
+// GoModule is the module-tier PolicySource: factory constructs the scheduler,
+// which runs behind the full Enoki-C message crossing with fault isolation,
+// live upgrade, hint queues, and record/replay support.
+func GoModule(factory func(Env) Scheduler) PolicySource {
+	return goModuleSource{factory: factory}
+}
+
+type goModuleSource struct {
+	factory func(Env) Scheduler
+}
+
+func (goModuleSource) Tier() string { return "module" }
+
+func (g goModuleSource) attach(s *System, policy int) (*Adapter, error) {
+	if g.factory == nil {
+		return nil, errors.New("enoki: GoModule with nil factory")
+	}
+	if s.sk != nil {
+		var first *Adapter
+		for i := 0; i < s.sk.NumShards(); i++ {
+			ad, err := enokic.TryLoad(s.sk.ShardKernel(i), policy, s.cfg, func(env core.Env) core.Scheduler {
+				return g.factory(env)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+			s.adapters = append(s.adapters, ad)
+			if first == nil {
+				first = ad
+			}
+		}
+		return first, nil
+	}
+	ad, err := enokic.TryLoad(s.k, policy, s.cfg, func(env core.Env) core.Scheduler {
+		return g.factory(env)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.adapters = append(s.adapters, ad)
+	if s.tracer != nil {
+		ad.SetTracer(s.tracer)
+	}
+	s.afterRegister()
+	if s.recorder != nil {
+		ad.SetRecorder(s.recorder)
+	}
+	return ad, nil
+}
+
+// --- verified tier -----------------------------------------------------------
+
+// VerifiedProgram is the verified-tier PolicySource: prog is verified
+// (bounded loops, typed queue handles, no allocation) and interpreted in the
+// kernel pick path with DefaultVerifiedConfig costs. Runtime traps kill the
+// class and rehome its tasks to the fallback policy, mirroring module fault
+// isolation.
+func VerifiedProgram(prog *VProgram) PolicySource {
+	return verifiedSource{prog: prog, cfg: vpol.DefaultConfig()}
+}
+
+// VerifiedProgramWith is VerifiedProgram with explicit verified-tier costs
+// and fallback configuration.
+func VerifiedProgramWith(prog *VProgram, cfg VerifiedConfig) PolicySource {
+	return verifiedSource{prog: prog, cfg: cfg}
+}
+
+type verifiedSource struct {
+	prog *vpol.Program
+	cfg  vpol.Config
+}
+
+func (verifiedSource) Tier() string { return "verified" }
+
+func (v verifiedSource) attach(s *System, policy int) (*Adapter, error) {
+	if v.prog == nil {
+		return nil, errors.New("enoki: VerifiedProgram with nil program")
+	}
+	one := func(k *kernel.Kernel) (*vpol.Class, error) {
+		if k.ClassByID(policy) != nil {
+			return nil, fmt.Errorf("enoki: Attach policy %d: %w", policy, ErrDuplicatePolicy)
+		}
+		return vpol.Load(k, policy, v.prog, v.cfg)
+	}
+	var first *vpol.Class
+	if s.sk != nil {
+		for i := 0; i < s.sk.NumShards(); i++ {
+			c, err := one(s.sk.ShardKernel(i))
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+			if first == nil {
+				first = c
+			}
+		}
+	} else {
+		c, err := one(s.k)
+		if err != nil {
+			return nil, err
+		}
+		first = c
+		s.afterRegister()
+	}
+	if s.verified == nil {
+		s.verified = make(map[int]*vpol.Class)
+	}
+	s.verified[policy] = first
+	return nil, nil
+}
+
+// --- builtin tier ------------------------------------------------------------
+
+// BuiltinClass is the builtin-tier PolicySource: c is registered directly in
+// the kernel's pick order with no framework crossing. A Class instance binds
+// to one kernel, so this source is rejected on a sharded System — register
+// per ShardKernel, or use RegisterCFS which constructs per shard.
+func BuiltinClass(c Class) PolicySource {
+	return builtinSource{c: c}
+}
+
+type builtinSource struct {
+	c kernel.Class
+}
+
+func (builtinSource) Tier() string { return "builtin" }
+
+func (b builtinSource) attach(s *System, policy int) (*Adapter, error) {
+	if b.c == nil {
+		return nil, errors.New("enoki: BuiltinClass with nil Class")
+	}
+	if s.sk != nil {
+		return nil, errors.New("enoki: BuiltinClass binds one Class to one kernel; in sharded mode register per ShardKernel (or use RegisterCFS)")
+	}
+	if s.k.ClassByID(policy) != nil {
+		return nil, fmt.Errorf("enoki: Attach policy %d: %w", policy, ErrDuplicatePolicy)
+	}
+	s.k.RegisterClass(policy, b.c)
+	s.afterRegister()
+	return nil, nil
+}

@@ -34,16 +34,17 @@ func main() {
 	class := flag.String("class", "", "restrict to one scheduler class (default: all, round-robin)")
 	replay := flag.String("replay", "", "replay one failing spec (v1:<class>:<seed>:<mask>) instead of a campaign")
 	noRollback := flag.Bool("norollback", false, "disable transactional upgrade rollback (the seeded-bug configuration)")
+	verified := flag.Bool("verified", false, "mount the verified-bytecode tier above each class under test")
 	maxFailures := flag.Int("maxfailures", 3, "stop the campaign after minimizing this many failures")
 	verbose := flag.Bool("v", false, "print one line per campaign run")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: enoki-chaos [-runs N] [-seed S] [-class NAME] [-norollback] [-v]\n"+
-			"       enoki-chaos -replay SPEC [-norollback]\n\nclasses: %s\n",
+		fmt.Fprintf(os.Stderr, "usage: enoki-chaos [-runs N] [-seed S] [-class NAME] [-norollback] [-verified] [-v]\n"+
+			"       enoki-chaos -replay SPEC [-norollback] [-verified]\n\nclasses: %s\n",
 			strings.Join(chaos.ClassNames(), " "))
 	}
 	flag.Parse()
 
-	rc := chaos.RunConfig{NoRollback: *noRollback}
+	rc := chaos.RunConfig{NoRollback: *noRollback, VerifiedTier: *verified}
 
 	if *replay != "" {
 		s, err := chaos.ParseSpec(*replay)

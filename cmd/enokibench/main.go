@@ -95,6 +95,9 @@ func main() {
 			fmt.Printf("%-28s %12.1f ns/op %8d B/op %6d allocs/op\n",
 				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 		}
+		ab := out.CrossingAblation
+		fmt.Printf("\ncrossing ablation (FIFO ping-pong): module %.1f ns/op (%d allocs) vs verified %.1f ns/op (%d allocs) — %.2fx\n",
+			ab.ModuleNsPerOp, ab.ModuleAllocsPerOp, ab.VerifiedNsPerOp, ab.VerifiedAllocsPerOp, ab.ModuleOverVerified)
 		fmt.Printf("\ntraced run: %d events (%d dropped)\n", out.Trace.Events, out.Trace.Dropped)
 		for _, cs := range out.TraceHistograms {
 			fmt.Printf("%-12s crossings=%d picks=%d faults=%d dispatch p50/p99=%d/%dns pickwait p50/p99=%d/%dns wake2run p50/p99=%d/%dns depth p90=%d\n",

@@ -4,16 +4,21 @@
 // (EuroSys '24).
 //
 // A scheduler is a type implementing Scheduler (the EnokiScheduler trait,
-// Table 1 of the paper), written only against this package. Load it into a
+// Table 1 of the paper), written only against this package. Attach it to a
 // simulated kernel and it schedules tasks exactly where a sched_class
 // would:
 //
 //	sys := enoki.NewSystem(enoki.WithMachine(enoki.Machine8()))
-//	ad, err := sys.Load(myPolicyID,
-//	        func(env enoki.Env) enoki.Scheduler { return mysched.New(env) })
+//	ad, err := sys.Attach(myPolicyID, enoki.GoModule(
+//	        func(env enoki.Env) enoki.Scheduler { return mysched.New(env) }))
 //	sys.RegisterCFS(0) // CFS below it, as in the paper
 //	sys.Kernel().Spawn(...)
 //	sys.Run(20 * time.Millisecond)
+//
+// System.Attach is the single attachment surface for the three-tier policy
+// spectrum: GoModule (full framework crossing), VerifiedProgram (bytecode
+// verified and interpreted in the kernel pick path, ~7× cheaper per hook),
+// and BuiltinClass (native Go classes like CFS/RT). See PolicySource.
 //
 // The framework provides the paper's headline features:
 //
@@ -43,6 +48,7 @@ import (
 	"enoki/internal/ktime"
 	"enoki/internal/sim"
 	"enoki/internal/trace"
+	"enoki/internal/vpol"
 )
 
 // --- scheduler-facing API (libEnoki) ----------------------------------------
@@ -285,9 +291,76 @@ var (
 // Load constructs a scheduler module via factory and registers it with the
 // kernel under the given policy number, panicking on failure.
 //
-// Deprecated: use System.Load, which returns typed errors
-// (ErrDuplicatePolicy, ErrPolicyMismatch) and installs the System's
+// Deprecated: use System.Attach with a GoModule source, which returns typed
+// errors (ErrDuplicatePolicy, ErrPolicyMismatch) and installs the System's
 // recorder and tracer on the new module.
 func Load(k *Kernel, policy int, cfg Config, factory func(Env) Scheduler) *Adapter {
 	return enokic.Load(k, policy, cfg, factory)
 }
+
+// --- verified tier (vpol) ------------------------------------------------------
+
+// VProgram is a verified-tier policy: a register-machine bytecode program
+// (see Assemble for the text format) that System.Attach(VerifiedProgram(p))
+// verifies and mounts as a kernel class, interpreted directly in the pick
+// path with no framework crossing.
+type VProgram = vpol.Program
+
+// VInst is one bytecode instruction of a VProgram.
+type VInst = vpol.Inst
+
+// VClass is a mounted verified-tier class; System.VerifiedClass returns it.
+type VClass = vpol.Class
+
+// VerifiedConfig tunes a verified-tier attachment (per-hook overhead,
+// fallback policy for trap rehoming, initial queue capacity).
+type VerifiedConfig = vpol.Config
+
+// VerifiedFailure reports a verified class's death by runtime trap.
+type VerifiedFailure = vpol.FailureReport
+
+// Trap is the runtime fault class of a verified-tier failure.
+type Trap = vpol.Trap
+
+// Verified-tier runtime traps (see Trap).
+const (
+	TrapNone          = vpol.TrapNone
+	TrapDivZero       = vpol.TrapDivZero
+	TrapFuel          = vpol.TrapFuel
+	TrapLoopDepth     = vpol.TrapLoopDepth
+	TrapNoEnqueue     = vpol.TrapNoEnqueue
+	TrapDoubleEnqueue = vpol.TrapDoubleEnqueue
+)
+
+// DefaultVerifiedConfig returns the calibrated verified-tier costs (~15 ns
+// per hook) with CFS at policy 0 as the trap fallback.
+func DefaultVerifiedConfig() VerifiedConfig { return vpol.DefaultConfig() }
+
+// Assemble compiles verified-policy assembly text into a VProgram (not yet
+// verified; Attach verifies, or call VerifyProgram directly).
+func Assemble(src string) (*VProgram, error) { return vpol.Assemble(src) }
+
+// MustAssemble is Assemble panicking on error, for static programs.
+func MustAssemble(src string) *VProgram { return vpol.MustAssemble(src) }
+
+// VerifyProgram runs the static verifier: register/program-size limits,
+// bounded loops, all-paths-terminate, typed queue handles, hook-legal
+// instructions. Attach calls it automatically; exposed for tooling.
+func VerifyProgram(p *VProgram) error { return vpol.Verify(p) }
+
+// EncodeProgram and DecodeProgram are the portable binary codec for
+// VPrograms (e.g. to ship a program through a file or a hint queue).
+func EncodeProgram(p *VProgram) []byte             { return vpol.Encode(p) }
+func DecodeProgram(data []byte) (*VProgram, error) { return vpol.Decode(data) }
+
+// Example verified policies: VFIFOSource is a single shared FIFO queue;
+// VDualQueueSource is the paper's §1 priority dual-queue (negative-nice
+// tasks in an express queue picked first). Assemble-ready text.
+const (
+	VFIFOSource      = vpol.FIFOSource
+	VDualQueueSource = vpol.DualQueueSource
+)
+
+// VFIFOProgram and VDualQueueProgram return the assembled example programs.
+func VFIFOProgram() *VProgram      { return vpol.FIFOProgram() }
+func VDualQueueProgram() *VProgram { return vpol.DualQueueProgram() }

@@ -24,8 +24,8 @@ const (
 
 func main() {
 	sys := enoki.NewSystem(enoki.WithMachine(enoki.Machine8()))
-	ad, err := sys.Load(policyWFQ,
-		func(env enoki.Env) enoki.Scheduler { return enoki.NewWFQScheduler(env, policyWFQ) })
+	ad, err := sys.Attach(policyWFQ, enoki.GoModule(
+		func(env enoki.Env) enoki.Scheduler { return enoki.NewWFQScheduler(env, policyWFQ) }))
 	if err != nil {
 		panic(err)
 	}

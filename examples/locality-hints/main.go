@@ -32,8 +32,8 @@ type group struct {
 
 func runBench(useHints bool) (p50, p99 time.Duration) {
 	sys := enoki.NewSystem(enoki.WithMachine(enoki.Machine8()))
-	ad, err := sys.Load(policyLocality,
-		func(env enoki.Env) enoki.Scheduler { return enoki.NewLocalityScheduler(env, policyLocality) })
+	ad, err := sys.Attach(policyLocality, enoki.GoModule(
+		func(env enoki.Env) enoki.Scheduler { return enoki.NewLocalityScheduler(env, policyLocality) }))
 	if err != nil {
 		panic(err)
 	}

@@ -97,8 +97,8 @@ func main() {
 	// underneath it for everything else — exactly the deployment story
 	// of the paper.
 	sys := enoki.NewSystem(enoki.WithMachine(enoki.Machine8()))
-	ad, err := sys.Load(policyMine,
-		func(env enoki.Env) enoki.Scheduler { return newMyScheduler(env) })
+	ad, err := sys.Attach(policyMine, enoki.GoModule(
+		func(env enoki.Env) enoki.Scheduler { return newMyScheduler(env) }))
 	if err != nil {
 		panic(err)
 	}

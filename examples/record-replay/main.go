@@ -36,8 +36,8 @@ func main() {
 	sys := enoki.NewSystem(
 		enoki.WithMachine(enoki.Machine8()),
 		enoki.WithRecorder(&log, policyCFS))
-	if _, err := sys.Load(policyWFQ,
-		func(env enoki.Env) enoki.Scheduler { return enoki.NewWFQScheduler(env, policyWFQ) }); err != nil {
+	if _, err := sys.Attach(policyWFQ, enoki.GoModule(
+		func(env enoki.Env) enoki.Scheduler { return enoki.NewWFQScheduler(env, policyWFQ) })); err != nil {
 		panic(err)
 	}
 	sys.RegisterCFS(policyCFS)

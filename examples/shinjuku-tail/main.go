@@ -33,10 +33,10 @@ func serve(useShinjuku bool) (p50, p99 time.Duration) {
 	k := sys.Kernel()
 	workerPolicy := policyCFS
 	if useShinjuku {
-		sys.MustLoad(policyShin,
+		sys.MustAttach(policyShin, enoki.GoModule(
 			func(env enoki.Env) enoki.Scheduler {
 				return enoki.NewShinjukuScheduler(env, policyShin, 10*time.Microsecond)
-			})
+			}))
 		workerPolicy = policyShin
 	}
 	sys.RegisterCFS(policyCFS)

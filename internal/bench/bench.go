@@ -346,6 +346,8 @@ func All() []Entry {
 		{"BenchmarkDispatchWakeup", DispatchWakeup},
 		{"BenchmarkDispatchAll", DispatchAll},
 		{"BenchmarkDispatchTraced", DispatchTraced},
+		{"BenchmarkScheduleOpModuleFIFO", ScheduleOpModuleFIFO},
+		{"BenchmarkScheduleOpVerifiedFIFO", ScheduleOpVerifiedFIFO},
 	}
 }
 
@@ -427,15 +429,17 @@ func Run() []Result {
 // Output is the full -benchjson document: micro-benchmark measurements plus
 // the histogram summaries of the fixed-seed traced run.
 type Output struct {
-	Benchmarks      []Result               `json:"benchmarks"`
-	TraceHistograms []metrics.ClassSummary `json:"trace_histograms"`
-	Trace           TraceStats             `json:"trace"`
+	Benchmarks       []Result               `json:"benchmarks"`
+	CrossingAblation CrossingAblation       `json:"crossing_ablation"`
+	TraceHistograms  []metrics.ClassSummary `json:"trace_histograms"`
+	Trace            TraceStats             `json:"trace"`
 }
 
 // WriteJSON runs every benchmark and the fixed-seed traced workload, writes
 // the combined document to path, and returns it.
 func WriteJSON(path string) (*Output, error) {
 	out := &Output{Benchmarks: Run()}
+	out.CrossingAblation = MeasureCrossingAblation()
 	out.TraceHistograms, out.Trace = TraceRun()
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

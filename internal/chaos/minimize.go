@@ -45,6 +45,9 @@ func ReplayCommand(s Schedule, rc RunConfig) string {
 	if rc.NoRollback {
 		cmd += " -norollback"
 	}
+	if rc.VerifiedTier {
+		cmd += " -verified"
+	}
 	return cmd
 }
 

@@ -12,6 +12,7 @@ import (
 	"enoki/internal/record"
 	"enoki/internal/schedtest"
 	"enoki/internal/schedtest/conformance"
+	"enoki/internal/vpol"
 )
 
 // StormHint is the hint payload PlaneHintStorm pushes. Modules ignore
@@ -48,6 +49,11 @@ type RunConfig struct {
 	NoRollback bool
 	// NoRecord skips the record log and its decodability check.
 	NoRecord bool
+	// VerifiedTier additionally mounts the verified-bytecode dual-queue
+	// program above the class under test, routing every third workload
+	// task through the interpreter. No chaos plane targets the verified
+	// tier, so the oracle treats a verified-class kill as a violation.
+	VerifiedTier bool
 }
 
 func (rc RunConfig) withDefaults() RunConfig {
@@ -82,6 +88,11 @@ type Result struct {
 	Failure   *enokic.FailureReport
 	Stats     enokic.Stats
 	Upgrades  []UpgradeOutcome
+	// VerifiedKilled/VerifiedFailure/VerifiedPicks report the verified
+	// tier's fate when RunConfig.VerifiedTier mounted it.
+	VerifiedKilled  bool
+	VerifiedFailure *vpol.FailureReport
+	VerifiedPicks   uint64
 	// UpgradesScheduled counts upgrades the schedule requested; every one
 	// must produce exactly one outcome (possibly ErrModuleKilled).
 	UpgradesScheduled int
@@ -185,6 +196,9 @@ func Run(s Schedule, rc RunConfig) Result {
 	cfg.StarveWindow = rc.StarveWindow
 	cfg.PntErrBudget = rc.PntErrBudget
 	cfg.UpgradeRollback = !rc.NoRollback
+	if rc.VerifiedTier {
+		c.Verified = vpol.DualQueueProgram()
+	}
 
 	inj := &schedtest.Injector{}
 	var rig *conformance.Rig
@@ -310,6 +324,11 @@ func Run(s Schedule, rc RunConfig) Result {
 		res.Failure = rig.Adapter.Failure()
 		res.Stats = rig.Adapter.Stats()
 	}
+	if rig.Verified != nil {
+		res.VerifiedKilled = rig.Verified.Killed()
+		res.VerifiedFailure = rig.Verified.Failure()
+		res.VerifiedPicks = rig.Verified.Stats().Picks
+	}
 	if rec != nil {
 		rec.Close()
 		res.RecordLog = buf.Bytes()
@@ -353,6 +372,20 @@ func oracle(r *Result, rc RunConfig, checker *conformance.Checker) []string {
 	// No double-run / state / affinity breaches.
 	for _, cv := range checker.Violations {
 		add("checker: %s", cv)
+	}
+	// The verified tier is untargeted by every chaos plane and its
+	// programs are statically verified, so any verified-class kill is a
+	// bug in the interpreter or verifier — and an idle verified tier
+	// means its share of the workload was never scheduled through it.
+	if r.VerifiedKilled {
+		trap := "unknown"
+		if r.VerifiedFailure != nil {
+			trap = r.VerifiedFailure.Trap.String()
+		}
+		add("verified class killed (no chaos plane targets the verified tier): %s", trap)
+	}
+	if rc.VerifiedTier && r.VerifiedPicks == 0 {
+		add("verified tier mounted but never picked a task")
 	}
 	// Kills must be earned by a module-sabotage plane.
 	if r.Killed && !killJustified(r.Schedule) {

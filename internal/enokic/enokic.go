@@ -428,6 +428,10 @@ func (a *Adapter) Name() string { return fmt.Sprintf("enoki:%d", a.policy) }
 // framework cost, plus record-mode overhead when a recorder is installed.
 func (a *Adapter) OverheadPerCall() time.Duration { return a.cfg.CallOverhead + a.recordCost }
 
+// CrossingTier implements kernel.CrossingTierer: the adapter is the full
+// message-crossing module tier.
+func (a *Adapter) CrossingTier() string { return "module" }
+
 // TaskNew implements kernel.Class. The module's task_new message is sent at
 // the first enqueue, when a Schedulable for a concrete run queue exists.
 func (a *Adapter) TaskNew(t *kernel.Task) {

@@ -79,7 +79,7 @@ func NUMA(o Options) *NUMAResult {
 		k := sys.Kernel()
 		k.SetIPIBatching(v.batched)
 		if v.flat {
-			sys.RegisterClass(PolicyCFS, kernel.NewCFSFlat(k))
+			sys.MustAttach(PolicyCFS, enoki.BuiltinClass(kernel.NewCFSFlat(k)))
 		} else {
 			sys.RegisterCFS(PolicyCFS)
 		}

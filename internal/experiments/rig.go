@@ -112,7 +112,7 @@ func NewRig(m kernel.Machine, kind Kind) *Rig {
 	r := &Rig{Sys: sys, K: k, Kind: kind, Policy: PolicyCFS, AgentCPU: -1}
 
 	load := func(f func(core.Env) core.Scheduler) {
-		r.Adapter = sys.MustLoad(PolicyEnoki, f)
+		r.Adapter = sys.MustAttach(PolicyEnoki, enoki.GoModule(func(env enoki.Env) enoki.Scheduler { return f(env) }))
 		r.Policy = PolicyEnoki
 	}
 
@@ -139,18 +139,18 @@ func NewRig(m kernel.Machine, kind Kind) *Rig {
 		})
 	case KindGhostFIFO:
 		r.Ghost = ghost.New(k, ghost.ModePerCPU, ghost.NewFIFOPolicy(), -1, ghost.DefaultCosts())
-		sys.RegisterClass(PolicyGhost, r.Ghost)
+		sys.MustAttach(PolicyGhost, enoki.BuiltinClass(r.Ghost))
 		r.Policy = PolicyGhost
 	case KindGhostSOL:
 		r.AgentCPU = 2
 		r.Ghost = ghost.New(k, ghost.ModeSOL, ghost.NewSOLPolicy(), r.AgentCPU, ghost.DefaultCosts())
-		sys.RegisterClass(PolicyGhost, r.Ghost)
+		sys.MustAttach(PolicyGhost, enoki.BuiltinClass(r.Ghost))
 		r.Policy = PolicyGhost
 	case KindGhostShinjuku:
 		r.AgentCPU = 2
 		r.Ghost = ghost.New(k, ghost.ModeSOL, ghost.NewShinjukuPolicy(10*time.Microsecond),
 			r.AgentCPU, ghost.DefaultCosts())
-		sys.RegisterClass(PolicyGhost, r.Ghost)
+		sys.MustAttach(PolicyGhost, enoki.BuiltinClass(r.Ghost))
 		r.Policy = PolicyGhost
 	}
 	sys.RegisterCFS(PolicyCFS)

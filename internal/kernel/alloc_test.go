@@ -53,6 +53,21 @@ func TestScheduleOpShardedZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestScheduleOpVerifiedFIFOZeroAlloc is the allocation ratchet for the
+// verified-bytecode fast lane: the ScheduleOp ping-pong with both tasks
+// scheduled by the interpreted FIFO program — enqueue hook, pick-path
+// interpretation, queue pops — must stay at 0 allocs/op. This is the tier's
+// core promise: module-free crossing with kernel-native allocation behavior.
+func TestScheduleOpVerifiedFIFOZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed; skipped in -short")
+	}
+	r := testing.Benchmark(bench.ScheduleOpVerifiedFIFO)
+	if allocs := r.AllocsPerOp(); allocs != 0 {
+		t.Errorf("verified-tier ScheduleOp: %d allocs/op, want 0", allocs)
+	}
+}
+
 // TestWakeBurstZeroAlloc is the allocation ratchet for the batched
 // cross-CPU message path: a 16-wake burst on the two-socket Machine80 —
 // per-target IPI coalescing, cross-socket delivery, idle exits — must

@@ -93,6 +93,23 @@ type Class interface {
 	NRunnable(cpu int) int
 }
 
+// CrossingTierer is the optional tier tag a Class may implement to declare
+// which policy tier it runs at: "verified" for the in-kernel bytecode
+// interpreter (internal/vpol), "module" for the full message-crossing
+// adapter (internal/enokic). Classes without the method — CFS, RT, and any
+// other native Go class — are "builtin".
+type CrossingTierer interface {
+	CrossingTier() string
+}
+
+// CrossingTierOf resolves a class's tier tag, defaulting to "builtin".
+func CrossingTierOf(c Class) string {
+	if tt, ok := c.(CrossingTierer); ok {
+		return tt.CrossingTier()
+	}
+	return "builtin"
+}
+
 // classSlot binds a registered class to its policy ID and priority position.
 type classSlot struct {
 	id    int

@@ -186,7 +186,7 @@ func (k *Kernel) RegisterClass(id int, c Class) {
 	k.idOf[c] = id
 	k.classes = append(k.classes, classSlot{id: id, class: c})
 	if k.met != nil {
-		k.met.Register(id, c.Name())
+		k.met.RegisterTiered(id, c.Name(), CrossingTierOf(c))
 	}
 }
 

@@ -26,7 +26,7 @@ func (k *Kernel) SetMetrics(s *metrics.Set) {
 		return
 	}
 	for _, slot := range k.classes {
-		s.Register(slot.id, slot.class.Name())
+		s.RegisterTiered(slot.id, slot.class.Name(), CrossingTierOf(slot.class))
 	}
 }
 

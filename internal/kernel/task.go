@@ -234,6 +234,20 @@ func (t *Task) SumExec() time.Duration { return t.sumExec }
 // Allowed returns the task's CPU affinity mask.
 func (t *Task) Allowed() CPUMask { return t.allowed }
 
+// AllowedOn reports whether cpu is in the task's affinity mask without
+// copying the mask, for per-candidate checks on hot paths (the verified-tier
+// shared-queue pop filters every scan step through it).
+func (t *Task) AllowedOn(cpu int) bool { return t.allowed.has(cpu) }
+
+// ClassData returns the class-private per-task state installed by the
+// owning scheduler class, and SetClassData installs it. They exist for
+// native classes that live outside this package (internal/vpol); a class
+// must only touch entries it installed itself.
+func (t *Task) ClassData() any { return t.classData }
+
+// SetClassData installs class-private per-task state; see ClassData.
+func (t *Task) SetClassData(v any) { t.classData = v }
+
 // String renders a compact description for logs and test failures.
 func (t *Task) String() string {
 	return fmt.Sprintf("%s[%d](%s cpu%d)", t.name, t.pid, t.state, t.cpu)

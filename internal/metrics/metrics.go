@@ -51,6 +51,10 @@ type CPUMetrics struct {
 type ClassMetrics struct {
 	Policy int
 	Name   string
+	// Tier tags which crossing tier the class runs at: "builtin" (native
+	// Go, no crossing), "verified" (bytecode interpreted in the kernel), or
+	// "module" (full enokic message crossing). Empty when unknown.
+	Tier   string
 	perCPU []CPUMetrics
 }
 
@@ -113,6 +117,7 @@ func (c *ClassMetrics) HintTotals() (delivered, dropped uint64) {
 type ClassSummary struct {
 	Policy         int           `json:"policy"`
 	Name           string        `json:"name"`
+	Tier           string        `json:"tier,omitempty"`
 	Crossings      uint64        `json:"crossings"`
 	Picks          uint64        `json:"picks"`
 	Faults         uint64        `json:"faults"`
@@ -135,6 +140,7 @@ func (c *ClassMetrics) Summarize() ClassSummary {
 	return ClassSummary{
 		Policy:         c.Policy,
 		Name:           c.Name,
+		Tier:           c.Tier,
 		Crossings:      crossings,
 		Picks:          picks,
 		Faults:         faults,
@@ -174,6 +180,17 @@ func (s *Set) Register(policy int, name string) *ClassMetrics {
 	}
 	c := NewClassMetrics(policy, name, s.ncpus)
 	s.byPolicy[policy] = c
+	return c
+}
+
+// RegisterTiered is Register plus the crossing-tier tag (see
+// ClassMetrics.Tier). The kernel uses it so every class's summaries carry
+// the tier dimension the crossing-cost ablation reports on.
+func (s *Set) RegisterTiered(policy int, name, tier string) *ClassMetrics {
+	c := s.Register(policy, name)
+	if tier != "" {
+		c.Tier = tier
+	}
 	return c
 }
 

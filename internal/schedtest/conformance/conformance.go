@@ -30,13 +30,16 @@ import (
 	"enoki/internal/sched/shinjuku"
 	"enoki/internal/sched/wfq"
 	"enoki/internal/sim"
+	"enoki/internal/vpol"
 )
 
 // Policy ids: the module under test registers above CFS, like the
-// experiment rigs.
+// experiment rigs; a verified-tier program (Case.Verified) registers above
+// both, the fast-lane position it holds in real deployments.
 const (
-	PolicyCFS  = 0
-	PolicyTest = 1
+	PolicyCFS      = 0
+	PolicyTest     = 1
+	PolicyVerified = 2
 )
 
 // Case describes one scheduler class under conformance test.
@@ -49,6 +52,12 @@ type Case struct {
 	// SupportsHints marks modules whose RegisterQueue accepts a queue, so
 	// hint-path cases (queue-lie injection) know where they apply.
 	SupportsHints bool
+	// Verified, when non-nil, additionally mounts this bytecode program as
+	// a verified-tier class under PolicyVerified; Workload then routes
+	// every third task through it, so the same invariants cover the
+	// interpreter's enqueue/pick path and its coexistence with the tiers
+	// below.
+	Verified *vpol.Program
 }
 
 // Cases lists all seven scheduler classes.
@@ -87,6 +96,9 @@ type Rig struct {
 	Adapter *enokic.Adapter
 	// Policy is the class workload tasks spawn into.
 	Policy int
+	// Verified is the mounted verified-tier class, nil unless the case
+	// carries a bytecode program.
+	Verified *vpol.Class
 }
 
 // NewRig builds the machine for c on the paper's 8-core box. cfg tunes the
@@ -103,6 +115,13 @@ func NewRigOn(c Case, m kernel.Machine, cfg enokic.Config, wrap func(core.Schedu
 	eng := sim.New()
 	k := kernel.New(eng, m, kernel.CostsFor(m))
 	r := &Rig{K: k, Policy: PolicyCFS}
+	if c.Verified != nil {
+		vc, err := vpol.Load(k, PolicyVerified, c.Verified, vpol.Config{Fallback: PolicyCFS})
+		if err != nil {
+			panic(fmt.Sprintf("conformance: verified load: %v", err))
+		}
+		r.Verified = vc
+	}
 	if c.NewModule != nil {
 		r.Adapter = enokic.Load(k, PolicyTest, cfg, func(env core.Env) core.Scheduler {
 			s := c.NewModule(env, k.NumCPUs())
@@ -219,6 +238,10 @@ func (w Workload) Spawn(r *Rig) func() int {
 	completed := 0
 	tasks := make([]*kernel.Task, 0, w.Tasks)
 	for i := 0; i < w.Tasks; i++ {
+		policy := r.Policy
+		if r.Verified != nil && i%3 == 2 {
+			policy = PolicyVerified
+		}
 		var b kernel.Behavior
 		switch rand.Intn(3) {
 		case 0: // sleeper: progress requires every wakeup to arrive
@@ -235,7 +258,7 @@ func (w Workload) Spawn(r *Rig) func() int {
 			run := time.Duration(10+rand.Intn(100)) * time.Microsecond
 			b = Loop(iters, run, kernel.OpYield, 0)
 		}
-		t := k.Spawn(fmt.Sprintf("w%d", i), r.Policy, b,
+		t := k.Spawn(fmt.Sprintf("w%d", i), policy, b,
 			kernel.WithExitObserver(func() { completed++ }))
 		tasks = append(tasks, t)
 	}

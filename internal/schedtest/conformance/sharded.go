@@ -9,6 +9,7 @@ import (
 	"enoki/internal/enokic"
 	"enoki/internal/kernel"
 	"enoki/internal/record"
+	"enoki/internal/vpol"
 )
 
 // ShardedRig is one conformance machine partitioned per NUMA node: every
@@ -31,6 +32,13 @@ func NewShardedRig(c Case, m kernel.Machine, cfg enokic.Config) *ShardedRig {
 	for i := 0; i < sk.NumShards(); i++ {
 		k := sk.ShardKernel(i)
 		sub := &Rig{K: k, Policy: PolicyCFS}
+		if c.Verified != nil {
+			vc, err := vpol.Load(k, PolicyVerified, c.Verified, vpol.Config{Fallback: PolicyCFS})
+			if err != nil {
+				panic(fmt.Sprintf("conformance: verified load: %v", err))
+			}
+			sub.Verified = vc
+		}
 		if c.NewModule != nil {
 			sub.Adapter = enokic.Load(k, PolicyTest, cfg, func(env core.Env) core.Scheduler {
 				return c.NewModule(env, k.NumCPUs())

@@ -59,6 +59,11 @@ const (
 	// dropped; Arg is the queue id. Always recorded (never sampled): drops
 	// are the overload signal the hint-accounting counters exist to surface.
 	KindHintDrop
+	// KindVExec is one verified-bytecode hook execution inside the kernel
+	// pick/enqueue path (the crossing-free middle tier); Dur is the modeled
+	// interpreter overhead. Sampled like KindDispatch: it is the verified
+	// tier's crossing analogue and matches its event volume.
+	KindVExec
 )
 
 func (k Kind) String() string {
@@ -89,6 +94,8 @@ func (k Kind) String() string {
 		return "xdomain"
 	case KindHintDrop:
 		return "hint-drop"
+	case KindVExec:
+		return "vexec"
 	default:
 		return "invalid"
 	}
@@ -153,7 +160,7 @@ func (t *Tracer) Emit(ev Event) {
 		return
 	}
 	switch ev.Kind {
-	case KindDispatch, KindTick, KindBalance:
+	case KindDispatch, KindTick, KindBalance, KindVExec:
 		if !t.sampled() {
 			return
 		}

@@ -1,0 +1,53 @@
+package vpol
+
+import (
+	"testing"
+	"time"
+
+	"enoki/internal/kernel"
+	"enoki/internal/metrics"
+	"enoki/internal/sim"
+	"enoki/internal/trace"
+)
+
+// TestVerifiedPickZeroAlloc is the verified tier's alloc ratchet: once the
+// machine is warm, driving the full schedule path — enqueue hook, pick hook,
+// ring pops, metrics, tracing — through the interpreter must not allocate.
+// This is the property that makes the bytecode tier a fast lane rather than
+// a cheaper-message tier.
+func TestVerifiedPickZeroAlloc(t *testing.T) {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	c, err := Load(k, policyVPol, FIFOProgram(), DefaultConfig())
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	k.RegisterClass(policyCFS, kernel.NewCFS(k))
+	k.SetMetrics(metrics.NewSet(k.NumCPUs()))
+	k.SetTracer(trace.New(1 << 16))
+
+	// Endless ping-pong through the verified class, pinned to one CPU so
+	// every cycle is enqueue → pick → switch.
+	var x, y *kernel.Task
+	mk := func(peer **kernel.Task) kernel.Behavior {
+		wake := make([]*kernel.Task, 1)
+		return kernel.BehaviorFunc(func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+			wake[0] = *peer
+			return kernel.Action{Run: 2 * time.Microsecond, Wake: wake, Op: kernel.OpBlock}
+		})
+	}
+	x = k.Spawn("x", policyVPol, mk(&y), kernel.WithAffinity(kernel.SingleCPU(0)))
+	y = k.Spawn("y", policyVPol, mk(&x), kernel.WithAffinity(kernel.SingleCPU(0)))
+	_ = x
+
+	k.RunFor(20 * time.Millisecond) // warm rings, free lists, timer wheel
+	before := c.Stats()
+	avg := testing.AllocsPerRun(200, func() { k.RunFor(200 * time.Microsecond) })
+	if avg != 0 {
+		t.Errorf("verified schedule path: %v allocs/op, want 0", avg)
+	}
+	after := c.Stats()
+	if after.Picks <= before.Picks {
+		t.Fatalf("interpreter did not run during the measured window: %+v -> %+v", before, after)
+	}
+}

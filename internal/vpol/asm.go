@@ -1,0 +1,427 @@
+// Assembler for the vpol text format. A program is a header (queue
+// declaration, optional slice) followed by the two hook sections. Example —
+// the shipped dual-queue policy:
+//
+//	queues shared=2 local=0
+//	slice 500us
+//
+//	enqueue:
+//	        ldf r2, nice
+//	        jltz r2, express
+//	        enq shared, 1
+//	        ret
+//	express:
+//	        enq shared, 0
+//	        ret
+//
+//	pick:
+//	        trypop shared, 0
+//	        trypop shared, 1
+//	        ret
+//
+// Comments run from ';' or '#' to end of line. Operands may be separated by
+// commas or spaces. Registers are r0..r7; queue operands are the kind
+// (shared|local) plus an index; branch targets are labels, scoped to their
+// section. Assemble only parses — callers still run Verify (Load always
+// does), but the assembler enforces the grammar strictly enough that
+// anything it emits is structurally well-formed.
+package vpol
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// AsmError reports an assembly failure with its 1-based source line.
+type AsmError struct {
+	Line   int
+	Reason string
+}
+
+func (e *AsmError) Error() string {
+	return fmt.Sprintf("vpol: asm line %d: %s", e.Line, e.Reason)
+}
+
+func aerr(line int, format string, args ...any) error {
+	return &AsmError{Line: line, Reason: fmt.Sprintf(format, args...)}
+}
+
+// patch is an unresolved label reference.
+type patch struct {
+	pc    int
+	label string
+	line  int
+}
+
+// section accumulates one hook's code during assembly.
+type section struct {
+	code    []Inst
+	labels  map[string]int
+	patches []patch
+}
+
+// Assemble parses the text format into a Program. The result is unverified;
+// run Verify (or just Load) before use.
+func Assemble(src string) (*Program, error) {
+	p := &Program{}
+	sawQueues := false
+	secs := map[string]*section{
+		"enqueue": {labels: map[string]int{}},
+		"pick":    {labels: map[string]int{}},
+	}
+	var cur *section
+
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		text := raw
+		if j := strings.IndexAny(text, ";#"); j >= 0 {
+			text = text[:j]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		fields := strings.FieldsFunc(text, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == ','
+		})
+		head := strings.ToLower(fields[0])
+
+		// Section headers and labels end in ':'.
+		if strings.HasSuffix(head, ":") && len(fields) == 1 {
+			name := strings.TrimSuffix(head, ":")
+			if s, ok := secs[name]; ok {
+				cur = s
+				continue
+			}
+			if cur == nil {
+				return nil, aerr(line, "label %q outside any section", name)
+			}
+			if !validLabel(name) {
+				return nil, aerr(line, "bad label %q", name)
+			}
+			if _, dup := cur.labels[name]; dup {
+				return nil, aerr(line, "duplicate label %q", name)
+			}
+			cur.labels[name] = len(cur.code)
+			continue
+		}
+
+		// Header directives before the first section.
+		if cur == nil {
+			switch head {
+			case "queues":
+				if sawQueues {
+					return nil, aerr(line, "duplicate queues directive")
+				}
+				sawQueues = true
+				for _, f := range fields[1:] {
+					k, v, ok := strings.Cut(f, "=")
+					n, err := strconv.Atoi(v)
+					if !ok || err != nil {
+						return nil, aerr(line, "bad queues operand %q (want shared=N or local=N)", f)
+					}
+					switch strings.ToLower(k) {
+					case "shared":
+						p.SharedQueues = n
+					case "local":
+						p.LocalQueues = n
+					default:
+						return nil, aerr(line, "unknown queue kind %q", k)
+					}
+				}
+				continue
+			case "slice":
+				if len(fields) != 2 {
+					return nil, aerr(line, "slice wants one duration operand")
+				}
+				if fields[1] == "0" {
+					p.Slice = 0
+					continue
+				}
+				d, err := time.ParseDuration(fields[1])
+				if err != nil {
+					return nil, aerr(line, "bad slice %q: %v", fields[1], err)
+				}
+				p.Slice = d
+				continue
+			default:
+				return nil, aerr(line, "%q before any section (want queues/slice directives or enqueue:/pick:)", head)
+			}
+		}
+
+		in, lbl, err := parseInst(line, head, fields[1:])
+		if err != nil {
+			return nil, err
+		}
+		if lbl != "" {
+			cur.patches = append(cur.patches, patch{pc: len(cur.code), label: lbl, line: line})
+		}
+		cur.code = append(cur.code, in)
+	}
+
+	if !sawQueues {
+		return nil, aerr(0, "missing queues directive")
+	}
+	for name, s := range secs {
+		for _, pt := range s.patches {
+			tgt, ok := s.labels[pt.label]
+			if !ok {
+				return nil, aerr(pt.line, "undefined label %q in %s", pt.label, name)
+			}
+			s.code[pt.pc].Imm = int64(tgt)
+		}
+	}
+	p.Enqueue = secs["enqueue"].code
+	p.Pick = secs["pick"].code
+	if len(p.Enqueue) == 0 {
+		return nil, aerr(0, "missing enqueue section")
+	}
+	if len(p.Pick) == 0 {
+		return nil, aerr(0, "missing pick section")
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble for known-good sources (the shipped examples).
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !(r == '_' || r >= 'a' && r <= 'z' || r >= '0' && r <= '9') {
+			return false
+		}
+	}
+	return r0f(s)
+}
+
+// r0f rejects label names that collide with register syntax.
+func r0f(s string) bool {
+	if len(s) == 2 && s[0] == 'r' && s[1] >= '0' && s[1] <= '9' {
+		return false
+	}
+	return true
+}
+
+var fieldNames = map[string]Field{
+	"pid":      FieldPID,
+	"cpu":      FieldCPU,
+	"nice":     FieldNice,
+	"weight":   FieldWeight,
+	"vruntime": FieldVruntime,
+	"lastcpu":  FieldLastCPU,
+	"flags":    FieldFlags,
+}
+
+func parseReg(line int, s string) (uint8, error) {
+	ls := strings.ToLower(s)
+	if len(ls) >= 2 && ls[0] == 'r' {
+		if n, err := strconv.Atoi(ls[1:]); err == nil && n >= 0 && n < NumRegs {
+			return uint8(n), nil
+		}
+	}
+	return 0, aerr(line, "bad register %q (want r0..r%d)", s, NumRegs-1)
+}
+
+func parseImm(line int, s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, aerr(line, "bad immediate %q", s)
+	}
+	return v, nil
+}
+
+func parseQueue(line int, ops []string) (kind uint8, idx int64, err error) {
+	if len(ops) != 2 {
+		return 0, 0, aerr(line, "queue operand wants <shared|local> <index>")
+	}
+	switch strings.ToLower(ops[0]) {
+	case "shared":
+		kind = QShared
+	case "local":
+		kind = QLocal
+	default:
+		return 0, 0, aerr(line, "bad queue kind %q (want shared or local)", ops[0])
+	}
+	idx, err = parseImm(line, ops[1])
+	return kind, idx, err
+}
+
+// parseInst assembles one instruction; a non-empty label return marks an
+// unresolved branch target to patch.
+func parseInst(line int, mn string, ops []string) (Inst, string, error) {
+	want := func(n int) error {
+		if len(ops) != n {
+			return aerr(line, "%s wants %d operand(s), got %d", mn, n, len(ops))
+		}
+		return nil
+	}
+	regReg := func(op Op) (Inst, string, error) {
+		if err := want(2); err != nil {
+			return Inst{}, "", err
+		}
+		a, err := parseReg(line, ops[0])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		b, err := parseReg(line, ops[1])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		return Inst{Op: op, A: a, B: b}, "", nil
+	}
+	regImm := func(op Op) (Inst, string, error) {
+		if err := want(2); err != nil {
+			return Inst{}, "", err
+		}
+		a, err := parseReg(line, ops[0])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		imm, err := parseImm(line, ops[1])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		return Inst{Op: op, A: a, Imm: imm}, "", nil
+	}
+	regRegLabel := func(op Op) (Inst, string, error) {
+		if err := want(3); err != nil {
+			return Inst{}, "", err
+		}
+		a, err := parseReg(line, ops[0])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		b, err := parseReg(line, ops[1])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		return Inst{Op: op, A: a, B: b}, strings.ToLower(ops[2]), nil
+	}
+	regLabel := func(op Op) (Inst, string, error) {
+		if err := want(2); err != nil {
+			return Inst{}, "", err
+		}
+		a, err := parseReg(line, ops[0])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		return Inst{Op: op, A: a}, strings.ToLower(ops[1]), nil
+	}
+	queueOp := func(op Op) (Inst, string, error) {
+		kind, idx, err := parseQueue(line, ops)
+		if err != nil {
+			return Inst{}, "", err
+		}
+		return Inst{Op: op, A: kind, Imm: idx}, "", nil
+	}
+
+	switch mn {
+	case "ret":
+		if err := want(0); err != nil {
+			return Inst{}, "", err
+		}
+		return Inst{Op: OpRet}, "", nil
+	case "ldi":
+		return regImm(OpLdi)
+	case "addi":
+		return regImm(OpAddi)
+	case "mov":
+		return regReg(OpMov)
+	case "add":
+		return regReg(OpAdd)
+	case "sub":
+		return regReg(OpSub)
+	case "mul":
+		return regReg(OpMul)
+	case "div":
+		return regReg(OpDiv)
+	case "mod":
+		return regReg(OpMod)
+	case "and":
+		return regReg(OpAnd)
+	case "or":
+		return regReg(OpOr)
+	case "xor":
+		return regReg(OpXor)
+	case "jmp":
+		if err := want(1); err != nil {
+			return Inst{}, "", err
+		}
+		return Inst{Op: OpJmp}, strings.ToLower(ops[0]), nil
+	case "jeq":
+		return regRegLabel(OpJeq)
+	case "jne":
+		return regRegLabel(OpJne)
+	case "jlt":
+		return regRegLabel(OpJlt)
+	case "jle":
+		return regRegLabel(OpJle)
+	case "jgt":
+		return regRegLabel(OpJgt)
+	case "jge":
+		return regRegLabel(OpJge)
+	case "jeqz":
+		return regLabel(OpJeqz)
+	case "jnez":
+		return regLabel(OpJnez)
+	case "jltz":
+		return regLabel(OpJltz)
+	case "jgez":
+		return regLabel(OpJgez)
+	case "loop":
+		if err := want(2); err != nil {
+			return Inst{}, "", err
+		}
+		n, err := parseImm(line, ops[0])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		if n < 1 || n > MaxLoopIter {
+			return Inst{}, "", aerr(line, "loop count %d out of range [1,%d]", n, MaxLoopIter)
+		}
+		return Inst{Op: OpLoop, B: uint8(n)}, strings.ToLower(ops[1]), nil
+	case "ldf":
+		if err := want(2); err != nil {
+			return Inst{}, "", err
+		}
+		a, err := parseReg(line, ops[0])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		f, ok := fieldNames[strings.ToLower(ops[1])]
+		if !ok {
+			return Inst{}, "", aerr(line, "unknown task field %q", ops[1])
+		}
+		return Inst{Op: OpLdf, A: a, B: uint8(f)}, "", nil
+	case "qlen":
+		if len(ops) != 3 {
+			return Inst{}, "", aerr(line, "qlen wants rD <shared|local> <index>")
+		}
+		a, err := parseReg(line, ops[0])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		kind, idx, err := parseQueue(line, ops[1:])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		return Inst{Op: OpQlen, A: a, B: kind, Imm: idx}, "", nil
+	case "enq":
+		return queueOp(OpEnq)
+	case "trypop":
+		return queueOp(OpTryPop)
+	default:
+		return Inst{}, "", aerr(line, "unknown mnemonic %q", mn)
+	}
+}

@@ -1,0 +1,744 @@
+// The interpreter: a verified Program mounted as a native kernel.Class. Every
+// hook runs the bytecode in place — no message build, no dispatch, no module
+// goroutine — with fixed-size machine state on the stack, so the scheduling
+// path stays allocation-free. Runtime traps (division by zero, fuel
+// exhaustion, enqueue-contract violations) take the same road module panics
+// do: the class is marked killed, its tasks are rehomed to the fallback
+// policy, and a FailureReport records what happened.
+package vpol
+
+import (
+	"fmt"
+	"time"
+
+	"enoki/internal/kernel"
+	"enoki/internal/ktime"
+	"enoki/internal/trace"
+)
+
+// Trap is a runtime fault raised by the interpreter. The verifier makes most
+// of them unreachable for verified programs; they stay armed as defense in
+// depth, mirroring SafeDispatch's contain-then-kill stance.
+type Trap uint8
+
+const (
+	TrapNone Trap = iota
+	// TrapDivZero: OpDiv/OpMod with a zero divisor.
+	TrapDivZero
+	// TrapFuel: the hook ran past its verified worst-case step count.
+	TrapFuel
+	// TrapLoopDepth: the runtime loop stack overflowed MaxLoopDepth.
+	TrapLoopDepth
+	// TrapNoEnqueue: the enqueue hook returned without queueing its task.
+	TrapNoEnqueue
+	// TrapDoubleEnqueue: the enqueue hook queued its task twice.
+	TrapDoubleEnqueue
+)
+
+func (t Trap) String() string {
+	switch t {
+	case TrapNone:
+		return "none"
+	case TrapDivZero:
+		return "div-zero"
+	case TrapFuel:
+		return "fuel-exhausted"
+	case TrapLoopDepth:
+		return "loop-depth"
+	case TrapNoEnqueue:
+		return "no-enqueue"
+	case TrapDoubleEnqueue:
+		return "double-enqueue"
+	}
+	return "unknown"
+}
+
+// FailureReport records a verified class's death, the analogue of
+// enokic.FailureReport for the bytecode tier.
+type FailureReport struct {
+	// Trap is what the interpreter hit; Hook and PC locate it.
+	Trap Trap
+	Hook string
+	PC   int
+	// CPU is the CPU the faulting hook ran for.
+	CPU int
+	// At is the virtual time of the kill.
+	At ktime.Time
+	// TasksRehomed counts tasks moved to the fallback policy.
+	TasksRehomed int
+}
+
+// Stats counts interpreter activity for observability and tests.
+type Stats struct {
+	// Execs counts hook invocations that ran bytecode; Steps the
+	// instructions they executed.
+	Execs uint64
+	Steps uint64
+	// Enqueues counts tasks queued, Picks successful picks, EmptyPicks pick
+	// hooks that found nothing.
+	Enqueues   uint64
+	Picks      uint64
+	EmptyPicks uint64
+}
+
+// Config tunes a verified class.
+type Config struct {
+	// Overhead is the modeled cost charged per hook invocation — the
+	// verified tier's (much smaller) analogue of enokic's CallOverhead.
+	Overhead time.Duration
+	// Fallback is the policy tasks are rehomed to when the class traps.
+	Fallback int
+	// QueueCap is the initial per-queue ring capacity; rings grow (on the
+	// enqueue side only) if a workload outruns it.
+	QueueCap int
+}
+
+// DefaultConfig mirrors enokic.DefaultConfig for the verified tier: ~15 ns
+// per hook (a bounds-checked interpreter step loop, no crossing) and CFS at
+// policy 0 as the fallback.
+func DefaultConfig() Config {
+	return Config{Overhead: 15 * time.Nanosecond, Fallback: 0, QueueCap: 64}
+}
+
+// ventry is the class-private per-task state, pooled on a free list so
+// TaskNew/TaskDead stay allocation-free in steady state. seq invalidates
+// ring slots lazily: a slot holds the seq at push time, and any dequeue
+// bumps the entry's seq, so stale slots are skipped (and compacted) at pop.
+type ventry struct {
+	t      *kernel.Task
+	seq    uint32
+	queued bool
+	kind   uint8 // QShared or QLocal
+	qidx   uint8
+	qcpu   int32 // CPU the enqueue was attributed to
+	next   *ventry
+}
+
+// qslot is one ring cell.
+type qslot struct {
+	t   *kernel.Task
+	seq uint32
+}
+
+// ring is a growable circular buffer with lazy deletion.
+type ring struct {
+	buf  []qslot
+	head int
+	tail int
+	live int
+}
+
+func (r *ring) size() int {
+	n := r.tail - r.head
+	if n < 0 {
+		n += len(r.buf)
+	}
+	return n
+}
+
+func (r *ring) push(t *kernel.Task, seq uint32) {
+	if r.size()+1 >= len(r.buf) {
+		r.grow()
+	}
+	r.buf[r.tail] = qslot{t: t, seq: seq}
+	r.tail++
+	if r.tail == len(r.buf) {
+		r.tail = 0
+	}
+	r.live++
+}
+
+func (r *ring) grow() {
+	nb := make([]qslot, 2*len(r.buf))
+	n := r.size()
+	for i := 0; i < n; i++ {
+		nb[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = nb
+	r.head, r.tail = 0, n
+}
+
+func (r *ring) reset() {
+	for i := range r.buf {
+		r.buf[i] = qslot{}
+	}
+	r.head, r.tail, r.live = 0, 0, 0
+}
+
+// Class is a verified Program attached to a kernel as a scheduler class.
+type Class struct {
+	k      *kernel.Kernel
+	policy int
+	prog   *Program
+	cfg    Config
+
+	shared []ring // [SharedQueues]
+	local  []ring // [ncpus * LocalQueues], cpu-major
+	nq     []int  // runnable count attributed per CPU
+
+	pickedAt []time.Duration // SumExec at pick, per CPU, for slice preemption
+
+	free *ventry
+
+	stats   Stats
+	killed  bool
+	report  *FailureReport
+	onFault func(*FailureReport)
+
+	// pending trap details between trip() and the posted kill().
+	pTrap Trap
+	pHook string
+	pPC   int
+	pCPU  int
+}
+
+var _ kernel.Class = (*Class)(nil)
+
+// Load verifies prog and registers it with k as policy. The kernel calls the
+// interpreter directly from its scheduling path — this is the whole point of
+// the tier: no enokic crossing. Fails if verification fails or the policy id
+// is taken.
+func Load(k *kernel.Kernel, policy int, prog *Program, cfg Config) (*Class, error) {
+	if err := Verify(prog); err != nil {
+		return nil, err
+	}
+	if k.ClassByID(policy) != nil {
+		return nil, fmt.Errorf("vpol: policy %d already registered", policy)
+	}
+	if cfg.Overhead <= 0 {
+		cfg.Overhead = DefaultConfig().Overhead
+	}
+	if cfg.QueueCap < 2 {
+		cfg.QueueCap = DefaultConfig().QueueCap
+	}
+	ncpus := k.NumCPUs()
+	c := &Class{
+		k:        k,
+		policy:   policy,
+		prog:     prog,
+		cfg:      cfg,
+		shared:   make([]ring, prog.SharedQueues),
+		local:    make([]ring, ncpus*prog.LocalQueues),
+		nq:       make([]int, ncpus),
+		pickedAt: make([]time.Duration, ncpus),
+	}
+	for i := range c.shared {
+		c.shared[i].buf = make([]qslot, cfg.QueueCap)
+	}
+	for i := range c.local {
+		c.local[i].buf = make([]qslot, cfg.QueueCap)
+	}
+	k.RegisterClass(policy, c)
+	return c, nil
+}
+
+// Name identifies the class; the vpol: prefix marks the tier in logs.
+func (c *Class) Name() string { return fmt.Sprintf("vpol:%d", c.policy) }
+
+// OverheadPerCall is the modeled per-hook cost (Config.Overhead).
+func (c *Class) OverheadPerCall() time.Duration { return c.cfg.Overhead }
+
+// CrossingTier tags the class for the observability layer's tier dimension.
+func (c *Class) CrossingTier() string { return "verified" }
+
+// Policy returns the class's policy id.
+func (c *Class) Policy() int { return c.policy }
+
+// Program returns the loaded program.
+func (c *Class) Program() *Program { return c.prog }
+
+// Stats returns a snapshot of the interpreter counters.
+func (c *Class) Stats() Stats { return c.stats }
+
+// Killed reports whether a trap has retired the class.
+func (c *Class) Killed() bool { return c.killed }
+
+// Failure returns the death report, or nil while the class is healthy.
+func (c *Class) Failure() *FailureReport { return c.report }
+
+// SetFaultHandler installs a callback invoked (from the kill event, in
+// virtual time) after a trap has rehomed the class's tasks.
+func (c *Class) SetFaultHandler(fn func(*FailureReport)) { c.onFault = fn }
+
+func (c *Class) ent(t *kernel.Task) *ventry {
+	ve, _ := t.ClassData().(*ventry)
+	return ve
+}
+
+func (c *Class) allocEntry() *ventry {
+	if ve := c.free; ve != nil {
+		c.free = ve.next
+		*ve = ventry{}
+		return ve
+	}
+	return &ventry{}
+}
+
+func (c *Class) freeEntry(ve *ventry) {
+	*ve = ventry{next: c.free}
+	c.free = ve
+}
+
+// TaskNew admits a task (fork or setscheduler-in).
+func (c *Class) TaskNew(t *kernel.Task) {
+	ve := c.allocEntry()
+	ve.t = t
+	t.SetClassData(ve)
+}
+
+// TaskDead retires an exited task's entry.
+func (c *Class) TaskDead(t *kernel.Task) { c.dropEntry(t) }
+
+// Detach retires the entry of a task leaving for another class.
+func (c *Class) Detach(t *kernel.Task) { c.dropEntry(t) }
+
+func (c *Class) dropEntry(t *kernel.Task) {
+	ve := c.ent(t)
+	if ve == nil {
+		return
+	}
+	if ve.queued {
+		c.unqueue(ve)
+	}
+	t.SetClassData(nil)
+	c.freeEntry(ve)
+}
+
+// unqueue removes a queued entry by invalidating its ring slot (lazy: the
+// slot itself is skipped and reclaimed at pop time).
+func (c *Class) unqueue(ve *ventry) {
+	r := c.ringFor(ve.kind, ve.qidx, int(ve.qcpu))
+	r.live--
+	c.nq[ve.qcpu]--
+	ve.seq++
+	ve.queued = false
+}
+
+func (c *Class) ringFor(kind, idx uint8, cpu int) *ring {
+	if kind == QShared {
+		return &c.shared[idx]
+	}
+	return &c.local[cpu*c.prog.LocalQueues+int(idx)]
+}
+
+// Enqueue runs the enqueue hook for a newly runnable task.
+func (c *Class) Enqueue(cpu int, t *kernel.Task, wakeup bool) {
+	flags := int64(0)
+	if wakeup {
+		flags = FlagWakeup
+	}
+	c.runEnqueue(cpu, t, flags)
+}
+
+// Dequeue forgets a task that blocked, died, or is migrating away.
+func (c *Class) Dequeue(cpu int, t *kernel.Task, sleep bool) {
+	if ve := c.ent(t); ve != nil && ve.queued {
+		c.unqueue(ve)
+	}
+}
+
+// Yield requeues the current task through the enqueue hook with FlagRequeue.
+func (c *Class) Yield(cpu int, t *kernel.Task) { c.runEnqueue(cpu, t, FlagRequeue) }
+
+// PutPrev requeues a still-runnable switched-out task, also FlagRequeue.
+func (c *Class) PutPrev(cpu int, t *kernel.Task, preempted bool) {
+	c.runEnqueue(cpu, t, FlagRequeue)
+}
+
+func (c *Class) runEnqueue(cpu int, t *kernel.Task, flags int64) {
+	if c.killed {
+		// The posted kill event rehomes every task at this same virtual
+		// instant; queueing now would hand the dying class work.
+		return
+	}
+	ve := c.ent(t)
+	if ve == nil {
+		return
+	}
+	if ve.queued {
+		c.unqueue(ve) // defensive: never double-queue one task
+	}
+	c.observe(cpu, t.PID())
+	_, trap, pc := c.exec(hookEnqueue, c.prog.Enqueue, c.prog.enqSteps, cpu, t, flags)
+	if trap != TrapNone {
+		c.trip(trap, hookEnqueue, cpu, pc)
+	}
+}
+
+// PickNext runs the pick hook; a successful OpTryPop is the returned task.
+func (c *Class) PickNext(cpu int) *kernel.Task {
+	if c.killed {
+		return nil
+	}
+	c.observe(cpu, -1)
+	picked, trap, pc := c.exec(hookPick, c.prog.Pick, c.prog.pickSteps, cpu, nil, 0)
+	if trap != TrapNone {
+		c.trip(trap, hookPick, cpu, pc)
+		return nil
+	}
+	if picked == nil {
+		c.stats.EmptyPicks++
+		return nil
+	}
+	c.stats.Picks++
+	c.pickedAt[cpu] = picked.SumExec()
+	if m := c.k.Metrics(); m != nil {
+		m.Class(c.policy).CPU(cpu).Picks++
+	}
+	return picked
+}
+
+// Tick enforces the program's slice: once the running task has consumed its
+// quantum and the class has more work reachable from this CPU, resched.
+func (c *Class) Tick(cpu int, t *kernel.Task) {
+	if c.killed || c.prog.Slice == 0 {
+		return
+	}
+	if t.SumExec()-c.pickedAt[cpu] < c.prog.Slice {
+		return
+	}
+	if c.backlog(cpu) > 0 {
+		c.k.Resched(cpu)
+	}
+}
+
+// backlog counts tasks a pick on cpu could reach: all shared queues plus
+// cpu's local queues.
+func (c *Class) backlog(cpu int) int {
+	n := 0
+	for i := range c.shared {
+		n += c.shared[i].live
+	}
+	base := cpu * c.prog.LocalQueues
+	for q := 0; q < c.prog.LocalQueues; q++ {
+		n += c.local[base+q].live
+	}
+	return n
+}
+
+// SelectRQ keeps a waking task on its previous CPU when allowed, else the
+// first allowed CPU — shared-queue programs make the choice mostly moot
+// since any CPU's pick can claim the task.
+func (c *Class) SelectRQ(t *kernel.Task, prevCPU int, wakeup bool) int {
+	if t.AllowedOn(prevCPU) {
+		return prevCPU
+	}
+	for cpu := 0; cpu < c.k.NumCPUs(); cpu++ {
+		if t.AllowedOn(cpu) {
+			return cpu
+		}
+	}
+	return prevCPU
+}
+
+// CheckPreempt: bytecode programs express urgency through queue choice and
+// slices, not wake preemption.
+func (c *Class) CheckPreempt(cpu int, t *kernel.Task) {}
+
+// Balance: shared queues self-balance; local queues are explicitly placed.
+func (c *Class) Balance(cpu int) {}
+
+// Migrate: the Dequeue/Enqueue bracket already moved the task.
+func (c *Class) Migrate(t *kernel.Task, src, dst int) {}
+
+// PrioChanged: the next enqueue re-reads nice/weight.
+func (c *Class) PrioChanged(t *kernel.Task) {}
+
+// AffinityChanged: pops re-check affinity against the picking CPU.
+func (c *Class) AffinityChanged(t *kernel.Task) {}
+
+// NRunnable returns queued tasks attributed to cpu (their enqueue target).
+func (c *Class) NRunnable(cpu int) int {
+	if c.killed {
+		return 0
+	}
+	return c.nq[cpu]
+}
+
+// observe records the per-hook crossing cost and trace event for the
+// verified tier, the cheap analogue of enokic's TraceCrossing.
+func (c *Class) observe(cpu, pid int) {
+	if m := c.k.Metrics(); m != nil {
+		cm := m.Class(c.policy).CPU(cpu)
+		cm.Crossings++
+		cm.DispatchLat.Record(c.cfg.Overhead)
+	}
+	if tr := c.k.Tracer(); tr != nil {
+		tr.Emit(trace.Event{
+			Ts:     int64(c.k.Now()),
+			Dur:    int64(c.cfg.Overhead),
+			Kind:   trace.KindVExec,
+			CPU:    int32(cpu),
+			PID:    int32(pid),
+			Policy: int32(c.policy),
+		})
+	}
+}
+
+// tryPop pops the first live, affinity-allowed task from r for cpu,
+// compacting stale slots at the head as it scans.
+func (c *Class) tryPop(r *ring, cpu int) *kernel.Task {
+	if r.live == 0 {
+		return nil
+	}
+	n := len(r.buf)
+	i := r.head
+	for i != r.tail {
+		s := &r.buf[i]
+		ve := c.ent(s.t)
+		stale := ve == nil || !ve.queued || ve.seq != s.seq
+		if stale {
+			if i == r.head { // reclaim dead head slots
+				r.buf[i] = qslot{}
+				r.head = (i + 1) % n
+			}
+			i = (i + 1) % n
+			continue
+		}
+		if !s.t.AllowedOn(cpu) {
+			i = (i + 1) % n
+			continue
+		}
+		t := s.t
+		c.unqueue(ve)
+		if i == r.head {
+			r.buf[i] = qslot{}
+			r.head = (i + 1) % n
+		}
+		return t
+	}
+	return nil
+}
+
+// exec interprets one hook. All machine state is fixed-size and lives on the
+// stack: the register file, and a loop stack of (loop-pc, remaining-trips)
+// pairs. Fuel is the verifier's worst-case step count; running out is a trap
+// (unreachable for verified programs, kept as defense in depth).
+func (c *Class) exec(hook int, code []Inst, fuel int64, cpu int, t *kernel.Task, flags int64) (picked *kernel.Task, trap Trap, trapPC int) {
+	var regs [NumRegs]int64
+	regs[1] = int64(cpu)
+	var loopPC [MaxLoopDepth]int32
+	var loopRem [MaxLoopDepth]int32
+	sp := 0
+	enqDone := false
+
+	c.stats.Execs++
+	pc := 0
+	for {
+		if fuel <= 0 {
+			return nil, TrapFuel, pc
+		}
+		fuel--
+		c.stats.Steps++
+		in := &code[pc]
+		switch in.Op {
+		case OpRet:
+			if hook == hookEnqueue && !enqDone {
+				return nil, TrapNoEnqueue, pc
+			}
+			return nil, TrapNone, 0
+		case OpLdi:
+			regs[in.A] = in.Imm
+		case OpMov:
+			regs[in.A] = regs[in.B]
+		case OpAdd:
+			regs[in.A] += regs[in.B]
+		case OpSub:
+			regs[in.A] -= regs[in.B]
+		case OpMul:
+			regs[in.A] *= regs[in.B]
+		case OpDiv:
+			if regs[in.B] == 0 {
+				return nil, TrapDivZero, pc
+			}
+			regs[in.A] /= regs[in.B]
+		case OpMod:
+			if regs[in.B] == 0 {
+				return nil, TrapDivZero, pc
+			}
+			regs[in.A] %= regs[in.B]
+		case OpAnd:
+			regs[in.A] &= regs[in.B]
+		case OpOr:
+			regs[in.A] |= regs[in.B]
+		case OpXor:
+			regs[in.A] ^= regs[in.B]
+		case OpAddi:
+			regs[in.A] += in.Imm
+		case OpJmp:
+			pc = int(in.Imm)
+			continue
+		case OpJeq:
+			if regs[in.A] == regs[in.B] {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpJne:
+			if regs[in.A] != regs[in.B] {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpJlt:
+			if regs[in.A] < regs[in.B] {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpJle:
+			if regs[in.A] <= regs[in.B] {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpJgt:
+			if regs[in.A] > regs[in.B] {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpJge:
+			if regs[in.A] >= regs[in.B] {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpJeqz:
+			if regs[in.A] == 0 {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpJnez:
+			if regs[in.A] != 0 {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpJltz:
+			if regs[in.A] < 0 {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpJgez:
+			if regs[in.A] >= 0 {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpLoop:
+			// Do-while back edge: first arrival pushes (pc, B-1) and jumps
+			// back; later arrivals count down until the trips are spent.
+			if sp > 0 && loopPC[sp-1] == int32(pc) {
+				loopRem[sp-1]--
+				if loopRem[sp-1] > 0 {
+					pc = int(in.Imm)
+					continue
+				}
+				sp-- // exhausted: pop and fall through
+			} else if in.B > 1 {
+				if sp == MaxLoopDepth {
+					return nil, TrapLoopDepth, pc
+				}
+				loopPC[sp] = int32(pc)
+				loopRem[sp] = int32(in.B) - 1
+				sp++
+				pc = int(in.Imm)
+				continue
+			}
+		case OpLdf:
+			switch Field(in.B) {
+			case FieldPID:
+				regs[in.A] = int64(t.PID())
+			case FieldCPU:
+				regs[in.A] = int64(cpu)
+			case FieldNice:
+				regs[in.A] = int64(t.Nice())
+			case FieldWeight:
+				regs[in.A] = kernel.WeightOf(t.Nice())
+			case FieldVruntime:
+				regs[in.A] = int64(t.SumExec())
+			case FieldLastCPU:
+				regs[in.A] = int64(t.CPU())
+			case FieldFlags:
+				regs[in.A] = flags
+			}
+		case OpQlen:
+			regs[in.A] = int64(c.ringFor(in.B, uint8(in.Imm), cpu).live)
+		case OpEnq:
+			if enqDone {
+				return nil, TrapDoubleEnqueue, pc
+			}
+			enqDone = true
+			ve := c.ent(t)
+			ve.seq++
+			ve.queued = true
+			ve.kind = in.A
+			ve.qidx = uint8(in.Imm)
+			ve.qcpu = int32(cpu)
+			c.ringFor(in.A, uint8(in.Imm), cpu).push(t, ve.seq)
+			c.nq[cpu]++
+			c.stats.Enqueues++
+		case OpTryPop:
+			if got := c.tryPop(c.ringFor(in.A, uint8(in.Imm), cpu), cpu); got != nil {
+				return got, TrapNone, 0
+			}
+		}
+		pc++
+	}
+}
+
+// trip retires the class after a runtime trap. Mirrors enokic's kill path:
+// mark killed immediately (hooks go inert), then post a zero-delay kernel
+// event that rehomes every task to the fallback policy and deregisters the
+// class — never reentrantly from inside a scheduling hook.
+func (c *Class) trip(trap Trap, hook, cpu, pc int) {
+	if c.killed {
+		return
+	}
+	c.killed = true
+	c.pTrap, c.pHook, c.pPC, c.pCPU = trap, hookName(hook), pc, cpu
+	if m := c.k.Metrics(); m != nil {
+		m.Class(c.policy).CPU(cpu).Faults++
+	}
+	if tr := c.k.Tracer(); tr != nil {
+		tr.EmitAlways(trace.Event{
+			Ts:     int64(c.k.Now()),
+			Kind:   trace.KindFault,
+			CPU:    int32(cpu),
+			PID:    -1,
+			Policy: int32(c.policy),
+			Arg:    int64(trap),
+		})
+	}
+	c.k.Engine().Post(0, c.kill)
+}
+
+func (c *Class) kill() {
+	// Rehome first: SetScheduler's dequeue path still consults the per-task
+	// entries and rings, so they must stay intact until every task is out.
+	n := c.k.RehomeTasks(c, c.cfg.Fallback)
+	c.k.DeregisterClass(c.policy, c.cfg.Fallback)
+	for i := range c.shared {
+		c.shared[i].reset()
+	}
+	for i := range c.local {
+		c.local[i].reset()
+	}
+	for i := range c.nq {
+		c.nq[i] = 0
+	}
+	c.report = &FailureReport{
+		Trap:         c.pTrap,
+		Hook:         c.pHook,
+		PC:           c.pPC,
+		CPU:          c.pCPU,
+		At:           c.k.Now(),
+		TasksRehomed: n,
+	}
+	if tr := c.k.Tracer(); tr != nil {
+		tr.EmitAlways(trace.Event{
+			Ts:     int64(c.k.Now()),
+			Kind:   trace.KindKill,
+			CPU:    -1,
+			PID:    -1,
+			Policy: int32(c.policy),
+			Arg:    int64(n),
+		})
+	}
+	if c.onFault != nil {
+		c.onFault(c.report)
+	}
+}

@@ -1,0 +1,279 @@
+package vpol
+
+import (
+	"testing"
+	"time"
+
+	"enoki/internal/kernel"
+	"enoki/internal/sim"
+)
+
+const (
+	policyCFS  = 0
+	policyVPol = 2
+)
+
+func newRig(t *testing.T, src string) (*kernel.Kernel, *Class) {
+	t.Helper()
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	c, err := Load(k, policyVPol, MustAssemble(src), DefaultConfig())
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	k.RegisterClass(policyCFS, kernel.NewCFS(k))
+	return k, c
+}
+
+func spin(total, chunk time.Duration) kernel.Behavior {
+	remaining := total
+	return kernel.BehaviorFunc(func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+		if remaining <= 0 {
+			return kernel.Action{Op: kernel.OpExit}
+		}
+		c := chunk
+		if c > remaining {
+			c = remaining
+		}
+		remaining -= c
+		return kernel.Action{Run: c, Op: kernel.OpContinue}
+	})
+}
+
+func TestFIFOLifecycle(t *testing.T) {
+	k, c := newRig(t, FIFOSource)
+	done := 0
+	for i := 0; i < 6; i++ {
+		k.Spawn("w", policyVPol, spin(3*time.Millisecond, 500*time.Microsecond),
+			kernel.WithExitObserver(func() { done++ }))
+	}
+	k.RunFor(200 * time.Millisecond)
+	if done != 6 {
+		t.Fatalf("completed %d/6 tasks", done)
+	}
+	if c.Killed() {
+		t.Fatalf("class killed: %+v", c.Failure())
+	}
+	if k.NumTasks() != 0 {
+		t.Fatalf("leaked tasks: %d", k.NumTasks())
+	}
+	st := c.Stats()
+	if st.Execs == 0 || st.Enqueues == 0 || st.Picks == 0 {
+		t.Fatalf("interpreter never ran: %+v", st)
+	}
+	for cpu := 0; cpu < k.NumCPUs(); cpu++ {
+		if n := c.NRunnable(cpu); n != 0 {
+			t.Fatalf("cpu %d still reports %d runnable", cpu, n)
+		}
+	}
+}
+
+func TestLocalQueues(t *testing.T) {
+	const src = `
+queues shared=0 local=1
+enqueue:
+	enq local, 0
+	ret
+pick:
+	trypop local, 0
+	ret
+`
+	k, c := newRig(t, src)
+	done := 0
+	for i := 0; i < 8; i++ {
+		k.Spawn("w", policyVPol, spin(2*time.Millisecond, 500*time.Microsecond),
+			kernel.WithExitObserver(func() { done++ }))
+	}
+	k.RunFor(200 * time.Millisecond)
+	if done != 8 || c.Killed() {
+		t.Fatalf("done=%d killed=%v", done, c.Killed())
+	}
+}
+
+// TestDualQueuePriority pins the dual-queue policy's semantics on one CPU:
+// express (negative-nice) tasks drain completely before any normal task
+// finishes, because the pick hook always tries the express queue first.
+func TestDualQueuePriority(t *testing.T) {
+	k, c := newRig(t, DualQueueSource)
+	var order []string
+	exit := func(tag string) kernel.SpawnOption {
+		return kernel.WithExitObserver(func() { order = append(order, tag) })
+	}
+	pin := kernel.WithAffinity(kernel.SingleCPU(0))
+	for i := 0; i < 3; i++ {
+		k.Spawn("norm", policyVPol, spin(2*time.Millisecond, 200*time.Microsecond),
+			exit("norm"), pin)
+	}
+	for i := 0; i < 2; i++ {
+		k.Spawn("expr", policyVPol, spin(2*time.Millisecond, 200*time.Microsecond),
+			exit("expr"), pin, kernel.WithNice(-5))
+	}
+	k.RunFor(time.Second)
+	if len(order) != 5 {
+		t.Fatalf("completed %d/5 tasks (order %v)", len(order), order)
+	}
+	if order[0] != "expr" || order[1] != "expr" {
+		t.Fatalf("express tasks did not finish first: %v", order)
+	}
+	if c.Killed() {
+		t.Fatalf("class killed: %+v", c.Failure())
+	}
+}
+
+// TestSharedQueueAffinity: a shared-queue pop must skip tasks whose affinity
+// excludes the picking CPU, so a pinned task only ever runs on its CPU.
+func TestSharedQueueAffinity(t *testing.T) {
+	k, _ := newRig(t, FIFOSource)
+	violated := false
+	left := 2 * time.Millisecond
+	check := kernel.BehaviorFunc(func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+		if t.CPU() != 3 {
+			violated = true
+		}
+		if left <= 0 {
+			return kernel.Action{Op: kernel.OpExit}
+		}
+		left -= 200 * time.Microsecond
+		return kernel.Action{Run: 200 * time.Microsecond, Op: kernel.OpContinue}
+	})
+	k.Spawn("pin", policyVPol, check, kernel.WithAffinity(kernel.SingleCPU(3)))
+	for i := 0; i < 6; i++ {
+		k.Spawn("w", policyVPol, spin(2*time.Millisecond, 200*time.Microsecond))
+	}
+	k.RunFor(100 * time.Millisecond)
+	if violated {
+		t.Fatal("pinned task ran on a CPU outside its mask")
+	}
+	if k.NumTasks() != 0 {
+		t.Fatalf("leaked tasks: %d", k.NumTasks())
+	}
+}
+
+// TestLoopSemantics runs a program whose enqueue hook counts to 10 with a
+// bounded loop and traps if the count is wrong — a behavioral pin of the
+// do-while trip-count contract.
+func TestLoopSemantics(t *testing.T) {
+	const src = `
+queues shared=1
+enqueue:
+	ldi r2, 0
+	ldi r3, 10
+top:
+	addi r2, 1
+	loop 10, top
+	jeq r2, r3, ok
+	ldi r5, 0
+	div r2, r5      ; wrong count: trap
+ok:
+	enq shared, 0
+	ret
+pick:
+	trypop shared, 0
+	ret
+`
+	k, c := newRig(t, src)
+	done := 0
+	k.Spawn("w", policyVPol, spin(time.Millisecond, 200*time.Microsecond),
+		kernel.WithExitObserver(func() { done++ }))
+	k.RunFor(50 * time.Millisecond)
+	if c.Killed() {
+		t.Fatalf("loop counted wrong, class trapped: %+v", c.Failure())
+	}
+	if done != 1 {
+		t.Fatalf("task did not finish")
+	}
+}
+
+// TestTrapKillsAndRehomes: a program that divides by zero once a task has
+// accumulated 1ms of runtime must die through the kill path — class marked
+// killed with a populated report, every task rehomed to CFS and finishing
+// there, kernel left consistent.
+func TestTrapKillsAndRehomes(t *testing.T) {
+	const src = `
+queues shared=1
+enqueue:
+	ldf r2, vruntime
+	ldi r3, 1000000
+	sub r2, r3
+	jltz r2, ok     ; under 1ms of runtime: fine
+	ldi r4, 0
+	div r2, r4      ; then: divide by zero
+ok:
+	enq shared, 0
+	ret
+pick:
+	trypop shared, 0
+	ret
+`
+	k, c := newRig(t, src)
+	var reported *FailureReport
+	c.SetFaultHandler(func(r *FailureReport) { reported = r })
+	done := 0
+	// Yielding spinners re-run the enqueue hook as their runtime grows, so
+	// one of them crosses the 1ms threshold and trips the trap.
+	yspin := func() kernel.Behavior {
+		left := 5 * time.Millisecond
+		return kernel.BehaviorFunc(func(k *kernel.Kernel, t *kernel.Task) kernel.Action {
+			if left <= 0 {
+				return kernel.Action{Op: kernel.OpExit}
+			}
+			left -= 200 * time.Microsecond
+			return kernel.Action{Run: 200 * time.Microsecond, Op: kernel.OpYield}
+		})
+	}
+	for i := 0; i < 4; i++ {
+		k.Spawn("w", policyVPol, yspin(),
+			kernel.WithExitObserver(func() { done++ }))
+	}
+	k.RunFor(time.Second)
+	if !c.Killed() {
+		t.Fatal("class survived a division by zero")
+	}
+	rep := c.Failure()
+	if rep == nil || rep.Trap != TrapDivZero || rep.Hook != "enqueue" {
+		t.Fatalf("report %+v, want enqueue div-zero", rep)
+	}
+	if reported != rep {
+		t.Fatalf("fault handler got %+v, report is %+v", reported, rep)
+	}
+	if done != 4 {
+		t.Fatalf("only %d/4 tasks finished after rehome to CFS", done)
+	}
+	if k.NumTasks() != 0 {
+		t.Fatalf("leaked tasks: %d", k.NumTasks())
+	}
+	// The dead policy id is re-pointed at the fallback class.
+	if k.ClassByID(policyVPol) != k.ClassByID(policyCFS) {
+		t.Fatal("dead policy id not re-pointed at CFS")
+	}
+}
+
+// TestLoadRejects pins Load's two failure modes: unverifiable programs and
+// duplicate policy ids.
+func TestLoadRejects(t *testing.T) {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	if _, err := Load(k, 1, &Program{}, DefaultConfig()); err == nil {
+		t.Fatal("Load accepted an unverifiable program")
+	}
+	if _, err := Load(k, 1, FIFOProgram(), DefaultConfig()); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if _, err := Load(k, 1, FIFOProgram(), DefaultConfig()); err == nil {
+		t.Fatal("Load accepted a duplicate policy")
+	}
+}
+
+// TestRingGrowth floods one shared queue far past the initial capacity.
+func TestRingGrowth(t *testing.T) {
+	k, c := newRig(t, FIFOSource)
+	done := 0
+	for i := 0; i < 300; i++ { // QueueCap is 64
+		k.Spawn("w", policyVPol, spin(100*time.Microsecond, 100*time.Microsecond),
+			kernel.WithExitObserver(func() { done++ }))
+	}
+	k.RunFor(time.Second)
+	if done != 300 || c.Killed() {
+		t.Fatalf("done=%d killed=%v", done, c.Killed())
+	}
+}

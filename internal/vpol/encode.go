@@ -1,0 +1,97 @@
+// Binary program codec: the wire/storage form of a Program and the fuzzing
+// front door (FuzzVerify feeds raw bytes through Decode then Verify). Decode
+// is defensive — every length is validated before allocation and malformed
+// input returns an error, never a panic.
+package vpol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// codec layout (little-endian):
+//
+//	magic "VPOL" + version byte
+//	u8 sharedQueues, u8 localQueues
+//	i64 slice (ns)
+//	u16 enqueue count, then count × (u8 op, u8 a, u8 b, i64 imm)
+//	u16 pick count, same cell layout
+const (
+	codecMagic   = "VPOL"
+	codecVersion = 1
+	instSize     = 11
+)
+
+// ErrBadProgram reports undecodable bytecode.
+var ErrBadProgram = errors.New("vpol: bad program bytes")
+
+// Encode serializes p.
+func Encode(p *Program) []byte {
+	out := make([]byte, 0, len(codecMagic)+1+2+8+2+len(p.Enqueue)*instSize+2+len(p.Pick)*instSize)
+	out = append(out, codecMagic...)
+	out = append(out, codecVersion, uint8(p.SharedQueues), uint8(p.LocalQueues))
+	out = binary.LittleEndian.AppendUint64(out, uint64(p.Slice))
+	for _, code := range [][]Inst{p.Enqueue, p.Pick} {
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(code)))
+		for _, in := range code {
+			out = append(out, uint8(in.Op), in.A, in.B)
+			out = binary.LittleEndian.AppendUint64(out, uint64(in.Imm))
+		}
+	}
+	return out
+}
+
+// Decode parses bytes produced by Encode (or by a fuzzer). The result is
+// unverified; run Verify before use. Instruction counts beyond MaxInsts are
+// rejected before any allocation.
+func Decode(data []byte) (*Program, error) {
+	if len(data) < len(codecMagic)+1 || string(data[:len(codecMagic)]) != codecMagic {
+		return nil, fmt.Errorf("%w: missing magic", ErrBadProgram)
+	}
+	data = data[len(codecMagic):]
+	if data[0] != codecVersion {
+		return nil, fmt.Errorf("%w: unknown version %d", ErrBadProgram, data[0])
+	}
+	data = data[1:]
+	if len(data) < 2+8 {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadProgram)
+	}
+	p := &Program{
+		SharedQueues: int(data[0]),
+		LocalQueues:  int(data[1]),
+	}
+	p.Slice = time.Duration(binary.LittleEndian.Uint64(data[2:]))
+	data = data[2+8:]
+
+	for _, hook := range []*[]Inst{&p.Enqueue, &p.Pick} {
+		if len(data) < 2 {
+			return nil, fmt.Errorf("%w: truncated section count", ErrBadProgram)
+		}
+		n := int(binary.LittleEndian.Uint16(data))
+		data = data[2:]
+		if n > MaxInsts {
+			return nil, fmt.Errorf("%w: %d instructions exceeds limit %d", ErrBadProgram, n, MaxInsts)
+		}
+		if len(data) < n*instSize {
+			return nil, fmt.Errorf("%w: truncated code", ErrBadProgram)
+		}
+		code := make([]Inst, n)
+		for i := range code {
+			cell := data[i*instSize:]
+			code[i] = Inst{
+				Op:  Op(cell[0]),
+				A:   cell[1],
+				B:   cell[2],
+				Imm: int64(binary.LittleEndian.Uint64(cell[3:])),
+			}
+		}
+		*hook = code
+		data = data[n*instSize:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadProgram, len(data))
+	}
+	return p, nil
+}

@@ -1,0 +1,53 @@
+// The two shipped example programs. Both also exist as full Go modules in
+// the repo (internal/sched/fifo and the dual-queue pattern from the
+// sched_ext snippet), which is what makes the crossing-cost ablation an
+// apples-to-apples comparison: same policy, different tier.
+package vpol
+
+// FIFOSource is global FIFO: one shared queue, strict arrival order,
+// run-to-block. The bytecode twin of internal/sched/fifo.
+const FIFOSource = `
+; global FIFO: one shared queue, arrival order, run-to-block
+queues shared=1 local=0
+slice 0
+
+enqueue:
+	enq shared, 0
+	ret
+
+pick:
+	trypop shared, 0
+	ret
+`
+
+// DualQueueSource is the priority dual-queue policy from the sched_ext
+// dual-queue snippet (SNIPPETS.md §1): high-priority (negative-nice) tasks
+// land in an express queue drained before the normal one, with a 500µs
+// round-robin slice so the normal queue cannot be starved forever by a
+// blocked-express workload's wake bursts.
+const DualQueueSource = `
+; priority dual queue (sched_ext scx dual-DSQ pattern):
+; nice < 0 -> express queue 0, drained before normal queue 1
+queues shared=2 local=0
+slice 500us
+
+enqueue:
+	ldf r2, nice
+	jltz r2, express
+	enq shared, 1
+	ret
+express:
+	enq shared, 0
+	ret
+
+pick:
+	trypop shared, 0
+	trypop shared, 1
+	ret
+`
+
+// FIFOProgram assembles FIFOSource.
+func FIFOProgram() *Program { return MustAssemble(FIFOSource) }
+
+// DualQueueProgram assembles DualQueueSource.
+func DualQueueProgram() *Program { return MustAssemble(DualQueueSource) }

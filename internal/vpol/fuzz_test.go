@@ -1,0 +1,103 @@
+package vpol
+
+import (
+	"testing"
+	"time"
+
+	"enoki/internal/kernel"
+	"enoki/internal/sim"
+)
+
+// FuzzVerify feeds raw bytes through Decode and Verify: neither may panic,
+// and any program the verifier accepts must then run to completion inside a
+// kernel without tripping the interpreter's defense-in-depth traps
+// (TrapFuel/TrapLoopDepth) — the verified ⇒ safe contract.
+func FuzzVerify(f *testing.F) {
+	f.Add(Encode(FIFOProgram()))
+	f.Add(Encode(DualQueueProgram()))
+	f.Add(Encode(FIFOProgram())[:9])  // truncated header
+	f.Add([]byte("VPOL"))             // magic only
+	f.Add([]byte("VPOL\x01\x01\x00")) // truncated after queues
+	f.Add([]byte{})                   // empty
+	// Loop-bound overflow: trip count above MaxLoopIter.
+	f.Add(Encode(&Program{
+		SharedQueues: 1,
+		Enqueue: []Inst{
+			{Op: OpLdi},
+			{Op: OpLoop, B: MaxLoopIter + 1, Imm: 0},
+			{Op: OpEnq, A: QShared},
+			{Op: OpRet},
+		},
+		Pick: []Inst{{Op: OpTryPop, A: QShared}, {Op: OpRet}},
+	}))
+	// Register-limit overflow.
+	f.Add(Encode(&Program{
+		SharedQueues: 1,
+		Enqueue:      []Inst{{Op: OpLdi, A: NumRegs + 3}, {Op: OpEnq, A: QShared}, {Op: OpRet}},
+		Pick:         []Inst{{Op: OpTryPop, A: QShared}, {Op: OpRet}},
+	}))
+	// Step-budget overflow: nested max-trip loops.
+	f.Add(Encode(&Program{
+		SharedQueues: 1,
+		Pick: []Inst{
+			{Op: OpLdi},
+			{Op: OpLdi},
+			{Op: OpLoop, B: MaxLoopIter, Imm: 1},
+			{Op: OpLoop, B: MaxLoopIter, Imm: 0},
+			{Op: OpTryPop, A: QShared},
+			{Op: OpRet},
+		},
+		Enqueue: []Inst{{Op: OpEnq, A: QShared}, {Op: OpRet}},
+	}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := Verify(p); err != nil {
+			return
+		}
+		// Verified: it must run without hitting the bounds the verifier
+		// claims to have proven.
+		eng := sim.New()
+		k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+		c, err := Load(k, 2, p, DefaultConfig())
+		if err != nil {
+			t.Fatalf("Load of verified program failed: %v", err)
+		}
+		k.RegisterClass(0, kernel.NewCFS(k))
+		for i := 0; i < 3; i++ {
+			k.Spawn("w", 2, spin(200*time.Microsecond, 50*time.Microsecond))
+		}
+		k.RunFor(5 * time.Millisecond)
+		if c.Killed() {
+			switch c.Failure().Trap {
+			case TrapFuel, TrapLoopDepth:
+				t.Fatalf("verified program hit %v: %+v", c.Failure().Trap, c.Failure())
+			}
+			// Data-dependent traps (div-zero, enqueue contract) are the
+			// fault tier working as designed, not verifier misses.
+		}
+	})
+}
+
+// FuzzAssemble feeds arbitrary text through the assembler (and the verifier,
+// when assembly succeeds): no input may panic either.
+func FuzzAssemble(f *testing.F) {
+	f.Add(FIFOSource)
+	f.Add(DualQueueSource)
+	f.Add("queues shared=1\nenqueue:\n enq shared, 0\n ret\npick:\n ret\n")
+	f.Add("queues shared=999 local=-4\n")
+	f.Add("slice 1ns\nqueues shared=1\n")
+	f.Add("enqueue:\n loop 64, enqueue\n")
+	f.Add("queues shared=1\nenqueue:\nx:\n jmp x\n ret\npick:\n ret\n")
+	f.Add("; empty\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		_ = Verify(p) // must not panic either way
+	})
+}

@@ -1,0 +1,288 @@
+// Static verifier: proves a Program safe to run inside the kernel before it
+// is ever executed. The rules mirror the eBPF discipline restricted to what
+// the interpreter needs:
+//
+//   - program-size, register, queue-table, and loop limits (vpol.go consts)
+//   - every hook ends in OpRet and every branch target is in bounds
+//   - all non-LOOP branches jump strictly forward; OpLoop jumps strictly
+//     backward with a static trip count, so the only cycles are counted
+//     loops — all paths terminate by construction
+//   - loop bodies are properly nested and no branch crosses a loop-body
+//     boundary (the back edge aside), which keeps the interpreter's
+//     fixed-depth loop-counter stack sound
+//   - queue handles are type-checked against the declared tables, and
+//     hook-specific opcodes (Ldf/Enq enqueue-only, TryPop pick-only) stay in
+//     their hook
+//   - the worst-case step count, weighting each instruction by the product
+//     of the trip counts of its enclosing loops, fits MaxSteps; Verify
+//     records it as the interpreter's runtime fuel
+package vpol
+
+import "fmt"
+
+// VerifyError describes why a program was rejected, pointing at the
+// offending hook and instruction.
+type VerifyError struct {
+	Hook   string // "enqueue", "pick", or "program" for whole-program rules
+	PC     int    // instruction index within the hook, -1 for whole-program
+	Reason string
+}
+
+func (e *VerifyError) Error() string {
+	if e.PC < 0 {
+		return fmt.Sprintf("vpol: verify %s: %s", e.Hook, e.Reason)
+	}
+	return fmt.Sprintf("vpol: verify %s[%d]: %s", e.Hook, e.PC, e.Reason)
+}
+
+func verr(hook string, pc int, format string, args ...any) error {
+	return &VerifyError{Hook: hook, PC: pc, Reason: fmt.Sprintf(format, args...)}
+}
+
+const (
+	hookEnqueue = iota
+	hookPick
+)
+
+func hookName(h int) string {
+	if h == hookEnqueue {
+		return "enqueue"
+	}
+	return "pick"
+}
+
+// Verify checks p against every machine rule. On success it marks the
+// program verified and stores the per-hook worst-case step counts that the
+// interpreter uses as fuel; on failure it returns a *VerifyError and leaves
+// the program unverified.
+func Verify(p *Program) error {
+	if p == nil {
+		return verr("program", -1, "nil program")
+	}
+	p.verified = false
+	if p.SharedQueues < 0 || p.SharedQueues > MaxSharedQueues {
+		return verr("program", -1, "shared queues %d out of range [0,%d]", p.SharedQueues, MaxSharedQueues)
+	}
+	if p.LocalQueues < 0 || p.LocalQueues > MaxLocalQueues {
+		return verr("program", -1, "local queues %d out of range [0,%d]", p.LocalQueues, MaxLocalQueues)
+	}
+	if p.SharedQueues+p.LocalQueues == 0 {
+		return verr("program", -1, "no queues declared")
+	}
+	if p.Slice < 0 {
+		return verr("program", -1, "negative slice %v", p.Slice)
+	}
+	if p.Slice > 0 && p.Slice < MinSlice {
+		return verr("program", -1, "slice %v below minimum %v", p.Slice, MinSlice)
+	}
+	enqSteps, err := verifyHook(p, hookEnqueue, p.Enqueue)
+	if err != nil {
+		return err
+	}
+	pickSteps, err := verifyHook(p, hookPick, p.Pick)
+	if err != nil {
+		return err
+	}
+	p.enqSteps, p.pickSteps = enqSteps, pickSteps
+	p.verified = true
+	return nil
+}
+
+// loopSpan is one OpLoop's body: instructions [start, end] where end is the
+// OpLoop itself.
+type loopSpan struct {
+	start, end int
+	iters      int64
+}
+
+func verifyHook(p *Program, hook int, code []Inst) (int64, error) {
+	name := hookName(hook)
+	if len(code) == 0 {
+		return 0, verr(name, -1, "empty hook")
+	}
+	if len(code) > MaxInsts {
+		return 0, verr(name, -1, "%d instructions exceeds limit %d", len(code), MaxInsts)
+	}
+	if code[len(code)-1].Op != OpRet {
+		return 0, verr(name, len(code)-1, "hook must end in ret")
+	}
+
+	var spans []loopSpan
+	for pc, in := range code {
+		if err := verifyInst(p, hook, pc, len(code), in); err != nil {
+			return 0, err
+		}
+		if in.Op == OpLoop {
+			spans = append(spans, loopSpan{start: int(in.Imm), end: pc, iters: int64(in.B)})
+		}
+	}
+
+	// Proper nesting: any two loop bodies are disjoint or one contains the
+	// other. Backward targets are strict (start < end) already, and two
+	// loops cannot share an end, so partial overlap is the only failure.
+	for i, a := range spans {
+		for _, b := range spans[i+1:] {
+			if a.end < b.start || b.end < a.start {
+				continue // disjoint
+			}
+			if (a.start <= b.start && b.end <= a.end) || (b.start <= a.start && a.end <= b.end) {
+				continue // nested
+			}
+			return 0, verr(name, b.end, "loop body [%d,%d] partially overlaps loop body [%d,%d]",
+				b.start, b.end, a.start, a.end)
+		}
+	}
+
+	// Nesting depth and per-instruction weight: depth(i) = number of spans
+	// containing i, weight(i) = product of their trip counts.
+	var total int64
+	for pc := range code {
+		depth := 0
+		weight := int64(1)
+		for _, s := range spans {
+			if s.start <= pc && pc <= s.end {
+				depth++
+				weight *= s.iters
+				if depth > MaxLoopDepth {
+					return 0, verr(name, pc, "loop nesting depth exceeds %d", MaxLoopDepth)
+				}
+				if weight > MaxSteps {
+					return 0, verr(name, pc, "worst-case step count exceeds %d", MaxSteps)
+				}
+			}
+		}
+		total += weight
+		if total > MaxSteps {
+			return 0, verr(name, pc, "worst-case step count %d exceeds %d", total, MaxSteps)
+		}
+	}
+
+	// No branch crosses a loop-body boundary: a forward jump from inside a
+	// span stays inside it (jumping to the OpLoop itself is the "continue"
+	// idiom and is allowed); a jump from outside may not land inside.
+	for pc, in := range code {
+		tgt, ok := branchTarget(in)
+		if !ok {
+			continue
+		}
+		for _, s := range spans {
+			if in.Op == OpLoop && pc == s.end {
+				continue // the loop's own back edge
+			}
+			srcIn := s.start <= pc && pc <= s.end
+			tgtIn := s.start <= tgt && tgt <= s.end
+			if srcIn && !tgtIn {
+				return 0, verr(name, pc, "branch to %d escapes loop body [%d,%d]", tgt, s.start, s.end)
+			}
+			if !srcIn && tgtIn {
+				return 0, verr(name, pc, "branch to %d enters loop body [%d,%d]", tgt, s.start, s.end)
+			}
+		}
+	}
+
+	return total, nil
+}
+
+// branchTarget returns an instruction's control-flow target, if it has one.
+func branchTarget(in Inst) (int, bool) {
+	switch in.Op {
+	case OpJmp, OpJeq, OpJne, OpJlt, OpJle, OpJgt, OpJge,
+		OpJeqz, OpJnez, OpJltz, OpJgez, OpLoop:
+		return int(in.Imm), true
+	}
+	return 0, false
+}
+
+func verifyInst(p *Program, hook, pc, n int, in Inst) error {
+	name := hookName(hook)
+	reg := func(r uint8) error {
+		if r >= NumRegs {
+			return verr(name, pc, "register r%d out of range (machine has %d)", r, NumRegs)
+		}
+		return nil
+	}
+	fwd := func(tgt int64) error {
+		if tgt <= int64(pc) || tgt >= int64(n) {
+			return verr(name, pc, "forward branch target %d out of range (%d,%d)", tgt, pc, n)
+		}
+		return nil
+	}
+	queue := func(kind uint8, idx int64) error {
+		switch kind {
+		case QShared:
+			if idx < 0 || idx >= int64(p.SharedQueues) {
+				return verr(name, pc, "shared queue %d out of range (program declares %d)", idx, p.SharedQueues)
+			}
+		case QLocal:
+			if idx < 0 || idx >= int64(p.LocalQueues) {
+				return verr(name, pc, "local queue %d out of range (program declares %d)", idx, p.LocalQueues)
+			}
+		default:
+			return verr(name, pc, "unknown queue kind %d", kind)
+		}
+		return nil
+	}
+
+	switch in.Op {
+	case OpRet:
+		return nil
+	case OpLdi, OpAddi:
+		return reg(in.A)
+	case OpMov, OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor:
+		if err := reg(in.A); err != nil {
+			return err
+		}
+		return reg(in.B)
+	case OpJmp:
+		return fwd(in.Imm)
+	case OpJeq, OpJne, OpJlt, OpJle, OpJgt, OpJge:
+		if err := reg(in.A); err != nil {
+			return err
+		}
+		if err := reg(in.B); err != nil {
+			return err
+		}
+		return fwd(in.Imm)
+	case OpJeqz, OpJnez, OpJltz, OpJgez:
+		if err := reg(in.A); err != nil {
+			return err
+		}
+		return fwd(in.Imm)
+	case OpLoop:
+		if in.B < 1 || int64(in.B) > MaxLoopIter {
+			return verr(name, pc, "loop trip count %d out of range [1,%d]", in.B, MaxLoopIter)
+		}
+		if in.Imm < 0 || in.Imm >= int64(pc) {
+			return verr(name, pc, "loop target %d must be strictly backward", in.Imm)
+		}
+		return nil
+	case OpLdf:
+		if hook != hookEnqueue {
+			return verr(name, pc, "ldf is enqueue-hook only (the pick hook has no context task)")
+		}
+		if err := reg(in.A); err != nil {
+			return err
+		}
+		if Field(in.B) >= fieldMax {
+			return verr(name, pc, "unknown task field %d", in.B)
+		}
+		return nil
+	case OpQlen:
+		if err := reg(in.A); err != nil {
+			return err
+		}
+		return queue(in.B, in.Imm)
+	case OpEnq:
+		if hook != hookEnqueue {
+			return verr(name, pc, "enq is enqueue-hook only")
+		}
+		return queue(in.A, in.Imm)
+	case OpTryPop:
+		if hook != hookPick {
+			return verr(name, pc, "trypop is pick-hook only")
+		}
+		return queue(in.A, in.Imm)
+	default:
+		return verr(name, pc, "invalid opcode %d", in.Op)
+	}
+}

@@ -1,0 +1,254 @@
+package vpol
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// minimal returns a smallest-possible valid program to mutate per case.
+func minimal() *Program {
+	return &Program{
+		SharedQueues: 1,
+		Enqueue:      []Inst{{Op: OpEnq, A: QShared}, {Op: OpRet}},
+		Pick:         []Inst{{Op: OpTryPop, A: QShared}, {Op: OpRet}},
+	}
+}
+
+func TestVerifyAcceptsExamples(t *testing.T) {
+	for _, src := range []string{FIFOSource, DualQueueSource} {
+		p, err := Assemble(src)
+		if err != nil {
+			t.Fatalf("Assemble: %v", err)
+		}
+		if err := Verify(p); err != nil {
+			t.Fatalf("Verify: %v", err)
+		}
+		if !p.Verified() {
+			t.Fatal("program not marked verified")
+		}
+	}
+}
+
+func TestVerifyRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Program)
+		want string
+	}{
+		{"nil-hooks", func(p *Program) { p.Enqueue = nil }, "empty hook"},
+		{"no-queues", func(p *Program) { p.SharedQueues = 0 }, "no queues"},
+		{"too-many-shared", func(p *Program) { p.SharedQueues = MaxSharedQueues + 1 }, "out of range"},
+		{"negative-slice", func(p *Program) { p.Slice = -time.Millisecond }, "negative slice"},
+		{"tiny-slice", func(p *Program) { p.Slice = time.Microsecond }, "below minimum"},
+		{"no-ret", func(p *Program) {
+			p.Pick = []Inst{{Op: OpTryPop, A: QShared}}
+		}, "end in ret"},
+		{"too-long", func(p *Program) {
+			code := make([]Inst, MaxInsts+1)
+			for i := range code {
+				code[i] = Inst{Op: OpLdi}
+			}
+			code[len(code)-1] = Inst{Op: OpRet}
+			p.Pick = code
+		}, "exceeds limit"},
+		{"bad-reg", func(p *Program) {
+			p.Pick = []Inst{{Op: OpLdi, A: NumRegs}, {Op: OpTryPop, A: QShared}, {Op: OpRet}}
+		}, "register"},
+		{"bad-op", func(p *Program) {
+			p.Pick = []Inst{{Op: opMax}, {Op: OpTryPop, A: QShared}, {Op: OpRet}}
+		}, "invalid opcode"},
+		{"backward-jmp", func(p *Program) {
+			p.Pick = []Inst{{Op: OpLdi}, {Op: OpJmp, Imm: 0}, {Op: OpRet}}
+		}, "forward branch"},
+		{"self-jmp", func(p *Program) {
+			p.Pick = []Inst{{Op: OpJmp, Imm: 0}, {Op: OpRet}}
+		}, "forward branch"},
+		{"oob-jmp", func(p *Program) {
+			p.Pick = []Inst{{Op: OpJmp, Imm: 99}, {Op: OpRet}}
+		}, "forward branch"},
+		{"queue-oob", func(p *Program) {
+			p.Pick = []Inst{{Op: OpTryPop, A: QShared, Imm: 1}, {Op: OpRet}}
+		}, "shared queue 1 out of range"},
+		{"queue-kind", func(p *Program) {
+			p.Pick = []Inst{{Op: OpTryPop, A: 9}, {Op: OpRet}}
+		}, "unknown queue kind"},
+		{"local-undeclared", func(p *Program) {
+			p.Pick = []Inst{{Op: OpTryPop, A: QLocal}, {Op: OpRet}}
+		}, "local queue 0 out of range"},
+		{"enq-in-pick", func(p *Program) {
+			p.Pick = []Inst{{Op: OpEnq, A: QShared}, {Op: OpRet}}
+		}, "enqueue-hook only"},
+		{"trypop-in-enqueue", func(p *Program) {
+			p.Enqueue = []Inst{{Op: OpTryPop, A: QShared}, {Op: OpEnq, A: QShared}, {Op: OpRet}}
+		}, "pick-hook only"},
+		{"ldf-in-pick", func(p *Program) {
+			p.Pick = []Inst{{Op: OpLdf, B: uint8(FieldNice)}, {Op: OpTryPop, A: QShared}, {Op: OpRet}}
+		}, "enqueue-hook only"},
+		{"bad-field", func(p *Program) {
+			p.Enqueue = []Inst{{Op: OpLdf, B: uint8(fieldMax)}, {Op: OpEnq, A: QShared}, {Op: OpRet}}
+		}, "unknown task field"},
+		{"loop-zero", func(p *Program) {
+			p.Pick = []Inst{{Op: OpLdi}, {Op: OpLoop, B: 0, Imm: 0}, {Op: OpTryPop, A: QShared}, {Op: OpRet}}
+		}, "trip count"},
+		{"loop-too-many", func(p *Program) {
+			p.Pick = []Inst{{Op: OpLdi}, {Op: OpLoop, B: MaxLoopIter + 1, Imm: 0}, {Op: OpTryPop, A: QShared}, {Op: OpRet}}
+		}, "trip count"},
+		{"loop-forward", func(p *Program) {
+			p.Pick = []Inst{{Op: OpLoop, B: 2, Imm: 1}, {Op: OpTryPop, A: QShared}, {Op: OpRet}}
+		}, "strictly backward"},
+		{"branch-into-loop", func(p *Program) {
+			// 0: jmp 2 (into the body of the loop at 3)
+			p.Pick = []Inst{
+				{Op: OpJmp, Imm: 2},
+				{Op: OpLdi},
+				{Op: OpLdi},
+				{Op: OpLoop, B: 2, Imm: 1},
+				{Op: OpTryPop, A: QShared},
+				{Op: OpRet},
+			}
+		}, "enters loop body"},
+		{"branch-escapes-loop", func(p *Program) {
+			// loop body [1,3]; 2: jmp 4 escapes it.
+			p.Pick = []Inst{
+				{Op: OpLdi},
+				{Op: OpLdi},
+				{Op: OpJmp, Imm: 4},
+				{Op: OpLoop, B: 2, Imm: 1},
+				{Op: OpTryPop, A: QShared},
+				{Op: OpRet},
+			}
+		}, "escapes loop body"},
+		{"loop-overlap", func(p *Program) {
+			// spans [0,2] and [1,3] partially overlap.
+			p.Pick = []Inst{
+				{Op: OpLdi},
+				{Op: OpLdi},
+				{Op: OpLoop, B: 2, Imm: 0},
+				{Op: OpLoop, B: 2, Imm: 1},
+				{Op: OpTryPop, A: QShared},
+				{Op: OpRet},
+			}
+		}, "overlaps"},
+		{"step-budget", func(p *Program) {
+			// Two nested 64-trip loops over a body: 64*64 = 4096 weight on
+			// several instructions busts MaxSteps.
+			p.Pick = []Inst{
+				{Op: OpLdi},
+				{Op: OpLdi},
+				{Op: OpLoop, B: MaxLoopIter, Imm: 1},
+				{Op: OpLoop, B: MaxLoopIter, Imm: 0},
+				{Op: OpTryPop, A: QShared},
+				{Op: OpRet},
+			}
+		}, "step count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := minimal()
+			tc.mut(p)
+			err := Verify(p)
+			if err == nil {
+				t.Fatal("Verify accepted a bad program")
+			}
+			var ve *VerifyError
+			if !errors.As(err, &ve) {
+				t.Fatalf("error %T is not *VerifyError", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			if p.Verified() {
+				t.Fatal("rejected program still marked verified")
+			}
+		})
+	}
+}
+
+func TestVerifyStepBudgetNestedLoops(t *testing.T) {
+	// A legal 8×8 nested loop pair must verify, and the recorded fuel must
+	// cover the real execution (checked behaviorally in class_test.go).
+	p := minimal()
+	p.Pick = []Inst{
+		{Op: OpLdi},                // 0
+		{Op: OpLdi},                // 1
+		{Op: OpLoop, B: 8, Imm: 1}, // 2: inner
+		{Op: OpLoop, B: 8, Imm: 0}, // 3: outer
+		{Op: OpTryPop, A: QShared}, // 4
+		{Op: OpRet},                // 5
+	}
+	if err := Verify(p); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// weights: pc0=8, pc1=64, pc2=64, pc3=8, pc4=1, pc5=1 → 146
+	if p.pickSteps != 146 {
+		t.Fatalf("pickSteps = %d, want 146", p.pickSteps)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no-queues", "enqueue:\n ret\npick:\n ret\n", "missing queues"},
+		{"bad-mnemonic", "queues shared=1\nenqueue:\n frob r0\n ret\npick:\n ret\n", "unknown mnemonic"},
+		{"bad-reg", "queues shared=1\nenqueue:\n ldi r9, 4\n ret\npick:\n ret\n", "bad register"},
+		{"undefined-label", "queues shared=1\nenqueue:\n jmp nowhere\n ret\npick:\n ret\n", "undefined label"},
+		{"dup-label", "queues shared=1\nenqueue:\na:\na:\n ret\npick:\n ret\n", "duplicate label"},
+		{"bad-slice", "queues shared=1\nslice forever\nenqueue:\n ret\npick:\n ret\n", "bad slice"},
+		{"stray-text", "what\nqueues shared=1\n", "before any section"},
+		{"missing-pick", "queues shared=1\nenqueue:\n enq shared, 0\n ret\n", "missing pick"},
+		{"bad-queue-kind", "queues shared=1\nenqueue:\n enq global, 0\n ret\npick:\n ret\n", "bad queue kind"},
+		{"loop-count", "queues shared=1\nenqueue:\nb:\n loop 70, b\n ret\npick:\n ret\n", "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble(tc.src)
+			if err == nil {
+				t.Fatal("Assemble accepted bad source")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, src := range []string{FIFOSource, DualQueueSource} {
+		p := MustAssemble(src)
+		got, err := Decode(Encode(p))
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+		}
+		if err := Verify(got); err != nil {
+			t.Fatalf("Verify decoded: %v", err)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	enc := Encode(FIFOProgram())
+	cases := [][]byte{
+		nil,
+		[]byte("VP"),
+		[]byte("NOPE" + strings.Repeat("\x00", 20)),
+		enc[:4],                                // magic only
+		enc[:len(enc)-3],                       // truncated code
+		append(append([]byte{}, enc...), 0xff), // trailing byte
+	}
+	// Instruction count beyond MaxInsts must be rejected pre-allocation.
+	huge := append([]byte{}, enc[:15]...)
+	huge = append(huge, 0xff, 0xff)
+	cases = append(cases, huge)
+	for i, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Fatalf("case %d: Decode accepted malformed bytes", i)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package vpol is the verified-policy fast lane: a tiny register-machine
+// scheduling bytecode executed directly inside the kernel's enqueue/pick
+// path, after the sched_ext/eBPF model. A policy that fits the bytecode —
+// compares, branches, bounded loops, task-field loads, enqueue-to and
+// pick-from typed queues — runs with no module crossing at all: no message
+// build, no dispatch, no Schedulable validation, no allocation. The static
+// verifier (verify.go) proves every program terminates within a constant
+// step budget before it is ever run, and the interpreter (class.go) backs
+// that proof with a fuel counter and a trap-to-CFS kill path, so the middle
+// tier keeps the fault-isolation story of the full module tier.
+//
+// The three policy tiers the repo now spans:
+//
+//	built-in (CFS/RT)   native Go, zero overhead, fixed policy
+//	verified (vpol)     bytecode, ~15 ns/hook, verifier-bounded
+//	module (enokic)     full EnokiScheduler, ~110 ns/hook crossing,
+//	                    panic containment + watchdog
+//
+// Programs are written in the assembler text format (asm.go), verified with
+// Verify, and attached through enoki.System.Attach(policy,
+// enoki.VerifiedProgram(prog)).
+package vpol
+
+import "time"
+
+// Machine limits. The verifier enforces every one of them; the interpreter
+// sizes its fixed state from them, which is what keeps the hook path free of
+// allocation.
+const (
+	// NumRegs is the register-file size (r0..r7). r1 is preloaded with the
+	// hook's CPU; everything else starts at zero.
+	NumRegs = 8
+	// MaxInsts bounds one hook's instruction count.
+	MaxInsts = 256
+	// MaxSharedQueues and MaxLocalQueues bound the declared queue tables.
+	MaxSharedQueues = 8
+	MaxLocalQueues  = 4
+	// MaxLoopIter bounds one OpLoop's static trip count.
+	MaxLoopIter = 64
+	// MaxLoopDepth bounds loop nesting.
+	MaxLoopDepth = 4
+	// MaxSteps bounds the statically-computed worst-case instruction count
+	// of one hook invocation (loop bodies weighted by their trip counts).
+	MaxSteps = 4096
+	// MinSlice is the smallest non-zero preemption quantum a program may
+	// declare; anything shorter would livelock the pick path in overhead.
+	MinSlice = 10 * time.Microsecond
+)
+
+// Op is one bytecode opcode.
+type Op uint8
+
+// Opcodes. Operand conventions: A and B are register indices unless noted;
+// Imm is the 64-bit immediate (also the branch target, as an absolute
+// instruction index).
+const (
+	OpInvalid Op = iota
+	// OpRet ends the hook. In the enqueue hook the context task must have
+	// been enqueued exactly once by now, or the program traps.
+	OpRet
+	// OpLdi: rA = Imm.
+	OpLdi
+	// OpMov: rA = rB.
+	OpMov
+	// Arithmetic: rA = rA <op> rB. Div and Mod trap on a zero divisor.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpXor
+	// OpAddi: rA += Imm.
+	OpAddi
+	// OpJmp: unconditional forward jump to Imm.
+	OpJmp
+	// Conditional forward jumps to Imm on rA <cond> rB.
+	OpJeq
+	OpJne
+	OpJlt
+	OpJle
+	OpJgt
+	OpJge
+	// Conditional forward jumps to Imm on rA <cond> 0.
+	OpJeqz
+	OpJnez
+	OpJltz
+	OpJgez
+	// OpLoop: bounded backward jump. B is the static trip count (the block
+	// from Imm through this instruction executes B times total); Imm is the
+	// backward target. The verifier requires proper nesting and weights the
+	// step budget by the trip count.
+	OpLoop
+	// OpLdf: rA = field B of the context task (enqueue hook only).
+	OpLdf
+	// OpQlen: rA = live length of queue (B = kind, Imm = index).
+	OpQlen
+	// OpEnq: enqueue the context task onto queue (A = kind, Imm = index).
+	// Enqueue hook only; exactly one must execute per invocation.
+	OpEnq
+	// OpTryPop: pop the first runnable, affinity-allowed task from queue
+	// (A = kind, Imm = index) and terminate the hook returning it; falls
+	// through when the queue has none. Pick hook only.
+	OpTryPop
+
+	opMax // sentinel
+)
+
+// Queue kinds: a shared queue is machine-wide (any CPU may pop); a local
+// queue is per-CPU (the enqueue hook writes the target CPU's instance, the
+// pick hook reads the picking CPU's).
+const (
+	QShared uint8 = 0
+	QLocal  uint8 = 1
+)
+
+// Field is a task field readable with OpLdf.
+type Field uint8
+
+// Task fields.
+const (
+	// FieldPID is the task's pid.
+	FieldPID Field = iota
+	// FieldCPU is the enqueue target CPU (the hook's cpu argument).
+	FieldCPU
+	// FieldNice is the task's nice value.
+	FieldNice
+	// FieldWeight is the CFS load weight for the task's nice value.
+	FieldWeight
+	// FieldVruntime is the task's accumulated CPU time in nanoseconds.
+	FieldVruntime
+	// FieldLastCPU is the CPU whose queue last held the task.
+	FieldLastCPU
+	// FieldFlags carries enqueue-context bits (FlagWakeup, FlagRequeue).
+	FieldFlags
+
+	fieldMax // sentinel
+)
+
+// FieldFlags bits.
+const (
+	// FlagWakeup: the enqueue is a wakeup (vs fork/migration).
+	FlagWakeup int64 = 1 << 0
+	// FlagRequeue: the enqueue re-queues the CPU's previous task (yield or
+	// preemption put-prev), not a newly runnable one.
+	FlagRequeue int64 = 1 << 1
+)
+
+// Inst is one fixed-size instruction.
+type Inst struct {
+	Op   Op
+	A, B uint8
+	Imm  int64
+}
+
+// Program is one verified policy: the queue declaration, an optional
+// preemption quantum, and the two hook bodies. A Program must pass Verify
+// before Load accepts it; Verify also computes the static fuel bounds the
+// interpreter enforces at run time.
+type Program struct {
+	// SharedQueues and LocalQueues declare the queue tables; every queue
+	// handle in the code is checked against them.
+	SharedQueues int
+	LocalQueues  int
+	// Slice, when non-zero, is the preemption quantum: a task that has run
+	// at least Slice since its pick is rescheduled on the next tick if the
+	// class has other work for its CPU. Zero means run-to-block.
+	Slice time.Duration
+	// Enqueue runs when a task becomes runnable (r1 = target CPU); it must
+	// OpEnq the task exactly once. Pick runs when a CPU asks for work
+	// (r1 = CPU); OpTryPop both pops and returns.
+	Enqueue []Inst
+	Pick    []Inst
+
+	// Verify's products: the flag gating Load and the per-hook worst-case
+	// step counts used as runtime fuel.
+	verified  bool
+	enqSteps  int64
+	pickSteps int64
+}
+
+// Verified reports whether the program has passed Verify since its last
+// mutation-free construction. (Mutating a verified Program and re-loading it
+// without re-verifying is not supported; Load always re-verifies.)
+func (p *Program) Verified() bool { return p.verified }

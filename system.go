@@ -6,29 +6,31 @@ import (
 	"io"
 	"time"
 
-	"enoki/internal/core"
 	"enoki/internal/enokic"
 	"enoki/internal/kernel"
 	"enoki/internal/record"
 	"enoki/internal/sim"
 	"enoki/internal/trace"
+	"enoki/internal/vpol"
 )
 
 // System is the assembled simulation: one event engine, one simulated
 // kernel, and the scheduler classes loaded into it. It is the front door of
-// the public API — construct one with NewSystem, load modules, register the
-// native baseline, spawn work, run:
+// the public API — construct one with NewSystem, attach policies, spawn
+// work, run:
 //
 //	sys := enoki.NewSystem(enoki.WithMachine(enoki.Machine80()))
-//	ad, err := sys.Load(policyMine, func(env enoki.Env) enoki.Scheduler {
+//	ad, err := sys.Attach(policyMine, enoki.GoModule(func(env enoki.Env) enoki.Scheduler {
 //	        return mysched.New(env, policyMine)
-//	})
+//	}))
 //	sys.RegisterCFS(policyCFS) // CFS below the module, as in the paper
 //	sys.Kernel().Spawn(...)
 //	sys.Run(20 * time.Millisecond)
 //
-// Registration order is priority order: classes loaded or registered
-// earlier preempt later ones, which is why Enoki modules load before CFS.
+// Attachment order is priority order: policies attached earlier preempt
+// later ones, which is why Enoki policies attach before CFS. Attach accepts
+// all three tiers of the policy spectrum — GoModule, VerifiedProgram,
+// BuiltinClass (see PolicySource).
 type System struct {
 	eng *sim.Engine
 	k   *kernel.Kernel
@@ -40,6 +42,11 @@ type System struct {
 
 	cfg      Config
 	adapters []*enokic.Adapter
+
+	// verified indexes the verified-tier classes attached through
+	// Attach(VerifiedProgram(...)), by policy id (shard 0's instance in
+	// sharded mode).
+	verified map[int]*vpol.Class
 
 	tracer *trace.Tracer
 
@@ -249,65 +256,27 @@ func (s *System) Close() error {
 func (s *System) Config() Config { return s.cfg }
 
 // Load constructs a scheduler module via factory and registers it under
-// policy. Failures are typed: errors.Is(err, ErrDuplicatePolicy) when the
-// policy id is taken, errors.Is(err, ErrPolicyMismatch) when the module's
-// GetPolicy disagrees. The System's recorder and tracer, when configured,
-// are installed on the new adapter.
+// policy.
 //
-// In sharded mode the factory runs once per shard — each shard gets its own
-// module instance above its own sub-kernel — and Load returns shard 0's
-// adapter (the rest are in Adapters, shard order).
+// Deprecated: use Attach with a GoModule source — Load is a thin shim over
+// it and keeps its exact error semantics (ErrDuplicatePolicy,
+// ErrPolicyMismatch, ErrSystemClosed; per-shard loads in sharded mode).
 func (s *System) Load(policy int, factory func(Env) Scheduler) (*Adapter, error) {
-	if s.closed {
-		return nil, fmt.Errorf("enoki: Load after Close: %w", ErrSystemClosed)
-	}
-	if s.sk != nil {
-		var first *Adapter
-		for i := 0; i < s.sk.NumShards(); i++ {
-			ad, err := enokic.TryLoad(s.sk.ShardKernel(i), policy, s.cfg, func(env core.Env) core.Scheduler {
-				return factory(env)
-			})
-			if err != nil {
-				return nil, fmt.Errorf("shard %d: %w", i, err)
-			}
-			s.adapters = append(s.adapters, ad)
-			if first == nil {
-				first = ad
-			}
-		}
-		return first, nil
-	}
-	ad, err := enokic.TryLoad(s.k, policy, s.cfg, func(env core.Env) core.Scheduler {
-		return factory(env)
-	})
-	if err != nil {
-		return nil, err
-	}
-	s.adapters = append(s.adapters, ad)
-	if s.tracer != nil {
-		ad.SetTracer(s.tracer)
-	}
-	s.afterRegister()
-	if s.recorder != nil {
-		ad.SetRecorder(s.recorder)
-	}
-	return ad, nil
+	return s.Attach(policy, GoModule(factory))
 }
 
-// MustLoad is Load panicking on error, for mains and tests.
+// MustLoad is Load panicking on error.
+//
+// Deprecated: use MustAttach with a GoModule source.
 func (s *System) MustLoad(policy int, factory func(Env) Scheduler) *Adapter {
-	ad, err := s.Load(policy, factory)
-	if err != nil {
-		panic(fmt.Sprintf("enoki: %v", err))
-	}
-	return ad
+	return s.MustAttach(policy, GoModule(factory))
 }
 
 // RegisterClass registers a native (non-module) scheduler class under
-// policy. Like Load, order of registration is priority order. A Class
-// instance is bound to one kernel, so on a sharded System this panics —
-// register per shard with ShardKernel(i).RegisterClass, or use RegisterCFS
-// which constructs per shard.
+// policy, panicking on misuse (closed System, sharded mode, duplicate id).
+//
+// Deprecated: use Attach with a BuiltinClass source, which reports the same
+// conditions as typed errors instead of panics.
 func (s *System) RegisterClass(policy int, c Class) {
 	if s.closed {
 		panic("enoki: RegisterClass on a closed System")
@@ -315,8 +284,9 @@ func (s *System) RegisterClass(policy int, c Class) {
 	if s.sk != nil {
 		panic("enoki: RegisterClass binds one Class to one kernel; in sharded mode register per ShardKernel (or use RegisterCFS)")
 	}
-	s.k.RegisterClass(policy, c)
-	s.afterRegister()
+	if _, err := s.Attach(policy, BuiltinClass(c)); err != nil {
+		panic(fmt.Sprintf("enoki: %v", err))
+	}
 }
 
 // RegisterCFS builds the native CFS baseline, registers it under policy,
