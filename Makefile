@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench bench-cluster bench-fleet bench-rollout fleet rollout sharded verified quick cover fuzz trace apicheck chaos
+.PHONY: check build test race vet bench bench-cluster bench-fleet bench-rollout bench-overload fleet rollout overload sharded verified quick cover fuzz trace apicheck chaos
 
 check: vet build race apicheck
 
@@ -38,10 +38,19 @@ bench-fleet:
 # Full rollout artifact: everything bench-fleet writes plus the canary
 # rollout benchmark — a clean thousand-machine upgrade, a sabotaged one
 # that halts and rolls back, both serial and parallel, and the pinned
-# `r1:` chaos replay — appended to BENCH_cluster.json. This is the
-# superset that regenerates the committed artifact.
+# `r1:` chaos replay — appended to BENCH_cluster.json.
 bench-rollout:
 	$(GO) run ./cmd/enokibench -rollout BENCH_cluster.json
+
+# Full overload artifact: everything bench-rollout writes plus the
+# traffic-plane overload benchmark — an open-loop scenario (diurnal curve,
+# flash crowd, antagonist tenant, churn storm) through the
+# admission/shedding/brownout control plane, serial and parallel, with the
+# pinned `t1:` LeakShed chaos replay — appended to BENCH_cluster.json.
+# This is the superset that regenerates the committed artifact; CI also
+# runs it at -machine 80, where the scenario offers 1.26M connections.
+bench-overload:
+	$(GO) run ./cmd/enokibench -overload BENCH_cluster.json
 
 # Fleet gate mirroring the CI job: the whole cluster control plane under the
 # race detector — placement, migration, failover, Close lifecycle — plus the
@@ -58,6 +67,20 @@ fleet:
 # Cluster.Rollout API.
 rollout:
 	$(GO) test -race -run 'TestRollout|TestClusterRollout|FuzzParseRolloutSpec' -count=1 ./internal/cluster ./internal/chaos ./internal/bench .
+
+# Overload gate mirroring the CI job: the admission/brownout control plane
+# under the race detector — per-class shedding, bounded retry backoff,
+# brownout hysteresis, and the 0 allocs/op Admit ratchet — the traffic
+# plane's flash-crowd, churn, antagonist, module-kill and serial-vs-parallel
+# tests, the 30-run t1: traffic chaos campaign with the LeakShed
+# find→shrink→replay loop, the cluster Offer front door, the public
+# DriveTraffic/WithAdmission API, and the overload artifact smoke.
+overload:
+	$(GO) test -race -count=1 ./internal/overload ./internal/workload/traffic
+	$(GO) test -race -run 'TestTraffic|TestParseTrafficSpec|TestGenerateTraffic|TestRunTraffic|FuzzParseTrafficSpec' -count=1 ./internal/chaos
+	$(GO) test -race -run 'TestDriveTraffic|TestWithBrownout|TestClusterOfferAdmission|TestTrafficFleetDriver' -count=1 .
+	$(GO) test -race -run 'TestOffer|TestSubmitBypassesAdmission' -count=1 ./internal/cluster
+	$(GO) test -race -run 'TestRunOverloadSmoke' -count=1 ./internal/bench
 
 # Sharded-executor gate mirroring the CI job: serial-vs-parallel record-log
 # identity and conformance for every scheduler class under the race detector,

@@ -32,8 +32,9 @@ func main() {
 	runs := flag.Int("runs", 100, "number of seeded campaign runs")
 	seed := flag.Uint64("seed", 1, "campaign master seed")
 	class := flag.String("class", "", "restrict to one scheduler class (default: all, round-robin)")
-	replay := flag.String("replay", "", "replay one failing spec (v1:<class>:<seed>:<mask>) instead of a campaign")
+	replay := flag.String("replay", "", "replay one failing spec (v1:/t1:<class>:<seed>:<mask>) instead of a campaign")
 	noRollback := flag.Bool("norollback", false, "disable transactional upgrade rollback (the seeded-bug configuration)")
+	leakShed := flag.Bool("leakshed", false, "plant the shed-accounting leak (the traffic plane's seeded-bug configuration)")
 	verified := flag.Bool("verified", false, "mount the verified-bytecode tier above each class under test")
 	maxFailures := flag.Int("maxfailures", 3, "stop the campaign after minimizing this many failures")
 	verbose := flag.Bool("v", false, "print one line per campaign run")
@@ -45,6 +46,28 @@ func main() {
 	flag.Parse()
 
 	rc := chaos.RunConfig{NoRollback: *noRollback, VerifiedTier: *verified}
+
+	if strings.HasPrefix(*replay, "t1:") {
+		s, err := chaos.ParseTrafficSpec(*replay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "enoki-chaos: %v\n", err)
+			os.Exit(2)
+		}
+		res := chaos.RunTraffic(s, chaos.TrafficRunConfig{LeakShed: *leakShed})
+		fmt.Printf("replay %s  class=%s  events=%v\n", s.Spec(), s.Class, s.Enabled())
+		n := res.Report.Total
+		fmt.Printf("  conns=%d offered=%d admitted=%d shed=%d retried=%d dropped=%d killed=%v\n",
+			res.Report.Connections, n.Offered, n.Admitted, n.Shed, n.Retried, n.Dropped, res.Killed)
+		if !res.Failed() {
+			fmt.Println("  oracle: PASS")
+			return
+		}
+		fmt.Println("  oracle: FAIL")
+		for _, v := range res.Violations {
+			fmt.Printf("    violation: %s\n", v)
+		}
+		os.Exit(1)
+	}
 
 	if *replay != "" {
 		s, err := chaos.ParseSpec(*replay)

@@ -17,6 +17,7 @@ type benchFlags struct {
 	Cluster   bool
 	Fleet     bool
 	Rollout   bool
+	Overload  bool
 	List      bool
 	// MachineCPUs selects the per-machine topology of the fleet benchmark:
 	// 8, 80, or 1000 CPUs.
@@ -45,24 +46,25 @@ func machineFor(cpus int) (kernel.Machine, bool) {
 
 // validate rejects incoherent flag combinations with a usage error before
 // anything runs. The artifact modes (-benchjson, -cluster, -fleet,
-// -rollout) are mutually exclusive, take at most one argument (the output
-// path), and do not compose with the experiment-runner flags; -machine and
-// -shards only parameterize -fleet and -rollout, and a shard count can
-// never exceed the machine's NUMA node count.
+// -rollout, -overload) are mutually exclusive, take at most one argument
+// (the output path), and do not compose with the experiment-runner flags;
+// -machine and -shards only parameterize -fleet, -rollout, and -overload,
+// and a shard count can never exceed the machine's NUMA node count.
 func validate(f benchFlags) error {
 	mode := ""
 	modes := 0
 	for _, m := range []struct {
 		on   bool
 		name string
-	}{{f.BenchJSON, "-benchjson"}, {f.Cluster, "-cluster"}, {f.Fleet, "-fleet"}, {f.Rollout, "-rollout"}} {
+	}{{f.BenchJSON, "-benchjson"}, {f.Cluster, "-cluster"}, {f.Fleet, "-fleet"},
+		{f.Rollout, "-rollout"}, {f.Overload, "-overload"}} {
 		if m.on {
 			mode = m.name
 			modes++
 		}
 	}
 	if modes > 1 {
-		return errors.New("-benchjson, -cluster, -fleet, and -rollout are mutually exclusive")
+		return errors.New("-benchjson, -cluster, -fleet, -rollout, and -overload are mutually exclusive")
 	}
 	if modes == 1 {
 		if f.Quick {
@@ -78,8 +80,8 @@ func validate(f benchFlags) error {
 			return fmt.Errorf("%s takes at most one argument (the output file), got %d", mode, len(f.Args))
 		}
 	}
-	if (f.MachineSet || f.ShardsSet) && !f.Fleet && !f.Rollout {
-		return errors.New("-machine and -shards parameterize -fleet and -rollout only")
+	if (f.MachineSet || f.ShardsSet) && !f.Fleet && !f.Rollout && !f.Overload {
+		return errors.New("-machine and -shards parameterize -fleet, -rollout, and -overload only")
 	}
 	m, ok := machineFor(f.MachineCPUs)
 	if !ok {

@@ -7,8 +7,8 @@ import (
 
 // TestValidateFlags pins the CLI contract: artifact modes are mutually
 // exclusive and reject experiment-runner flags, -machine/-shards belong to
-// -fleet and -rollout, and shard counts can never exceed the machine's
-// NUMA nodes.
+// -fleet, -rollout, and -overload, and shard counts can never exceed the
+// machine's NUMA nodes.
 func TestValidateFlags(t *testing.T) {
 	ok := func(f benchFlags) benchFlags {
 		if f.Parallel == 0 {
@@ -33,8 +33,22 @@ func TestValidateFlags(t *testing.T) {
 		{"fleet matching shards", ok(benchFlags{Fleet: true, MachineCPUs: 1000, MachineSet: true, Shards: 10, ShardsSet: true}), ""},
 		{"rollout", ok(benchFlags{Rollout: true}), ""},
 		{"rollout 80-cpu machines", ok(benchFlags{Rollout: true, MachineCPUs: 80, MachineSet: true}), ""},
+		{"overload", ok(benchFlags{Overload: true}), ""},
+		{"overload 80-cpu machines", ok(benchFlags{Overload: true, MachineCPUs: 80, MachineSet: true}), ""},
+		{"overload matching shards", ok(benchFlags{Overload: true, MachineCPUs: 80, MachineSet: true, Shards: 2, ShardsSet: true}), ""},
+		{"overload output file", ok(benchFlags{Overload: true, Args: []string{"out.json"}}), ""},
 
 		{"cluster+fleet", ok(benchFlags{Cluster: true, Fleet: true}), "mutually exclusive"},
+		{"overload+fleet", ok(benchFlags{Overload: true, Fleet: true}), "mutually exclusive"},
+		{"overload+rollout", ok(benchFlags{Overload: true, Rollout: true}), "mutually exclusive"},
+		{"overload+benchjson", ok(benchFlags{Overload: true, BenchJSON: true}), "mutually exclusive"},
+		{"overload with quick", ok(benchFlags{Overload: true, Quick: true}), "-quick applies to experiment runs"},
+		{"overload with parallel", ok(benchFlags{Overload: true, Parallel: 4}), "-parallel applies to experiment runs"},
+		{"overload with list", ok(benchFlags{Overload: true, List: true}), "-list does not compose"},
+		{"overload two args", ok(benchFlags{Overload: true, Args: []string{"a", "b"}}), "at most one argument"},
+		{"overload bogus machine", ok(benchFlags{Overload: true, MachineCPUs: 64, MachineSet: true}), "-machine must be 8, 80, or 1000"},
+		{"overload shards exceed nodes", ok(benchFlags{Overload: true, MachineCPUs: 80, MachineSet: true, Shards: 4, ShardsSet: true}), "exceeds"},
+		{"overload shards mismatch nodes", ok(benchFlags{Overload: true, MachineCPUs: 1000, MachineSet: true, Shards: 2, ShardsSet: true}), "does not match"},
 		{"fleet+rollout", ok(benchFlags{Fleet: true, Rollout: true}), "mutually exclusive"},
 		{"rollout with quick", ok(benchFlags{Rollout: true, Quick: true}), "-quick applies to experiment runs"},
 		{"benchjson+cluster", ok(benchFlags{BenchJSON: true, Cluster: true}), "mutually exclusive"},
@@ -42,8 +56,8 @@ func TestValidateFlags(t *testing.T) {
 		{"fleet with quick", ok(benchFlags{Fleet: true, Quick: true}), "-quick applies to experiment runs"},
 		{"cluster with list", ok(benchFlags{Cluster: true, List: true}), "-list does not compose"},
 		{"fleet two args", ok(benchFlags{Fleet: true, Args: []string{"a", "b"}}), "at most one argument"},
-		{"machine outside fleet", ok(benchFlags{MachineCPUs: 80, MachineSet: true}), "parameterize -fleet and -rollout only"},
-		{"shards outside fleet", ok(benchFlags{Shards: 2, ShardsSet: true}), "parameterize -fleet and -rollout only"},
+		{"machine outside fleet", ok(benchFlags{MachineCPUs: 80, MachineSet: true}), "parameterize -fleet, -rollout, and -overload only"},
+		{"shards outside fleet", ok(benchFlags{Shards: 2, ShardsSet: true}), "parameterize -fleet, -rollout, and -overload only"},
 		{"bogus machine", ok(benchFlags{Fleet: true, MachineCPUs: 64, MachineSet: true}), "-machine must be 8, 80, or 1000"},
 		{"shards exceed nodes", ok(benchFlags{Fleet: true, MachineCPUs: 80, MachineSet: true, Shards: 4, ShardsSet: true}), "exceeds"},
 		{"shards mismatch nodes", ok(benchFlags{Fleet: true, MachineCPUs: 1000, MachineSet: true, Shards: 2, ShardsSet: true}), "does not match"},

@@ -10,6 +10,7 @@
 //	enokibench -cluster [file]
 //	enokibench -fleet [-machine 8|80|1000] [-shards N] [file]
 //	enokibench -rollout [-machine 8|80|1000] [-shards N] [file]
+//	enokibench -overload [-machine 8|80|1000] [-shards N] [file]
 //
 // With no experiment names, everything runs in paper order. -quick shrinks
 // message counts and durations so the full suite finishes in well under a
@@ -26,7 +27,12 @@
 // it also drives a wave-based canary upgrade across the fleet — clean and
 // with a seeded faulty build that halts the rollout and rolls every upgraded
 // machine back — plus a chaos replay of the halt from its one-line r1: spec,
-// and appends those verdicts to the document.
+// and appends those verdicts to the document. -overload is a superset of
+// -rollout: it also runs the internet-scale traffic-plane benchmark — an
+// open-loop scenario with a diurnal curve, flash crowd, antagonist tenant,
+// and churn storm against the admission/brownout control plane, serial and
+// parallel, plus a pinned t1: chaos replay of the seeded LeakShed bug —
+// and appends its SLO verdicts to the document.
 package main
 
 import (
@@ -47,15 +53,17 @@ func main() {
 	clusterMode := flag.Bool("cluster", false, "run cluster-scale sharded-vs-single throughput sweep, write BENCH_cluster.json, and exit")
 	fleet := flag.Bool("fleet", false, "run the cluster sweep plus the 1,000-machine fleet benchmark, write BENCH_cluster.json, and exit")
 	rollout := flag.Bool("rollout", false, "run the cluster sweep, fleet benchmark, and canary-rollout benchmark, write BENCH_cluster.json, and exit")
-	machine := flag.Int("machine", 8, "per-machine CPUs for -fleet/-rollout: 8, 80, or 1000")
-	shards := flag.Int("shards", 0, "shards per machine for -fleet/-rollout (0 = one per NUMA node; must match the machine)")
+	overloadMode := flag.Bool("overload", false, "run the cluster sweep, fleet, rollout, and traffic-plane overload benchmarks, write BENCH_cluster.json, and exit")
+	machine := flag.Int("machine", 8, "per-machine CPUs for -fleet/-rollout/-overload: 8, 80, or 1000")
+	shards := flag.Int("shards", 0, "shards per machine for -fleet/-rollout/-overload (0 = one per NUMA node; must match the machine)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: enokibench [-quick] [-parallel N] [-list] [experiment ...]\n"+
 			"       enokibench -benchjson [file]\n"+
 			"       enokibench -cluster [file]\n"+
 			"       enokibench -fleet [-machine 8|80|1000] [-shards N] [file]\n"+
-			"       enokibench -rollout [-machine 8|80|1000] [-shards N] [file]\n\nexperiments:\n")
+			"       enokibench -rollout [-machine 8|80|1000] [-shards N] [file]\n"+
+			"       enokibench -overload [-machine 8|80|1000] [-shards N] [file]\n\nexperiments:\n")
 		for _, s := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %-13s %s\n", s.Name, s.What)
 		}
@@ -64,7 +72,8 @@ func main() {
 
 	f := benchFlags{
 		Quick: *quick, Parallel: *parallel, BenchJSON: *benchjson,
-		Cluster: *clusterMode, Fleet: *fleet, Rollout: *rollout, List: *list,
+		Cluster: *clusterMode, Fleet: *fleet, Rollout: *rollout,
+		Overload: *overloadMode, List: *list,
 		MachineCPUs: *machine, Shards: *shards, Args: flag.Args(),
 	}
 	flag.Visit(func(fl *flag.Flag) {
@@ -111,7 +120,7 @@ func main() {
 		return
 	}
 
-	if *clusterMode || *fleet || *rollout {
+	if *clusterMode || *fleet || *rollout || *overloadMode {
 		path := "BENCH_cluster.json"
 		if flag.NArg() > 0 {
 			path = flag.Arg(0)
@@ -119,6 +128,9 @@ func main() {
 		var out *bench.ClusterOutput
 		var err error
 		switch {
+		case *overloadMode:
+			m, _ := machineFor(f.MachineCPUs)
+			out, err = bench.WriteOverloadJSON(path, m)
 		case *rollout:
 			m, _ := machineFor(f.MachineCPUs)
 			out, err = bench.WriteRolloutJSON(path, m)
@@ -163,6 +175,17 @@ func main() {
 			printSLOs(ro.SLOs)
 			if !ro.Pass {
 				failed = append(failed, "rollout")
+			}
+		}
+		if ov := out.Overload; ov != nil {
+			fmt.Printf("\noverload: %d CPUs × %d shards, %d connections, %d requests, %.1f virtual ms — serial %.0f ms, parallel %.0f ms wall\n",
+				ov.MachineCPUs, ov.Shards, ov.Connections, ov.Requests,
+				ov.VirtualMS, ov.WallSerialMS, ov.WallParallelMS)
+			fmt.Printf("  admission: offered=%d admitted=%d shed=%d retried=%d dropped=%d (brownout enters=%d)\n",
+				ov.Offered, ov.Admitted, ov.Shed, ov.Retried, ov.Dropped, ov.BrownoutEnters)
+			printSLOs(ov.SLOs)
+			if !ov.Pass {
+				failed = append(failed, "overload")
 			}
 		}
 		fmt.Printf("wrote %s\n", path)

@@ -122,6 +122,10 @@ type ClusterOutput struct {
 	// Rollout is the canary-upgrade benchmark section, present when the
 	// artifact was produced by `enokibench -rollout` (WriteRolloutJSON).
 	Rollout *RolloutBenchResult `json:"rollout,omitempty"`
+	// Overload is the internet-scale traffic-plane benchmark section,
+	// present when the artifact was produced by `enokibench -overload`
+	// (WriteOverloadJSON).
+	Overload *OverloadBenchResult `json:"overload,omitempty"`
 }
 
 // RunCluster measures every (machine, mode) cell. Virtual durations are

@@ -86,6 +86,18 @@ const (
 	// delay, widening the window in which a dead machine's rollout slot
 	// is unresolved.
 	PlaneRolloutDelayDetect
+	// PlaneTrafficFlash multiplies the service class's arrival rate by
+	// Count inside [At, At+Dur) — a flash crowd at the front door. Traffic
+	// schedules (`t1:` specs, see traffic.go) mix the three traffic planes
+	// with module and kernel fault planes: overload control must shed,
+	// brown out, and recover while the fault planes sabotage the module.
+	PlaneTrafficFlash
+	// PlaneTrafficAntag multiplies the background class's rate by Count in
+	// the window — the noisy neighbor crowding the service class.
+	PlaneTrafficAntag
+	// PlaneTrafficChurn is a connection-churn storm: every connection
+	// opened in the window issues a single request and closes.
+	PlaneTrafficChurn
 
 	numPlanes
 )
@@ -120,6 +132,12 @@ func (p Plane) String() string {
 		return "rollout-faulty"
 	case PlaneRolloutDelayDetect:
 		return "rollout-delay-detect"
+	case PlaneTrafficFlash:
+		return "traffic-flash"
+	case PlaneTrafficAntag:
+		return "traffic-antagonist"
+	case PlaneTrafficChurn:
+		return "traffic-churn"
 	default:
 		return "invalid"
 	}
@@ -153,6 +171,9 @@ func (e Event) String() string {
 		return fmt.Sprintf("hint-storm[%d@%v]", e.Count, time.Duration(e.At))
 	case PlaneUpgrade, PlaneUpgradeKill:
 		return fmt.Sprintf("%v[@%v]", e.Plane, time.Duration(e.At))
+	case PlaneTrafficFlash, PlaneTrafficAntag, PlaneTrafficChurn:
+		return fmt.Sprintf("%v[%v+%v x%d]", e.Plane,
+			time.Duration(e.At), time.Duration(e.Dur), e.Count)
 	default:
 		return fmt.Sprintf("%v[%v+%v mag=%v]", e.Plane,
 			time.Duration(e.At), time.Duration(e.Dur), time.Duration(e.Mag))
@@ -211,10 +232,11 @@ func ParseSpec(spec string) (Schedule, error) {
 		return Schedule{}, err
 	}
 	if _, ok := caseByName(class); !ok {
-		return Schedule{}, fmt.Errorf("chaos: unknown class %q in spec", class)
+		return Schedule{}, &SpecError{Spec: spec, Field: "class",
+			Msg: fmt.Sprintf("unknown class %q", class)}
 	}
 	s := Generate(seed, class)
-	if err := checkMask(mask, s.Mask, len(s.Events)); err != nil {
+	if err := checkMask(spec, mask, s.Mask, len(s.Events)); err != nil {
 		return Schedule{}, err
 	}
 	s.Mask = mask

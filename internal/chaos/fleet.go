@@ -97,10 +97,11 @@ func ParseFleetSpec(spec string) (FleetSchedule, error) {
 		return FleetSchedule{}, err
 	}
 	if _, ok := caseByName(class); !ok {
-		return FleetSchedule{}, fmt.Errorf("chaos: unknown class %q in fleet spec", class)
+		return FleetSchedule{}, &SpecError{Spec: spec, Field: "class",
+			Msg: fmt.Sprintf("unknown class %q", class)}
 	}
 	s := GenerateFleet(seed, class)
-	if err := checkMask(mask, s.Mask, len(s.Events)); err != nil {
+	if err := checkMask(spec, mask, s.Mask, len(s.Events)); err != nil {
 		return FleetSchedule{}, err
 	}
 	s.Mask = mask

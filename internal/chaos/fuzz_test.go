@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 	"time"
@@ -53,6 +54,58 @@ func FuzzParseRolloutSpec(f *testing.F) {
 			}
 		}
 		again, err := ParseRolloutSpec(s.Spec())
+		if err != nil {
+			t.Fatalf("round-trip of %q failed: rendered %q does not parse: %v", spec, s.Spec(), err)
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("round-trip of %q diverged:\nfirst  %+v\nsecond %+v", spec, s, again)
+		}
+	})
+}
+
+func FuzzParseTrafficSpec(f *testing.F) {
+	f.Add(trafficSpec)
+	f.Add("t1:fifo:1:1")
+	f.Add("t1:cfs:abc:3")
+	f.Add("t1:shinjuku:5eed7:7")
+	f.Add("t1:wfq:ffffffffffffffff:f")
+	f.Add("v1:shinjuku:2a:3")
+	f.Add("t1:shinjuku:2a:ffff")
+	f.Add("t1::2a:3")
+	f.Add("t1:shinjuku:+2a:3")
+	f.Add("t1:shinjuku:2a:3:")
+	f.Add("t1:shinjuku:2a:3\n")
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseTrafficSpec(spec)
+		if err != nil {
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("spec %q: rejection %v is not a *SpecError", spec, err)
+			}
+			return
+		}
+		if s.Mask&^(1<<uint(len(s.Events))-1) != 0 {
+			t.Fatalf("spec %q: mask %x exceeds %d events", spec, s.Mask, len(s.Events))
+		}
+		if len(s.Events) > 0 {
+			switch s.Events[0].Plane {
+			case PlaneTrafficFlash, PlaneTrafficAntag, PlaneTrafficChurn:
+			default:
+				t.Fatalf("spec %q: first event %v is not a traffic shape", spec, s.Events[0].Plane)
+			}
+		}
+		for _, ev := range s.Events {
+			switch ev.Plane {
+			case PlaneTrafficFlash, PlaneTrafficAntag, PlaneTrafficChurn:
+				if ev.At <= 0 || ev.Dur <= 0 || ev.Count < 1 {
+					t.Fatalf("spec %q: malformed shape %+v", spec, ev)
+				}
+			case PlanePanic, PlaneStall, PlaneIPIDrop, PlaneIPIDelay, PlaneTimerSkew:
+			default:
+				t.Fatalf("spec %q: plane %v cannot appear in a traffic schedule", spec, ev.Plane)
+			}
+		}
+		again, err := ParseTrafficSpec(s.Spec())
 		if err != nil {
 			t.Fatalf("round-trip of %q failed: rendered %q does not parse: %v", spec, s.Spec(), err)
 		}

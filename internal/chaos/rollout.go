@@ -111,13 +111,14 @@ func ParseRolloutSpec(spec string) (RolloutSchedule, error) {
 	}
 	c, ok := caseByName(class)
 	if !ok {
-		return RolloutSchedule{}, fmt.Errorf("chaos: unknown class %q in rollout spec", class)
+		return RolloutSchedule{}, &SpecError{Spec: spec, Field: "class",
+			Msg: fmt.Sprintf("unknown class %q", class)}
 	}
 	if c.NewModule == nil {
 		return RolloutSchedule{}, fmt.Errorf("chaos: class %q has no upgradable module", class)
 	}
 	s := GenerateRollout(seed, class)
-	if err := checkMask(mask, s.Mask, len(s.Events)); err != nil {
+	if err := checkMask(spec, mask, s.Mask, len(s.Events)); err != nil {
 		return RolloutSchedule{}, err
 	}
 	s.Mask = mask

@@ -1,10 +1,12 @@
-// Shared replay-spec plumbing. All three campaign planes render their
+// Shared replay-spec plumbing. All four campaign planes render their
 // reproducer as <prefix>:<class>:<seed hex>:<mask hex> — one line that
 // regenerates the whole fault plan — so they share one hardened splitter
-// rather than three drifting copies. The splitter rejects truncated or
-// padded specs, empty fields, and unparseable hex up front; the per-plane
-// parsers keep only their own class rules and the mask-bounds check
-// (which needs the generated event count).
+// rather than four drifting copies. The splitter rejects truncated or
+// padded specs, empty fields, and unparseable hex up front with a typed
+// error, and never panics: a spec string is untrusted input (a CI log, a
+// bug report, a shell history). The per-plane parsers keep only their own
+// class rules and the mask-bounds check (which needs the generated event
+// count).
 
 package chaos
 
@@ -14,24 +16,39 @@ import (
 	"strings"
 )
 
+// SpecError is the typed failure every spec parser returns for malformed
+// input: which spec, which field ("shape", "class", "seed", "mask"), and
+// why. Callers can errors.As on it to distinguish a bad spec from an
+// infrastructure error.
+type SpecError struct {
+	Spec  string
+	Field string
+	Msg   string
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("chaos: bad %s in spec %q: %s", e.Field, e.Spec, e.Msg)
+}
+
 // splitSpec validates the common spec shape and returns its fields. shape
 // is the human-readable form for error messages (e.g.
-// "r1:<class>:<seed>:<mask>").
+// "r1:<class>:<seed>:<mask>"). All failures are *SpecError.
 func splitSpec(spec, prefix, shape string) (class string, seed, mask uint64, err error) {
 	parts := strings.Split(spec, ":")
 	if len(parts) != 4 || parts[0] != prefix {
-		return "", 0, 0, fmt.Errorf("chaos: bad spec %q (want %s)", spec, shape)
+		return "", 0, 0, &SpecError{Spec: spec, Field: "shape",
+			Msg: fmt.Sprintf("want %s", shape)}
 	}
 	if parts[1] == "" {
-		return "", 0, 0, fmt.Errorf("chaos: empty class in spec %q", spec)
+		return "", 0, 0, &SpecError{Spec: spec, Field: "class", Msg: "empty"}
 	}
 	seed, err = strconv.ParseUint(parts[2], 16, 64)
 	if err != nil {
-		return "", 0, 0, fmt.Errorf("chaos: bad seed in spec %q: %v", spec, err)
+		return "", 0, 0, &SpecError{Spec: spec, Field: "seed", Msg: err.Error()}
 	}
 	mask, err = strconv.ParseUint(parts[3], 16, 64)
 	if err != nil {
-		return "", 0, 0, fmt.Errorf("chaos: bad mask in spec %q: %v", spec, err)
+		return "", 0, 0, &SpecError{Spec: spec, Field: "mask", Msg: err.Error()}
 	}
 	return parts[1], seed, mask, nil
 }
@@ -40,9 +57,10 @@ func splitSpec(spec, prefix, shape string) (class string, seed, mask uint64, err
 // count. Silently truncating such a mask (the old behaviour) would make a
 // corrupted spec replay a *different*, smaller fault plan and still claim
 // to be the reproducer; better to refuse it outright.
-func checkMask(mask, full uint64, n int) error {
+func checkMask(spec string, mask, full uint64, n int) error {
 	if mask&^full != 0 {
-		return fmt.Errorf("chaos: mask %x has bits beyond the %d generated events", mask, n)
+		return &SpecError{Spec: spec, Field: "mask",
+			Msg: fmt.Sprintf("mask %x has bits beyond the %d generated events", mask, n)}
 	}
 	return nil
 }

@@ -20,6 +20,7 @@ import (
 	"enoki/internal/enokic"
 	"enoki/internal/kernel"
 	"enoki/internal/ktime"
+	"enoki/internal/overload"
 	"enoki/internal/sim"
 )
 
@@ -69,6 +70,11 @@ type Config struct {
 	// machinery drives their adapters' UpgradeTo/Rollback as cluster
 	// actions. Takes precedence over Setup.
 	SetupModules func(machine int, sk *kernel.ShardedKernel) []*enokic.Adapter
+	// Admission, when non-empty, builds the cluster's overload controller:
+	// jobs offered through Offer pass per-class admission with load
+	// shedding and bounded retry before they reach the placer. Submit
+	// bypasses admission.
+	Admission []overload.ClassConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +106,8 @@ type Cluster struct {
 	machines []*Machine
 	sched    *jobScheduler
 	rollout  *Rollout
+	adm      *overload.Controller
+	jobClass map[int]int // job id → admission class, for jobs that entered via Offer
 	closed   bool
 }
 
@@ -111,6 +119,10 @@ func New(cfg Config) *Cluster {
 		panic("cluster: Config.Machines must be at least 1")
 	}
 	c := &Cluster{cfg: cfg, fl: sim.NewFleet(ktime.Duration(cfg.NetLatency)), ctrl: sim.New()}
+	if len(cfg.Admission) > 0 {
+		c.adm = overload.New(overload.Config{Classes: cfg.Admission})
+		c.jobClass = make(map[int]int)
+	}
 	c.ctrlNode = c.fl.AddNode(c.ctrl)
 	c.ctrlSrc = c.fl.AddSource(c.ctrlNode)
 	for i := 0; i < cfg.Machines; i++ {

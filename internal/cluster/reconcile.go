@@ -304,6 +304,7 @@ func (s *jobScheduler) onDone(id, mi int) {
 	s.e2eHist.Record(time.Duration(j.DoneAt - j.SubmittedAt))
 	s.done++
 	s.live--
+	s.c.jobDone(id)
 }
 
 // onStopped handles a migration checkpoint: the job left machine mi with

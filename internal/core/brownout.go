@@ -1,0 +1,16 @@
+package core
+
+// BrownoutMode is the optional degraded-mode surface of a scheduler
+// module. A class that implements it declares what it is willing to give
+// up under overload: shinjuku drops its tight preemption slice, locality
+// drops LLC spillover. The overload control plane flips the mode by
+// hysteresis on sampled queue depth (see internal/overload); the module
+// must treat both directions as cheap, idempotent state changes — the
+// sampler may repeat a state.
+//
+// SetDegraded is a module crossing like any other: the framework wraps
+// it in SafeCall, and a panic inside it kills the module through the
+// normal fault road.
+type BrownoutMode interface {
+	SetDegraded(on bool)
+}

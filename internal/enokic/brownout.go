@@ -1,0 +1,32 @@
+package enokic
+
+import "enoki/internal/core"
+
+// Degradable reports whether the loaded module implements
+// core.BrownoutMode — i.e. declares a degraded mode the overload plane
+// can flip.
+func (a *Adapter) Degradable() bool {
+	_, ok := a.sched.(core.BrownoutMode)
+	return ok
+}
+
+// SetDegraded flips the module's brownout mode. Like every crossing into
+// the module it is fault-contained: a panic in the module's SetDegraded
+// trips the normal kill road instead of unwinding the caller. It reports
+// whether the mode was delivered — false for a killed module, a module
+// that does not implement core.BrownoutMode, or a call that tripped a
+// fault.
+func (a *Adapter) SetDegraded(on bool) bool {
+	if a.killed {
+		return false
+	}
+	bm, ok := a.sched.(core.BrownoutMode)
+	if !ok {
+		return false
+	}
+	if fault := core.SafeCall(func() { bm.SetDegraded(on) }); fault != nil {
+		a.trip(*fault, 0)
+		return false
+	}
+	return true
+}

@@ -1,0 +1,76 @@
+package enokic
+
+import (
+	"testing"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/sched/fifo"
+	"enoki/internal/sched/shinjuku"
+)
+
+// degradeSpy wraps a module with a recordable (and optionally explosive)
+// BrownoutMode.
+type degradeSpy struct {
+	core.Scheduler
+	on      []bool
+	explode bool
+}
+
+func (d *degradeSpy) SetDegraded(on bool) {
+	if d.explode {
+		panic("brownout handler exploded")
+	}
+	d.on = append(d.on, on)
+}
+
+func TestSetDegradedDelivery(t *testing.T) {
+	spy := &degradeSpy{}
+	_, a := faultRig(DefaultConfig(), func(env core.Env) core.Scheduler {
+		spy.Scheduler = shinjuku.New(env, policyEnoki, 0)
+		return spy
+	})
+	if !a.Degradable() {
+		t.Fatal("BrownoutMode module not reported Degradable")
+	}
+	if !a.SetDegraded(true) || !a.SetDegraded(false) {
+		t.Fatal("SetDegraded not delivered to a live module")
+	}
+	if len(spy.on) != 2 || !spy.on[0] || spy.on[1] {
+		t.Fatalf("delivered sequence %v, want [true false]", spy.on)
+	}
+}
+
+func TestSetDegradedNotImplemented(t *testing.T) {
+	// fifo has no degraded mode: delivery must report false, not panic.
+	_, a := faultRig(DefaultConfig(), func(env core.Env) core.Scheduler {
+		return fifo.New(env, policyEnoki)
+	})
+	if a.Degradable() {
+		t.Fatal("fifo reported Degradable")
+	}
+	if a.SetDegraded(true) {
+		t.Fatal("SetDegraded claimed delivery to a module without BrownoutMode")
+	}
+}
+
+func TestSetDegradedPanicTripsKill(t *testing.T) {
+	k, a := faultRig(DefaultConfig(), func(env core.Env) core.Scheduler {
+		return &degradeSpy{Scheduler: fifo.New(env, policyEnoki), explode: true}
+	})
+	if a.SetDegraded(true) {
+		t.Fatal("a panicking SetDegraded claimed delivery")
+	}
+	if !a.Killed() {
+		t.Fatal("panic inside SetDegraded did not trip the kill road")
+	}
+	k.RunFor(time.Millisecond) // let the kill event run
+	rep := a.Failure()
+	if rep == nil || rep.Fault.Cause != core.FaultPanic {
+		t.Fatalf("failure report %+v, want FaultPanic", rep)
+	}
+	// A dead module never sees another crossing.
+	if a.SetDegraded(false) {
+		t.Fatal("SetDegraded delivered to a killed module")
+	}
+}

@@ -193,6 +193,21 @@ func (k *Kernel) RegisterClass(id int, c Class) {
 // ClassByID returns the class registered under id, or nil.
 func (k *Kernel) ClassByID(id int) Class { return k.byID[id] }
 
+// ClassDepth sums the runnable (queued, not running) backlog of the class
+// registered under id across every CPU — the queue-depth signal the
+// overload plane's brownout sampler consumes. Unknown ids report zero.
+func (k *Kernel) ClassDepth(id int) int {
+	c := k.byID[id]
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for cpu := 0; cpu < k.NumCPUs(); cpu++ {
+		n += c.NRunnable(cpu)
+	}
+	return n
+}
+
 // DeregisterClass removes the class registered under id from the scheduling
 // pick order and re-points the id at the class registered under fallbackID.
 // Later Spawn or SetScheduler calls naming the dead policy silently land in

@@ -69,9 +69,18 @@ type Sched struct {
 	HintsApplied    uint64
 	HintsIgnored    uint64
 	HintsRedirected uint64
+
+	// degraded is the brownout mode (core.BrownoutMode): under overload
+	// the module stops scanning LLC siblings for spillover — an
+	// overloaded home core goes straight to random fallback, dropping
+	// the O(siblings) scan from every placement while queues are deep.
+	degraded bool
 }
 
-var _ core.Scheduler = (*Sched)(nil)
+var (
+	_ core.Scheduler    = (*Sched)(nil)
+	_ core.BrownoutMode = (*Sched)(nil)
+)
 
 // New constructs the module.
 func New(env core.Env, policy int) *Sched {
@@ -87,6 +96,16 @@ func New(env core.Env, policy int) *Sched {
 
 // GetPolicy implements core.Scheduler.
 func (s *Sched) GetPolicy() int { return s.policy }
+
+// SetDegraded implements core.BrownoutMode: degraded locality gives up
+// LLC-sibling spillover, keeping only the exact-home fast path of the
+// hint. Placement quality degrades gracefully (spills land random, as if
+// unhinted) and recovers when the overload plane exits brownout.
+func (s *Sched) SetDegraded(on bool) {
+	s.mu.Lock()
+	s.degraded = on
+	s.mu.Unlock()
+}
 
 func (s *Sched) push(t *task, cpu int, sched *core.Schedulable) {
 	t.cpu = cpu
@@ -126,18 +145,20 @@ func (s *Sched) placeFor(pid, fallback int) int {
 			s.HintsApplied++
 			return coreID
 		}
-		best, bestLen := -1, 0
-		for _, sib := range s.env.Topology().Siblings(coreID) {
-			if sib == coreID {
-				continue
+		if !s.degraded {
+			best, bestLen := -1, 0
+			for _, sib := range s.env.Topology().Siblings(coreID) {
+				if sib == coreID {
+					continue
+				}
+				if n := len(s.st.queues[sib]); best == -1 || n < bestLen {
+					best, bestLen = sib, n
+				}
 			}
-			if n := len(s.st.queues[sib]); best == -1 || n < bestLen {
-				best, bestLen = sib, n
+			if best >= 0 && bestLen < maxGroupQueue {
+				s.HintsRedirected++
+				return best
 			}
-		}
-		if best >= 0 && bestLen < maxGroupQueue {
-			s.HintsRedirected++
-			return best
 		}
 		s.HintsIgnored++
 	}

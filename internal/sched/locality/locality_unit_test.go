@@ -173,3 +173,42 @@ func TestUnitUpgradeKeepsGroups(t *testing.T) {
 		t.Fatal("group map lost across upgrade")
 	}
 }
+
+func TestUnitDegradedDropsSpillover(t *testing.T) {
+	s, _ := unit()
+	// Occupy the group's home core (round-robin claim lands on cpu 0)
+	// past maxGroupQueue so a hinted placement must spill.
+	for pid := 1; pid <= maxGroupQueue; pid++ {
+		s.TaskNew(pid, 0, true, nil, schedtest.Tok(pid, 0, 1))
+	}
+	s.TaskNew(100, 0, false, nil, nil)
+	s.ParseHint(HintMsg{PID: 100, Locality: 5})
+	s.TaskNew(101, 0, false, nil, nil)
+	s.ParseHint(HintMsg{PID: 101, Locality: 5})
+
+	// Claim the home core for the group, overloaded from the start: the
+	// first placement already spills to an LLC sibling.
+	if s.SelectTaskRQ(100, 0, true) == 0 {
+		t.Fatal("placement landed on the saturated home core")
+	}
+	if s.HintsRedirected != 1 || s.HintsIgnored != 0 {
+		t.Fatalf("healthy spill: redirected=%d ignored=%d", s.HintsRedirected, s.HintsIgnored)
+	}
+
+	// Degraded mode gives the sibling scan up: same overload now falls
+	// straight through to the random path and counts an ignored hint.
+	s.SetDegraded(true)
+	s.SelectTaskRQ(101, 0, true)
+	if s.HintsRedirected != 1 || s.HintsIgnored != 1 {
+		t.Fatalf("degraded spill: redirected=%d ignored=%d", s.HintsRedirected, s.HintsIgnored)
+	}
+
+	// Recovery restores spillover.
+	s.SetDegraded(false)
+	s.TaskNew(102, 0, false, nil, nil)
+	s.ParseHint(HintMsg{PID: 102, Locality: 5})
+	s.SelectTaskRQ(102, 0, true)
+	if s.HintsRedirected != 2 {
+		t.Fatalf("recovered spill: redirected=%d", s.HintsRedirected)
+	}
+}

@@ -43,11 +43,20 @@ type Sched struct {
 	mu     core.Locker
 	st     *state
 
+	// degraded is the brownout mode (core.BrownoutMode): under overload
+	// the module gives up its tight preemption slice and runs everything
+	// at the long uncontended quantum, shedding the timer/preemption
+	// churn that amplifies queueing right when capacity matters most.
+	degraded bool
+
 	// Preemptions counts timer-driven requeues (tests/ablations).
 	Preemptions uint64
 }
 
-var _ core.Scheduler = (*Sched)(nil)
+var (
+	_ core.Scheduler    = (*Sched)(nil)
+	_ core.BrownoutMode = (*Sched)(nil)
+)
 
 // New constructs the module with the given preemption slice (0 means
 // DefaultSlice).
@@ -66,6 +75,25 @@ func New(env core.Env, policy int, slice time.Duration) *Sched {
 
 // GetPolicy implements core.Scheduler.
 func (s *Sched) GetPolicy() int { return s.policy }
+
+// SetDegraded implements core.BrownoutMode: degraded shinjuku stops
+// arming the tight quantum (tightSlice returns the long one), trading
+// tail-optimal preemption for lower scheduling overhead until the
+// overload plane samples the queues back under the exit threshold.
+func (s *Sched) SetDegraded(on bool) {
+	s.mu.Lock()
+	s.degraded = on
+	s.mu.Unlock()
+}
+
+// tightSlice is the quantum used when another task is waiting. Callers
+// hold mu.
+func (s *Sched) tightSlice() time.Duration {
+	if s.degraded {
+		return time.Millisecond
+	}
+	return s.slice
+}
 
 func allowedSet(list []int, ncpu int) []bool {
 	if len(list) == 0 || len(list) >= ncpu {
@@ -143,7 +171,7 @@ func (s *Sched) TaskWakeup(pid int, runtime time.Duration, deferrable bool, last
 	s.push(t, wakeCPU, sched)
 	if s.st.busy[wakeCPU] != 0 {
 		// Someone is running here: slice them at the tight quantum.
-		s.env.ArmTimer(wakeCPU, s.slice)
+		s.env.ArmTimer(wakeCPU, s.tightSlice())
 	}
 }
 
@@ -248,7 +276,7 @@ func (s *Sched) PickNextTask(cpu int, curr *core.Schedulable, currRuntime time.D
 	// when another task is waiting here; uncontended tasks get a long
 	// one "to prevent overloading the scheduler" (§4.2.2) — a wakeup
 	// landing behind a running task re-arms the tight quantum below.
-	slice := s.slice
+	slice := s.tightSlice()
 	if len(s.st.queues[cpu]) == 0 {
 		slice = time.Millisecond
 	}
@@ -341,7 +369,7 @@ func (s *Sched) MigrateTaskRQ(pid, newCPU int, sched *core.Schedulable) *core.Sc
 	q[pos] = t
 	s.st.queues[newCPU] = q
 	if s.st.busy[newCPU] != 0 {
-		s.env.ArmTimer(newCPU, s.slice)
+		s.env.ArmTimer(newCPU, s.tightSlice())
 	}
 	return old
 }

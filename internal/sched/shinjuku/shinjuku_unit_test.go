@@ -154,3 +154,35 @@ func TestUnitDefaultSlice(t *testing.T) {
 		t.Fatalf("default slice = %v", s.slice)
 	}
 }
+
+func TestUnitDegradedDropsTightSlice(t *testing.T) {
+	s, env := unit()
+	// Two tasks waiting on cpu 0: a contended pick arms the tight quantum.
+	s.TaskNew(1, 0, true, nil, schedtest.Tok(1, 0, 1))
+	s.TaskNew(2, 0, true, nil, schedtest.Tok(2, 0, 1))
+	s.PickNextTask(0, nil, 0)
+	if got := env.Timers[len(env.Timers)-1].D; got != 10*time.Microsecond {
+		t.Fatalf("contended healthy quantum = %v, want 10µs", got)
+	}
+
+	// Degraded: the same contended pick runs at the long quantum, and a
+	// wakeup behind a running task no longer slices it tightly.
+	s.SetDegraded(true)
+	s.TaskNew(3, 0, true, nil, schedtest.Tok(3, 0, 1))
+	s.PickNextTask(0, nil, 0)
+	if got := env.Timers[len(env.Timers)-1].D; got != time.Millisecond {
+		t.Fatalf("contended degraded quantum = %v, want 1ms", got)
+	}
+	s.TaskNew(4, 0, true, nil, schedtest.Tok(4, 0, 1))
+	s.TaskWakeup(4, 0, false, 0, 0, schedtest.Tok(4, 0, 1))
+	if got := env.Timers[len(env.Timers)-1].D; got != time.Millisecond {
+		t.Fatalf("degraded wakeup slice = %v, want 1ms", got)
+	}
+
+	// Recovery restores the tight quantum.
+	s.SetDegraded(false)
+	s.TaskWakeup(4, 0, false, 0, 0, schedtest.Tok(4, 0, 1))
+	if got := env.Timers[len(env.Timers)-1].D; got != 10*time.Microsecond {
+		t.Fatalf("recovered wakeup slice = %v, want 10µs", got)
+	}
+}

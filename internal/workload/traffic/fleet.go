@@ -1,0 +1,100 @@
+package traffic
+
+import (
+	"time"
+
+	"enoki/internal/cluster"
+	"enoki/internal/ktime"
+	"enoki/internal/overload"
+)
+
+// FleetDriver feeds a scenario's connection arrivals through a cluster's
+// admission ingress: every connection becomes one job offer (Cycles =
+// requests per connection, Run = per-request work, Sleep = think time),
+// shed exactly like requests on a single machine — at the front door,
+// before the placer sees them. One driver owns the whole scenario; the
+// arrival tick chain runs on the control-plane engine, so fleet drives
+// stay deterministic serial or parallel.
+type FleetDriver struct {
+	cl    *cluster.Cluster
+	sc    Scenario
+	rng   *ktime.Rand
+	conns uint64
+}
+
+// NewFleetDriver builds a fleet ingress driver. The cluster must have been
+// built with Config.Admission covering every class the scenario offers to.
+func NewFleetDriver(cl *cluster.Cluster, sc Scenario) *FleetDriver {
+	if cl.Overload() == nil {
+		panic("traffic: NewFleetDriver on a cluster without admission")
+	}
+	return &FleetDriver{cl: cl, sc: sc.WithDefaults(), rng: ktime.NewRand(sc.Seed ^ shardSalt)}
+}
+
+// Start arms the arrival tick chain. Call once, before running the fleet.
+func (f *FleetDriver) Start() { f.post(0) }
+
+// Connections returns how many connections the driver has offered.
+func (f *FleetDriver) Connections() uint64 { return f.conns }
+
+// post arms the tick for scenario time at. The tick carries its own
+// timestamp: the fleet's Now is the cross-machine floor, which can lag
+// the control engine's clock mid-drive, and re-arming off the floor
+// would post into the engine's past and livelock.
+func (f *FleetDriver) post(at time.Duration) {
+	f.cl.PostAt(at, func() { f.tick(at) })
+}
+
+func (f *FleetDriver) tick(now time.Duration) {
+	if now >= f.sc.Duration {
+		return
+	}
+	for ri := range f.sc.Regions {
+		for ci := range f.sc.Classes {
+			f.arrivals(ci, ri, now)
+		}
+	}
+	f.post(now + f.sc.Tick)
+}
+
+// arrivals mirrors Driver.arrivals at job granularity: expected count is
+// rate × tick with a Bernoulli fractional remainder; a churn window
+// collapses each connection to a single-cycle job.
+func (f *FleetDriver) arrivals(ci, ri int, now time.Duration) {
+	c := &f.sc.Classes[ci]
+	r := &f.sc.Regions[ri]
+	rate := f.sc.Rate * c.Weight * r.Share * f.sc.Factor(ci, now, r.Offset)
+	if rate <= 0 {
+		return
+	}
+	exp := rate * f.sc.Tick.Seconds()
+	n := int(exp)
+	if f.rng.Bernoulli(exp - float64(n)) {
+		n++
+	}
+	cycles := c.ReqPerConn
+	if f.sc.churnAt(ci, now) {
+		cycles = 1
+	}
+	for i := 0; i < n; i++ {
+		f.conns++
+		f.cl.Offer(c.Admission, cluster.JobSpec{
+			Name:   c.Name,
+			Cycles: cycles,
+			Run:    c.Work,
+			Sleep:  c.Think,
+		})
+	}
+}
+
+// CheckConservation runs the fleet-level shed-accounting oracle: the
+// admission books must balance and, on a drained cluster, every admitted
+// job must be Done.
+func (f *FleetDriver) CheckConservation() []string {
+	return f.cl.Overload().CheckConservation(true)
+}
+
+// Counters returns the merged admission accounting across classes.
+func (f *FleetDriver) Counters() overload.Counters {
+	return f.cl.Overload().Total()
+}

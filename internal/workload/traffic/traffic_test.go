@@ -1,0 +1,272 @@
+package traffic_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"enoki/internal/core"
+	"enoki/internal/enokic"
+	"enoki/internal/kernel"
+	"enoki/internal/overload"
+	"enoki/internal/record"
+	"enoki/internal/sched/shinjuku"
+	"enoki/internal/schedtest"
+	"enoki/internal/sim"
+	"enoki/internal/workload/traffic"
+)
+
+const (
+	policyCFS  = 0
+	policyTest = 1
+)
+
+func admission() overload.Config {
+	return overload.Config{Classes: []overload.ClassConfig{
+		{Name: "api", Policy: policyTest, MaxInflight: 96, MaxRetries: 2,
+			Backoff: 150 * time.Microsecond, EnterDepth: 60, ExitDepth: 10},
+		{Name: "batch", Policy: policyCFS},
+	}}
+}
+
+func scenario() traffic.Scenario {
+	return traffic.Scenario{
+		Seed:     42,
+		Rate:     400_000,
+		Duration: 10 * time.Millisecond,
+		Classes: []traffic.Class{
+			{Name: "api", Policy: policyTest, Admission: 0, Weight: 0.7,
+				Work: 30 * time.Microsecond, Fanout: 2, ReqPerConn: 2, Think: 300 * time.Microsecond},
+			{Name: "batch", Policy: policyCFS, Admission: 1, Weight: 0.3,
+				Work: 100 * time.Microsecond},
+		},
+		Regions: []traffic.Region{
+			{Name: "us", Share: 0.5},
+			{Name: "eu", Share: 0.5, Offset: 5 * time.Millisecond},
+		},
+		Shapes: []traffic.Shape{
+			{Kind: traffic.Flash, Class: 0, At: 4 * time.Millisecond, Dur: 3 * time.Millisecond, Mult: 8},
+		},
+	}
+}
+
+// shardedDrive runs the scenario on the two-socket machine, one driver,
+// controller, and record log per NUMA shard. panicAt > 0 arms a
+// deterministic module panic on shard 0 after that many picks (the
+// module-kill-mid-flash case); killed reports whether it tripped.
+func shardedDrive(t *testing.T, sc traffic.Scenario, parallel bool, panicAt int) (traffic.Report, [][]byte, bool) {
+	t.Helper()
+	m := kernel.Machine80()
+	sk := kernel.NewShardedKernel(m, kernel.CostsFor(m), 0)
+	defer sk.Close()
+	sk.SetParallel(parallel)
+
+	n := sk.NumShards()
+	drivers := make([]*traffic.Driver, n)
+	adapters := make([]*enokic.Adapter, n)
+	bufs := make([]*bytes.Buffer, n)
+	recs := make([]*record.Recorder, n)
+	for i := 0; i < n; i++ {
+		k := sk.ShardKernel(i)
+		inj := &schedtest.Injector{}
+		if i == 0 && panicAt > 0 {
+			inj.PanicSite = core.MsgPickNextTask
+			inj.PanicAt = panicAt
+		}
+		adapters[i] = enokic.Load(k, policyTest, enokic.DefaultConfig(), func(env core.Env) core.Scheduler {
+			inj.Scheduler = shinjuku.New(env, policyTest, 0)
+			return inj
+		})
+		k.RegisterClass(policyCFS, kernel.NewCFS(k))
+		bufs[i] = &bytes.Buffer{}
+		recs[i] = record.New(k, bufs[i], policyCFS, record.DefaultCosts())
+		adapters[i].SetRecorder(recs[i])
+		drivers[i] = traffic.NewDriver(k, sc, traffic.DriverConfig{
+			Controller:  overload.New(admission()),
+			Adapters:    map[int]*enokic.Adapter{policyTest: adapters[i]},
+			Shard:       i,
+			Shards:      n,
+			SampleEvery: 250 * time.Microsecond,
+		})
+		drivers[i].Start()
+	}
+	// The recorder's userspace drain task sleeps and wakes forever until
+	// Close, so the rig never goes event-idle: drive to a fixed virtual
+	// deadline with drain slack instead (the chaos campaigns' idiom),
+	// which is also what keeps serial and parallel drives comparable.
+	sk.RunFor(sc.Duration + 40*time.Millisecond)
+	logs := make([][]byte, n)
+	killed := false
+	for i := 0; i < n; i++ {
+		recs[i].Close()
+		logs[i] = bufs[i].Bytes()
+		if adapters[i].Killed() {
+			killed = true
+		}
+	}
+	return traffic.Collect(drivers...), logs, killed
+}
+
+func TestFlashCrowdShedsAndRecovers(t *testing.T) {
+	rep, _, killed := shardedDrive(t, scenario(), false, 0)
+	if killed {
+		t.Fatal("module killed in a fault-free drive")
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("conservation violations: %v", rep.Violations)
+	}
+	if rep.Connections < 3000 {
+		t.Fatalf("only %d connections generated", rep.Connections)
+	}
+	n := rep.Admission[0]
+	if n.Shed == 0 || n.Dropped == 0 || n.Retried == 0 {
+		t.Fatalf("flash crowd never exercised shedding: %+v", n)
+	}
+	if n.Admitted == 0 {
+		t.Fatal("everything shed")
+	}
+	// Batch is unlimited: never shed.
+	if rep.Admission[1].Shed != 0 {
+		t.Fatalf("unlimited class shed %d", rep.Admission[1].Shed)
+	}
+	if !rep.BrownoutEntered {
+		t.Fatal("flash crowd never entered brownout")
+	}
+	if !rep.Recovered || rep.MaxRecovery <= 0 {
+		t.Fatalf("brownout never recovered: recovered=%v rec=%v", rep.Recovered, rep.MaxRecovery)
+	}
+	// Every admitted request completed (drained rig).
+	for ci, c := range rep.Classes {
+		if c.Requests != c.Completed {
+			t.Fatalf("class %d: %d admitted, %d completed", ci, c.Requests, c.Completed)
+		}
+	}
+	if rep.Classes[0].FlashCount == 0 || rep.Classes[0].FlashP99 <= 0 {
+		t.Fatal("no flash-window latency measured")
+	}
+}
+
+func TestShardedSerialParallelIdentical(t *testing.T) {
+	ser, serLogs, _ := shardedDrive(t, scenario(), false, 0)
+	par, parLogs, _ := shardedDrive(t, scenario(), true, 0)
+	if ser.Fingerprint() != par.Fingerprint() {
+		t.Fatalf("fingerprint mismatch: serial %x parallel %x", ser.Fingerprint(), par.Fingerprint())
+	}
+	for i := range serLogs {
+		if !bytes.Equal(serLogs[i], parLogs[i]) {
+			t.Fatalf("shard %d record logs differ: serial %d bytes, parallel %d bytes",
+				i, len(serLogs[i]), len(parLogs[i]))
+		}
+	}
+}
+
+// TestModuleKillMidFlashConservation is the shed-accounting invariant
+// under the worst case: the module dies in the middle of the flash crowd
+// and every admitted in-flight request must be rehomed to CFS and still
+// complete — no leaked inflight slots, no double counts — with serial
+// and parallel drives byte-identical, kill included.
+func TestModuleKillMidFlashConservation(t *testing.T) {
+	const panicAt = 1500 // lands inside the flash window's backlog
+	ser, serLogs, killed := shardedDrive(t, scenario(), false, panicAt)
+	if !killed {
+		t.Fatal("armed panic never tripped the module kill")
+	}
+	if len(ser.Violations) != 0 {
+		t.Fatalf("conservation broke across the kill/rehome: %v", ser.Violations)
+	}
+	for ci, c := range ser.Classes {
+		if c.Requests != c.Completed {
+			t.Fatalf("class %d leaked requests across rehome: %d admitted, %d completed",
+				ci, c.Requests, c.Completed)
+		}
+	}
+	par, parLogs, pkilled := shardedDrive(t, scenario(), true, panicAt)
+	if !pkilled {
+		t.Fatal("parallel drive missed the armed panic")
+	}
+	if ser.Fingerprint() != par.Fingerprint() {
+		t.Fatalf("kill drive fingerprints differ: %x vs %x", ser.Fingerprint(), par.Fingerprint())
+	}
+	for i := range serLogs {
+		if !bytes.Equal(serLogs[i], parLogs[i]) {
+			t.Fatalf("shard %d record logs differ under module kill", i)
+		}
+	}
+}
+
+// singleDrive runs a scenario on one 8-CPU kernel with CFS only.
+func singleDrive(sc traffic.Scenario, oc overload.Config) traffic.Report {
+	eng := sim.New()
+	k := kernel.New(eng, kernel.Machine8(), kernel.DefaultCosts())
+	k.RegisterClass(policyCFS, kernel.NewCFS(k))
+	d := traffic.NewDriver(k, sc, traffic.DriverConfig{Controller: overload.New(oc)})
+	d.Start()
+	k.RunUntilIdle()
+	return traffic.Collect(d)
+}
+
+func TestFanoutCompletesOnLastSubrequest(t *testing.T) {
+	sc := traffic.Scenario{
+		Seed: 7, Rate: 50_000, Duration: 5 * time.Millisecond, DiurnalAmp: -1,
+		Classes: []traffic.Class{
+			{Name: "fan", Policy: policyCFS, Weight: 1, Work: 40 * time.Microsecond, Fanout: 4},
+		},
+	}
+	rep := singleDrive(sc, overload.Config{Classes: []overload.ClassConfig{{Name: "fan"}}})
+	c := rep.Classes[0]
+	if c.Requests == 0 || c.Requests != c.Completed {
+		t.Fatalf("fanout requests %d completed %d", c.Requests, c.Completed)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if c.P99 <= 0 {
+		t.Fatal("no latency recorded")
+	}
+}
+
+func TestChurnStormCollapsesConnections(t *testing.T) {
+	base := traffic.Scenario{
+		Seed: 11, Rate: 40_000, Duration: 5 * time.Millisecond, DiurnalAmp: -1,
+		Classes: []traffic.Class{
+			{Name: "kv", Policy: policyCFS, Weight: 1, Work: 10 * time.Microsecond,
+				ReqPerConn: 4, Think: 100 * time.Microsecond},
+		},
+	}
+	oc := overload.Config{Classes: []overload.ClassConfig{{Name: "kv"}}}
+	calm := singleDrive(base, oc)
+
+	churny := base
+	churny.Shapes = []traffic.Shape{{Kind: traffic.Churn, Class: -1, At: 0, Dur: 5 * time.Millisecond, Mult: 1}}
+	storm := singleDrive(churny, oc)
+
+	// Same connection arrivals (Mult 1), but churned connections issue a
+	// single request instead of 4.
+	if calm.Requests < 3*storm.Requests {
+		t.Fatalf("churn storm did not collapse request counts: calm %d, storm %d",
+			calm.Requests, storm.Requests)
+	}
+	if storm.Connections == 0 || storm.Requests < storm.Connections {
+		t.Fatalf("storm: %d conns, %d reqs", storm.Connections, storm.Requests)
+	}
+}
+
+func TestDiurnalRegionalOffsets(t *testing.T) {
+	sc := traffic.Scenario{
+		Duration: 10 * time.Millisecond,
+		Classes:  []traffic.Class{{Name: "c", Weight: 1}},
+		Regions: []traffic.Region{
+			{Name: "us", Share: 0.5},
+			{Name: "eu", Share: 0.5, Offset: 5 * time.Millisecond},
+		},
+	}.WithDefaults()
+	// Peak of us (t=2.5ms, sin=1) is the trough of eu (half-period off).
+	fUS := sc.Factor(0, 2500*time.Microsecond, sc.Regions[0].Offset)
+	fEU := sc.Factor(0, 2500*time.Microsecond, sc.Regions[1].Offset)
+	if fUS < 1.35 || fUS > 1.45 {
+		t.Fatalf("us peak factor %v, want ~1.4", fUS)
+	}
+	if fEU > 0.65 || fEU < 0.55 {
+		t.Fatalf("eu trough factor %v, want ~0.6", fEU)
+	}
+}

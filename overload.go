@@ -1,0 +1,230 @@
+package enoki
+
+import (
+	"fmt"
+	"time"
+
+	"enoki/internal/cluster"
+	"enoki/internal/enokic"
+	"enoki/internal/overload"
+	"enoki/internal/workload/traffic"
+)
+
+// The overload-control plane: per-class admission with zero-alloc load
+// shedding, bounded retry-with-backoff, and brownout graceful degradation
+// entered and exited by hysteresis on sampled queue depth. The plane sits
+// at ingress — a traffic driver or the cluster's Offer front door calls
+// Admit before any task is spawned — never in the kernel's pick path, and
+// its accounting obeys a conservation invariant the chaos oracle enforces:
+// Offered == Admitted + Shed and Shed == Retried + Dropped per class.
+
+// AdmissionClass parameterizes one admission class: its inflight ceiling,
+// retry budget and backoff, and the brownout hysteresis thresholds on the
+// mapped scheduler class's queue depth.
+type AdmissionClass = overload.ClassConfig
+
+// AdmissionController is one admission/brownout control plane. Not
+// goroutine-safe: sharded rigs give each shard its own controller and
+// merge counters afterwards, which is also what keeps serial and parallel
+// drives byte-identical.
+type AdmissionController = overload.Controller
+
+// AdmissionVerdict is Admit's resolution of one offered attempt.
+type AdmissionVerdict = overload.Verdict
+
+// Admission verdicts.
+const (
+	// AdmissionAdmitted: run it; the caller owes one Done.
+	AdmissionAdmitted = overload.Admitted
+	// AdmissionRetry: shed, re-offer after Backoff(class, attempt).
+	AdmissionRetry = overload.Retry
+	// AdmissionDropped: shed with the retry budget exhausted. Terminal.
+	AdmissionDropped = overload.Dropped
+)
+
+// AdmissionCounters is one class's (or a merged total's) accounting
+// snapshot; the conservation invariant must hold over it at all times.
+type AdmissionCounters = overload.Counters
+
+// The traffic plane: a deterministic open-loop scenario engine — diurnal
+// curves with regional offsets, flash crowds, antagonist multi-tenancy,
+// connection churn, and nginx-style request fanout — driving a System
+// (DriveTraffic) or a Cluster (NewTrafficFleetDriver) through the
+// admission plane.
+
+// TrafficScenario is one deterministic open-loop traffic plan.
+type TrafficScenario = traffic.Scenario
+
+// TrafficClass is one request class of a scenario.
+type TrafficClass = traffic.Class
+
+// TrafficRegion is one arrival region: a share of global traffic with a
+// diurnal phase offset. In sharded rigs regions partition across shards.
+type TrafficRegion = traffic.Region
+
+// TrafficShape is one traffic distortion window.
+type TrafficShape = traffic.Shape
+
+// TrafficShapeKind selects one adversarial traffic shape.
+type TrafficShapeKind = traffic.ShapeKind
+
+// Traffic shapes.
+const (
+	// TrafficFlash is a flash crowd: the class's arrival rate multiplies
+	// inside the window.
+	TrafficFlash = traffic.Flash
+	// TrafficAntagonist is noisy-neighbor multi-tenancy: the antagonist
+	// class's rate multiplies, crowding the victims.
+	TrafficAntagonist = traffic.Antagonist
+	// TrafficChurn is a connection-churn storm: every connection opened
+	// inside the window issues a single request and closes.
+	TrafficChurn = traffic.Churn
+)
+
+// TrafficDriver generates one scenario partition open-loop against one
+// kernel shard; System.DriveTraffic assembles one per shard.
+type TrafficDriver = traffic.Driver
+
+// TrafficDriverConfig wires one TrafficDriver to its kernel shard.
+type TrafficDriverConfig = traffic.DriverConfig
+
+// TrafficReport is the merged outcome of one scenario drive, admission
+// accounting and brownout episodes included.
+type TrafficReport = traffic.Report
+
+// TrafficClassReport is one request class's merged measurement.
+type TrafficClassReport = traffic.ClassReport
+
+// TrafficFleetDriver drives a scenario against a Cluster's Offer front
+// door: arrivals become cluster jobs, shed arrivals cost nothing.
+type TrafficFleetDriver = traffic.FleetDriver
+
+// NewTrafficDriver builds a driver for one kernel shard; most rigs want
+// System.DriveTraffic instead.
+func NewTrafficDriver(k *Kernel, sc TrafficScenario, dc TrafficDriverConfig) *TrafficDriver {
+	return traffic.NewDriver(k, sc, dc)
+}
+
+// NewTrafficFleetDriver builds a fleet driver for a cluster constructed
+// with WithClusterAdmission. Call Start, run the cluster, then read
+// Counters and CheckConservation.
+func NewTrafficFleetDriver(cl *Cluster, sc TrafficScenario) *TrafficFleetDriver {
+	return traffic.NewFleetDriver(cl, sc)
+}
+
+// CollectTraffic merges the drivers of one drive (one per shard) into a
+// TrafficReport and runs the conservation check; the rig must be drained
+// first.
+func CollectTraffic(ds ...*TrafficDriver) TrafficReport {
+	return traffic.Collect(ds...)
+}
+
+// trafficSampleEvery is DriveTraffic's brownout sampler period.
+const trafficSampleEvery = 250 * time.Microsecond
+
+// WithAdmission installs the overload-control plane on the System: one
+// AdmissionController per shard (class indexes follow the argument
+// order), read back with AdmissionController and driven by DriveTraffic
+// or by calling Admit/Done at ingress by hand.
+func WithAdmission(classes ...AdmissionClass) Option {
+	return func(o *options) { o.admission = classes }
+}
+
+// WithBrownout sets the brownout hysteresis thresholds of admission class
+// (by WithAdmission index): the mapped scheduler class degrades when its
+// sampled queue depth reaches enterDepth and recovers at exitDepth.
+// Requires WithAdmission; NewSystem panics on an unknown class index.
+func WithBrownout(class, enterDepth, exitDepth int) Option {
+	return func(o *options) {
+		o.brownouts = append(o.brownouts, brownoutOpt{class, enterDepth, exitDepth})
+	}
+}
+
+type brownoutOpt struct {
+	class, enter, exit int
+}
+
+// AdmissionController returns shard i's admission controller, or nil when
+// the System was built without WithAdmission.
+func (s *System) AdmissionController(i int) *AdmissionController {
+	if s.adm == nil {
+		return nil
+	}
+	return s.adm[i]
+}
+
+// DriveTraffic runs one open-loop traffic scenario against the System
+// through its admission plane (WithAdmission required): one driver per
+// shard generates the scenario's arrivals, every arrival passes Admit
+// before any task spawns, brownout state changes are delivered to the
+// adapters of the classes' scheduler policies, and the merged report —
+// latency histograms, admission accounting, conservation violations,
+// brownout episodes — comes back after the run.
+//
+// The engine advances by the scenario's Duration plus drain, so admitted
+// work outlives the last arrival; size drain generously (admitted
+// requests still in flight at collection are conservation violations).
+// Each call consumes the scenario once — counters accumulate in the
+// controllers, so use a fresh System per scenario for isolated reports.
+func (s *System) DriveTraffic(sc TrafficScenario, drain time.Duration) TrafficReport {
+	if s.adm == nil {
+		panic("enoki: DriveTraffic requires WithAdmission")
+	}
+	if s.closed {
+		panic("enoki: DriveTraffic on a closed System")
+	}
+	n := s.NumShards()
+	ds := make([]*TrafficDriver, n)
+	for i := 0; i < n; i++ {
+		k := s.ShardKernel(i)
+		ads := make(map[int]*enokic.Adapter)
+		for _, a := range s.adapters {
+			if a.Kernel() == k {
+				ads[a.Policy()] = a
+			}
+		}
+		ds[i] = traffic.NewDriver(k, sc, traffic.DriverConfig{
+			Controller:  s.adm[i],
+			Adapters:    ads,
+			Shard:       i,
+			Shards:      n,
+			SampleEvery: trafficSampleEvery,
+		})
+		ds[i].Start()
+	}
+	s.Run(sc.Duration + drain)
+	return traffic.Collect(ds...)
+}
+
+// buildAdmission constructs the per-shard controllers from the collected
+// options; called by NewSystem.
+func buildAdmission(o *options, shards int) []*overload.Controller {
+	if len(o.admission) == 0 {
+		if len(o.brownouts) > 0 {
+			panic("enoki: WithBrownout requires WithAdmission")
+		}
+		return nil
+	}
+	classes := make([]AdmissionClass, len(o.admission))
+	copy(classes, o.admission)
+	for _, b := range o.brownouts {
+		if b.class < 0 || b.class >= len(classes) {
+			panic(fmt.Sprintf("enoki: WithBrownout(%d, ...) with %d admission classes", b.class, len(classes)))
+		}
+		classes[b.class].EnterDepth = b.enter
+		classes[b.class].ExitDepth = b.exit
+	}
+	adm := make([]*overload.Controller, shards)
+	for i := range adm {
+		adm[i] = overload.New(overload.Config{Classes: classes})
+	}
+	return adm
+}
+
+// WithClusterAdmission installs the overload-control plane on a Cluster's
+// job front door: jobs submitted through Cluster.Offer pass Admit first
+// (shed jobs cost nothing, retries re-offer after backoff), while Submit
+// bypasses admission. Read the controller back with Cluster.Overload.
+func WithClusterAdmission(classes ...AdmissionClass) ClusterOption {
+	return func(c *cluster.Config) { c.Admission = classes }
+}

@@ -8,6 +8,7 @@ import (
 
 	"enoki/internal/enokic"
 	"enoki/internal/kernel"
+	"enoki/internal/overload"
 	"enoki/internal/record"
 	"enoki/internal/sim"
 	"enoki/internal/trace"
@@ -50,6 +51,10 @@ type System struct {
 
 	tracer *trace.Tracer
 
+	// adm holds the admission/brownout controllers installed by
+	// WithAdmission, one per shard (index 0 on an unsharded System).
+	adm []*overload.Controller
+
 	// Recorder plumbing: WithRecorder defers creation until the drain
 	// class exists (the recorder spawns its userspace drain task into it).
 	recW      io.Writer
@@ -80,6 +85,9 @@ type options struct {
 	recWanted bool
 
 	tracer *trace.Tracer
+
+	admission []overload.ClassConfig
+	brownouts []brownoutOpt
 
 	sharded  bool
 	shards   int
@@ -173,7 +181,7 @@ func NewSystem(opts ...Option) *System {
 		}
 		sk := kernel.NewShardedKernel(o.machine, o.costs, 0)
 		sk.SetParallel(o.parallel)
-		return &System{sk: sk, cfg: o.cfg}
+		return &System{sk: sk, cfg: o.cfg, adm: buildAdmission(&o, sk.NumShards())}
 	}
 	if o.parallel {
 		panic("enoki: WithParallelSim requires WithShards")
@@ -182,6 +190,7 @@ func NewSystem(opts ...Option) *System {
 	k := kernel.New(eng, o.machine, o.costs)
 	s := &System{
 		eng: eng, k: k, cfg: o.cfg,
+		adm:  buildAdmission(&o, 1),
 		recW: o.recW, recPolicy: o.recPolicy,
 		recCosts: o.recCosts, recWanted: o.recWanted,
 		tracer: o.tracer,
